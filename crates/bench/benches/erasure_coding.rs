@@ -1,0 +1,96 @@
+//! Codec throughput: encode, single-block decode, full reconstruction
+//! and the delta path, for the paper's code shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tq_bench::payload;
+use tq_erasure::{delta, CodeParams, ReedSolomon};
+
+const BLOCK: usize = 4096;
+
+fn setup(n: usize, k: usize) -> (ReedSolomon, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let rs = ReedSolomon::new(CodeParams::new(n, k).expect("valid")) ;
+    let data: Vec<Vec<u8>> = (0..k).map(|i| payload(BLOCK, i as u8)).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = rs.encode(&refs);
+    (rs, data, parity)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/encode");
+    for (n, k) in [(9usize, 6usize), (15, 8), (14, 10)] {
+        let (rs, data, _) = setup(n, k);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        group.throughput(Throughput::Bytes((k * BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
+            b.iter(|| rs.encode(black_box(&refs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/decode_block");
+    for (n, k) in [(9usize, 6usize), (15, 8)] {
+        let (rs, data, parity) = setup(n, k);
+        // Worst case: the target is a data block and only parity + other
+        // data survive.
+        let available: Vec<(usize, &[u8])> = (1..k)
+            .map(|i| (i, data[i].as_slice()))
+            .chain(parity.iter().enumerate().map(|(j, p)| (k + j, p.as_slice())))
+            .collect();
+        group.throughput(Throughput::Bytes(BLOCK as u64));
+        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
+            b.iter(|| rs.decode_block(0, black_box(&available)).expect("decodable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/reconstruct_max_loss");
+    for (n, k) in [(9usize, 6usize), (15, 8)] {
+        let (rs, data, parity) = setup(n, k);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+        group.throughput(Throughput::Bytes(((n - k) * BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
+            b.iter_with_setup(
+                || {
+                    let mut shards: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    for lost in 0..(n - k) {
+                        shards[lost * n / (n - k)] = None;
+                    }
+                    shards
+                },
+                |mut shards| rs.reconstruct(black_box(&mut shards)).expect("recoverable"),
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_parity_deltas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/parity_deltas");
+    for (n, k) in [(9usize, 6usize), (15, 8)] {
+        let (rs, data, _) = setup(n, k);
+        let new_block = payload(BLOCK, 0xEE);
+        group.throughput(Throughput::Bytes(((n - k) * BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
+            b.iter(|| {
+                delta::parity_deltas(&rs, 0, black_box(&data[0]), black_box(&new_block))
+                    .expect("valid update")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode_block,
+    bench_reconstruct,
+    bench_parity_deltas
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 5 — storage space per data block, TRAP-ERC vs TRAP-FR.
+//!
+//! Prints the figure's rows (analytic + measured bytes on a provisioned
+//! cluster) at start-up, then measures stripe provisioning cost — the
+//! operation whose footprint eqs. 14/15 describe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tq_cluster::{Cluster, LocalTransport};
+use tq_sim::{experiments, report};
+use tq_trapezoid::TrapErcClient;
+
+fn print_figure() {
+    let fig = experiments::fig5_storage(4096);
+    eprintln!("{}", report::to_markdown(&fig));
+}
+
+fn bench_stripe_provisioning(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig5/create_stripe");
+    group.sample_size(30);
+    const BLOCK: usize = 4096;
+    for k in [8usize, 10, 12] {
+        let (shape, th) = experiments::shape_for_k(k);
+        let config = tq_trapezoid::ProtocolConfig::new(
+            tq_erasure::CodeParams::new(15, k).expect("valid"),
+            shape,
+            th,
+        )
+        .expect("valid");
+        group.throughput(Throughput::Bytes((15 * BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            let cluster = Cluster::new(15);
+            let client =
+                TrapErcClient::new(config.clone(), LocalTransport::new(cluster)).expect("sized");
+            let blocks: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; BLOCK]).collect();
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                client.create_stripe(id, blocks.clone()).expect("all up")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_storage_accounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/stored_bytes_scan");
+    let cluster = Cluster::new(15);
+    let client = TrapErcClient::new(tq_bench::paper_config(), LocalTransport::new(cluster.clone()))
+        .expect("sized");
+    for id in 0..64u64 {
+        let blocks: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 1024]).collect();
+        client.create_stripe(id, blocks).expect("all up");
+    }
+    group.bench_function("64_stripes", |b| b.iter(|| cluster.stored_bytes()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_stripe_provisioning, bench_storage_accounting);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Throughput of the GF(2⁸) slice kernels — the arithmetic floor under
+//! every encode, decode and delta update in the system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tq_bench::payload;
+use tq_gf256::{slice_ops, Gf256, Matrix};
+
+fn bench_mul_add_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/mul_add_slice");
+    for size in [256usize, 4096, 65536] {
+        let src = payload(size, 3);
+        let mut dst = payload(size, 7);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                slice_ops::mul_add_slice(Gf256(0x53), black_box(&src), black_box(&mut dst));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/mul_slice");
+    for size in [4096usize, 65536] {
+        let src = payload(size, 5);
+        let mut dst = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                slice_ops::mul_slice(Gf256(0xC3), black_box(&src), black_box(&mut dst));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_add_assign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/add_assign");
+    let size = 65536usize;
+    let src = payload(size, 11);
+    let mut dst = payload(size, 13);
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function(BenchmarkId::from_parameter(size), |b| {
+        b.iter(|| slice_ops::add_assign(black_box(&mut dst), black_box(&src)))
+    });
+    group.finish();
+}
+
+fn bench_matrix_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/matrix_inverse");
+    for k in [6usize, 8, 12] {
+        // The decode-path inversion: a k×k submatrix of the generator.
+        let m = {
+            let v = Matrix::vandermonde(k + 4, k);
+            let rows: Vec<usize> = (2..k + 2).collect();
+            v.select_rows(&rows)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(&m).inverse().expect("invertible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mul_add_slice,
+    bench_mul_slice,
+    bench_add_assign,
+    bench_matrix_inverse
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Protocol operation latency on a healthy cluster: TRAP-ERC against
+//! TRAP-FR and the §II replication baselines, plus the scrub extension.
+//!
+//! The interesting comparison is *work per logical write*: TRAP-ERC
+//! touches n − k + 1 nodes with one full block and n − k deltas, ROWA
+//! touches all replicas with full blocks, Majority a majority.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tq_bench::{payload, provisioned};
+use tq_cluster::{Cluster, LocalTransport};
+use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
+use tq_trapezoid::baselines::{MajorityClient, RowaClient};
+use tq_trapezoid::TrapFrClient;
+
+const BLOCK: usize = 4096;
+
+fn bench_write_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/write");
+    group.throughput(Throughput::Bytes(BLOCK as u64));
+
+    let (_cluster, erc) = provisioned(BLOCK);
+    let new = payload(BLOCK, 0xA1);
+    group.bench_function("trap_erc", |b| {
+        b.iter(|| erc.write_block(1, 0, &new).expect("healthy cluster"))
+    });
+
+    // TRAP-FR on the same 8-node trapezoid (full replication).
+    let shape = TrapezoidShape::new(0, 4, 1).expect("static");
+    let th = WriteThresholds::paper_default(&shape, 2).expect("valid");
+    let fr_cluster = Cluster::new(8);
+    let fr = TrapFrClient::new(shape, th, LocalTransport::new(fr_cluster)).expect("sized");
+    fr.create(1, &payload(BLOCK, 0)).expect("all up");
+    group.bench_function("trap_fr", |b| {
+        b.iter(|| fr.write(1, &new).expect("healthy cluster"))
+    });
+
+    // Baselines on n - k + 1 = 8 replicas for an equal-availability frame.
+    let rowa_cluster = Cluster::new(8);
+    let rowa = RowaClient::new(8, LocalTransport::new(rowa_cluster)).expect("sized");
+    rowa.create(1, &payload(BLOCK, 0)).expect("all up");
+    group.bench_function("rowa", |b| {
+        b.iter(|| rowa.write(1, &new).expect("healthy cluster"))
+    });
+
+    let maj_cluster = Cluster::new(8);
+    let majority = MajorityClient::new(8, LocalTransport::new(maj_cluster)).expect("sized");
+    majority.create(1, &payload(BLOCK, 0)).expect("all up");
+    group.bench_function("majority", |b| {
+        b.iter(|| majority.write(1, &new).expect("healthy cluster"))
+    });
+    group.finish();
+}
+
+fn bench_read_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/read");
+    group.throughput(Throughput::Bytes(BLOCK as u64));
+
+    let (cluster, erc) = provisioned(BLOCK);
+    group.bench_function("trap_erc_direct", |b| {
+        b.iter(|| erc.read_block(1, 0).expect("healthy"))
+    });
+    cluster.kill(0);
+    group.bench_function("trap_erc_decode", |b| {
+        b.iter(|| erc.read_block(1, 0).expect("decode path"))
+    });
+    cluster.revive(0);
+
+    let shape = TrapezoidShape::new(0, 4, 1).expect("static");
+    let th = WriteThresholds::paper_default(&shape, 2).expect("valid");
+    let fr_cluster = Cluster::new(8);
+    let fr = TrapFrClient::new(shape, th, LocalTransport::new(fr_cluster)).expect("sized");
+    fr.create(1, &payload(BLOCK, 0)).expect("all up");
+    group.bench_function("trap_fr", |b| b.iter(|| fr.read(1).expect("healthy")));
+
+    let rowa_cluster = Cluster::new(8);
+    let rowa = RowaClient::new(8, LocalTransport::new(rowa_cluster)).expect("sized");
+    rowa.create(1, &payload(BLOCK, 0)).expect("all up");
+    group.bench_function("rowa", |b| b.iter(|| rowa.read(1).expect("healthy")));
+
+    let maj_cluster = Cluster::new(8);
+    let majority = MajorityClient::new(8, LocalTransport::new(maj_cluster)).expect("sized");
+    majority.create(1, &payload(BLOCK, 0)).expect("all up");
+    group.bench_function("majority", |b| b.iter(|| majority.read(1).expect("healthy")));
+    group.finish();
+}
+
+fn bench_scrub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/scrub_stripe");
+    group.sample_size(30);
+    let (_cluster, client) = provisioned(BLOCK);
+    group.bench_function("healthy_15_8", |b| {
+        b.iter(|| client.scrub_stripe(1).expect("all up"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_latency, bench_read_latency, bench_scrub);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Repair cost — the §I concern quantified.
+//!
+//! "When one node fails, the blocks it owned have to be reconstructed …
+//! this process may be very compute-intensive and may have a significant
+//! impact on the storage system performances." This bench measures:
+//!
+//! * codec-level exact repair of one block as k grows (the k-reads cost
+//!   a classical MDS code pays per lost block);
+//! * functional repair row search (MDS re-validation dominates);
+//! * cluster-level node rebuild (protocol reads + install) per stripe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tq_bench::{paper_config, payload};
+use tq_cluster::{Cluster, LocalTransport};
+use tq_erasure::repair::{execute_exact_repair, functional_repair_row, plan_exact_repair};
+use tq_erasure::{CodeParams, ReedSolomon};
+use tq_trapezoid::TrapErcClient;
+
+const BLOCK: usize = 4096;
+
+fn bench_exact_repair_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair/exact_one_block");
+    for k in [6usize, 8, 10, 12] {
+        let n = k + 3;
+        let rs = ReedSolomon::new(CodeParams::new(n, k).expect("valid"));
+        let data: Vec<Vec<u8>> = (0..k).map(|i| payload(BLOCK, i as u8)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        let live: Vec<usize> = (1..n).collect();
+        let plan = plan_exact_repair(&rs, 0, &live).expect("k survivors");
+        let blocks: Vec<&[u8]> = plan.sources.iter().map(|&s| full[s].as_slice()).collect();
+        group.throughput(Throughput::Bytes(plan.bytes_read(BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| execute_exact_repair(&rs, black_box(&plan), black_box(&blocks)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_repair_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair/functional_row_search");
+    group.sample_size(20);
+    for (n, k) in [(9usize, 6usize), (15, 8)] {
+        let rs = ReedSolomon::new(CodeParams::new(n, k).expect("valid"));
+        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                functional_repair_row(black_box(&rs), k, seed).expect("repairable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair/cluster_rebuild_node");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((8 * BLOCK) as u64)); // k source reads
+    let cluster = Cluster::new(15);
+    let client = TrapErcClient::new(paper_config(), LocalTransport::new(cluster.clone()))
+        .expect("sized");
+    let blocks: Vec<Vec<u8>> = (0..8).map(|i| payload(BLOCK, i as u8)).collect();
+    client.create_stripe(1, blocks).expect("all up");
+    group.bench_function("data_node", |b| {
+        b.iter_with_setup(
+            || cluster.replace(0),
+            |()| client.rebuild_node(1, 0).expect("readable stripe"),
+        )
+    });
+    group.bench_function("parity_node", |b| {
+        b.iter_with_setup(
+            || cluster.replace(10),
+            |()| client.rebuild_node(1, 10).expect("readable stripe"),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_repair_by_k,
+    bench_functional_repair_row,
+    bench_cluster_rebuild
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # tq-cluster — a simulated distributed storage substrate
+//!
+//! The TRAP-ERC paper evaluates its protocol under a precise failure
+//! model: nodes are independent, fail-stop, equally available with
+//! probability `p`, and links never fail (§IV assumptions 1–4). This
+//! crate *is* that model, made executable:
+//!
+//! * [`node::StorageNode`] — one storage server exposing exactly the
+//!   primitive surface the paper's pseudocode calls:
+//!   `write(x)`, `read(id)`, `version(id)` (a version *vector* on parity
+//!   nodes — the columns of the paper's k×(n−k) matrix V) and
+//!   `add(buf)` (the parity fold `b_j ← b_j + buf`, applied under a
+//!   version guard).
+//! * [`rpc`] — the request/response vocabulary between protocol and node.
+//! * [`cluster::Cluster`] — a set of nodes with fail-stop switches and
+//!   per-node IO accounting.
+//! * [`transport`] — how protocol code reaches nodes: [`transport::LocalTransport`]
+//!   invokes nodes synchronously (deterministic, fast — the default for
+//!   experiments), [`transport::ChannelTransport`] runs a thread per node behind
+//!   crossbeam channels (the concurrent configuration integration tests
+//!   exercise).
+//! * [`fault`] — seeded Bernoulli availability sampling and fault
+//!   schedules, so every experiment is replayable bit-for-bit.
+//!
+//! Nothing here knows about trapezoids or erasure codes; `tq-trapezoid`
+//! composes this substrate with `tq-erasure` and `tq-quorum` into the
+//! paper's Algorithms 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod fault;
+pub mod node;
+pub mod rpc;
+pub mod stats;
+pub mod transport;
+
+pub use cluster::Cluster;
+pub use fault::FaultInjector;
+pub use node::{NodeId, StorageNode};
+pub use rpc::{BlockId, NodeError, Request, Response};
+pub use stats::IoStats;
+pub use transport::{ChannelTransport, LocalTransport, Transport};

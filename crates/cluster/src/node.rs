@@ -1,0 +1,595 @@
+//! A single storage node: versioned block store + fail-stop switch.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::rpc::{BlockId, NodeError, Request, Response};
+use crate::stats::{IoSnapshot, IoStats};
+
+/// Index of a node within its cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// What one node stores for one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StoredBlock {
+    /// A full data block `b_i` with its version (the paper's data nodes).
+    Data { version: u64, bytes: Vec<u8> },
+    /// A parity block `b_j = Σ α_{j,i}·b_i` with its column of the
+    /// version matrix V: `versions[i]` is the version of block `i`'s
+    /// contribution currently folded into `bytes`.
+    Parity { versions: Vec<u64>, bytes: Vec<u8> },
+}
+
+/// One storage server.
+///
+/// Thread-safe: the block map sits behind a [`parking_lot::Mutex`] and the
+/// fail-stop switch is an atomic, so the same node can serve the direct
+/// transport and the channel transport interchangeably. Locking is
+/// per-node, which matches the model (a node is a single failure and
+/// serialisation domain).
+#[derive(Debug)]
+pub struct StorageNode {
+    id: NodeId,
+    up: AtomicBool,
+    blocks: Mutex<HashMap<BlockId, StoredBlock>>,
+    stats: IoStats,
+}
+
+impl StorageNode {
+    /// Creates an empty, live node.
+    pub fn new(id: NodeId) -> Self {
+        StorageNode {
+            id,
+            up: AtomicBool::new(true),
+            blocks: Mutex::new(HashMap::new()),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// `true` iff the node is live.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
+    /// Flips the fail-stop switch. A down node rejects every request with
+    /// [`NodeError::Down`]; its stored state is *retained* (fail-stop,
+    /// not fail-erase) and becomes visible again on revival — which is
+    /// exactly how stale replicas arise in the protocol's model.
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::Release);
+    }
+
+    /// Discards every stored block — models replacing the node's disk
+    /// with a blank one (the node identity and counters survive). The
+    /// recovery workflows in `tq-trapezoid` rebuild wiped nodes from the
+    /// surviving stripe.
+    pub fn wipe(&self) {
+        self.blocks.lock().clear();
+    }
+
+    /// IO counters snapshot.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of objects stored (diagnostics).
+    pub fn object_count(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// Total payload bytes currently stored — the `D_used` of eqs. 14/15
+    /// measured rather than predicted.
+    pub fn stored_bytes(&self) -> usize {
+        self.blocks
+            .lock()
+            .values()
+            .map(|b| match b {
+                StoredBlock::Data { bytes, .. } => bytes.len(),
+                StoredBlock::Parity { bytes, .. } => bytes.len(),
+            })
+            .sum()
+    }
+
+    /// Handles one request, honouring the fail-stop switch.
+    pub fn handle(&self, req: Request) -> Result<Response, NodeError> {
+        if !self.is_up() {
+            self.stats.record_rejected();
+            return Err(NodeError::Down);
+        }
+        match req {
+            Request::Ping => Ok(Response::Pong),
+            Request::InitData { id, bytes } => {
+                self.stats.record_write(bytes.len());
+                self.blocks.lock().insert(
+                    id,
+                    StoredBlock::Data {
+                        version: 0,
+                        bytes: bytes.to_vec(),
+                    },
+                );
+                Ok(Response::Ack)
+            }
+            Request::InitParity { id, bytes, k } => {
+                self.stats.record_write(bytes.len());
+                self.blocks.lock().insert(
+                    id,
+                    StoredBlock::Parity {
+                        versions: vec![0; k],
+                        bytes: bytes.to_vec(),
+                    },
+                );
+                Ok(Response::Ack)
+            }
+            Request::ReadData { id } => {
+                let blocks = self.blocks.lock();
+                match blocks.get(&id) {
+                    Some(StoredBlock::Data { version, bytes }) => {
+                        self.stats.record_read(bytes.len());
+                        Ok(Response::Data {
+                            bytes: Bytes::copy_from_slice(bytes),
+                            version: *version,
+                        })
+                    }
+                    Some(StoredBlock::Parity { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+            Request::WriteData { id, bytes, version } => {
+                let mut blocks = self.blocks.lock();
+                match blocks.get_mut(&id) {
+                    Some(StoredBlock::Data {
+                        version: stored_version,
+                        bytes: stored,
+                    }) => {
+                        if stored.len() != bytes.len() {
+                            self.stats.record_rejected();
+                            return Err(NodeError::SizeMismatch {
+                                stored: stored.len(),
+                                got: bytes.len(),
+                            });
+                        }
+                        self.stats.record_write(bytes.len());
+                        stored.copy_from_slice(&bytes);
+                        *stored_version = version;
+                        Ok(Response::Ack)
+                    }
+                    Some(StoredBlock::Parity { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+            Request::VersionData { id } => {
+                let blocks = self.blocks.lock();
+                match blocks.get(&id) {
+                    Some(StoredBlock::Data { version, .. }) => {
+                        self.stats.record_version_query();
+                        Ok(Response::Version(*version))
+                    }
+                    Some(StoredBlock::Parity { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+            Request::VersionVector { id } => {
+                let blocks = self.blocks.lock();
+                match blocks.get(&id) {
+                    Some(StoredBlock::Parity { versions, .. }) => {
+                        self.stats.record_version_query();
+                        Ok(Response::Versions(versions.clone()))
+                    }
+                    Some(StoredBlock::Data { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+            Request::ReadParity { id } => {
+                let blocks = self.blocks.lock();
+                match blocks.get(&id) {
+                    Some(StoredBlock::Parity { versions, bytes }) => {
+                        self.stats.record_read(bytes.len());
+                        Ok(Response::Parity {
+                            bytes: Bytes::copy_from_slice(bytes),
+                            versions: versions.clone(),
+                        })
+                    }
+                    Some(StoredBlock::Data { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+            Request::PutParity { id, bytes, versions } => {
+                let mut blocks = self.blocks.lock();
+                match blocks.get_mut(&id) {
+                    Some(StoredBlock::Parity {
+                        versions: stored_versions,
+                        bytes: stored,
+                    }) => {
+                        if stored.len() != bytes.len() {
+                            self.stats.record_rejected();
+                            return Err(NodeError::SizeMismatch {
+                                stored: stored.len(),
+                                got: bytes.len(),
+                            });
+                        }
+                        if stored_versions.len() != versions.len() {
+                            self.stats.record_rejected();
+                            return Err(NodeError::BadBlockIndex {
+                                index: versions.len(),
+                                k: stored_versions.len(),
+                            });
+                        }
+                        self.stats.record_write(bytes.len());
+                        stored.copy_from_slice(&bytes);
+                        stored_versions.copy_from_slice(&versions);
+                        Ok(Response::Ack)
+                    }
+                    Some(StoredBlock::Data { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+            Request::AddParity {
+                id,
+                block_index,
+                delta,
+                expected_version,
+                new_version,
+            } => {
+                let mut blocks = self.blocks.lock();
+                match blocks.get_mut(&id) {
+                    Some(StoredBlock::Parity { versions, bytes }) => {
+                        if block_index >= versions.len() {
+                            self.stats.record_rejected();
+                            return Err(NodeError::BadBlockIndex {
+                                index: block_index,
+                                k: versions.len(),
+                            });
+                        }
+                        if bytes.len() != delta.len() {
+                            self.stats.record_rejected();
+                            return Err(NodeError::SizeMismatch {
+                                stored: bytes.len(),
+                                got: delta.len(),
+                            });
+                        }
+                        // Algorithm 1's guard: fold the delta only if this
+                        // node's V entry matches the version the writer
+                        // read — otherwise this parity missed an earlier
+                        // update of the block and must stay stale rather
+                        // than corrupt.
+                        if versions[block_index] != expected_version {
+                            self.stats.record_rejected();
+                            return Err(NodeError::VersionConflict {
+                                expected: expected_version,
+                                actual: versions[block_index],
+                            });
+                        }
+                        self.stats.record_parity_add(delta.len());
+                        for (b, d) in bytes.iter_mut().zip(delta.iter()) {
+                            *b ^= d;
+                        }
+                        versions[block_index] = new_version;
+                        Ok(Response::Ack)
+                    }
+                    Some(StoredBlock::Data { .. }) => {
+                        self.stats.record_rejected();
+                        Err(NodeError::WrongKind)
+                    }
+                    None => {
+                        self.stats.record_rejected();
+                        Err(NodeError::NotFound)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> StorageNode {
+        StorageNode::new(NodeId(0))
+    }
+
+    #[test]
+    fn ping_and_fail_stop() {
+        let n = node();
+        assert_eq!(n.handle(Request::Ping), Ok(Response::Pong));
+        n.set_up(false);
+        assert_eq!(n.handle(Request::Ping), Err(NodeError::Down));
+        n.set_up(true);
+        assert_eq!(n.handle(Request::Ping), Ok(Response::Pong));
+    }
+
+    #[test]
+    fn data_block_lifecycle() {
+        let n = node();
+        n.handle(Request::InitData {
+            id: 7,
+            bytes: Bytes::from_static(b"hello world!"),
+        })
+        .unwrap();
+        // Fresh block: version 0.
+        assert_eq!(n.handle(Request::VersionData { id: 7 }), Ok(Response::Version(0)));
+        // Overwrite with version 1.
+        n.handle(Request::WriteData {
+            id: 7,
+            bytes: Bytes::from_static(b"HELLO WORLD!"),
+            version: 1,
+        })
+        .unwrap();
+        match n.handle(Request::ReadData { id: 7 }).unwrap() {
+            Response::Data { bytes, version } => {
+                assert_eq!(&bytes[..], b"HELLO WORLD!");
+                assert_eq!(version, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_rejects_size_change() {
+        let n = node();
+        n.handle(Request::InitData {
+            id: 1,
+            bytes: Bytes::from_static(b"abcd"),
+        })
+        .unwrap();
+        assert_eq!(
+            n.handle(Request::WriteData {
+                id: 1,
+                bytes: Bytes::from_static(b"toolong"),
+                version: 1
+            }),
+            Err(NodeError::SizeMismatch { stored: 4, got: 7 })
+        );
+    }
+
+    #[test]
+    fn missing_block_not_found() {
+        let n = node();
+        assert_eq!(n.handle(Request::ReadData { id: 9 }), Err(NodeError::NotFound));
+        assert_eq!(
+            n.handle(Request::VersionData { id: 9 }),
+            Err(NodeError::NotFound)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let n = node();
+        n.handle(Request::InitData {
+            id: 1,
+            bytes: Bytes::from_static(b"data"),
+        })
+        .unwrap();
+        n.handle(Request::InitParity {
+            id: 2,
+            bytes: Bytes::from_static(b"par!"),
+            k: 3,
+        })
+        .unwrap();
+        assert_eq!(
+            n.handle(Request::VersionVector { id: 1 }),
+            Err(NodeError::WrongKind)
+        );
+        assert_eq!(n.handle(Request::ReadData { id: 2 }), Err(NodeError::WrongKind));
+        assert_eq!(
+            n.handle(Request::WriteData {
+                id: 2,
+                bytes: Bytes::from_static(b"xxxx"),
+                version: 1
+            }),
+            Err(NodeError::WrongKind)
+        );
+    }
+
+    #[test]
+    fn parity_add_guarded_by_version() {
+        let n = node();
+        n.handle(Request::InitParity {
+            id: 3,
+            bytes: Bytes::from(vec![0u8; 4]),
+            k: 2,
+        })
+        .unwrap();
+        // Fold a delta for block 1 at expected version 0.
+        n.handle(Request::AddParity {
+            id: 3,
+            block_index: 1,
+            delta: Bytes::from(vec![0xFF, 0x00, 0xFF, 0x00]),
+            expected_version: 0,
+            new_version: 1,
+        })
+        .unwrap();
+        match n.handle(Request::ReadParity { id: 3 }).unwrap() {
+            Response::Parity { bytes, versions } => {
+                assert_eq!(&bytes[..], &[0xFF, 0x00, 0xFF, 0x00]);
+                assert_eq!(versions, vec![0, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Replaying the same delta must hit the guard.
+        assert_eq!(
+            n.handle(Request::AddParity {
+                id: 3,
+                block_index: 1,
+                delta: Bytes::from(vec![0xFF, 0x00, 0xFF, 0x00]),
+                expected_version: 0,
+                new_version: 1,
+            }),
+            Err(NodeError::VersionConflict {
+                expected: 0,
+                actual: 1
+            })
+        );
+        // Bad index and bad size.
+        assert_eq!(
+            n.handle(Request::AddParity {
+                id: 3,
+                block_index: 5,
+                delta: Bytes::from(vec![0; 4]),
+                expected_version: 0,
+                new_version: 1,
+            }),
+            Err(NodeError::BadBlockIndex { index: 5, k: 2 })
+        );
+        assert_eq!(
+            n.handle(Request::AddParity {
+                id: 3,
+                block_index: 0,
+                delta: Bytes::from(vec![0; 2]),
+                expected_version: 0,
+                new_version: 1,
+            }),
+            Err(NodeError::SizeMismatch { stored: 4, got: 2 })
+        );
+    }
+
+    #[test]
+    fn put_parity_replaces_state() {
+        let n = node();
+        n.handle(Request::InitParity {
+            id: 4,
+            bytes: Bytes::from(vec![0u8; 4]),
+            k: 3,
+        })
+        .unwrap();
+        n.handle(Request::PutParity {
+            id: 4,
+            bytes: Bytes::from(vec![9u8; 4]),
+            versions: vec![5, 6, 7],
+        })
+        .unwrap();
+        match n.handle(Request::ReadParity { id: 4 }).unwrap() {
+            Response::Parity { bytes, versions } => {
+                assert_eq!(&bytes[..], &[9, 9, 9, 9]);
+                assert_eq!(versions, vec![5, 6, 7]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Size and vector-length guards.
+        assert_eq!(
+            n.handle(Request::PutParity {
+                id: 4,
+                bytes: Bytes::from(vec![0u8; 2]),
+                versions: vec![0, 0, 0],
+            }),
+            Err(NodeError::SizeMismatch { stored: 4, got: 2 })
+        );
+        assert_eq!(
+            n.handle(Request::PutParity {
+                id: 4,
+                bytes: Bytes::from(vec![0u8; 4]),
+                versions: vec![0, 0],
+            }),
+            Err(NodeError::BadBlockIndex { index: 2, k: 3 })
+        );
+        // Wrong kind.
+        n.handle(Request::InitData {
+            id: 5,
+            bytes: Bytes::from_static(b"data"),
+        })
+        .unwrap();
+        assert_eq!(
+            n.handle(Request::PutParity {
+                id: 5,
+                bytes: Bytes::from(vec![0u8; 4]),
+                versions: vec![0],
+            }),
+            Err(NodeError::WrongKind)
+        );
+    }
+
+    #[test]
+    fn down_node_keeps_state() {
+        let n = node();
+        n.handle(Request::InitData {
+            id: 1,
+            bytes: Bytes::from_static(b"persist"),
+        })
+        .unwrap();
+        n.set_up(false);
+        assert_eq!(n.handle(Request::ReadData { id: 1 }), Err(NodeError::Down));
+        n.set_up(true);
+        match n.handle(Request::ReadData { id: 1 }).unwrap() {
+            Response::Data { bytes, version } => {
+                assert_eq!(&bytes[..], b"persist");
+                assert_eq!(version, 0, "state survives fail-stop");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_and_storage_accounting() {
+        let n = node();
+        n.handle(Request::InitData {
+            id: 1,
+            bytes: Bytes::from(vec![0u8; 100]),
+        })
+        .unwrap();
+        n.handle(Request::InitParity {
+            id: 2,
+            bytes: Bytes::from(vec![0u8; 25]),
+            k: 4,
+        })
+        .unwrap();
+        assert_eq!(n.object_count(), 2);
+        assert_eq!(n.stored_bytes(), 125);
+        n.handle(Request::ReadData { id: 1 }).unwrap();
+        let snap = n.io_snapshot();
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.writes, 2);
+        assert_eq!(snap.bytes_out, 100);
+    }
+}

@@ -1,0 +1,214 @@
+//! The request/response vocabulary between protocol and storage nodes.
+//!
+//! One variant exists per primitive the paper's pseudocode invokes on a
+//! node, plus stripe-initialisation calls. Payloads travel as
+//! [`bytes::Bytes`] so the channel transport forwards blocks without
+//! copying.
+
+use bytes::Bytes;
+use core::fmt;
+
+/// Identifier of a stored object (the `id` of the paper's pseudocode).
+/// One `BlockId` names one stripe; each node holds its own component of
+/// that stripe.
+pub type BlockId = u64;
+
+/// A request to a single storage node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Install a data block (stripe creation); resets its version to 0.
+    InitData {
+        /// Target object.
+        id: BlockId,
+        /// Initial contents.
+        bytes: Bytes,
+    },
+    /// Install a parity block (stripe creation) tracking `k` data blocks;
+    /// all version-vector entries reset to 0.
+    InitParity {
+        /// Target object.
+        id: BlockId,
+        /// Initial parity contents.
+        bytes: Bytes,
+        /// Number of data blocks the version vector tracks.
+        k: usize,
+    },
+    /// `N_i.read(id)` — full data block with its version.
+    ReadData {
+        /// Target object.
+        id: BlockId,
+    },
+    /// `u.write(x)` — overwrite a data block, stamping `version`.
+    WriteData {
+        /// Target object.
+        id: BlockId,
+        /// New contents.
+        bytes: Bytes,
+        /// Version stamp the write carries (protocol computed it as
+        /// `old version + 1`).
+        version: u64,
+    },
+    /// `u.version(id)` on a data node — current version of the block.
+    VersionData {
+        /// Target object.
+        id: BlockId,
+    },
+    /// `u.version(id)` on a parity node — the node's column of the
+    /// version matrix V: one entry per data block.
+    VersionVector {
+        /// Target object.
+        id: BlockId,
+    },
+    /// Read a parity block with its version vector (decode path).
+    ReadParity {
+        /// Target object.
+        id: BlockId,
+    },
+    /// Repair primitive (not in the paper's pseudocode — see the scrub
+    /// extension in `tq-trapezoid`): unconditionally replace a parity
+    /// block and its whole version vector with a reconstructed state.
+    PutParity {
+        /// Target object.
+        id: BlockId,
+        /// Recomputed parity contents.
+        bytes: Bytes,
+        /// Version vector matching the reconstructed stripe state.
+        versions: Vec<u64>,
+    },
+    /// `u.add(αj,i·(x − chunk))` — fold a delta into the parity block,
+    /// guarded: applies only if the node's version for `block_index`
+    /// equals `expected_version`, then advances it to `new_version`
+    /// (Algorithm 1 lines 26–28).
+    AddParity {
+        /// Target object.
+        id: BlockId,
+        /// Which data block this delta belongs to (`0 ≤ i < k`).
+        block_index: usize,
+        /// The delta bytes `α_{j,i}·(x − c)`.
+        delta: Bytes,
+        /// Version the node must currently hold for `block_index`.
+        expected_version: u64,
+        /// Version to advance to on success.
+        new_version: u64,
+    },
+}
+
+/// A successful response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Generic acknowledgement (init, write, add).
+    Ack,
+    /// Data block contents plus version.
+    Data {
+        /// Block contents.
+        bytes: Bytes,
+        /// Block version.
+        version: u64,
+    },
+    /// Parity block contents plus its version vector.
+    Parity {
+        /// Parity contents.
+        bytes: Bytes,
+        /// Version per data block.
+        versions: Vec<u64>,
+    },
+    /// A single version number.
+    Version(u64),
+    /// A parity node's version vector (column of V).
+    Versions(Vec<u64>),
+}
+
+/// Errors a node (or the transport in front of it) can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The node is failed (fail-stop): every operation on it errors.
+    Down,
+    /// No block with that id on this node.
+    NotFound,
+    /// The request addressed the wrong kind of block (e.g. `AddParity`
+    /// on a data node).
+    WrongKind,
+    /// An `AddParity` guard failed: the stored version for the block did
+    /// not match.
+    VersionConflict {
+        /// Version the request expected.
+        expected: u64,
+        /// Version actually stored.
+        actual: u64,
+    },
+    /// Payload length disagreed with the stored block.
+    SizeMismatch {
+        /// Stored block length.
+        stored: usize,
+        /// Request payload length.
+        got: usize,
+    },
+    /// `block_index` outside the version vector.
+    BadBlockIndex {
+        /// Requested index.
+        index: usize,
+        /// Vector length (k).
+        k: usize,
+    },
+    /// The transport lost the node (channel closed).
+    TransportClosed,
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Down => write!(f, "node is down (fail-stop)"),
+            NodeError::NotFound => write!(f, "block not found on node"),
+            NodeError::WrongKind => write!(f, "operation does not match stored block kind"),
+            NodeError::VersionConflict { expected, actual } => {
+                write!(f, "version guard failed: expected {expected}, node holds {actual}")
+            }
+            NodeError::SizeMismatch { stored, got } => {
+                write!(f, "payload of {got} bytes against stored block of {stored}")
+            }
+            NodeError::BadBlockIndex { index, k } => {
+                write!(f, "block index {index} outside version vector of length {k}")
+            }
+            NodeError::TransportClosed => write!(f, "transport to node closed"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NodeError::Down.to_string(), "node is down (fail-stop)");
+        assert!(NodeError::VersionConflict {
+            expected: 3,
+            actual: 5
+        }
+        .to_string()
+        .contains("expected 3"));
+    }
+
+    #[test]
+    fn request_clone_is_cheap_for_payloads() {
+        // Bytes clones share the buffer; this is why payloads are Bytes.
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let r = Request::InitData {
+            id: 1,
+            bytes: payload.clone(),
+        };
+        let r2 = r.clone();
+        match (&r, &r2) {
+            (Request::InitData { bytes: a, .. }, Request::InitData { bytes: b, .. }) => {
+                assert_eq!(a.as_ptr(), b.as_ptr(), "buffer must be shared");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

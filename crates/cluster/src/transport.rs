@@ -1,0 +1,280 @@
+//! How protocol code reaches storage nodes.
+//!
+//! Two implementations of one [`Transport`] trait:
+//!
+//! * [`LocalTransport`] — synchronous in-process dispatch. Deterministic
+//!   and allocation-light; the default for availability experiments,
+//!   where per-operation outcomes must be exactly replayable.
+//! * [`ChannelTransport`] — one worker thread per node behind crossbeam
+//!   channels, a faithful stand-in for an RPC fabric. Requests from many
+//!   protocol threads interleave on the node's mailbox exactly as they
+//!   would on a socket. Links are reliable and FIFO, matching the
+//!   paper's "no failure on communication links" assumption.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::cluster::Cluster;
+use crate::node::NodeId;
+use crate::rpc::{NodeError, Request, Response};
+
+/// A way to issue one request to one node and wait for its answer.
+pub trait Transport: Send + Sync {
+    /// Number of reachable nodes.
+    fn node_count(&self) -> usize;
+
+    /// Sends `req` to node `node` and waits for the outcome.
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError>;
+}
+
+/// Synchronous in-process transport: `call` runs the node handler on the
+/// caller's thread.
+#[derive(Debug, Clone)]
+pub struct LocalTransport {
+    cluster: Cluster,
+}
+
+impl LocalTransport {
+    /// Wraps a cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        LocalTransport { cluster }
+    }
+
+    /// Borrow the underlying cluster (fault injection, accounting).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl Transport for LocalTransport {
+    fn node_count(&self) -> usize {
+        self.cluster.len()
+    }
+
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        assert!(node.0 < self.cluster.len(), "node {node} out of range");
+        self.cluster.node(node.0).handle(req)
+    }
+}
+
+/// One in-flight request envelope.
+struct Envelope {
+    req: Request,
+    reply: Sender<Result<Response, NodeError>>,
+}
+
+/// Thread-per-node transport over crossbeam channels.
+///
+/// Dropping the transport closes every mailbox and joins the workers.
+pub struct ChannelTransport {
+    cluster: Cluster,
+    mailboxes: Vec<Sender<Envelope>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ChannelTransport {
+    /// Spawns one worker thread per node of `cluster`.
+    pub fn new(cluster: Cluster) -> Self {
+        let mut mailboxes = Vec::with_capacity(cluster.len());
+        let mut workers = Vec::with_capacity(cluster.len());
+        for i in 0..cluster.len() {
+            let (tx, rx) = unbounded::<Envelope>();
+            let node = Arc::clone(cluster.node(i));
+            let handle = std::thread::Builder::new()
+                .name(format!("tq-node-{i}"))
+                .spawn(move || {
+                    // Serve until the mailbox closes. A reply failing to
+                    // send means the caller gave up; that is its problem,
+                    // not the node's.
+                    while let Ok(Envelope { req, reply }) = rx.recv() {
+                        let _ = reply.send(node.handle(req));
+                    }
+                })
+                .expect("spawn node worker");
+            mailboxes.push(tx);
+            workers.push(handle);
+        }
+        ChannelTransport {
+            cluster,
+            mailboxes,
+            workers,
+        }
+    }
+
+    /// Borrow the underlying cluster (fault injection, accounting).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn node_count(&self) -> usize {
+        self.cluster.len()
+    }
+
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        let mailbox = self
+            .mailboxes
+            .get(node.0)
+            .expect("node index within cluster");
+        let (reply_tx, reply_rx) = bounded(1);
+        mailbox
+            .send(Envelope {
+                req,
+                reply: reply_tx,
+            })
+            .map_err(|_| NodeError::TransportClosed)?;
+        reply_rx.recv().map_err(|_| NodeError::TransportClosed)?
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        self.mailboxes.clear(); // close every mailbox
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("nodes", &self.cluster.len())
+            .finish()
+    }
+}
+
+/// Blanket impl so `Arc<T>` transports can be shared across protocol
+/// threads.
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        (**self).call(node, req)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        (**self).call(node, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn exercise(transport: &dyn Transport) {
+        assert_eq!(transport.node_count(), 3);
+        transport
+            .call(
+                NodeId(0),
+                Request::InitData {
+                    id: 1,
+                    bytes: Bytes::from_static(b"abc"),
+                },
+            )
+            .unwrap();
+        match transport.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
+            Response::Data { bytes, version } => {
+                assert_eq!(&bytes[..], b"abc");
+                assert_eq!(version, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            transport.call(NodeId(1), Request::ReadData { id: 1 }),
+            Err(NodeError::NotFound)
+        );
+    }
+
+    #[test]
+    fn local_transport_basics() {
+        let t = LocalTransport::new(Cluster::new(3));
+        exercise(&t);
+    }
+
+    #[test]
+    fn channel_transport_basics() {
+        let t = ChannelTransport::new(Cluster::new(3));
+        exercise(&t);
+    }
+
+    #[test]
+    fn both_transports_honour_fail_stop() {
+        let local = LocalTransport::new(Cluster::new(2));
+        local.cluster().kill(0);
+        assert_eq!(local.call(NodeId(0), Request::Ping), Err(NodeError::Down));
+        assert_eq!(local.call(NodeId(1), Request::Ping), Ok(Response::Pong));
+
+        let chan = ChannelTransport::new(Cluster::new(2));
+        chan.cluster().kill(1);
+        assert_eq!(chan.call(NodeId(0), Request::Ping), Ok(Response::Pong));
+        assert_eq!(chan.call(NodeId(1), Request::Ping), Err(NodeError::Down));
+    }
+
+    #[test]
+    fn channel_transport_concurrent_callers() {
+        let t = Arc::new(ChannelTransport::new(Cluster::new(4)));
+        for i in 0..4 {
+            t.call(
+                NodeId(i),
+                Request::InitData {
+                    id: 42,
+                    bytes: Bytes::from(vec![i as u8; 8]),
+                },
+            )
+            .unwrap();
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|worker| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        let node = NodeId((worker + round) % 4);
+                        match t.call(node, Request::ReadData { id: 42 }).unwrap() {
+                            Response::Data { bytes, .. } => {
+                                assert_eq!(bytes[0] as usize, node.0);
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.cluster().io_totals().reads, 400);
+    }
+
+    #[test]
+    fn shared_cluster_between_transports() {
+        // The same nodes can be reached through both transports; state is
+        // shared because the cluster holds Arc'd nodes.
+        let cluster = Cluster::new(2);
+        let local = LocalTransport::new(cluster.clone());
+        let chan = ChannelTransport::new(cluster);
+        local
+            .call(
+                NodeId(0),
+                Request::InitData {
+                    id: 5,
+                    bytes: Bytes::from_static(b"shared"),
+                },
+            )
+            .unwrap();
+        match chan.call(NodeId(0), Request::ReadData { id: 5 }).unwrap() {
+            Response::Data { bytes, .. } => assert_eq!(&bytes[..], b"shared"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

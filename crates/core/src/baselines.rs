@@ -1,0 +1,305 @@
+//! Replication-control baselines from §II: ROWA and Majority quorum.
+//!
+//! Both manage one fully-replicated object over `n` nodes; they exist so
+//! the benches can place the trapezoid protocols on the availability
+//! spectrum the paper sketches (ROWA: perfect reads / fragile writes;
+//! Majority: balanced; trapezoid: tunable between them).
+
+use bytes::Bytes;
+use tq_cluster::{NodeError, NodeId, Request, Response, Transport};
+
+use crate::errors::ProtocolError;
+use crate::trap_erc::{ReadOutcome, ReadPath, WriteOutcome};
+
+/// Read One, Write All.
+#[derive(Debug)]
+pub struct RowaClient<T: Transport> {
+    n: usize,
+    transport: T,
+}
+
+impl<T: Transport> RowaClient<T> {
+    /// Binds `n` replicas to a transport.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] if the transport is too small.
+    pub fn new(n: usize, transport: T) -> Result<Self, ProtocolError> {
+        if transport.node_count() < n || n == 0 {
+            return Err(ProtocolError::Node(NodeError::TransportClosed));
+        }
+        Ok(RowaClient { n, transport })
+    }
+
+    /// Installs the object everywhere (provisioning).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] on the first failing node.
+    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
+        for node in 0..self.n {
+            self.transport
+                .call(NodeId(node), Request::InitData {
+                    id,
+                    bytes: Bytes::copy_from_slice(bytes),
+                })
+                .map_err(ProtocolError::Node)?;
+        }
+        Ok(())
+    }
+
+    /// Reads from the first live replica — "any single block read will
+    /// give the latest value" because writes reach all replicas.
+    ///
+    /// # Errors
+    /// [`ProtocolError::VersionCheckFailed`] if every replica is down.
+    pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
+        for node in 0..self.n {
+            if let Ok(Response::Data { bytes, version }) =
+                self.transport.call(NodeId(node), Request::ReadData { id })
+            {
+                return Ok(ReadOutcome {
+                    bytes: bytes.to_vec(),
+                    version,
+                    path: ReadPath::Direct,
+                });
+            }
+        }
+        Err(ProtocolError::VersionCheckFailed)
+    }
+
+    /// Writes to *all* replicas; a single failure fails the operation
+    /// (the paper's "any failure prevent[s] these operations").
+    ///
+    /// # Errors
+    /// [`ProtocolError::WriteQuorumNotMet`] with `needed = n` on any
+    /// replica failure; [`ProtocolError::OldValueUnreadable`] if no
+    /// replica serves the current version.
+    pub fn write(&self, id: u64, new: &[u8]) -> Result<WriteOutcome, ProtocolError> {
+        let old = self
+            .read(id)
+            .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
+        let version = old.version + 1;
+        let mut validated = Vec::with_capacity(self.n);
+        for node in 0..self.n {
+            if self
+                .transport
+                .call(NodeId(node), Request::WriteData {
+                    id,
+                    bytes: Bytes::copy_from_slice(new),
+                    version,
+                })
+                .is_ok()
+            {
+                validated.push(node);
+            }
+        }
+        if validated.len() < self.n {
+            return Err(ProtocolError::WriteQuorumNotMet {
+                level: 0,
+                needed: self.n,
+                achieved: validated.len(),
+            });
+        }
+        Ok(WriteOutcome { version, validated })
+    }
+}
+
+/// Majority quorum consensus (Thomas 1979).
+#[derive(Debug)]
+pub struct MajorityClient<T: Transport> {
+    n: usize,
+    transport: T,
+}
+
+impl<T: Transport> MajorityClient<T> {
+    /// Binds `n` replicas to a transport.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] if the transport is too small.
+    pub fn new(n: usize, transport: T) -> Result<Self, ProtocolError> {
+        if transport.node_count() < n || n == 0 {
+            return Err(ProtocolError::Node(NodeError::TransportClosed));
+        }
+        Ok(MajorityClient { n, transport })
+    }
+
+    /// The quorum size `⌊n/2⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Installs the object everywhere (provisioning).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] on the first failing node.
+    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
+        for node in 0..self.n {
+            self.transport
+                .call(NodeId(node), Request::InitData {
+                    id,
+                    bytes: Bytes::copy_from_slice(bytes),
+                })
+                .map_err(ProtocolError::Node)?;
+        }
+        Ok(())
+    }
+
+    /// Polls versions until a majority answers, then serves the bytes
+    /// from a replica holding the maximum version seen.
+    ///
+    /// # Errors
+    /// [`ProtocolError::VersionCheckFailed`] without a live majority.
+    pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
+        let mut responders: Vec<(usize, u64)> = Vec::with_capacity(self.quorum());
+        for node in 0..self.n {
+            if let Ok(Response::Version(v)) =
+                self.transport.call(NodeId(node), Request::VersionData { id })
+            {
+                responders.push((node, v));
+                if responders.len() == self.quorum() {
+                    break;
+                }
+            }
+        }
+        if responders.len() < self.quorum() {
+            return Err(ProtocolError::VersionCheckFailed);
+        }
+        let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
+        for &(node, v) in &responders {
+            if v != latest {
+                continue;
+            }
+            if let Ok(Response::Data { bytes, version }) =
+                self.transport.call(NodeId(node), Request::ReadData { id })
+            {
+                return Ok(ReadOutcome {
+                    bytes: bytes.to_vec(),
+                    version,
+                    path: ReadPath::Direct,
+                });
+            }
+        }
+        Err(ProtocolError::VersionCheckFailed)
+    }
+
+    /// Reads the current version from a majority, then writes
+    /// `version + 1` to a majority.
+    ///
+    /// # Errors
+    /// [`ProtocolError::OldValueUnreadable`] /
+    /// [`ProtocolError::WriteQuorumNotMet`].
+    pub fn write(&self, id: u64, new: &[u8]) -> Result<WriteOutcome, ProtocolError> {
+        let old = self
+            .read(id)
+            .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
+        let version = old.version + 1;
+        let mut validated = Vec::with_capacity(self.n);
+        for node in 0..self.n {
+            if self
+                .transport
+                .call(NodeId(node), Request::WriteData {
+                    id,
+                    bytes: Bytes::copy_from_slice(new),
+                    version,
+                })
+                .is_ok()
+            {
+                validated.push(node);
+            }
+        }
+        if validated.len() < self.quorum() {
+            return Err(ProtocolError::WriteQuorumNotMet {
+                level: 0,
+                needed: self.quorum(),
+                achieved: validated.len(),
+            });
+        }
+        Ok(WriteOutcome { version, validated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_cluster::{Cluster, LocalTransport};
+
+    #[test]
+    fn rowa_read_one_write_all() {
+        let cluster = Cluster::new(5);
+        let c = RowaClient::new(5, LocalTransport::new(cluster.clone())).unwrap();
+        c.create(1, b"init").unwrap();
+        c.write(1, b"next").unwrap();
+        // Any single live node serves reads.
+        for dead in 0..4 {
+            cluster.kill(dead);
+        }
+        assert_eq!(c.read(1).unwrap().bytes, b"next");
+        // A single dead node fails writes.
+        for node in 0..5 {
+            cluster.revive(node);
+        }
+        cluster.kill(3);
+        let err = c.write(1, b"nope").unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::WriteQuorumNotMet { needed: 5, achieved: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn rowa_partial_write_is_visible() {
+        // The classic ROWA anomaly the paper alludes to: a failed write
+        // already reached the live replicas.
+        let cluster = Cluster::new(3);
+        let c = RowaClient::new(3, LocalTransport::new(cluster.clone())).unwrap();
+        c.create(1, b"old").unwrap();
+        cluster.kill(2);
+        let _ = c.write(1, b"new").unwrap_err();
+        cluster.revive(2);
+        assert_eq!(c.read(1).unwrap().bytes, b"new");
+    }
+
+    #[test]
+    fn majority_survives_minority_failures() {
+        let cluster = Cluster::new(5);
+        let c = MajorityClient::new(5, LocalTransport::new(cluster.clone())).unwrap();
+        assert_eq!(c.quorum(), 3);
+        c.create(1, b"m0").unwrap();
+        cluster.kill(0);
+        cluster.kill(4);
+        let w = c.write(1, b"m1").unwrap();
+        assert_eq!(w.version, 1);
+        assert_eq!(w.validated, vec![1, 2, 3]);
+        assert_eq!(c.read(1).unwrap().bytes, b"m1");
+        // One more failure: no majority.
+        cluster.kill(1);
+        assert!(c.write(1, b"m2").is_err());
+        assert!(c.read(1).is_err());
+    }
+
+    #[test]
+    fn majority_reads_see_latest_despite_stale_minority() {
+        let cluster = Cluster::new(5);
+        let c = MajorityClient::new(5, LocalTransport::new(cluster.clone())).unwrap();
+        c.create(1, b"v0").unwrap();
+        // Nodes 0 and 1 miss the write.
+        cluster.kill(0);
+        cluster.kill(1);
+        c.write(1, b"v1").unwrap();
+        cluster.revive(0);
+        cluster.revive(1);
+        // Reads poll nodes in index order, so the majority {0, 1, 2}
+        // contains two stale replicas — the max-version rule must still
+        // surface v1 from node 2.
+        let out = c.read(1).unwrap();
+        assert_eq!(out.bytes, b"v1");
+        assert_eq!(out.version, 1);
+    }
+
+    #[test]
+    fn constructor_bounds() {
+        let t = LocalTransport::new(Cluster::new(2));
+        assert!(RowaClient::new(3, t.clone()).is_err());
+        assert!(MajorityClient::new(0, t.clone()).is_err());
+        assert!(MajorityClient::new(2, t).is_ok());
+    }
+}

@@ -1,0 +1,120 @@
+//! Protocol-level errors.
+
+use core::fmt;
+
+use tq_cluster::NodeError;
+use tq_erasure::{CodeError, ParamError};
+use tq_quorum::trapezoid::ShapeError;
+
+/// Failure of a TRAP-ERC / TRAP-FR protocol operation.
+///
+/// The variants mirror the paper's failure points: Algorithm 1 returns
+/// FAIL when a level validates fewer than `w_l` writes; Algorithm 2
+/// returns ∅ when no level completes its version check or when fewer than
+/// `k` consistent nodes exist for a decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Algorithm 1 lines 35–37: level `level` validated only `achieved`
+    /// of the required `w_l = needed` writes.
+    WriteQuorumNotMet {
+        /// Level that failed.
+        level: usize,
+        /// Required `w_l`.
+        needed: usize,
+        /// Writes actually validated.
+        achieved: usize,
+    },
+    /// Algorithm 1 line 15: the embedded READBLOCK for the old chunk
+    /// failed, so the parity deltas cannot be computed.
+    OldValueUnreadable(Box<ProtocolError>),
+    /// Algorithm 2 line 39: no level assembled `r_l` live members, so the
+    /// latest version cannot be established.
+    VersionCheckFailed,
+    /// Algorithm 2 Case 2: fewer than `k` mutually-consistent live nodes
+    /// hold the latest version — the decode cannot proceed.
+    NotEnoughForDecode {
+        /// `k`, the number required.
+        needed: usize,
+        /// Consistent live nodes found.
+        found: usize,
+    },
+    /// The object was never created on the contacted nodes.
+    StripeMissing,
+    /// Block length differed from the stripe's.
+    SizeMismatch,
+    /// Parameter validation failure (construction time).
+    Params(ParamError),
+    /// Shape/threshold validation failure (construction time).
+    Shape(ShapeError),
+    /// Codec failure bubbled up from `tq-erasure`.
+    Code(CodeError),
+    /// A node/transport error that was fatal for the operation (most
+    /// node errors are absorbed by quorum logic; this surfaces the ones
+    /// that are not, e.g. `TransportClosed` during stripe creation).
+    Node(NodeError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::WriteQuorumNotMet {
+                level,
+                needed,
+                achieved,
+            } => write!(
+                f,
+                "write failed: level {level} validated {achieved}/{needed} nodes"
+            ),
+            ProtocolError::OldValueUnreadable(inner) => {
+                write!(f, "write failed: old value unreadable ({inner})")
+            }
+            ProtocolError::VersionCheckFailed => {
+                write!(f, "read failed: no level completed its version check")
+            }
+            ProtocolError::NotEnoughForDecode { needed, found } => write!(
+                f,
+                "read failed: {found} consistent nodes, {needed} needed to decode"
+            ),
+            ProtocolError::StripeMissing => write!(f, "stripe not present on nodes"),
+            ProtocolError::SizeMismatch => write!(f, "block length differs from stripe"),
+            ProtocolError::Params(e) => write!(f, "invalid code parameters: {e}"),
+            ProtocolError::Shape(e) => write!(f, "invalid trapezoid: {e}"),
+            ProtocolError::Code(e) => write!(f, "codec error: {e}"),
+            ProtocolError::Node(e) => write!(f, "node error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<CodeError> for ProtocolError {
+    fn from(e: CodeError) -> Self {
+        ProtocolError::Code(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ProtocolError::WriteQuorumNotMet {
+            level: 1,
+            needed: 2,
+            achieved: 1,
+        };
+        assert_eq!(e.to_string(), "write failed: level 1 validated 1/2 nodes");
+        let e = ProtocolError::OldValueUnreadable(Box::new(ProtocolError::VersionCheckFailed));
+        assert!(e.to_string().contains("old value unreadable"));
+        assert!(ProtocolError::NotEnoughForDecode { needed: 6, found: 4 }
+            .to_string()
+            .contains("4 consistent nodes"));
+    }
+
+    #[test]
+    fn code_error_converts() {
+        let e: ProtocolError = CodeError::ShardSizeMismatch.into();
+        assert!(matches!(e, ProtocolError::Code(CodeError::ShardSizeMismatch)));
+    }
+}

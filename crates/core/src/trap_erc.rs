@@ -1,0 +1,987 @@
+//! The TRAP-ERC protocol client — Algorithms 1 and 2 of the paper.
+//!
+//! Node mapping: cluster node `i` holds stripe block `i` (`0..k` data,
+//! `k..n` parity). For each data block `b_i` the trapezoid members are
+//! `{N_i} ∪ {N_k..N_{n-1}}` with `N_i` at level 0 (eq. 5), as computed by
+//! [`tq_quorum::TrapErcSystem`].
+//!
+//! ## Fidelity notes (where the pseudocode under-specifies)
+//!
+//! * **Version guard placement** — Algorithm 1 reads `V(i, j−k)` from the
+//!   parity node and then issues `add` if it matches (lines 25–28). We
+//!   fold the comparison into the node-side `AddParity` request, which is
+//!   the same decision made atomically (no TOCTOU window between the
+//!   version read and the add).
+//! * **"Any k updated nodes"** (Algorithm 2 line 34) — parity nodes carry
+//!   a version *vector*; decoding mixes blocks from different nodes, so
+//!   the k chosen blocks must reflect one stripe state. We group live
+//!   parity columns by exact vector equality, take the largest group that
+//!   is current for the target block, and add data nodes whose version
+//!   matches that group's entry. Under sequential writes this finds every
+//!   node the paper would call "updated".
+//! * **Failed writes leave residue** — Algorithm 1 validates level by
+//!   level and has no rollback; a write that fails at level `l` has
+//!   already updated `≥ w_m` nodes at every level `m < l`. Reads may
+//!   legitimately observe the new version (a classic quorum-protocol
+//!   anomaly the paper inherits from [12]); the failure-injection tests
+//!   pin down this behaviour.
+
+use bytes::Bytes;
+use tq_cluster::{NodeError, NodeId, Request, Response, Transport};
+use tq_erasure::delta::{block_delta, scale_delta};
+use tq_erasure::ReedSolomon;
+use tq_quorum::trapezoid::TrapErcSystem;
+
+use crate::config::ProtocolConfig;
+use crate::errors::ProtocolError;
+use crate::version_matrix::VersionMatrix;
+
+/// How a read was served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Algorithm 2 Case 1: `N_i` held the latest version.
+    Direct,
+    /// Algorithm 2 Case 2: decoded from `k` consistent stripe nodes
+    /// (their stripe indices, in the order fed to the codec).
+    Decoded {
+        /// The k nodes whose blocks were combined.
+        nodes: Vec<usize>,
+    },
+}
+
+/// Result of a successful read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The block contents at `version`.
+    pub bytes: Vec<u8>,
+    /// The version served.
+    pub version: u64,
+    /// Which case of Algorithm 2 served it.
+    pub path: ReadPath,
+}
+
+impl ReadOutcome {
+    /// `true` iff the decode path was taken.
+    pub fn decoded(&self) -> bool {
+        matches!(self.path, ReadPath::Decoded { .. })
+    }
+}
+
+/// What a scrub did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Stripe indices whose state was rewritten (live nodes).
+    pub refreshed: Vec<usize>,
+    /// Data block indices that were *salvaged*: their newest version was
+    /// unrecoverable residue, so an older recoverable value was installed
+    /// at a superseding version.
+    pub salvaged: Vec<usize>,
+}
+
+/// Result of a successful write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// The version the write installed (`old + 1`).
+    pub version: u64,
+    /// Stripe indices of nodes that validated the write, level-major.
+    pub validated: Vec<usize>,
+}
+
+/// The TRAP-ERC client: one per (code, trapezoid, transport) binding.
+///
+/// The client is stateless between operations (all state lives on the
+/// nodes), so one client instance can be shared across threads if the
+/// transport is `Sync`.
+#[derive(Debug)]
+pub struct TrapErcClient<T: Transport> {
+    config: ProtocolConfig,
+    rs: ReedSolomon,
+    /// Per-block trapezoid membership views, indexed by block.
+    systems: Vec<TrapErcSystem>,
+    transport: T,
+}
+
+impl<T: Transport> TrapErcClient<T> {
+    /// Binds a configuration to a transport.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Shape`] if the transport exposes fewer nodes than
+    /// the stripe needs.
+    pub fn new(config: ProtocolConfig, transport: T) -> Result<Self, ProtocolError> {
+        let n = config.params().n();
+        if transport.node_count() < n {
+            return Err(ProtocolError::Node(NodeError::TransportClosed));
+        }
+        let systems = (0..config.params().k())
+            .map(|i| config.system_for_block(i))
+            .collect();
+        Ok(TrapErcClient {
+            rs: config.codec(),
+            systems,
+            config,
+            transport,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// The codec (exposed for verification in tests/benches).
+    pub fn codec(&self) -> &ReedSolomon {
+        &self.rs
+    }
+
+    /// Borrow the transport (fault injection in experiments).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Provisions a stripe: installs the `k` data blocks and `n − k`
+    /// encoded parity blocks, all at version 0. Requires every node live
+    /// (provisioning is out of scope of the paper's availability model).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] on the first node failure;
+    /// [`ProtocolError::SizeMismatch`] on ragged input.
+    pub fn create_stripe(&self, id: u64, data: Vec<Vec<u8>>) -> Result<(), ProtocolError> {
+        let k = self.config.params().k();
+        if data.len() != k {
+            return Err(ProtocolError::SizeMismatch);
+        }
+        let len = data[0].len();
+        if data.iter().any(|d| d.len() != len) {
+            return Err(ProtocolError::SizeMismatch);
+        }
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = self.rs.encode(&refs);
+        for (i, block) in data.iter().enumerate() {
+            self.call(i, Request::InitData {
+                id,
+                bytes: Bytes::copy_from_slice(block),
+            })
+            .map_err(ProtocolError::Node)?;
+        }
+        for (j, block) in self.config.params().parity_indices().zip(&parity) {
+            self.call(j, Request::InitParity {
+                id,
+                bytes: Bytes::copy_from_slice(block),
+                k,
+            })
+            .map_err(ProtocolError::Node)?;
+        }
+        Ok(())
+    }
+
+    /// **Algorithm 1** — writes value `new` to data block `i`.
+    ///
+    /// Line 15 first runs READBLOCK to obtain the old chunk and version
+    /// (needed for the parity deltas), then walks the trapezoid level by
+    /// level; every level must validate at least `w_l` nodes.
+    ///
+    /// # Errors
+    /// [`ProtocolError::OldValueUnreadable`] if the embedded read fails;
+    /// [`ProtocolError::WriteQuorumNotMet`] if some level validates fewer
+    /// than `w_l` nodes; [`ProtocolError::SizeMismatch`] if `new` has the
+    /// wrong length.
+    pub fn write_block(&self, id: u64, i: usize, new: &[u8]) -> Result<WriteOutcome, ProtocolError> {
+        let old = self
+            .read_block(id, i)
+            .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
+        self.write_block_with_hint(id, i, new, &old.bytes, old.version)
+    }
+
+    /// Algorithm 1 with the old chunk/version supplied by the caller —
+    /// the writer that maintains a cache (or the experiment driver that
+    /// tracks ground truth) skips the embedded read. With the hint, the
+    /// write succeeds *iff* every level has `w_l` live members, which is
+    /// exactly the predicate of eq. 8/9 — `tq-sim` uses this to validate
+    /// the write-availability closed form.
+    ///
+    /// # Errors
+    /// See [`TrapErcClient::write_block`], minus the embedded read.
+    pub fn write_block_with_hint(
+        &self,
+        id: u64,
+        i: usize,
+        new: &[u8],
+        old_chunk: &[u8],
+        old_version: u64,
+    ) -> Result<WriteOutcome, ProtocolError> {
+        if new.len() != old_chunk.len() {
+            return Err(ProtocolError::SizeMismatch);
+        }
+        let sys = &self.systems[i];
+        let new_version = old_version + 1;
+        let raw_delta = block_delta(old_chunk, new)?;
+        let mut validated = Vec::new();
+
+        // Lines 16–38: level by level, from the top of the trapezoid.
+        for l in 0..sys.shape().num_levels() {
+            let needed = sys.thresholds().write_threshold(l);
+            let mut counter = 0usize;
+            for &member in sys.level_members(l) {
+                let ok = if member == i {
+                    // Line 20: write x into N_i.
+                    self.call(member, Request::WriteData {
+                        id,
+                        bytes: Bytes::copy_from_slice(new),
+                        version: new_version,
+                    })
+                    .is_ok()
+                } else {
+                    // Lines 25–28: guarded parity fold of α_{j,i}·(x − c).
+                    let delta = scale_delta(&self.rs, member, i, &raw_delta);
+                    self.call(member, Request::AddParity {
+                        id,
+                        block_index: i,
+                        delta: Bytes::from(delta.delta),
+                        expected_version: old_version,
+                        new_version,
+                    })
+                    .is_ok()
+                };
+                if ok {
+                    counter += 1;
+                    validated.push(member);
+                }
+            }
+            // Lines 35–37: the level failed to validate w_l writes.
+            if counter < needed {
+                return Err(ProtocolError::WriteQuorumNotMet {
+                    level: l,
+                    needed,
+                    achieved: counter,
+                });
+            }
+        }
+        Ok(WriteOutcome {
+            version: new_version,
+            validated,
+        })
+    }
+
+    /// **Algorithm 2** — reads data block `i`.
+    ///
+    /// Walks levels 0..=h; in each level polls members until
+    /// `r_l = s_l − w_l + 1` have answered (the version check). Once a
+    /// level completes, serves from `N_i` if it holds the latest version
+    /// (Case 1) or decodes from `k` consistent nodes (Case 2).
+    ///
+    /// # Errors
+    /// [`ProtocolError::VersionCheckFailed`] if no level completes;
+    /// [`ProtocolError::NotEnoughForDecode`] if Case 2 lacks nodes;
+    /// [`ProtocolError::StripeMissing`] if nodes respond but none knows
+    /// the object.
+    pub fn read_block(&self, id: u64, i: usize) -> Result<ReadOutcome, ProtocolError> {
+        let sys = &self.systems[i];
+        let (n, k) = (self.config.params().n(), self.config.params().k());
+        let mut matrix = VersionMatrix::new(n, k);
+        let mut saw_not_found = false;
+        let mut saw_success = false;
+
+        for l in 0..sys.shape().num_levels() {
+            let needed = sys.thresholds().read_threshold(sys.shape(), l);
+            let mut counter = 0usize;
+            for &member in sys.level_members(l) {
+                let answered = if member == i {
+                    match self.call(member, Request::VersionData { id }) {
+                        Ok(Response::Version(v)) => {
+                            matrix.set_data_version(i, v);
+                            true
+                        }
+                        Err(NodeError::NotFound) => {
+                            saw_not_found = true;
+                            false
+                        }
+                        _ => false,
+                    }
+                } else {
+                    match self.call(member, Request::VersionVector { id }) {
+                        Ok(Response::Versions(col)) => {
+                            matrix.set_column(member, col);
+                            true
+                        }
+                        Err(NodeError::NotFound) => {
+                            saw_not_found = true;
+                            false
+                        }
+                        _ => false,
+                    }
+                };
+                if answered {
+                    saw_success = true;
+                    counter += 1;
+                }
+                // Line 30: the check for this level is complete.
+                if counter == needed {
+                    let latest = matrix
+                        .latest_version(i)
+                        .expect("counter > 0 implies at least one version");
+                    // Line 31: compare against N_i's current version.
+                    let ni_version = match self.call(i, Request::VersionData { id }) {
+                        Ok(Response::Version(v)) => Some(v),
+                        _ => None,
+                    };
+                    if ni_version == Some(latest) {
+                        // Case 1: direct read from N_i.
+                        if let Ok(Response::Data { bytes, version }) =
+                            self.call(i, Request::ReadData { id })
+                        {
+                            if version == latest {
+                                return Ok(ReadOutcome {
+                                    bytes: bytes.to_vec(),
+                                    version: latest,
+                                    path: ReadPath::Direct,
+                                });
+                            }
+                        }
+                        // N_i died (or changed) between the version query
+                        // and the read; fall through to the decode path.
+                    }
+                    // Case 2: reconstruct from k updated nodes.
+                    return self.decode_block_at(id, i, latest, &mut matrix);
+                }
+            }
+            // Level incomplete (fewer than r_l live members): try the
+            // next level, keeping whatever columns we already collected.
+        }
+        if saw_not_found && !saw_success {
+            return Err(ProtocolError::StripeMissing);
+        }
+        // Line 39: data is not readable.
+        Err(ProtocolError::VersionCheckFailed)
+    }
+
+    /// Case 2 of Algorithm 2: decode block `i` at version `latest` from
+    /// `k` mutually consistent live nodes.
+    fn decode_block_at(
+        &self,
+        id: u64,
+        i: usize,
+        latest: u64,
+        matrix: &mut VersionMatrix,
+    ) -> Result<ReadOutcome, ProtocolError> {
+        let k = self.config.params().k();
+        // Widen V beyond the nodes the version check happened to probe:
+        // ask every parity node for its column and every data node for
+        // its version ("any k nodes out of n", line 34).
+        for j in self.config.params().parity_indices() {
+            if matrix.get(0, j).is_none() {
+                if let Ok(Response::Versions(col)) = self.call(j, Request::VersionVector { id }) {
+                    matrix.set_column(j, col);
+                }
+            }
+        }
+        for t in 0..k {
+            if t != i && matrix.data_version(t).is_none() {
+                if let Ok(Response::Version(v)) = self.call(t, Request::VersionData { id }) {
+                    matrix.set_data_version(t, v);
+                }
+            }
+        }
+
+        // Every group of parity nodes sharing one exact version vector
+        // (with block i at `latest`) is a valid decode basis; data nodes
+        // whose live version matches the group's view of them can join.
+        // Pick the group maximising usable nodes — the largest parity
+        // group is not always the one with the most matching data nodes.
+        let groups = matrix.consistent_parity_groups(i, latest);
+        let mut best: Option<(Vec<usize>, Vec<u64>, Vec<usize>)> = None;
+        let mut best_total = 0usize;
+        for (parity_members, column) in groups {
+            let data_members: Vec<usize> = (0..k)
+                .filter(|&t| t != i && matrix.data_version(t) == Some(column[t]))
+                .collect();
+            let total = parity_members.len() + data_members.len();
+            if total > best_total {
+                best_total = total;
+                best = Some((parity_members, column, data_members));
+            }
+        }
+        let Some((parity_members, column, data_members)) = best else {
+            return Err(ProtocolError::NotEnoughForDecode { needed: k, found: 0 });
+        };
+
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        chosen.extend(data_members.iter().copied().take(k));
+        let room = k.saturating_sub(chosen.len());
+        chosen.extend(parity_members.iter().copied().take(room));
+        if chosen.len() < k {
+            return Err(ProtocolError::NotEnoughForDecode {
+                needed: k,
+                found: chosen.len(),
+            });
+        }
+
+        // Fetch the chosen blocks, re-validating versions at read time
+        // (a node may have changed or died since the version pass).
+        let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
+        for &node in &chosen {
+            if node < k {
+                if let Ok(Response::Data { bytes, version }) =
+                    self.call(node, Request::ReadData { id })
+                {
+                    if version == column[node] {
+                        available.push((node, bytes.to_vec()));
+                    }
+                }
+            } else if let Ok(Response::Parity { bytes, versions }) =
+                self.call(node, Request::ReadParity { id })
+            {
+                if versions == column {
+                    available.push((node, bytes.to_vec()));
+                }
+            }
+        }
+        if available.len() < k {
+            return Err(ProtocolError::NotEnoughForDecode {
+                needed: k,
+                found: available.len(),
+            });
+        }
+        let refs: Vec<(usize, &[u8])> = available
+            .iter()
+            .map(|(idx, b)| (*idx, b.as_slice()))
+            .collect();
+        let bytes = self.rs.decode_block(i, &refs)?;
+        Ok(ReadOutcome {
+            bytes,
+            version: latest,
+            path: ReadPath::Decoded {
+                nodes: refs.iter().map(|&(idx, _)| idx).take(k).collect(),
+            },
+        })
+    }
+
+    /// **Scrub (extension)** — the paper defines no repair path, so a
+    /// node that misses a write stays stale forever (its `AddParity`
+    /// guard keeps rejecting later deltas). This extension restores full
+    /// redundancy, the way production stores run anti-entropy:
+    ///
+    /// 1. read every data block through Algorithm 2 (quorum reads, so
+    ///    only committed-or-residue state is used); if a block is
+    ///    *poisoned* — a failed write's residue version is visible in
+    ///    version checks but unrecoverable from any k consistent nodes,
+    ///    which bricks the paper's protocol permanently — **salvage** it:
+    ///    recover the newest version that still decodes and install it at
+    ///    a version *above* the residue, superseding it;
+    /// 2. re-encode the parity blocks from that state;
+    /// 3. push the reconstructed state to every *live* node — data nodes
+    ///    get `write(x)`, parity nodes get the repair primitive
+    ///    `PutParity` with the matching version vector.
+    ///
+    /// Must run quiesced (no concurrent writers to this stripe), like an
+    /// offline fsck; concurrent writes could be clobbered.
+    ///
+    /// # Errors
+    /// Propagates a block whose *every* version is unrecoverable (more
+    /// than n − k nodes down).
+    pub fn scrub_stripe(&self, id: u64) -> Result<ScrubReport, ProtocolError> {
+        let k = self.config.params().k();
+        let mut data = Vec::with_capacity(k);
+        let mut versions = Vec::with_capacity(k);
+        let mut salvaged = Vec::new();
+        for i in 0..k {
+            match self.read_block(id, i) {
+                Ok(out) => {
+                    versions.push(out.version);
+                    data.push(out.bytes);
+                }
+                Err(ProtocolError::NotEnoughForDecode { .. }) => {
+                    // Poisoned: chase older versions for the newest one
+                    // that still decodes, then supersede the residue.
+                    let (bytes, recovered, max_observed) = self.best_recoverable(id, i)?;
+                    versions.push(if recovered < max_observed {
+                        max_observed + 1
+                    } else {
+                        recovered
+                    });
+                    data.push(bytes);
+                    salvaged.push(i);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = self.rs.encode(&refs);
+        let mut refreshed = Vec::new();
+        for (i, block) in data.iter().enumerate() {
+            if self
+                .call(i, Request::WriteData {
+                    id,
+                    bytes: Bytes::copy_from_slice(block),
+                    version: versions[i],
+                })
+                .is_ok()
+            {
+                refreshed.push(i);
+            }
+        }
+        for (j, block) in self.config.params().parity_indices().zip(&parity) {
+            if self
+                .call(j, Request::PutParity {
+                    id,
+                    bytes: Bytes::copy_from_slice(block),
+                    versions: versions.clone(),
+                })
+                .is_ok()
+            {
+                refreshed.push(j);
+            }
+        }
+        Ok(ScrubReport { refreshed, salvaged })
+    }
+
+    /// Salvage search: the newest version of block `i` recoverable from
+    /// the currently-live nodes. Returns `(bytes, recovered_version,
+    /// max_observed_version)`.
+    fn best_recoverable(
+        &self,
+        id: u64,
+        i: usize,
+    ) -> Result<(Vec<u8>, u64, u64), ProtocolError> {
+        let (n, k) = (self.config.params().n(), self.config.params().k());
+        let mut matrix = VersionMatrix::new(n, k);
+        // Gather everything live in one pass: N_i's bytes+version, every
+        // parity column, every other data version.
+        let ni = match self.call(i, Request::ReadData { id }) {
+            Ok(Response::Data { bytes, version }) => {
+                matrix.set_data_version(i, version);
+                Some((bytes.to_vec(), version))
+            }
+            _ => None,
+        };
+        for j in self.config.params().parity_indices() {
+            if let Ok(Response::Versions(col)) = self.call(j, Request::VersionVector { id }) {
+                matrix.set_column(j, col);
+            }
+        }
+        for t in (0..k).filter(|&t| t != i) {
+            if let Ok(Response::Version(v)) = self.call(t, Request::VersionData { id }) {
+                matrix.set_data_version(t, v);
+            }
+        }
+        let mut candidates: Vec<u64> = self
+            .config
+            .params()
+            .parity_indices()
+            .filter_map(|j| matrix.get(i, j))
+            .chain(ni.as_ref().map(|&(_, v)| v))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let Some(&max_observed) = candidates.last() else {
+            return Err(ProtocolError::VersionCheckFailed);
+        };
+        for &v in candidates.iter().rev() {
+            if let Some((bytes, niv)) = &ni {
+                if *niv == v {
+                    return Ok((bytes.clone(), v, max_observed));
+                }
+            }
+            if let Ok(out) = self.decode_block_at(id, i, v, &mut matrix) {
+                return Ok((out.bytes, v, max_observed));
+            }
+        }
+        Err(ProtocolError::NotEnoughForDecode { needed: k, found: 0 })
+    }
+
+    #[inline]
+    fn call(&self, node: usize, req: Request) -> Result<Response, NodeError> {
+        self.transport.call(NodeId(node), req)
+    }
+
+    /// Crate-internal raw node access for the recovery workflows.
+    #[inline]
+    pub(crate) fn raw_call(&self, node: usize, req: Request) -> Result<Response, NodeError> {
+        self.call(node, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_cluster::{Cluster, LocalTransport};
+
+    /// (9, 6) stripe on a 4-node trapezoid (a=2, b=1, h=1: levels 1 + 3).
+    fn client_9_6() -> (TrapErcClient<LocalTransport>, Cluster) {
+        let config = ProtocolConfig::with_uniform_w(9, 6, 2, 1, 1, 1).unwrap();
+        let cluster = Cluster::new(9);
+        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
+        (client, cluster)
+    }
+
+    /// (15, 8) stripe on the Fig. 3 trapezoid (a=0, b=4, h=1).
+    fn client_15_8() -> (TrapErcClient<LocalTransport>, Cluster) {
+        let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
+        let cluster = Cluster::new(15);
+        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
+        (client, cluster)
+    }
+
+    fn blocks(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|b| (i * 41 + b * 7) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn create_then_read_every_block_direct() {
+        let (client, _cluster) = client_9_6();
+        let data = blocks(6, 64);
+        client.create_stripe(1, data.clone()).unwrap();
+        for i in 0..6 {
+            let out = client.read_block(1, i).unwrap();
+            assert_eq!(out.bytes, data[i]);
+            assert_eq!(out.version, 0);
+            assert_eq!(out.path, ReadPath::Direct);
+        }
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let (client, _cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 32)).unwrap();
+        let new = vec![0xEE; 32];
+        let w = client.write_block(1, 2, &new).unwrap();
+        assert_eq!(w.version, 1);
+        // All 4 trapezoid members validated (everything is up).
+        assert_eq!(w.validated.len(), 4);
+        let out = client.read_block(1, 2).unwrap();
+        assert_eq!(out.bytes, new);
+        assert_eq!(out.version, 1);
+    }
+
+    #[test]
+    fn read_decodes_when_data_node_dead() {
+        let (client, cluster) = client_9_6();
+        let data = blocks(6, 48);
+        client.create_stripe(1, data.clone()).unwrap();
+        let new = vec![0x5A; 48];
+        client.write_block(1, 0, &new).unwrap();
+        cluster.kill(0);
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, new);
+        assert_eq!(out.version, 1);
+        match out.path {
+            ReadPath::Decoded { ref nodes } => {
+                assert_eq!(nodes.len(), 6, "k nodes feed the decode");
+                assert!(!nodes.contains(&0), "dead node cannot contribute");
+            }
+            ReadPath::Direct => panic!("must decode with N_0 dead"),
+        }
+    }
+
+    #[test]
+    fn read_decodes_when_data_node_stale() {
+        let (client, cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 16)).unwrap();
+        // Kill N_3, write block 3 (level 0 of its trapezoid = {N_3} alone
+        // with w_0 = 1 ⇒ the write FAILS at level 0 and leaves no residue.
+        cluster.kill(3);
+        let err = client.write_block(1, 3, &vec![1u8; 16]).unwrap_err();
+        assert!(matches!(err, ProtocolError::WriteQuorumNotMet { level: 0, .. }));
+        cluster.revive(3);
+
+        // For a *stale N_i* we need the trapezoid to allow writes that
+        // miss N_i: use the (15, 8) layout where level 0 has 4 members.
+        let (client, cluster) = client_15_8();
+        client.create_stripe(7, blocks(8, 16)).unwrap();
+        cluster.kill(0); // N_0 down during the write
+        let new = vec![0xA7; 16];
+        let w = client.write_block(7, 0, &new).unwrap();
+        assert_eq!(w.version, 1);
+        assert!(!w.validated.contains(&0));
+        cluster.revive(0); // back, but stale at version 0
+
+        let out = client.read_block(7, 0).unwrap();
+        assert_eq!(out.bytes, new, "stale N_0 must not serve the read");
+        assert_eq!(out.version, 1);
+        assert!(out.decoded());
+    }
+
+    #[test]
+    fn write_fails_when_level_cannot_validate() {
+        let (client, cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 16)).unwrap();
+        // Level 1 of every block's trapezoid = parity nodes {6, 7, 8};
+        // w_1 = 1. Kill all three: write fails at level 1.
+        for j in 6..9 {
+            cluster.kill(j);
+        }
+        let err = client.write_block(1, 1, &vec![9u8; 16]).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::WriteQuorumNotMet {
+                level: 1,
+                needed: 1,
+                achieved: 0
+            }
+        );
+    }
+
+    #[test]
+    fn failed_write_leaves_documented_residue() {
+        // Algorithm 1 has no rollback: a write failing at level 1 has
+        // already written N_i at level 0. The new version is then served
+        // by subsequent reads (quorum-protocol anomaly, see module docs).
+        let (client, cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 16)).unwrap();
+        for j in 6..9 {
+            cluster.kill(j);
+        }
+        let _ = client.write_block(1, 4, &vec![0xBB; 16]).unwrap_err();
+        for j in 6..9 {
+            cluster.revive(j);
+        }
+        let out = client.read_block(1, 4).unwrap();
+        assert_eq!(out.version, 1, "residue of the failed write is visible");
+        assert_eq!(out.bytes, vec![0xBB; 16]);
+    }
+
+    #[test]
+    fn read_fails_without_version_quorum() {
+        let (client, cluster) = client_15_8();
+        client.create_stripe(1, blocks(8, 16)).unwrap();
+        // Block 0 trapezoid: level 0 = {0, 8, 9, 10} (r_0 = 2),
+        // level 1 = {11..14} (r_1 = 3). Leave only N_0 and two of level 1.
+        for node in [8, 9, 10, 13, 14] {
+            cluster.kill(node);
+        }
+        for node in 1..8 {
+            cluster.kill(node);
+        }
+        let err = client.read_block(1, 0).unwrap_err();
+        assert_eq!(err, ProtocolError::VersionCheckFailed);
+    }
+
+    #[test]
+    fn read_fails_when_too_few_for_decode() {
+        let (client, cluster) = client_15_8();
+        let data = blocks(8, 16);
+        client.create_stripe(1, data).unwrap();
+        // N_0 dead; kill all other data nodes too so only 7 parity nodes
+        // remain — version check passes, decode needs k = 8.
+        for node in 0..8 {
+            cluster.kill(node);
+        }
+        let err = client.read_block(1, 0).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::NotEnoughForDecode { needed: 8, found } if found == 7),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_writes_version_monotone() {
+        let (client, _cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 16)).unwrap();
+        for round in 1..=10u64 {
+            let new = vec![round as u8; 16];
+            let w = client.write_block(1, 0, &new).unwrap();
+            assert_eq!(w.version, round);
+            let r = client.read_block(1, 0).unwrap();
+            assert_eq!(r.version, round);
+            assert_eq!(r.bytes, new);
+        }
+    }
+
+    #[test]
+    fn interleaved_writes_to_different_blocks() {
+        let (client, cluster) = client_15_8();
+        let mut data = blocks(8, 24);
+        client.create_stripe(1, data.clone()).unwrap();
+        // Rotate through blocks with occasional failures of parity nodes.
+        for round in 0..16u8 {
+            let i = (round as usize * 3) % 8;
+            if round % 4 == 2 {
+                cluster.kill(8 + (round as usize % 7));
+            }
+            let new: Vec<u8> = (0..24).map(|b| round.wrapping_mul(b as u8 ^ 0x33)).collect();
+            if client.write_block(1, i, &new).is_ok() {
+                data[i] = new;
+            }
+            if round % 4 == 3 {
+                for j in 8..15 {
+                    cluster.revive(j);
+                }
+            }
+        }
+        for j in 8..15 {
+            cluster.revive(j);
+        }
+        for (i, expect) in data.iter().enumerate() {
+            let out = client.read_block(1, i).unwrap();
+            assert_eq!(&out.bytes, expect, "block {i}");
+        }
+    }
+
+    #[test]
+    fn stripe_missing_detected() {
+        let (client, _cluster) = client_9_6();
+        let err = client.read_block(99, 0).unwrap_err();
+        assert_eq!(err, ProtocolError::StripeMissing);
+    }
+
+    #[test]
+    fn create_rejects_bad_input() {
+        let (client, cluster) = client_9_6();
+        assert_eq!(
+            client.create_stripe(1, blocks(5, 16)).unwrap_err(),
+            ProtocolError::SizeMismatch
+        );
+        let mut ragged = blocks(6, 16);
+        ragged[3].push(0);
+        assert_eq!(
+            client.create_stripe(1, ragged).unwrap_err(),
+            ProtocolError::SizeMismatch
+        );
+        cluster.kill(4);
+        assert!(matches!(
+            client.create_stripe(1, blocks(6, 16)).unwrap_err(),
+            ProtocolError::Node(NodeError::Down)
+        ));
+    }
+
+    #[test]
+    fn write_wrong_length_rejected() {
+        let (client, _cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 16)).unwrap();
+        assert_eq!(
+            client.write_block(1, 0, &vec![0u8; 17]).unwrap_err(),
+            ProtocolError::SizeMismatch
+        );
+    }
+
+    #[test]
+    fn write_with_hint_skips_embedded_read() {
+        let (client, cluster) = client_15_8();
+        let data = blocks(8, 16);
+        client.create_stripe(1, data.clone()).unwrap();
+        // Make the embedded read impossible for block 0 while keeping the
+        // write quorum alive: kill every data node except N_0 — version
+        // check still works (trapezoid is N_0 + parity), but suppose the
+        // driver knows the old value anyway.
+        for t in 1..8 {
+            cluster.kill(t);
+        }
+        let new = vec![0xCD; 16];
+        let w = client
+            .write_block_with_hint(1, 0, &new, &data[0], 0)
+            .unwrap();
+        assert_eq!(w.version, 1);
+        // Direct read still served by N_0.
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, new);
+        assert_eq!(out.path, ReadPath::Direct);
+    }
+
+    #[test]
+    fn scrub_restores_stale_nodes() {
+        let (client, cluster) = client_15_8();
+        let data = blocks(8, 16);
+        client.create_stripe(1, data).unwrap();
+        // Parity node 11 misses two writes, N_0 misses one.
+        cluster.kill(11);
+        client.write_block(1, 0, &vec![1u8; 16]).unwrap();
+        cluster.kill(0);
+        client.write_block(1, 0, &vec![2u8; 16]).unwrap();
+        cluster.revive(0);
+        cluster.revive(11);
+
+        // Before the scrub: reads work but need the decode path, and the
+        // largest consistent parity group excludes node 11.
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, vec![2u8; 16]);
+        assert!(out.decoded());
+
+        let report = client.scrub_stripe(1).unwrap();
+        assert_eq!(report.refreshed.len(), 15, "all nodes live -> all refreshed");
+        assert!(report.salvaged.is_empty(), "nothing was poisoned");
+
+        // After the scrub: N_0 is current again (direct reads), and node
+        // 11 accepts deltas once more.
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, vec![2u8; 16]);
+        assert_eq!(out.path, ReadPath::Direct);
+        let w = client.write_block(1, 0, &vec![3u8; 16]).unwrap();
+        assert!(w.validated.contains(&11), "node 11 takes deltas again");
+    }
+
+    /// Reproduction finding: a failed write can *poison* a block
+    /// permanently. Interleaved failed writes under different failure
+    /// sets leave residue versions visible to version checks but spread
+    /// across parity nodes with mutually inconsistent columns, so no k
+    /// consistent nodes exist — reads fail forever (even fully healed),
+    /// and later writes fail too (their embedded READBLOCK fails). The
+    /// paper never analyses failed-write history. The scrub extension
+    /// salvages: it rolls the block back to the newest recoverable value
+    /// at a version that supersedes the residue.
+    #[test]
+    fn poisoned_block_is_salvaged_by_scrub() {
+        let (client, cluster) = client_15_8();
+        let initial = blocks(8, 16);
+        client.create_stripe(1, initial.clone()).unwrap();
+        // Minimal poisoning sequence (found by proptest shrinking):
+        cluster.kill(2);
+        cluster.kill(10);
+        let _ = client.write_block(1, 2, &vec![211; 16]).unwrap_err(); // residue on parity 8, 9
+        cluster.kill(8);
+        let _ = client.write_block(1, 7, &vec![89; 16]).unwrap_err(); // residue on N_7, parity 9
+        cluster.kill(9);
+        let _ = client.write_block(1, 5, &vec![189; 16]).unwrap_err(); // residue on N_5 only
+
+        // Fully healed — yet block 2 is bricked: the version check sees
+        // v1, but parity 8 and 9 disagree on other columns and no data
+        // copy of v1 exists anywhere.
+        for n in 0..15 {
+            cluster.revive(n);
+        }
+        let err = client.read_block(1, 2).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::NotEnoughForDecode { .. }),
+            "{err:?}"
+        );
+        // ... and writes to it are bricked too (embedded read fails).
+        let err = client.write_block(1, 2, &vec![1; 16]).unwrap_err();
+        assert!(matches!(err, ProtocolError::OldValueUnreadable(_)), "{err:?}");
+
+        // The scrub salvages block 2 back to its newest recoverable value
+        // (the initial content) at a superseding version.
+        let report = client.scrub_stripe(1).unwrap();
+        assert!(report.salvaged.contains(&2), "{report:?}");
+        let out = client.read_block(1, 2).unwrap();
+        assert_eq!(out.bytes, initial[2], "rolled back to the recoverable value");
+        assert!(out.version > 1, "residue version superseded, not reused");
+        // The block is fully writable again.
+        let w = client.write_block(1, 2, &vec![0x99; 16]).unwrap();
+        assert_eq!(w.validated.len(), 8);
+        assert_eq!(client.read_block(1, 2).unwrap().bytes, vec![0x99; 16]);
+    }
+
+    #[test]
+    fn scrub_skips_down_nodes() {
+        let (client, cluster) = client_15_8();
+        client.create_stripe(1, blocks(8, 16)).unwrap();
+        cluster.kill(12);
+        let report = client.scrub_stripe(1).unwrap();
+        assert_eq!(report.refreshed.len(), 14);
+        assert!(!report.refreshed.contains(&12));
+    }
+
+    #[test]
+    fn io_accounting_shows_delta_updates() {
+        let (client, cluster) = client_9_6();
+        client.create_stripe(1, blocks(6, 1024)).unwrap();
+        let before = cluster.io_totals();
+        client.write_block(1, 0, &vec![1u8; 1024]).unwrap();
+        let delta = cluster.io_totals().since(&before);
+        // One data write + 3 parity folds; the embedded read costs
+        // version queries + one data read.
+        assert_eq!(delta.writes, 1);
+        assert_eq!(delta.parity_adds, 3);
+        assert!(delta.reads >= 1);
+    }
+}

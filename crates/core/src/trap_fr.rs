@@ -1,0 +1,335 @@
+//! TRAP-FR: the classical trapezoid protocol over full replication.
+//!
+//! §IV of the paper compares TRAP-ERC against "a full replication storage
+//! system ensuring that each data block is stored on n − k + 1 nodes" —
+//! i.e. the original Suzuki–Ohara trapezoid with the *same* shape and
+//! thresholds, every node holding a complete copy. This client implements
+//! that baseline: node `p` of the transport is trapezoid position `p`
+//! (level-major).
+//!
+//! Reads differ from TRAP-ERC in exactly the way §II describes: "on full
+//! replication, any node giving the adequate latest version of a block
+//! can be used to retrieve the corresponding data" — no decode path, no
+//! dependence on other blocks.
+
+use bytes::Bytes;
+use tq_cluster::{NodeError, NodeId, Request, Response, Transport};
+use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
+
+use crate::errors::ProtocolError;
+use crate::trap_erc::{ReadOutcome, ReadPath, WriteOutcome};
+
+/// Full-replication trapezoid client for one replicated object universe.
+#[derive(Debug)]
+pub struct TrapFrClient<T: Transport> {
+    shape: TrapezoidShape,
+    thresholds: WriteThresholds,
+    transport: T,
+}
+
+impl<T: Transport> TrapFrClient<T> {
+    /// Binds a trapezoid to a transport; the transport must expose at
+    /// least `shape.node_count()` nodes.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] if the transport is too small.
+    pub fn new(
+        shape: TrapezoidShape,
+        thresholds: WriteThresholds,
+        transport: T,
+    ) -> Result<Self, ProtocolError> {
+        if transport.node_count() < shape.node_count() {
+            return Err(ProtocolError::Node(NodeError::TransportClosed));
+        }
+        Ok(TrapFrClient {
+            shape,
+            thresholds,
+            transport,
+        })
+    }
+
+    /// The trapezoid shape.
+    pub fn shape(&self) -> &TrapezoidShape {
+        &self.shape
+    }
+
+    /// The thresholds.
+    pub fn thresholds(&self) -> &WriteThresholds {
+        &self.thresholds
+    }
+
+    /// Installs the object on every replica at version 0 (provisioning;
+    /// requires all nodes live).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] on the first failing node.
+    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
+        for pos in 0..self.shape.node_count() {
+            self.call(pos, Request::InitData {
+                id,
+                bytes: Bytes::copy_from_slice(bytes),
+            })
+            .map_err(ProtocolError::Node)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the object: per level, poll `r_l` members' versions; once a
+    /// level completes, fetch the bytes from any polled replica holding
+    /// the latest version.
+    ///
+    /// # Errors
+    /// [`ProtocolError::VersionCheckFailed`] if no level completes its
+    /// check; [`ProtocolError::StripeMissing`] if nodes answer but none
+    /// stores the object.
+    pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
+        let mut saw_not_found = false;
+        let mut saw_success = false;
+        for l in 0..self.shape.num_levels() {
+            let needed = self.thresholds.read_threshold(&self.shape, l);
+            let mut responders: Vec<(usize, u64)> = Vec::with_capacity(needed);
+            for pos in self.shape.level_range(l) {
+                match self.call(pos, Request::VersionData { id }) {
+                    Ok(Response::Version(v)) => {
+                        saw_success = true;
+                        responders.push((pos, v));
+                    }
+                    Err(NodeError::NotFound) => saw_not_found = true,
+                    _ => {}
+                }
+                if responders.len() == needed {
+                    let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
+                    // Any replica at the latest version serves the read;
+                    // prefer the ones we already know are live.
+                    for &(pos, v) in &responders {
+                        if v != latest {
+                            continue;
+                        }
+                        if let Ok(Response::Data { bytes, version }) =
+                            self.call(pos, Request::ReadData { id })
+                        {
+                            if version >= latest {
+                                return Ok(ReadOutcome {
+                                    bytes: bytes.to_vec(),
+                                    version,
+                                    path: ReadPath::Direct,
+                                });
+                            }
+                        }
+                    }
+                    // Every latest holder died between the two calls —
+                    // treat the level as failed and move on.
+                    break;
+                }
+            }
+        }
+        if saw_not_found && !saw_success {
+            return Err(ProtocolError::StripeMissing);
+        }
+        Err(ProtocolError::VersionCheckFailed)
+    }
+
+    /// Writes the object: discovers the current version via the read
+    /// path's version check, then installs `version + 1` on at least
+    /// `w_l` members of *every* level.
+    ///
+    /// # Errors
+    /// [`ProtocolError::OldValueUnreadable`] if the version discovery
+    /// fails; [`ProtocolError::WriteQuorumNotMet`] if a level validates
+    /// fewer than `w_l` replicas.
+    pub fn write(&self, id: u64, new: &[u8]) -> Result<WriteOutcome, ProtocolError> {
+        let old = self
+            .read(id)
+            .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
+        self.write_with_version(id, new, old.version)
+    }
+
+    /// The write fan-out with a caller-supplied current version — the
+    /// eq. 8 predicate in executable form (used by the Monte-Carlo
+    /// validation, mirroring
+    /// [`crate::TrapErcClient::write_block_with_hint`]).
+    ///
+    /// # Errors
+    /// [`ProtocolError::WriteQuorumNotMet`] as above.
+    pub fn write_with_version(
+        &self,
+        id: u64,
+        new: &[u8],
+        old_version: u64,
+    ) -> Result<WriteOutcome, ProtocolError> {
+        let new_version = old_version + 1;
+        let mut validated = Vec::new();
+        for l in 0..self.shape.num_levels() {
+            let needed = self.thresholds.write_threshold(l);
+            let mut counter = 0usize;
+            for pos in self.shape.level_range(l) {
+                if self
+                    .call(pos, Request::WriteData {
+                        id,
+                        bytes: Bytes::copy_from_slice(new),
+                        version: new_version,
+                    })
+                    .is_ok()
+                {
+                    counter += 1;
+                    validated.push(pos);
+                }
+            }
+            if counter < needed {
+                return Err(ProtocolError::WriteQuorumNotMet {
+                    level: l,
+                    needed,
+                    achieved: counter,
+                });
+            }
+        }
+        Ok(WriteOutcome {
+            version: new_version,
+            validated,
+        })
+    }
+
+    #[inline]
+    fn call(&self, pos: usize, req: Request) -> Result<Response, NodeError> {
+        self.transport.call(NodeId(pos), req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_cluster::{Cluster, LocalTransport};
+
+    /// Fig. 1 trapezoid: 15 replicas in levels of 3, 5, 7.
+    fn client() -> (TrapFrClient<LocalTransport>, Cluster) {
+        let shape = TrapezoidShape::new(2, 3, 2).unwrap();
+        let th = WriteThresholds::paper_default(&shape, 2).unwrap();
+        let cluster = Cluster::new(15);
+        let c = TrapFrClient::new(shape, th, LocalTransport::new(cluster.clone())).unwrap();
+        (c, cluster)
+    }
+
+    #[test]
+    fn create_write_read_cycle() {
+        let (c, _cluster) = client();
+        c.create(1, b"genesis").unwrap();
+        let out = c.read(1).unwrap();
+        assert_eq!(out.bytes, b"genesis");
+        assert_eq!(out.version, 0);
+        let w = c.write(1, b"updated").unwrap();
+        assert_eq!(w.version, 1);
+        assert_eq!(w.validated.len(), 15, "all replicas live");
+        assert_eq!(c.read(1).unwrap().bytes, b"updated");
+    }
+
+    #[test]
+    fn read_survives_heavy_failures() {
+        let (c, cluster) = client();
+        c.create(1, b"payload").unwrap();
+        c.write(1, b"v1-data").unwrap();
+        // Kill levels 0 and 1 entirely; level 2 (positions 8..15) has
+        // r_2 = 6 — keep 6 alive.
+        for pos in 0..9 {
+            cluster.kill(pos);
+        }
+        let out = c.read(1).unwrap();
+        assert_eq!(out.bytes, b"v1-data");
+        assert_eq!(out.version, 1);
+    }
+
+    #[test]
+    fn stale_replicas_never_served() {
+        let (c, cluster) = client();
+        c.create(1, b"aaaa").unwrap();
+        // Node 2 (level 0) misses the write.
+        cluster.kill(2);
+        c.write(1, b"bbbb").unwrap();
+        cluster.revive(2);
+        // Even though node 2 is polled first-ish in level 0, the check
+        // must surface version 1 and serve "bbbb".
+        for _ in 0..4 {
+            let out = c.read(1).unwrap();
+            assert_eq!(out.bytes, b"bbbb");
+            assert_eq!(out.version, 1);
+        }
+    }
+
+    #[test]
+    fn write_fails_when_a_level_lacks_quorum() {
+        let (c, cluster) = client();
+        c.create(1, b"zz").unwrap();
+        // Level 1 = positions 3..8, w_1 = 2: leave only one alive.
+        for pos in 4..8 {
+            cluster.kill(pos);
+        }
+        let err = c.write(1, b"yy").unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::WriteQuorumNotMet {
+                level: 1,
+                needed: 2,
+                achieved: 1
+            }
+        );
+    }
+
+    #[test]
+    fn fr_version_discovery_never_blocks_a_feasible_write() {
+        // Structural theorem: w_0 = ⌊b/2⌋ + 1 ≥ r_0 = s_0 − w_0 + 1, so
+        // any failure pattern admitting a level-0 write quorum also
+        // completes the level-0 version check — for TRAP-FR the embedded
+        // read of Algorithm 1 can never be the reason a write fails.
+        // (For TRAP-ERC this is false: the read additionally needs N_i or
+        // a decode, which is what tq-sim quantifies against eq. 9.)
+        let (c, cluster) = client();
+        c.create(1, b"zz").unwrap();
+        let mut rng = 0x12345678u64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng
+        };
+        let mut ground_version = 0u64;
+        for _ in 0..200 {
+            let mask = next();
+            let up: Vec<bool> = (0..15).map(|i| mask >> i & 1 == 1).collect();
+            cluster.apply_availability(&up);
+            let hinted = c.write_with_version(1, b"yy", ground_version + 1000);
+            // Reset versions drift: hinted used a sandbox version bump;
+            // track actual success for the embedded-read variant.
+            match c.write(1, b"yy") {
+                Ok(w) => ground_version = w.version,
+                Err(ProtocolError::OldValueUnreadable(_)) => {
+                    // Version discovery failed ⇒ fewer than r_0 ≤ w_0 live
+                    // at level 0 ⇒ the write fan-out must be infeasible
+                    // too. A pattern where only the read fails would
+                    // break the theorem.
+                    assert!(
+                        hinted.is_err(),
+                        "embedded read failed on a write-feasible pattern: {up:?}"
+                    );
+                }
+                Err(ProtocolError::WriteQuorumNotMet { .. }) => {
+                    assert!(
+                        hinted.is_err(),
+                        "hinted write succeeded where fan-out failed: {up:?}"
+                    );
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_object_reported() {
+        let (c, _cluster) = client();
+        assert_eq!(c.read(77).unwrap_err(), ProtocolError::StripeMissing);
+    }
+
+    #[test]
+    fn rejects_small_transport() {
+        let shape = TrapezoidShape::new(2, 3, 2).unwrap();
+        let th = WriteThresholds::paper_default(&shape, 2).unwrap();
+        let err = TrapFrClient::new(shape, th, LocalTransport::new(Cluster::new(3))).unwrap_err();
+        assert!(matches!(err, ProtocolError::Node(_)));
+    }
+}

@@ -1,0 +1,434 @@
+//! Node repair — the exact / functional / hybrid taxonomy of §I.
+//!
+//! When a node fails, the blocks it held must be rebuilt on a
+//! replacement. The paper's introduction classifies MDS repairs:
+//!
+//! * **exact repair** — the new blocks are bit-identical to the lost
+//!   ones. Costs a full decode (k block reads) but keeps the code
+//!   systematic, so later reads of data blocks stay one-hop.
+//! * **functional repair** — the new blocks merely keep the code MDS
+//!   (any k of n still reconstruct). For a parity node this means a
+//!   *fresh coefficient row*; the paper notes such codes need "a more
+//!   heavy processing to retrieve or update the original data", which is
+//!   why it sticks to exact repair for data.
+//! * **hybrid repair** — exact for the k data blocks, functional for
+//!   parity: the variant the paper highlights as practical.
+//!
+//! This module implements all three at the codec level. `tq-trapezoid`
+//! exposes the cluster-level rebuild built on top of the exact path.
+
+use tq_gf256::{Gf256, Matrix};
+
+use crate::code::ReedSolomon;
+use crate::params::CodeParams;
+use crate::CodeError;
+
+/// A costed exact-repair plan for one lost block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// The stripe index being rebuilt.
+    pub target: usize,
+    /// The k survivor indices whose blocks the repair will read.
+    pub sources: Vec<usize>,
+}
+
+impl RepairPlan {
+    /// Blocks read from survivors (the network/IO cost §I worries about:
+    /// k reads per lost block for a classical MDS code).
+    pub fn reads(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total bytes transferred for a given block length.
+    pub fn bytes_read(&self, block_len: usize) -> usize {
+        self.sources.len() * block_len
+    }
+}
+
+/// Plans an exact repair of `target` from the live stripe indices.
+///
+/// # Errors
+/// [`CodeError::TooFewShards`] with fewer than k distinct live survivors
+/// (excluding the target itself), [`CodeError::IndexOutOfRange`] on a bad
+/// target.
+pub fn plan_exact_repair(
+    rs: &ReedSolomon,
+    target: usize,
+    live: &[usize],
+) -> Result<RepairPlan, CodeError> {
+    let (n, k) = (rs.params().n(), rs.params().k());
+    if target >= n {
+        return Err(CodeError::IndexOutOfRange { index: target, n });
+    }
+    let mut sources = Vec::with_capacity(k);
+    for &idx in live {
+        if idx >= n {
+            return Err(CodeError::IndexOutOfRange { index: idx, n });
+        }
+        if idx != target && !sources.contains(&idx) {
+            sources.push(idx);
+            if sources.len() == k {
+                break;
+            }
+        }
+    }
+    if sources.len() < k {
+        return Err(CodeError::TooFewShards {
+            present: sources.len(),
+            needed: k,
+        });
+    }
+    Ok(RepairPlan { target, sources })
+}
+
+/// Executes an exact repair: `blocks[i]` must be the bytes of
+/// `plan.sources[i]`. Returns the lost block, bit-identical to the
+/// original.
+///
+/// # Errors
+/// Propagates decode failures ([`CodeError::ShardSizeMismatch`] etc.).
+pub fn execute_exact_repair(
+    rs: &ReedSolomon,
+    plan: &RepairPlan,
+    blocks: &[&[u8]],
+) -> Result<Vec<u8>, CodeError> {
+    if blocks.len() != plan.sources.len() {
+        return Err(CodeError::TooFewShards {
+            present: blocks.len(),
+            needed: plan.sources.len(),
+        });
+    }
+    let available: Vec<(usize, &[u8])> = plan
+        .sources
+        .iter()
+        .copied()
+        .zip(blocks.iter().copied())
+        .collect();
+    rs.decode_block(plan.target, &available)
+}
+
+/// Functional repair of a lost *parity* row: derives candidate rows from
+/// *fresh evaluation points* of the generator's underlying family and
+/// returns the first that keeps the stacked generator MDS (verified
+/// exhaustively), together with the replacement codec.
+///
+/// Why structured candidates: a uniformly random row over GF(2⁸) keeps
+/// the code MDS with probability ≈ exp(−C(n−1, k−1)/255) — fine for a
+/// (9, 6) code (≈ 0.8) but ≈ 10⁻⁶ for (15, 8). Extending the Vandermonde
+/// point family (row = `vand(x_new) · V_top⁻¹` for a previously unused
+/// point `x_new`) preserves the any-k-rows-independent argument by
+/// construction; the explicit MDS check then guards repeated repairs,
+/// whose rows no longer all come from one family. `seed` selects where
+/// the point search starts, so distinct seeds give distinct rows.
+///
+/// The replacement parity *block* is then `Σ row[i]·b_i` over current
+/// data — different bytes than the lost block, same fault tolerance.
+///
+/// # Errors
+/// [`CodeError::IndexOutOfRange`] if `lost` is not a parity index;
+/// [`CodeError::TooFewShards`] if no unused evaluation point yields an
+/// MDS generator (possible only after exhausting all 255 − n points on a
+/// heavily re-repaired code).
+pub fn functional_repair_row(
+    rs: &ReedSolomon,
+    lost: usize,
+    seed: u64,
+) -> Result<(ReedSolomon, Vec<Gf256>), CodeError> {
+    let params: CodeParams = rs.params();
+    let (n, k) = (params.n(), params.k());
+    if !params.is_parity_index(lost) {
+        return Err(CodeError::IndexOutOfRange { index: lost, n });
+    }
+    // Transform that maps a raw Vandermonde row onto the systematic
+    // basis: T = (top k×k of the n×k Vandermonde)⁻¹.
+    let transform = Matrix::vandermonde(k, k)
+        .inverse()
+        .expect("Vandermonde top block is always invertible");
+    // Exponents 0..n name the original points; n..255 are fresh.
+    let pool: Vec<u32> = (n as u32..255).collect();
+    if pool.is_empty() {
+        return Err(CodeError::TooFewShards { present: 0, needed: k });
+    }
+    let start = (seed % pool.len() as u64) as usize;
+    for offset in 0..pool.len() {
+        let exponent = pool[(start + offset) % pool.len()];
+        let x = Gf256::alpha_pow(exponent);
+        // row = vand(x) · T, expressed on the systematic basis.
+        let row: Vec<Gf256> = (0..k)
+            .map(|c| {
+                (0..k).fold(Gf256::ZERO, |acc, t| {
+                    acc + x.pow(t as u32) * transform[(t, c)]
+                })
+            })
+            .collect();
+        let mut parity = Matrix::zero(n - k, k);
+        for (r, j) in params.parity_indices().enumerate() {
+            for c in 0..k {
+                parity[(r, c)] = if j == lost { row[c] } else { rs.coefficient(j, c) };
+            }
+        }
+        if let Some(new_rs) = ReedSolomon::with_parity_matrix(params, &parity) {
+            return Ok((new_rs, row));
+        }
+    }
+    Err(CodeError::TooFewShards {
+        present: 0,
+        needed: k,
+    })
+}
+
+/// Hybrid repair of a whole failed node set: exact for data indices,
+/// functional for parity indices. Returns the (possibly new) codec, the
+/// rebuilt blocks in `lost` order, and the replacement rows used for
+/// parity targets (`None` for data targets).
+///
+/// `survivor_blocks` maps stripe index → bytes for every live node.
+///
+/// # Errors
+/// Propagates planning/decoding failures from the exact path.
+pub fn hybrid_repair(
+    rs: &ReedSolomon,
+    lost: &[usize],
+    survivor_blocks: &[(usize, &[u8])],
+    seed: u64,
+) -> Result<(ReedSolomon, Vec<Vec<u8>>, Vec<Option<Vec<Gf256>>>), CodeError> {
+    let k = rs.params().k();
+    let live: Vec<usize> = survivor_blocks.iter().map(|&(i, _)| i).collect();
+    let mut current = rs.clone();
+    let mut rebuilt = Vec::with_capacity(lost.len());
+    let mut rows = Vec::with_capacity(lost.len());
+    // Recover the data vector once (needed by both paths).
+    let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
+    for i in 0..k {
+        if let Some(&(_, bytes)) = survivor_blocks.iter().find(|&&(idx, _)| idx == i) {
+            data.push(bytes.to_vec());
+        } else {
+            let plan = plan_exact_repair(rs, i, &live)?;
+            let blocks: Vec<&[u8]> = plan
+                .sources
+                .iter()
+                .map(|s| {
+                    survivor_blocks
+                        .iter()
+                        .find(|&&(idx, _)| idx == *s)
+                        .expect("plan sources are live")
+                        .1
+                })
+                .collect();
+            data.push(execute_exact_repair(rs, &plan, &blocks)?);
+        }
+    }
+    let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    for (ordinal, &target) in lost.iter().enumerate() {
+        if rs.params().is_data_index(target) {
+            rebuilt.push(data[target].clone());
+            rows.push(None);
+        } else {
+            let (new_rs, row) = functional_repair_row(&current, target, seed + ordinal as u64)?;
+            let mut block = vec![0u8; data_refs[0].len()];
+            tq_gf256::slice_ops::linear_combination(&row, &data_refs, &mut block);
+            current = new_rs;
+            rebuilt.push(block);
+            rows.push(Some(row));
+        }
+    }
+    Ok((current, rebuilt, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CodeParams;
+
+    fn setup(n: usize, k: usize) -> (ReedSolomon, Vec<Vec<u8>>) {
+        let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap());
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..48).map(|b| (i * 29 + b * 3) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        (rs, full)
+    }
+
+    #[test]
+    fn exact_repair_is_bit_identical() {
+        let (rs, full) = setup(9, 6);
+        for target in 0..9 {
+            let live: Vec<usize> = (0..9).filter(|&i| i != target).collect();
+            let plan = plan_exact_repair(&rs, target, &live).unwrap();
+            assert_eq!(plan.reads(), 6);
+            assert_eq!(plan.bytes_read(48), 288);
+            let blocks: Vec<&[u8]> = plan.sources.iter().map(|&s| full[s].as_slice()).collect();
+            let rebuilt = execute_exact_repair(&rs, &plan, &blocks).unwrap();
+            assert_eq!(rebuilt, full[target], "target {target}");
+        }
+    }
+
+    #[test]
+    fn exact_repair_needs_k_survivors() {
+        let (rs, _) = setup(6, 4);
+        let err = plan_exact_repair(&rs, 0, &[1, 2, 3]).unwrap_err();
+        assert_eq!(err, CodeError::TooFewShards { present: 3, needed: 4 });
+        // Target itself in the live list is ignored.
+        let err = plan_exact_repair(&rs, 0, &[0, 1, 2, 3]).unwrap_err();
+        assert_eq!(err, CodeError::TooFewShards { present: 3, needed: 4 });
+        assert!(plan_exact_repair(&rs, 9, &[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn functional_repair_keeps_mds() {
+        let (rs, full) = setup(9, 6);
+        let (new_rs, row) = functional_repair_row(&rs, 7, 42).unwrap();
+        assert_eq!(row.len(), 6);
+        // New code: re-encode parity 7 with the fresh row, keep the rest.
+        let data_refs: Vec<&[u8]> = full[..6].iter().map(|d| d.as_slice()).collect();
+        let new_parity = new_rs.encode(&data_refs);
+        // Blocks 6 and 8 unchanged, block 7 replaced.
+        assert_eq!(new_parity[0], full[6]);
+        assert_ne!(new_parity[1], full[7], "functional repair is not exact");
+        assert_eq!(new_parity[2], full[8]);
+        // Any k of the new stripe reconstructs the data: exhaustive spot
+        // check over a handful of subsets including the new block.
+        let new_full: Vec<Vec<u8>> = full[..6].iter().cloned().chain(new_parity).collect();
+        for subset in [[0usize, 1, 2, 3, 4, 7], [1, 2, 3, 6, 7, 8], [0, 2, 4, 5, 7, 8]] {
+            let avail: Vec<(usize, &[u8])> =
+                subset.iter().map(|&i| (i, new_full[i].as_slice())).collect();
+            for target in 0..6 {
+                assert_eq!(
+                    new_rs.decode_block(target, &avail).unwrap(),
+                    new_full[target],
+                    "subset {subset:?} target {target}"
+                );
+            }
+        }
+    }
+
+    /// Regression (found by the `repair_cost` bench): for (15, 8) a
+    /// random replacement row keeps the code MDS with probability ~1e-6,
+    /// so the original random search effectively never terminated. The
+    /// structured Vandermonde-extension candidates must succeed
+    /// immediately, for every parity target and many seeds.
+    #[test]
+    fn functional_repair_works_at_paper_scale() {
+        let (rs, full) = setup(15, 8);
+        for lost in 8..15 {
+            for seed in [0u64, 1, 42, 0xFFFF_FFFF] {
+                let (new_rs, row) = functional_repair_row(&rs, lost, seed).unwrap();
+                assert_eq!(row.len(), 8);
+                assert!(row.iter().all(|c| !c.is_zero()), "Lagrange basis rows have no zeros");
+                // Decode still works from a subset including the new row.
+                let data_refs: Vec<&[u8]> = full[..8].iter().map(|d| d.as_slice()).collect();
+                let new_parity = new_rs.encode(&data_refs);
+                let mut new_full: Vec<Vec<u8>> = full[..8].to_vec();
+                new_full.extend(new_parity);
+                let subset: Vec<usize> = (1..8).chain([lost]).collect();
+                let avail: Vec<(usize, &[u8])> =
+                    subset.iter().map(|&i| (i, new_full[i].as_slice())).collect();
+                assert_eq!(new_rs.decode_block(0, &avail).unwrap(), new_full[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_repair_rejects_data_targets() {
+        let (rs, _) = setup(6, 4);
+        assert!(matches!(
+            functional_repair_row(&rs, 2, 1),
+            Err(CodeError::IndexOutOfRange { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn functional_repair_deterministic_in_seed() {
+        let (rs, _) = setup(9, 6);
+        let (_, row_a) = functional_repair_row(&rs, 6, 7).unwrap();
+        let (_, row_b) = functional_repair_row(&rs, 6, 7).unwrap();
+        assert_eq!(row_a, row_b);
+        let (_, row_c) = functional_repair_row(&rs, 6, 8).unwrap();
+        assert_ne!(row_a, row_c);
+    }
+
+    #[test]
+    fn hybrid_repair_mixed_loss() {
+        let (rs, full) = setup(9, 6);
+        // Lose one data and one parity node.
+        let lost = [2usize, 7];
+        let survivors: Vec<(usize, &[u8])> = (0..9)
+            .filter(|i| !lost.contains(i))
+            .map(|i| (i, full[i].as_slice()))
+            .collect();
+        let (new_rs, rebuilt, rows) = hybrid_repair(&rs, &lost, &survivors, 99).unwrap();
+        // Data target: exact.
+        assert_eq!(rebuilt[0], full[2]);
+        assert!(rows[0].is_none());
+        // Parity target: functional (fresh row, consistent with data).
+        assert!(rows[1].is_some());
+        let data_refs: Vec<&[u8]> = full[..6].iter().map(|d| d.as_slice()).collect();
+        let reencoded = new_rs.encode(&data_refs);
+        assert_eq!(rebuilt[1], reencoded[1], "parity 7 = row · data");
+        // The post-repair stripe is still any-k-of-n decodable.
+        let mut new_full = full.clone();
+        new_full[2] = rebuilt[0].clone();
+        new_full[7] = rebuilt[1].clone();
+        let avail: Vec<(usize, &[u8])> = [2usize, 3, 6, 7, 8, 5]
+            .iter()
+            .map(|&i| (i, new_full[i].as_slice()))
+            .collect();
+        for target in 0..6 {
+            assert_eq!(new_rs.decode_block(target, &avail).unwrap(), new_full[target]);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn exact_repair_any_target_any_live_set(
+                k in 1usize..6,
+                extra in 1usize..5,
+                target_raw in any::<usize>(),
+                drop_extra in any::<usize>(),
+            ) {
+                let n = k + extra;
+                let (rs, full) = setup(n, k);
+                let target = target_raw % n;
+                // Drop one more random node besides the target when the
+                // code tolerates it.
+                let mut live: Vec<usize> = (0..n).filter(|&i| i != target).collect();
+                if extra >= 2 && !live.is_empty() {
+                    live.remove(drop_extra % live.len());
+                }
+                let plan = plan_exact_repair(&rs, target, &live).unwrap();
+                let blocks: Vec<&[u8]> =
+                    plan.sources.iter().map(|&s| full[s].as_slice()).collect();
+                prop_assert_eq!(execute_exact_repair(&rs, &plan, &blocks).unwrap(), full[target].clone());
+            }
+
+            #[test]
+            fn functional_repair_always_mds(
+                k in 1usize..6,
+                extra in 1usize..5,
+                seed in any::<u64>(),
+                which in any::<usize>(),
+            ) {
+                let n = k + extra;
+                let (rs, _) = setup(n, k);
+                let lost = k + which % extra;
+                let (new_rs, row) = functional_repair_row(&rs, lost, seed).unwrap();
+                prop_assert_eq!(row.len(), k);
+                prop_assert!(row.iter().all(|c| !c.is_zero()));
+                // Structural MDS check on the replacement generator.
+                let mut g = tq_gf256::Matrix::zero(n, k);
+                for r in 0..n {
+                    for c in 0..k {
+                        g[(r, c)] = new_rs.generator_row(r)[c];
+                    }
+                }
+                prop_assert!(g.is_mds_generator());
+            }
+        }
+    }
+}

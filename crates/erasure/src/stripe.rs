@@ -1,0 +1,341 @@
+//! An owned stripe: k data blocks + (n−k) parity blocks kept consistent.
+//!
+//! `Stripe` is the in-memory model of what the n storage nodes of one
+//! stripe collectively hold. It maintains the eq. 1 invariant
+//! (`parity = G_parity · data`) under both full writes and delta updates,
+//! and tracks a per-data-block version counter — the quantity the
+//! trapezoid protocol's version matrix V distributes across nodes.
+
+use tq_gf256::slice_ops;
+
+use crate::code::ReedSolomon;
+use crate::delta;
+use crate::CodeError;
+
+/// A consistent (data, parity) pair with per-block versions.
+#[derive(Debug, Clone)]
+pub struct Stripe {
+    rs: ReedSolomon,
+    block_len: usize,
+    data: Vec<Vec<u8>>,
+    parity: Vec<Vec<u8>>,
+    /// Version of each data block; bumped on every update. Starts at 0
+    /// for freshly encoded content (the paper's algorithms compare these
+    /// integers to find "the latest version").
+    versions: Vec<u64>,
+}
+
+impl Stripe {
+    /// Encodes `k` data blocks into a fresh stripe at version 0.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != k` or block lengths disagree (programmer
+    /// error, mirrors [`ReedSolomon::encode`]).
+    pub fn new(rs: ReedSolomon, data: Vec<Vec<u8>>) -> Self {
+        let k = rs.params().k();
+        assert_eq!(data.len(), k, "stripe needs exactly {k} data blocks");
+        let block_len = data[0].len();
+        assert!(
+            data.iter().all(|d| d.len() == block_len),
+            "stripe blocks must share one length"
+        );
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs);
+        Stripe {
+            block_len,
+            versions: vec![0; k],
+            rs,
+            data,
+            parity,
+        }
+    }
+
+    /// Creates an all-zero stripe (parity of zeros is zeros).
+    pub fn zeroed(rs: ReedSolomon, block_len: usize) -> Self {
+        let k = rs.params().k();
+        Stripe::new(rs, vec![vec![0u8; block_len]; k])
+    }
+
+    /// The codec this stripe is encoded under.
+    pub fn codec(&self) -> &ReedSolomon {
+        &self.rs
+    }
+
+    /// Block length in bytes.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Borrow data block `i`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ k`.
+    pub fn data_block(&self, i: usize) -> &[u8] {
+        &self.data[i]
+    }
+
+    /// Borrow parity block with stripe index `j ∈ k..n`.
+    ///
+    /// # Panics
+    /// Panics if `j` is not a parity index.
+    pub fn parity_block(&self, j: usize) -> &[u8] {
+        let k = self.rs.params().k();
+        assert!(
+            self.rs.params().is_parity_index(j),
+            "{j} is not a parity index"
+        );
+        &self.parity[j - k]
+    }
+
+    /// Borrow any block by stripe index.
+    pub fn block(&self, idx: usize) -> &[u8] {
+        if self.rs.params().is_data_index(idx) {
+            self.data_block(idx)
+        } else {
+            self.parity_block(idx)
+        }
+    }
+
+    /// Current version of data block `i`.
+    pub fn version(&self, i: usize) -> u64 {
+        self.versions[i]
+    }
+
+    /// Updates data block `i` via the delta path (what Algorithm 1 does
+    /// across nodes), bumping its version. Returns the new version.
+    ///
+    /// # Errors
+    /// [`CodeError::ShardSizeMismatch`] if `new.len() != block_len`;
+    /// [`CodeError::IndexOutOfRange`] if `i` is not a data index.
+    pub fn update_block(&mut self, i: usize, new: &[u8]) -> Result<u64, CodeError> {
+        if !self.rs.params().is_data_index(i) {
+            return Err(CodeError::IndexOutOfRange {
+                index: i,
+                n: self.rs.params().k(),
+            });
+        }
+        if new.len() != self.block_len {
+            return Err(CodeError::ShardSizeMismatch);
+        }
+        let deltas = delta::parity_deltas(&self.rs, i, &self.data[i], new)?;
+        let k = self.rs.params().k();
+        for d in &deltas {
+            d.apply(&mut self.parity[d.index - k]);
+        }
+        self.data[i].copy_from_slice(new);
+        self.versions[i] += 1;
+        Ok(self.versions[i])
+    }
+
+    /// Checks the eq. 1 invariant by re-encoding (test/diagnostic path).
+    pub fn is_consistent(&self) -> bool {
+        let refs: Vec<&[u8]> = self.data.iter().map(|d| d.as_slice()).collect();
+        let expect = self.rs.encode(&refs);
+        expect == self.parity
+    }
+
+    /// Simulates losing `lost` stripe indices and reconstructing them from
+    /// the survivors; returns the reconstructed blocks in `lost` order.
+    /// The stripe itself is untouched — this is the repair *computation*,
+    /// used by recovery workflows and tests.
+    ///
+    /// # Errors
+    /// Propagates [`CodeError::TooFewShards`] when more than n−k indices
+    /// are lost.
+    pub fn reconstruct_lost(&self, lost: &[usize]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let n = self.rs.params().n();
+        for &idx in lost {
+            if idx >= n {
+                return Err(CodeError::IndexOutOfRange { index: idx, n });
+            }
+        }
+        let available: Vec<(usize, &[u8])> = (0..n)
+            .filter(|i| !lost.contains(i))
+            .map(|i| (i, self.block(i)))
+            .collect();
+        lost.iter()
+            .map(|&idx| self.rs.decode_block(idx, &available))
+            .collect()
+    }
+
+    /// XOR-folds a raw parity delta into parity block `j` *without* going
+    /// through the data path — models a parity node applying `add(buf)`
+    /// independently. Breaks the invariant unless the matching data write
+    /// is applied too; exposed for protocol-level tests that need to build
+    /// partially-updated states.
+    ///
+    /// # Panics
+    /// Panics if `j` is not a parity index or lengths mismatch.
+    pub fn apply_raw_parity_delta(&mut self, j: usize, buf: &[u8]) {
+        let k = self.rs.params().k();
+        assert!(
+            self.rs.params().is_parity_index(j),
+            "{j} is not a parity index"
+        );
+        slice_ops::add_assign(&mut self.parity[j - k], buf);
+    }
+
+    /// Overwrites data block `i` *without* touching parity (models a data
+    /// node applying `write(x)` in isolation). Protocol-level helper; see
+    /// [`Stripe::apply_raw_parity_delta`].
+    ///
+    /// # Panics
+    /// Panics if `i` is not a data index or lengths mismatch.
+    pub fn overwrite_data_unchecked(&mut self, i: usize, new: &[u8]) {
+        assert!(self.rs.params().is_data_index(i), "{i} is not a data index");
+        assert_eq!(new.len(), self.block_len, "block length mismatch");
+        self.data[i].copy_from_slice(new);
+        self.versions[i] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CodeParams;
+    use crate::ReedSolomon;
+
+    fn stripe(n: usize, k: usize) -> Stripe {
+        let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap());
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..24).map(|b| (i * 31 + b * 3) as u8).collect())
+            .collect();
+        Stripe::new(rs, data)
+    }
+
+    #[test]
+    fn fresh_stripe_is_consistent() {
+        let s = stripe(9, 6);
+        assert!(s.is_consistent());
+        assert_eq!(s.block_len(), 24);
+        for i in 0..6 {
+            assert_eq!(s.version(i), 0);
+        }
+    }
+
+    #[test]
+    fn zeroed_stripe() {
+        let rs = ReedSolomon::new(CodeParams::new(5, 3).unwrap());
+        let s = Stripe::zeroed(rs, 16);
+        assert!(s.is_consistent());
+        for idx in 0..5 {
+            assert!(s.block(idx).iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn update_preserves_invariant_and_bumps_version() {
+        let mut s = stripe(6, 4);
+        let new = vec![0xABu8; 24];
+        let v = s.update_block(2, &new).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(s.version(2), 1);
+        assert_eq!(s.version(0), 0);
+        assert_eq!(s.data_block(2), new.as_slice());
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn many_updates_stay_consistent() {
+        let mut s = stripe(8, 5);
+        for round in 0u8..20 {
+            let i = (round as usize * 3) % 5;
+            let new: Vec<u8> = (0..24).map(|b| round.wrapping_mul(b as u8).wrapping_add(1)).collect();
+            s.update_block(i, &new).unwrap();
+            assert!(s.is_consistent(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn update_errors() {
+        let mut s = stripe(5, 3);
+        assert!(matches!(
+            s.update_block(3, &vec![0; 24]),
+            Err(CodeError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.update_block(0, &vec![0; 10]),
+            Err(CodeError::ShardSizeMismatch)
+        ));
+    }
+
+    #[test]
+    fn reconstruct_lost_round_trip() {
+        let s = stripe(9, 6);
+        let lost = vec![1usize, 7, 8];
+        let rebuilt = s.reconstruct_lost(&lost).unwrap();
+        for (b, &idx) in rebuilt.iter().zip(&lost) {
+            assert_eq!(b.as_slice(), s.block(idx), "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_too_many_lost_fails() {
+        let s = stripe(5, 3);
+        assert!(s.reconstruct_lost(&[0, 1, 2]).is_err()); // 3 > n-k = 2
+    }
+
+    #[test]
+    fn raw_ops_model_partial_writes() {
+        let mut s = stripe(6, 4);
+        let orig_parity: Vec<u8> = s.parity_block(4).to_vec();
+        // Apply only the parity half of an update: invariant breaks.
+        let new = vec![0x5Au8; 24];
+        let deltas = crate::delta::parity_deltas(s.codec(), 0, s.data_block(0), &new).unwrap();
+        s.apply_raw_parity_delta(4, &deltas[0].delta);
+        assert!(!s.is_consistent());
+        // Apply the data half plus the remaining parity: consistent again.
+        s.overwrite_data_unchecked(0, &new);
+        s.apply_raw_parity_delta(5, &deltas[1].delta);
+        assert!(s.is_consistent());
+        assert_ne!(orig_parity, s.parity_block(4));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn random_update_sequences_preserve_invariant(
+                k in 1usize..5,
+                extra in 1usize..4,
+                ops in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..12),
+            ) {
+                let n = k + extra;
+                let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap());
+                let mut s = Stripe::zeroed(rs, 16);
+                for (raw_i, seed) in ops {
+                    let i = raw_i % k;
+                    let block: Vec<u8> = (0..16).map(|b| seed.wrapping_add(b as u8)).collect();
+                    s.update_block(i, &block).unwrap();
+                    prop_assert!(s.is_consistent());
+                }
+            }
+
+            #[test]
+            fn any_recoverable_loss_recovers(
+                k in 1usize..5,
+                extra in 1usize..4,
+                loss_mask in any::<u16>(),
+            ) {
+                let n = k + extra;
+                let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap());
+                let data: Vec<Vec<u8>> = (0..k)
+                    .map(|i| (0..8).map(|b| (i + b * 5) as u8).collect())
+                    .collect();
+                let s = Stripe::new(rs, data);
+                let lost: Vec<usize> = (0..n).filter(|i| loss_mask & (1 << i) != 0).collect();
+                let result = s.reconstruct_lost(&lost);
+                if lost.len() <= n - k {
+                    let rebuilt = result.unwrap();
+                    for (b, &idx) in rebuilt.iter().zip(&lost) {
+                        prop_assert_eq!(b.as_slice(), s.block(idx));
+                    }
+                } else {
+                    prop_assert!(result.is_err());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # tq-gf256 — GF(2⁸) arithmetic for erasure-resilient coding
+//!
+//! This crate is the arithmetic substrate of the TRAP-ERC reproduction.
+//! The paper (Relaza et al., IPDPSW 2015, eq. 1) defines redundant blocks as
+//!
+//! ```text
+//! b_j = Σ_{i=1..k} α_{j,i} · b_i        (arithmetic over GF(2^h))
+//! ```
+//!
+//! and its write algorithm applies *in-place delta updates*
+//! `b_j ← b_j + α_{j,i}·(x − c)` exploiting the commutativity of Galois-field
+//! operations. Everything here exists to make those two lines fast and
+//! correct:
+//!
+//! * [`Gf256`] — a field element with full operator overloading. Addition is
+//!   XOR (characteristic 2, so subtraction ≡ addition), multiplication uses
+//!   compile-time exp/log tables over the AES-adjacent polynomial `0x11D`.
+//! * [`slice_ops`] — bulk kernels (`mul_slice`, `mul_add_slice`, …) used on
+//!   whole storage blocks; these are the hot path of encode and delta-update.
+//! * [`matrix`] — dense matrices over GF(2⁸) with Gauss–Jordan inversion and
+//!   Vandermonde / Cauchy constructors, from which the systematic MDS
+//!   generator of `tq-erasure` is derived.
+//! * [`poly`] — polynomials over GF(2⁸) (evaluation, interpolation); used by
+//!   tests to cross-check the matrix-based codec against Lagrange
+//!   interpolation.
+//!
+//! The field is fixed to `h = 8` (GF(256)): the paper itself notes GF(2^h)
+//! "usually" in byte-sized fields, and byte granularity is what storage
+//! blocks want.
+//!
+//! ## Example
+//!
+//! ```
+//! use tq_gf256::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! assert_eq!(a * b / b, a);          // multiplicative group
+//! assert_eq!(a + b, b + a);          // commutative
+//! assert_eq!(a + a, Gf256::ZERO);    // characteristic 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod matrix;
+pub mod poly;
+pub mod slice_ops;
+pub mod tables;
+
+pub use field::Gf256;
+pub use matrix::Matrix;
+pub use poly::Poly;

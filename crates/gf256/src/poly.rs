@@ -1,0 +1,338 @@
+//! Polynomials over GF(2⁸).
+//!
+//! A systematic Reed–Solomon codeword is, equivalently, the evaluation of
+//! the degree-(k−1) polynomial interpolating the data blocks. This module
+//! supplies that second viewpoint — Horner evaluation and Lagrange
+//! interpolation — which the `tq-erasure` test-suite uses to cross-check
+//! the matrix codec against an independent construction.
+
+use core::fmt;
+
+use crate::field::Gf256;
+
+/// A polynomial over GF(2⁸), stored as coefficients in ascending degree
+/// order (`coeffs[i]` multiplies `x^i`). The zero polynomial is an empty
+/// coefficient vector.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// Builds a polynomial from ascending-degree coefficients, trimming
+    /// trailing zeros.
+    pub fn new(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf256) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// The monomial `c·x^deg`.
+    pub fn monomial(c: Gf256, deg: usize) -> Self {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; deg + 1];
+        coeffs[deg] = c;
+        Poly { coeffs }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient of `x^i` (zero beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+    }
+
+    /// Borrow the coefficient slice (ascending degree, trailing zeros
+    /// trimmed).
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Polynomial addition (= subtraction in characteristic 2).
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Poly::new((0..n).map(|i| self.coeff(i) + rhs.coeff(i)).collect())
+    }
+
+    /// Polynomial multiplication (schoolbook; degrees here are ≤ k ≤ 255).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: Gf256) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        let dd = divisor.degree().expect("non-zero divisor");
+        let lead_inv = divisor.coeffs[dd].inv();
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Gf256::ZERO; self.coeffs.len().saturating_sub(dd)];
+        while rem.len() > dd {
+            let pos = rem.len() - 1;
+            let factor = rem[pos] * lead_inv;
+            if !factor.is_zero() {
+                let shift = pos - dd;
+                quot[shift] = factor;
+                for (i, &dc) in divisor.coeffs.iter().enumerate() {
+                    rem[shift + i] += factor * dc;
+                }
+            }
+            rem.pop();
+            while rem.last().is_some_and(|c| c.is_zero()) && rem.len() > dd {
+                rem.pop();
+            }
+        }
+        (Poly::new(quot), Poly::new(rem))
+    }
+
+    /// Lagrange interpolation through `(x_i, y_i)` pairs with distinct
+    /// `x_i`. Returns the unique polynomial of degree < `points.len()`.
+    ///
+    /// # Panics
+    /// Panics if two evaluation points coincide.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Poly {
+        let mut acc = Poly::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            if yi.is_zero() {
+                continue;
+            }
+            // basis_i(x) = Π_{j≠i} (x - x_j) / (x_i - x_j)
+            let mut basis = Poly::constant(Gf256::ONE);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert!(xi != xj, "interpolation points must be distinct");
+                basis = basis.mul(&Poly::new(vec![xj, Gf256::ONE])); // (x + x_j) == (x - x_j)
+                denom *= xi + xj; // == xi - xj
+            }
+            acc = acc.add(&basis.scale(yi * denom.inv()));
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}·x")?,
+                _ => write!(f, "{c}·x^{i}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(bytes: &[u8]) -> Poly {
+        Poly::new(bytes.iter().map(|&b| Gf256(b)).collect())
+    }
+
+    #[test]
+    fn zero_polynomial_basics() {
+        let z = Poly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Gf256(42)), Gf256::ZERO);
+    }
+
+    #[test]
+    fn trimming_trailing_zeros() {
+        let p = poly(&[1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs().len(), 2);
+    }
+
+    #[test]
+    fn eval_constant_and_linear() {
+        assert_eq!(Poly::constant(Gf256(9)).eval(Gf256(100)), Gf256(9));
+        // p(x) = 3 + 2x at x = 4: 3 + 2*4
+        let p = poly(&[3, 2]);
+        assert_eq!(p.eval(Gf256(4)), Gf256(3) + Gf256(2) * Gf256(4));
+    }
+
+    #[test]
+    fn addition_cancels_in_char_2() {
+        let p = poly(&[5, 6, 7]);
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn monomial_construction() {
+        let m = Poly::monomial(Gf256(3), 4);
+        assert_eq!(m.degree(), Some(4));
+        assert_eq!(m.coeff(4), Gf256(3));
+        assert!(Poly::monomial(Gf256::ZERO, 9).is_zero());
+    }
+
+    #[test]
+    fn mul_degree_adds() {
+        let p = poly(&[1, 1]); // 1 + x
+        let q = poly(&[1, 0, 1]); // 1 + x^2
+        let r = p.mul(&q);
+        assert_eq!(r.degree(), Some(3));
+        // (1+x)(1+x^2) = 1 + x + x^2 + x^3 over GF(2) scalars
+        assert_eq!(r, poly(&[1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let num = poly(&[7, 3, 0, 1, 9]);
+        let den = poly(&[2, 1, 5]);
+        let (q, r) = num.div_rem(&den);
+        let back = q.mul(&den).add(&r);
+        assert_eq!(back, num);
+        assert!(r.degree().map_or(true, |d| d < den.degree().unwrap()));
+    }
+
+    #[test]
+    fn interpolate_recovers_polynomial() {
+        let p = poly(&[13, 7, 200, 3]);
+        let points: Vec<(Gf256, Gf256)> = (0..6)
+            .map(|i| {
+                let x = Gf256::alpha_pow(i);
+                (x, p.eval(x))
+            })
+            .collect();
+        // Any 4 points determine the degree-3 polynomial.
+        let q = Poly::interpolate(&points[..4]);
+        assert_eq!(q, p);
+        let q2 = Poly::interpolate(&points[2..6]);
+        assert_eq!(q2, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn interpolate_duplicate_points_panics() {
+        let pts = [(Gf256(1), Gf256(2)), (Gf256(1), Gf256(3))];
+        let _ = Poly::interpolate(&pts);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn poly_strategy(max_deg: usize) -> impl Strategy<Value = Poly> {
+            proptest::collection::vec(any::<u8>(), 0..=max_deg + 1)
+                .prop_map(|v| Poly::new(v.into_iter().map(Gf256).collect()))
+        }
+
+        proptest! {
+            #[test]
+            fn mul_commutative(p in poly_strategy(6), q in poly_strategy(6)) {
+                prop_assert_eq!(p.mul(&q), q.mul(&p));
+            }
+
+            #[test]
+            fn mul_distributes(p in poly_strategy(5), q in poly_strategy(5), r in poly_strategy(5)) {
+                prop_assert_eq!(
+                    p.mul(&q.add(&r)),
+                    p.mul(&q).add(&p.mul(&r))
+                );
+            }
+
+            #[test]
+            fn eval_is_ring_hom(p in poly_strategy(5), q in poly_strategy(5), x in any::<u8>()) {
+                let x = Gf256(x);
+                prop_assert_eq!(p.add(&q).eval(x), p.eval(x) + q.eval(x));
+                prop_assert_eq!(p.mul(&q).eval(x), p.eval(x) * q.eval(x));
+            }
+
+            #[test]
+            fn div_rem_invariant(p in poly_strategy(8), q in poly_strategy(4)) {
+                prop_assume!(!q.is_zero());
+                let (quot, rem) = p.div_rem(&q);
+                prop_assert_eq!(quot.mul(&q).add(&rem), p);
+                if let Some(rd) = rem.degree() {
+                    prop_assert!(rd < q.degree().unwrap() || q.degree().unwrap() == 0);
+                }
+            }
+
+            #[test]
+            fn interpolation_matches_evaluation(
+                coeffs in proptest::collection::vec(any::<u8>(), 1..6),
+            ) {
+                let p = Poly::new(coeffs.into_iter().map(Gf256).collect());
+                let deg = p.degree().map_or(0, |d| d + 1).max(1);
+                let points: Vec<(Gf256, Gf256)> = (0..deg as u32)
+                    .map(|i| {
+                        let x = Gf256::alpha_pow(i);
+                        (x, p.eval(x))
+                    })
+                    .collect();
+                prop_assert_eq!(Poly::interpolate(&points), p);
+            }
+        }
+    }
+}

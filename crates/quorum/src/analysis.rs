@@ -1,0 +1,194 @@
+//! Sweep utilities producing the data series behind the paper's figures.
+//!
+//! Every figure in §IV-D is a family of curves `availability = f(p)` (or
+//! `space = f(k)` for Fig. 5). [`Series`] is one labelled curve;
+//! [`Series::sweep_p`] evaluates a closed form over a `p` grid; the comparison
+//! helpers quantify the qualitative claims the paper makes about the
+//! curves ("no difference when p ≥ 0.8", crossovers, monotonicity).
+
+/// One labelled curve of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"TRAP-ERC n=15 k=8 w=2"`.
+    pub label: String,
+    /// Sample points in ascending `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series by sweeping `f` over `steps + 1` evenly spaced
+    /// points of `[0, 1]` (the node-availability axis of Figs. 2–4).
+    pub fn sweep_p(label: impl Into<String>, steps: usize, mut f: impl FnMut(f64) -> f64) -> Series {
+        assert!(steps >= 1, "need at least one interval");
+        let points = (0..=steps)
+            .map(|i| {
+                let p = i as f64 / steps as f64;
+                (p, f(p))
+            })
+            .collect();
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Builds a series over explicit integer x values (the k axis of
+    /// Fig. 5).
+    pub fn over_ints(
+        label: impl Into<String>,
+        xs: impl IntoIterator<Item = usize>,
+        mut f: impl FnMut(usize) -> f64,
+    ) -> Series {
+        Series {
+            label: label.into(),
+            points: xs.into_iter().map(|x| (x as f64, f(x))).collect(),
+        }
+    }
+
+    /// Linear interpolation of `y` at `x` (clamped to the sampled range).
+    pub fn at(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        assert!(!pts.is_empty(), "empty series");
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let i = pts.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = pts[i - 1];
+        let (x1, y1) = pts[i];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Largest vertical gap `self − other` over the common x grid
+    /// (requires identical grids; returns `(x, gap)` at the maximum).
+    pub fn max_gap(&self, other: &Series) -> (f64, f64) {
+        assert_eq!(
+            self.points.len(),
+            other.points.len(),
+            "series must share one grid"
+        );
+        self.points
+            .iter()
+            .zip(&other.points)
+            .map(|(&(x, y1), &(_, y2))| (x, y1 - y2))
+            .fold((0.0, f64::NEG_INFINITY), |acc, (x, gap)| {
+                if gap > acc.1 {
+                    (x, gap)
+                } else {
+                    acc
+                }
+            })
+    }
+
+    /// Smallest `x` from which `|self − other| ≤ tol` holds for the rest
+    /// of the grid — the "curves merge at p ≈ …" statements of §IV-D.
+    pub fn merge_point(&self, other: &Series, tol: f64) -> Option<f64> {
+        assert_eq!(self.points.len(), other.points.len());
+        let n = self.points.len();
+        let mut merge_from = None;
+        for i in (0..n).rev() {
+            let (x, y1) = self.points[i];
+            let y2 = other.points[i].1;
+            if (y1 - y2).abs() <= tol {
+                merge_from = Some(x);
+            } else {
+                break;
+            }
+        }
+        merge_from
+    }
+
+    /// Renders the series as CSV lines `x,y`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 16);
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x:.6},{y:.6}\n"));
+        }
+        out
+    }
+}
+
+/// Renders several series as a markdown table with one `x` column (series
+/// must share a grid) — the textual stand-in for the paper's plots.
+pub fn markdown_table(x_label: &str, series: &[&Series]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].points.len();
+    assert!(
+        series.iter().all(|s| s.points.len() == n),
+        "series must share one grid"
+    );
+    let mut out = String::new();
+    out.push_str(&format!("| {x_label} |"));
+    for s in series {
+        out.push_str(&format!(" {} |", s.label));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(&format!("| {:.2} |", series[0].points[i].0));
+        for s in series {
+            out.push_str(&format!(" {:.4} |", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_p_grid() {
+        let s = Series::sweep_p("id", 4, |p| p);
+        assert_eq!(s.points.len(), 5);
+        assert_eq!(s.points[0], (0.0, 0.0));
+        assert_eq!(s.points[4], (1.0, 1.0));
+        assert_eq!(s.points[2], (0.5, 0.5));
+    }
+
+    #[test]
+    fn over_ints_grid() {
+        let s = Series::over_ints("k", 1..=3, |k| k as f64 * 2.0);
+        assert_eq!(s.points, vec![(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = Series::sweep_p("lin", 2, |p| 2.0 * p);
+        assert!((s.at(0.25) - 0.5).abs() < 1e-12);
+        assert_eq!(s.at(-1.0), 0.0);
+        assert_eq!(s.at(2.0), 2.0);
+    }
+
+    #[test]
+    fn max_gap_and_merge() {
+        let a = Series::sweep_p("a", 10, |p| p);
+        let b = Series::sweep_p("b", 10, |p| if p < 0.5 { p / 2.0 } else { p });
+        let (x, gap) = a.max_gap(&b);
+        assert!((gap - 0.2).abs() < 1e-12, "gap {gap}");
+        assert!((x - 0.4).abs() < 1e-12, "x {x}");
+        let merge = a.merge_point(&b, 1e-9).unwrap();
+        assert!((merge - 0.5).abs() < 1e-12);
+        // Curves that never merge.
+        let c = Series::sweep_p("c", 10, |p| p + 1.0);
+        assert_eq!(a.merge_point(&c, 0.5), None);
+    }
+
+    #[test]
+    fn csv_and_markdown() {
+        let a = Series::sweep_p("A", 2, |p| p);
+        let b = Series::sweep_p("B", 2, |p| 1.0 - p);
+        let csv = a.to_csv();
+        assert!(csv.starts_with("0.000000,0.000000\n"));
+        let md = markdown_table("p", &[&a, &b]);
+        assert!(md.contains("| p | A | B |"));
+        assert!(md.lines().count() == 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Exact availability by exhaustive state enumeration.
+//!
+//! For `N ≤ MAX_EXACT_NODES` nodes the Bernoulli state space has `2^N`
+//! configurations; summing `p^|up|·(1−p)^(N−|up|)` over every configuration
+//! satisfying a predicate gives the *exact* availability of that predicate
+//! — the strongest possible check of the paper's closed forms, and the
+//! reference the Monte-Carlo engine in `tq-sim` is itself validated
+//! against.
+
+use crate::nodeset::NodeSet;
+use crate::system::QuorumSystem;
+
+/// Largest node count accepted by [`exact_availability`] (2^24 ≈ 16M
+/// predicate evaluations — fractions of a second for bitmask predicates).
+pub const MAX_EXACT_NODES: usize = 24;
+
+/// Exact probability that `predicate(up)` holds when each of `n` nodes is
+/// independently live with probability `p`.
+///
+/// # Panics
+/// Panics if `n > MAX_EXACT_NODES` (use Monte-Carlo above that) or `p`
+/// is outside `[0, 1]`.
+pub fn exact_availability(n: usize, p: f64, predicate: impl Fn(NodeSet) -> bool) -> f64 {
+    assert!(
+        n <= MAX_EXACT_NODES,
+        "exact enumeration limited to {MAX_EXACT_NODES} nodes, got {n}"
+    );
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    let q = 1.0 - p;
+    // Precompute p^i q^(n-i) per population count: the weight of a state
+    // depends only on how many nodes are live.
+    let weights: Vec<f64> = (0..=n)
+        .map(|i| p.powi(i as i32) * q.powi((n - i) as i32))
+        .collect();
+    let mut total = 0.0;
+    for bits in 0u64..(1u64 << n) {
+        let up = NodeSet::from_bits(bits as u128);
+        if predicate(up) {
+            total += weights[up.len()];
+        }
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// Exact write availability of a [`QuorumSystem`].
+///
+/// # Panics
+/// See [`exact_availability`].
+pub fn exact_write_availability(system: &impl QuorumSystem, p: f64) -> f64 {
+    exact_availability(system.node_count(), p, |up| system.is_write_available(up))
+}
+
+/// Exact read availability of a [`QuorumSystem`].
+///
+/// # Panics
+/// See [`exact_availability`].
+pub fn exact_read_availability(system: &impl QuorumSystem, p: f64) -> f64 {
+    exact_availability(system.node_count(), p, |up| system.is_read_available(up))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_predicates() {
+        for &p in &[0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(exact_availability(8, p, |_| true), 1.0);
+            assert_eq!(exact_availability(8, p, |_| false), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_node_predicate() {
+        // P(node 0 live) = p.
+        for &p in &[0.0, 0.3, 0.7, 1.0] {
+            let v = exact_availability(5, p, |up| up.contains(0));
+            assert!((v - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conjunction_of_independent_nodes() {
+        // P(nodes 0 and 1 both live) = p².
+        let p = 0.6;
+        let v = exact_availability(6, p, |up| up.contains(0) && up.contains(1));
+        assert!((v - p * p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popcount_threshold_matches_phi() {
+        use crate::availability::phi;
+        for n in [4usize, 7, 10] {
+            for t in 0..=n {
+                for &p in &[0.2, 0.5, 0.9] {
+                    let v = exact_availability(n, p, |up| up.len() >= t);
+                    assert!((v - phi(n, t, n, p)).abs() < 1e-10, "n={n} t={t} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_nodes_degenerate() {
+        assert_eq!(exact_availability(0, 0.5, |up| up.is_empty()), 1.0);
+        assert_eq!(exact_availability(0, 0.5, |up| !up.is_empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn too_many_nodes_panics() {
+        let _ = exact_availability(25, 0.5, |_| true);
+    }
+
+    #[test]
+    fn system_helpers() {
+        use crate::majority::MajorityQuorum;
+        let m = MajorityQuorum::new(5);
+        let w = exact_write_availability(&m, 0.5);
+        let r = exact_read_availability(&m, 0.5);
+        assert!((w - r).abs() < 1e-15, "majority read == write");
+        // Φ_5(3,5) at 0.5 = (10 + 5 + 1)/32 = 0.5.
+        assert!((w - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! The grid protocol (Cheung, Ammar & Ahamad 1990) — reference \[4\].
+//!
+//! Replicas are arranged in an `rows × cols` logical grid (row-major
+//! node indexing: node `r·cols + c` sits at row `r`, column `c`).
+//!
+//! * A **read quorum** is one node from *every column* (a "c-cover").
+//! * A **write quorum** is one full column plus one node from every other
+//!   column.
+//!
+//! Any write's full column intersects any read's column cover, and two
+//! writes intersect because each write's cover hits the other's full
+//! column. Availability has a clean closed form because column states are
+//! independent — see [`crate::availability::grid_read_availability`].
+
+use crate::nodeset::NodeSet;
+use crate::system::QuorumSystem;
+
+/// Grid quorum over `rows × cols` replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridQuorum {
+    rows: usize,
+    cols: usize,
+}
+
+impl GridQuorum {
+    /// Builds a grid of `rows × cols` nodes.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or the grid exceeds the
+    /// [`NodeSet`] capacity.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "grid dimensions must be non-zero");
+        assert!(
+            rows * cols <= crate::nodeset::MAX_NODES,
+            "grid limited to {} nodes",
+            crate::nodeset::MAX_NODES
+        );
+        GridQuorum { rows, cols }
+    }
+
+    /// Grid height.
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width.
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Node index at `(row, col)`.
+    pub const fn node_at(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// Count of live nodes in column `c`.
+    fn live_in_column(&self, up: NodeSet, c: usize) -> usize {
+        (0..self.rows)
+            .filter(|&r| up.contains(self.node_at(r, c)))
+            .count()
+    }
+
+    /// `true` iff every column has at least one live node.
+    pub fn column_cover_available(&self, up: NodeSet) -> bool {
+        (0..self.cols).all(|c| self.live_in_column(up, c) >= 1)
+    }
+
+    /// `true` iff some column is fully live.
+    pub fn full_column_available(&self, up: NodeSet) -> bool {
+        (0..self.cols).any(|c| self.live_in_column(up, c) == self.rows)
+    }
+}
+
+impl QuorumSystem for GridQuorum {
+    fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// One full column plus a cover of the rest; the cover requirement
+    /// collapses to "every column live ≥ 1" given the full column.
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        self.full_column_available(up) && self.column_cover_available(up)
+    }
+
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        self.column_cover_available(up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_by_three_basics() {
+        let g = GridQuorum::new(3, 3);
+        assert_eq!(g.node_count(), 9);
+        assert!(g.is_write_available(NodeSet::full(9)));
+        assert!(g.is_read_available(NodeSet::full(9)));
+    }
+
+    #[test]
+    fn read_needs_column_cover() {
+        let g = GridQuorum::new(2, 3);
+        // One node in each column: nodes (0,0), (1,1), (0,2) = 0, 4, 2.
+        let up = NodeSet::from_indices([0, 4, 2]);
+        assert!(g.is_read_available(up));
+        // Kill column 1 entirely: read impossible.
+        let up = NodeSet::from_indices([0, 2, 3, 5]);
+        assert!(!g.is_read_available(up));
+    }
+
+    #[test]
+    fn write_needs_full_column() {
+        let g = GridQuorum::new(2, 3);
+        // Column 0 full (nodes 0, 3) + cover of columns 1, 2 (nodes 1, 2).
+        let up = NodeSet::from_indices([0, 3, 1, 2]);
+        assert!(g.is_write_available(up));
+        // Cover without any full column.
+        let up = NodeSet::from_indices([0, 1, 2]);
+        assert!(g.is_read_available(up));
+        assert!(!g.is_write_available(up));
+        // Full column but a dead column elsewhere.
+        let up = NodeSet::from_indices([0, 3, 1]);
+        assert!(!g.is_write_available(up));
+    }
+
+    #[test]
+    fn write_implies_read() {
+        // Structural: every write-available state is read-available.
+        let g = GridQuorum::new(2, 2);
+        for bits in 0u128..16 {
+            let up = NodeSet::from_bits(bits);
+            if g.is_write_available(up) {
+                assert!(g.is_read_available(up), "{up:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_intersections_exhaustive() {
+        // For a 2x2 grid enumerate all (read, write) pairs of minimal
+        // quorums and verify intersection structurally: any write's full
+        // column meets any read's cover.
+        // Minimal read quorums: one node per column.
+        let reads = [
+            NodeSet::from_indices([0, 1]),
+            NodeSet::from_indices([0, 3]),
+            NodeSet::from_indices([2, 1]),
+            NodeSet::from_indices([2, 3]),
+        ];
+        // Minimal write quorums: full column + one from the other.
+        let writes = [
+            NodeSet::from_indices([0, 2, 1]),
+            NodeSet::from_indices([0, 2, 3]),
+            NodeSet::from_indices([1, 3, 0]),
+            NodeSet::from_indices([1, 3, 2]),
+        ];
+        for r in &reads {
+            for w in &writes {
+                assert!(r.intersects(*w), "read {r:?} write {w:?}");
+            }
+        }
+        for w1 in &writes {
+            for w2 in &writes {
+                assert!(w1.intersects(*w2));
+            }
+        }
+    }
+}

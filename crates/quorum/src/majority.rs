@@ -1,0 +1,92 @@
+//! Majority quorum consensus (Thomas 1979) — reference \[13\] of the paper.
+//!
+//! Both reads and writes require a strict majority of the `n` replicas,
+//! which trivially guarantees every pair of quorums intersects. This is
+//! the simplest non-trivial quorum system and the natural baseline the
+//! trapezoid protocol improves on.
+
+use crate::nodeset::NodeSet;
+use crate::system::QuorumSystem;
+
+/// Majority quorum over `n` full replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityQuorum {
+    n: usize,
+}
+
+impl MajorityQuorum {
+    /// Builds a majority system over `n ≥ 1` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n` exceeds the [`NodeSet`] capacity.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "majority quorum needs at least one node");
+        assert!(
+            n <= crate::nodeset::MAX_NODES,
+            "majority quorum limited to {} nodes",
+            crate::nodeset::MAX_NODES
+        );
+        MajorityQuorum { n }
+    }
+
+    /// The quorum size: `⌊n/2⌋ + 1`.
+    pub const fn quorum_size(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+impl QuorumSystem for MajorityQuorum {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        up.count_in_range(0, self.n) >= self.quorum_size()
+    }
+
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        self.is_write_available(up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(MajorityQuorum::new(1).quorum_size(), 1);
+        assert_eq!(MajorityQuorum::new(4).quorum_size(), 3);
+        assert_eq!(MajorityQuorum::new(5).quorum_size(), 3);
+        assert_eq!(MajorityQuorum::new(15).quorum_size(), 8);
+    }
+
+    #[test]
+    fn availability_thresholds() {
+        let m = MajorityQuorum::new(5);
+        assert!(!m.is_write_available(NodeSet::from_indices([0, 1])));
+        assert!(m.is_write_available(NodeSet::from_indices([0, 1, 2])));
+        assert!(m.is_read_available(NodeSet::from_indices([2, 3, 4])));
+        assert!(!m.is_read_available(NodeSet::from_indices([3, 4])));
+    }
+
+    #[test]
+    fn any_two_majorities_intersect() {
+        // Exhaustive over n = 7: any two sets of size >= 4 intersect.
+        let m = MajorityQuorum::new(7);
+        let q = m.quorum_size();
+        for bits1 in 0u128..128 {
+            let s1 = NodeSet::from_bits(bits1);
+            if s1.len() < q {
+                continue;
+            }
+            for bits2 in 0u128..128 {
+                let s2 = NodeSet::from_bits(bits2);
+                if s2.len() < q {
+                    continue;
+                }
+                assert!(s1.intersects(s2));
+            }
+        }
+    }
+}

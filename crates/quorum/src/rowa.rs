@@ -1,0 +1,69 @@
+//! ROWA — Read One, Write All (§II of the paper).
+//!
+//! The most basic replication control: a write must reach *every* replica
+//! (so any single replica is current), a read touches any one. Maximal
+//! read availability, minimal write availability — the paper cites its
+//! "write penalty" and "lack of reliability of the write operations" as
+//! the motivation for quorum systems.
+
+use crate::nodeset::NodeSet;
+use crate::system::QuorumSystem;
+
+/// ROWA over `n` full replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rowa {
+    n: usize,
+}
+
+impl Rowa {
+    /// Builds a ROWA system over `n ≥ 1` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n` exceeds the [`NodeSet`] capacity.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "ROWA needs at least one node");
+        assert!(
+            n <= crate::nodeset::MAX_NODES,
+            "ROWA limited to {} nodes",
+            crate::nodeset::MAX_NODES
+        );
+        Rowa { n }
+    }
+}
+
+impl QuorumSystem for Rowa {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// All `n` replicas must accept the write.
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        up.count_in_range(0, self.n) == self.n
+    }
+
+    /// Any single live replica serves the read.
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        up.count_in_range(0, self.n) >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_needs_all() {
+        let r = Rowa::new(4);
+        assert!(r.is_write_available(NodeSet::full(4)));
+        let mut up = NodeSet::full(4);
+        up.remove(2);
+        assert!(!r.is_write_available(up));
+    }
+
+    #[test]
+    fn read_needs_one() {
+        let r = Rowa::new(4);
+        assert!(r.is_read_available(NodeSet::from_indices([3])));
+        assert!(!r.is_read_available(NodeSet::EMPTY));
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`QuorumSystem`] predicate trait.
+//!
+//! A quorum system here is characterised *extensionally*: given the set of
+//! currently-live nodes, can a read / write operation assemble the sets it
+//! needs? This is exactly the quantity the paper's availability formulas
+//! integrate over the Bernoulli node-state distribution, and phrasing it
+//! as a predicate lets one enumeration / sampling engine (see
+//! [`crate::exact`] and `tq-sim`) serve every protocol.
+
+use crate::nodeset::NodeSet;
+
+/// A read/write quorum system over nodes `0..node_count()`.
+pub trait QuorumSystem {
+    /// Size of the node universe.
+    fn node_count(&self) -> usize;
+
+    /// `true` iff a write operation can complete when exactly the nodes
+    /// in `up` are live.
+    fn is_write_available(&self, up: NodeSet) -> bool;
+
+    /// `true` iff a read operation can complete when exactly the nodes in
+    /// `up` are live.
+    fn is_read_available(&self, up: NodeSet) -> bool;
+
+    /// Convenience: both operations available.
+    fn is_fully_available(&self, up: NodeSet) -> bool {
+        self.is_write_available(up) && self.is_read_available(up)
+    }
+}
+
+/// Blanket impl so `&T` can be passed where a system is expected.
+impl<T: QuorumSystem + ?Sized> QuorumSystem for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        (**self).is_write_available(up)
+    }
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        (**self).is_read_available(up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always;
+    impl QuorumSystem for Always {
+        fn node_count(&self) -> usize {
+            3
+        }
+        fn is_write_available(&self, _up: NodeSet) -> bool {
+            true
+        }
+        fn is_read_available(&self, up: NodeSet) -> bool {
+            !up.is_empty()
+        }
+    }
+
+    #[test]
+    fn fully_available_combines_both() {
+        let s = Always;
+        assert!(!s.is_fully_available(NodeSet::EMPTY));
+        assert!(s.is_fully_available(NodeSet::full(1)));
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        fn takes_system(s: impl QuorumSystem) -> usize {
+            s.node_count()
+        }
+        let s = Always;
+        assert_eq!(takes_system(&s), 3);
+        assert_eq!(takes_system(s), 3);
+    }
+}

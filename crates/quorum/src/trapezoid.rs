@@ -1,0 +1,866 @@
+//! The trapezoid quorum geometry (§III-B of the paper).
+//!
+//! Nodes are arranged on a logical trapezoid of `h + 1` levels; level `l`
+//! holds `s_l = a·l + b` nodes (`a ≥ 0`, `b ≥ 1`). Figure 1 of the paper
+//! is `a = 2, b = 3, h = 2`: levels of 3, 5 and 7 nodes, 15 nodes total.
+//!
+//! * A **write quorum** takes `w_l` arbitrary nodes *from every level*,
+//!   with `w_0 = ⌊b/2⌋ + 1` (an absolute majority of level 0 — this alone
+//!   guarantees any two write quorums intersect) and `1 ≤ w_l ≤ s_l`
+//!   elsewhere.
+//! * A **read** checks versions on `r_l = s_l − w_l + 1` nodes of *some*
+//!   level; `r_l + w_l > s_l` forces read/write intersection per level.
+//!
+//! Two [`QuorumSystem`] views are provided:
+//!
+//! * [`TrapezoidQuorum`] — the classical full-replication protocol
+//!   (TRAP-FR): every trapezoid node holds a full copy.
+//! * [`TrapErcSystem`] — the paper's contribution (TRAP-ERC): the
+//!   trapezoid organises the `n − k + 1` nodes relevant to one data block
+//!   `b_i` (`N_i` at level 0 plus all parity nodes), while reads that find
+//!   `N_i` stale must decode from any `k` of the full stripe's `n` nodes.
+
+use core::fmt;
+
+use crate::nodeset::NodeSet;
+use crate::system::QuorumSystem;
+
+/// Errors from shape/threshold validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// `b` must be at least 1 so level 0 is non-empty.
+    EmptyBaseLevel,
+    /// The shape would exceed [`crate::nodeset::MAX_NODES`] nodes.
+    TooManyNodes {
+        /// Total node count requested.
+        count: usize,
+    },
+    /// A threshold `w_l` fell outside `1..=s_l`.
+    ThresholdOutOfRange {
+        /// Level of the offending threshold.
+        level: usize,
+        /// The threshold value.
+        w: usize,
+        /// The level size `s_l`.
+        s: usize,
+    },
+    /// `w_0` was below the absolute majority `⌊b/2⌋ + 1` required for
+    /// write–write intersection (eq. 3).
+    Level0NotMajority {
+        /// The requested `w_0`.
+        w0: usize,
+        /// The minimum legal value.
+        needed: usize,
+    },
+    /// Threshold vector length differs from `h + 1`.
+    WrongThresholdCount {
+        /// Provided length.
+        got: usize,
+        /// Expected `h + 1`.
+        expected: usize,
+    },
+    /// Trapezoid node count does not match the (n, k) stripe it should
+    /// organise (`node_count == n − k + 1`).
+    StripeMismatch {
+        /// The trapezoid's node count.
+        node_count: usize,
+        /// Expected `n − k + 1`.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::EmptyBaseLevel => write!(f, "b must be >= 1 (level 0 non-empty)"),
+            ShapeError::TooManyNodes { count } => {
+                write!(f, "trapezoid of {count} nodes exceeds the NodeSet limit")
+            }
+            ShapeError::ThresholdOutOfRange { level, w, s } => {
+                write!(f, "w_{level} = {w} outside 1..={s}")
+            }
+            ShapeError::Level0NotMajority { w0, needed } => {
+                write!(f, "w_0 = {w0} below level-0 majority {needed}")
+            }
+            ShapeError::WrongThresholdCount { got, expected } => {
+                write!(f, "expected {expected} thresholds, got {got}")
+            }
+            ShapeError::StripeMismatch {
+                node_count,
+                expected,
+            } => write!(
+                f,
+                "trapezoid has {node_count} nodes but the stripe needs n-k+1 = {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// The `(a, b, h)` parameters of a trapezoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrapezoidShape {
+    a: usize,
+    b: usize,
+    h: usize,
+}
+
+impl TrapezoidShape {
+    /// Validates and builds a shape.
+    ///
+    /// # Errors
+    /// [`ShapeError::EmptyBaseLevel`] if `b = 0`;
+    /// [`ShapeError::TooManyNodes`] if the node count exceeds the
+    /// [`NodeSet`] capacity.
+    pub fn new(a: usize, b: usize, h: usize) -> Result<Self, ShapeError> {
+        if b == 0 {
+            return Err(ShapeError::EmptyBaseLevel);
+        }
+        let shape = TrapezoidShape { a, b, h };
+        let count = shape.node_count();
+        if count > crate::nodeset::MAX_NODES {
+            return Err(ShapeError::TooManyNodes { count });
+        }
+        Ok(shape)
+    }
+
+    /// Slope `a` of the level sizes.
+    pub const fn a(&self) -> usize {
+        self.a
+    }
+
+    /// Size `b` of level 0.
+    pub const fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Highest level index `h` (the trapezoid has `h + 1` levels).
+    pub const fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Number of levels, `h + 1`.
+    pub const fn num_levels(&self) -> usize {
+        self.h + 1
+    }
+
+    /// `s_l = a·l + b`, the number of nodes on level `l`.
+    ///
+    /// # Panics
+    /// Panics if `l > h`.
+    pub fn level_size(&self, l: usize) -> usize {
+        assert!(l <= self.h, "level {l} beyond h = {}", self.h);
+        self.a * l + self.b
+    }
+
+    /// Total node count: eq. 4, `Σ_{l=0..h} s_l`.
+    pub const fn node_count(&self) -> usize {
+        // (h+1)·b + a·h(h+1)/2
+        (self.h + 1) * self.b + self.a * self.h * (self.h + 1) / 2
+    }
+
+    /// Offset of level `l`'s first position in level-major ordering
+    /// (level 0 occupies positions `0..s_0`, level 1 the next `s_1`, …).
+    pub fn level_offset(&self, l: usize) -> usize {
+        assert!(l <= self.h, "level {l} beyond h = {}", self.h);
+        (0..l).map(|i| self.level_size(i)).sum()
+    }
+
+    /// Position range of level `l` in level-major ordering.
+    pub fn level_range(&self, l: usize) -> core::ops::Range<usize> {
+        let off = self.level_offset(l);
+        off..off + self.level_size(l)
+    }
+
+    /// Level containing position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos ≥ node_count()`.
+    pub fn level_of(&self, pos: usize) -> usize {
+        assert!(pos < self.node_count(), "position {pos} out of range");
+        let mut remaining = pos;
+        for l in 0..=self.h {
+            let s = self.level_size(l);
+            if remaining < s {
+                return l;
+            }
+            remaining -= s;
+        }
+        unreachable!("pos checked against node_count")
+    }
+
+    /// Enumerates every `(a, b, h)` shape with exactly `count` nodes —
+    /// used to pick configurations for a given `n − k + 1` (the paper
+    /// fixes `Nbnode = n − k + 1`, eq. 5).
+    pub fn with_node_count(count: usize) -> Vec<TrapezoidShape> {
+        let mut shapes = Vec::new();
+        if count == 0 || count > crate::nodeset::MAX_NODES {
+            return shapes;
+        }
+        for h in 0..count {
+            for b in 1..=count {
+                // count = (h+1)b + a·h(h+1)/2  ⇒ solve for integer a ≥ 0.
+                let base = (h + 1) * b;
+                if base > count {
+                    break;
+                }
+                let rem = count - base;
+                if h == 0 {
+                    if rem == 0 {
+                        shapes.push(TrapezoidShape { a: 0, b, h });
+                        // Any `a` works when h = 0 (no higher levels), but
+                        // a = 0 is the canonical representative.
+                    }
+                    continue;
+                }
+                let denom = h * (h + 1) / 2;
+                if rem % denom == 0 {
+                    let a = rem / denom;
+                    shapes.push(TrapezoidShape { a, b, h });
+                }
+            }
+        }
+        shapes
+    }
+}
+
+impl fmt::Display for TrapezoidShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trapezoid(a={}, b={}, h={}; s=[{}])",
+            self.a,
+            self.b,
+            self.h,
+            (0..=self.h)
+                .map(|l| self.level_size(l).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Per-level write thresholds `w_l`, with read thresholds derived as
+/// `r_l = s_l − w_l + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteThresholds {
+    w: Vec<usize>,
+}
+
+impl WriteThresholds {
+    /// Validates an explicit threshold vector against a shape.
+    ///
+    /// # Errors
+    /// Rejects wrong length, out-of-range `w_l`, and a non-majority `w_0`
+    /// (the paper *fixes* `w_0 = ⌊b/2⌋ + 1`; any `w_0` at or above that
+    /// majority preserves the intersection proofs, so we accept `≥`).
+    pub fn new(shape: &TrapezoidShape, w: Vec<usize>) -> Result<Self, ShapeError> {
+        if w.len() != shape.num_levels() {
+            return Err(ShapeError::WrongThresholdCount {
+                got: w.len(),
+                expected: shape.num_levels(),
+            });
+        }
+        let majority = shape.b() / 2 + 1;
+        if w[0] < majority {
+            return Err(ShapeError::Level0NotMajority {
+                w0: w[0],
+                needed: majority,
+            });
+        }
+        for (l, &wl) in w.iter().enumerate() {
+            let s = shape.level_size(l);
+            if wl < 1 || wl > s {
+                return Err(ShapeError::ThresholdOutOfRange { level: l, w: wl, s });
+            }
+        }
+        Ok(WriteThresholds { w })
+    }
+
+    /// The paper's eq. 16 parameterisation: `w_0 = ⌊b/2⌋ + 1` and a single
+    /// `w` for every level `1..=h` (`1 ≤ w ≤ s_1`).
+    ///
+    /// # Errors
+    /// [`ShapeError::ThresholdOutOfRange`] if `w` exceeds some `s_l`
+    /// (possible only when `w > s_1` since sizes grow with `l`).
+    pub fn paper_default(shape: &TrapezoidShape, w: usize) -> Result<Self, ShapeError> {
+        let mut v = Vec::with_capacity(shape.num_levels());
+        v.push(shape.b() / 2 + 1);
+        for _ in 1..shape.num_levels() {
+            v.push(w);
+        }
+        WriteThresholds::new(shape, v)
+    }
+
+    /// `w_l`.
+    pub fn write_threshold(&self, l: usize) -> usize {
+        self.w[l]
+    }
+
+    /// `r_l = s_l − w_l + 1` — the version-check threshold of Algorithm 2.
+    pub fn read_threshold(&self, shape: &TrapezoidShape, l: usize) -> usize {
+        shape.level_size(l) - self.w[l] + 1
+    }
+
+    /// Borrow the full vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.w
+    }
+}
+
+/// TRAP-FR: the classical trapezoid protocol over full replicas.
+///
+/// Node indices are level-major positions `0..shape.node_count()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapezoidQuorum {
+    shape: TrapezoidShape,
+    thresholds: WriteThresholds,
+}
+
+impl TrapezoidQuorum {
+    /// Bundles a validated shape and thresholds.
+    pub fn new(shape: TrapezoidShape, thresholds: WriteThresholds) -> Self {
+        TrapezoidQuorum { shape, thresholds }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &TrapezoidShape {
+        &self.shape
+    }
+
+    /// The thresholds.
+    pub fn thresholds(&self) -> &WriteThresholds {
+        &self.thresholds
+    }
+
+    /// Enumerates one write quorum: the lexicographically first choice of
+    /// `w_l` nodes per level among those in `up`; `None` if `up` cannot
+    /// host a write quorum.
+    pub fn write_quorum_from(&self, up: NodeSet) -> Option<NodeSet> {
+        let mut q = NodeSet::EMPTY;
+        for l in 0..self.shape.num_levels() {
+            let need = self.thresholds.write_threshold(l);
+            let mut got = 0;
+            for pos in self.shape.level_range(l) {
+                if up.contains(pos) {
+                    q.insert(pos);
+                    got += 1;
+                    if got == need {
+                        break;
+                    }
+                }
+            }
+            if got < need {
+                return None;
+            }
+        }
+        Some(q)
+    }
+
+    /// Enumerates one read (version-check) quorum from `up`: the first
+    /// level that has `r_l` live nodes, restricted to that level.
+    pub fn read_quorum_from(&self, up: NodeSet) -> Option<NodeSet> {
+        for l in 0..self.shape.num_levels() {
+            let need = self.thresholds.read_threshold(&self.shape, l);
+            let range = self.shape.level_range(l);
+            if up.count_in_range(range.start, range.end) >= need {
+                let mut q = NodeSet::EMPTY;
+                let mut got = 0;
+                for pos in range {
+                    if up.contains(pos) {
+                        q.insert(pos);
+                        got += 1;
+                        if got == need {
+                            break;
+                        }
+                    }
+                }
+                return Some(q);
+            }
+        }
+        None
+    }
+}
+
+impl QuorumSystem for TrapezoidQuorum {
+    fn node_count(&self) -> usize {
+        self.shape.node_count()
+    }
+
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        (0..self.shape.num_levels()).all(|l| {
+            let range = self.shape.level_range(l);
+            up.count_in_range(range.start, range.end) >= self.thresholds.write_threshold(l)
+        })
+    }
+
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        (0..self.shape.num_levels()).any(|l| {
+            let range = self.shape.level_range(l);
+            up.count_in_range(range.start, range.end)
+                >= self.thresholds.read_threshold(&self.shape, l)
+        })
+    }
+}
+
+/// TRAP-ERC: the paper's protocol viewed over one data block of an (n, k)
+/// stripe.
+///
+/// Node universe: stripe indices `0..n` — `0..k` are the data nodes
+/// `N_1..N_k` (0-based), `k..n` the parity nodes. For the tracked block
+/// `b_i` the trapezoid contains `N_i` (placed at level 0) and all `n − k`
+/// parity nodes, in index order: parity nodes fill the rest of level 0,
+/// then level 1, and so on. Eq. 5: `Nbnode = n − k + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapErcSystem {
+    shape: TrapezoidShape,
+    thresholds: WriteThresholds,
+    n: usize,
+    k: usize,
+    /// Index of the tracked data block / its node `N_i` (`0 ≤ i < k`).
+    block: usize,
+    /// Trapezoid members in level-major order; `members[0] == block`.
+    members: Vec<usize>,
+}
+
+impl TrapErcSystem {
+    /// Builds the ERC view for data block `block` of an `(n, k)` stripe.
+    ///
+    /// # Errors
+    /// [`ShapeError::StripeMismatch`] unless
+    /// `shape.node_count() == n − k + 1`.
+    ///
+    /// # Panics
+    /// Panics if `block ≥ k` or `k > n` (programmer errors).
+    pub fn new(
+        shape: TrapezoidShape,
+        thresholds: WriteThresholds,
+        n: usize,
+        k: usize,
+        block: usize,
+    ) -> Result<Self, ShapeError> {
+        assert!(k <= n, "k = {k} exceeds n = {n}");
+        assert!(block < k, "block {block} is not a data index (k = {k})");
+        let expected = n - k + 1;
+        if shape.node_count() != expected {
+            return Err(ShapeError::StripeMismatch {
+                node_count: shape.node_count(),
+                expected,
+            });
+        }
+        // Level-major membership: N_i first (level 0), then parity nodes.
+        let mut members = Vec::with_capacity(expected);
+        members.push(block);
+        members.extend(k..n);
+        Ok(TrapErcSystem {
+            shape,
+            thresholds,
+            n,
+            k,
+            block,
+            members,
+        })
+    }
+
+    /// Stripe width `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data block count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The tracked block index `i`.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &TrapezoidShape {
+        &self.shape
+    }
+
+    /// The thresholds.
+    pub fn thresholds(&self) -> &WriteThresholds {
+        &self.thresholds
+    }
+
+    /// Stripe index of the trapezoid member at level-major position `pos`.
+    pub fn member(&self, pos: usize) -> usize {
+        self.members[pos]
+    }
+
+    /// Stripe indices of the trapezoid members on level `l`.
+    pub fn level_members(&self, l: usize) -> &[usize] {
+        let range = self.shape.level_range(l);
+        &self.members[range]
+    }
+
+    /// Counts live trapezoid members on level `l`.
+    fn live_on_level(&self, up: NodeSet, l: usize) -> usize {
+        self.level_members(l)
+            .iter()
+            .filter(|&&idx| up.contains(idx))
+            .count()
+    }
+
+    /// The version check of Algorithm 2: some level `l` has at least
+    /// `r_l` live members.
+    pub fn version_check_available(&self, up: NodeSet) -> bool {
+        (0..self.shape.num_levels())
+            .any(|l| self.live_on_level(up, l) >= self.thresholds.read_threshold(&self.shape, l))
+    }
+
+    /// The decode precondition of Algorithm 2 Case 2: at least `k` live
+    /// nodes among the full stripe (any `k` of `n` reconstruct `b_i`;
+    /// `N_i` itself being down is the reason we are decoding).
+    pub fn decode_available(&self, up: NodeSet) -> bool {
+        (0..self.n).filter(|&idx| up.contains(idx)).count() >= self.k
+    }
+}
+
+impl QuorumSystem for TrapErcSystem {
+    /// The node universe is the whole stripe: reads may touch any of the
+    /// `n` nodes (decode path), even though writes stay on the trapezoid.
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        (0..self.shape.num_levels())
+            .all(|l| self.live_on_level(up, l) >= self.thresholds.write_threshold(l))
+    }
+
+    /// Structural availability of Algorithm 2: the version check must
+    /// succeed on some level, then either `N_i` is live (direct read) or
+    /// `k` live stripe nodes allow a decode.
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        if !self.version_check_available(up) {
+            return false;
+        }
+        up.contains(self.block) || self.decode_available(up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_shape() -> TrapezoidShape {
+        TrapezoidShape::new(2, 3, 2).unwrap()
+    }
+
+    #[test]
+    fn figure1_geometry() {
+        // Fig. 1: Nbnode = 15, s_l = 2l + 3.
+        let s = fig1_shape();
+        assert_eq!(s.num_levels(), 3);
+        assert_eq!(s.level_size(0), 3);
+        assert_eq!(s.level_size(1), 5);
+        assert_eq!(s.level_size(2), 7);
+        assert_eq!(s.node_count(), 15);
+        assert_eq!(s.level_range(0), 0..3);
+        assert_eq!(s.level_range(1), 3..8);
+        assert_eq!(s.level_range(2), 8..15);
+        assert_eq!(s.level_of(0), 0);
+        assert_eq!(s.level_of(2), 0);
+        assert_eq!(s.level_of(3), 1);
+        assert_eq!(s.level_of(14), 2);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert_eq!(TrapezoidShape::new(1, 0, 2), Err(ShapeError::EmptyBaseLevel));
+        assert!(TrapezoidShape::new(0, 1, 0).is_ok());
+        assert!(matches!(
+            TrapezoidShape::new(10, 100, 10),
+            Err(ShapeError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn with_node_count_enumerates() {
+        // Every returned shape must actually have the requested count.
+        for count in 1..=20 {
+            let shapes = TrapezoidShape::with_node_count(count);
+            assert!(!shapes.is_empty(), "no shape for count {count}");
+            for s in &shapes {
+                assert_eq!(s.node_count(), count, "{s}");
+            }
+        }
+        // Fig. 1's shape must be found for 15.
+        assert!(TrapezoidShape::with_node_count(15)
+            .iter()
+            .any(|s| s.a() == 2 && s.b() == 3 && s.h() == 2));
+    }
+
+    #[test]
+    fn paper_default_thresholds() {
+        let s = fig1_shape();
+        let w = WriteThresholds::paper_default(&s, 2).unwrap();
+        assert_eq!(w.write_threshold(0), 2); // ⌊3/2⌋ + 1
+        assert_eq!(w.write_threshold(1), 2);
+        assert_eq!(w.write_threshold(2), 2);
+        assert_eq!(w.read_threshold(&s, 0), 2); // 3 - 2 + 1
+        assert_eq!(w.read_threshold(&s, 1), 4); // 5 - 2 + 1
+        assert_eq!(w.read_threshold(&s, 2), 6); // 7 - 2 + 1
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let s = fig1_shape();
+        assert!(matches!(
+            WriteThresholds::new(&s, vec![1, 2, 2]),
+            Err(ShapeError::Level0NotMajority { w0: 1, needed: 2 })
+        ));
+        assert!(matches!(
+            WriteThresholds::new(&s, vec![2, 2]),
+            Err(ShapeError::WrongThresholdCount { got: 2, expected: 3 })
+        ));
+        assert!(matches!(
+            WriteThresholds::new(&s, vec![2, 6, 2]),
+            Err(ShapeError::ThresholdOutOfRange { level: 1, w: 6, s: 5 })
+        ));
+        assert!(matches!(
+            WriteThresholds::new(&s, vec![2, 2, 0]),
+            Err(ShapeError::ThresholdOutOfRange { level: 2, w: 0, s: 7 })
+        ));
+        // w beyond s_1 rejected by paper_default too.
+        assert!(WriteThresholds::paper_default(&s, 6).is_err());
+    }
+
+    #[test]
+    fn fr_write_needs_every_level() {
+        let s = fig1_shape();
+        let q = TrapezoidQuorum::new(s, WriteThresholds::paper_default(&s, 2).unwrap());
+        // All nodes up: write available.
+        assert!(q.is_write_available(NodeSet::full(15)));
+        // Kill level 1 entirely (positions 3..8): write must fail.
+        let mut up = NodeSet::full(15);
+        for pos in 3..8 {
+            up.remove(pos);
+        }
+        assert!(!q.is_write_available(up));
+        // Read still fine via level 0 or 2.
+        assert!(q.is_read_available(up));
+    }
+
+    #[test]
+    fn fr_read_any_level_suffices() {
+        let s = fig1_shape();
+        let q = TrapezoidQuorum::new(s, WriteThresholds::paper_default(&s, 2).unwrap());
+        // Only level 2 alive with r_2 = 6 nodes.
+        let up = NodeSet::from_indices(8..14);
+        assert!(q.is_read_available(up));
+        assert!(!q.is_write_available(up));
+        // 5 nodes of level 2 only: below r_2.
+        let up = NodeSet::from_indices(8..13);
+        assert!(!q.is_read_available(up));
+    }
+
+    #[test]
+    fn fr_quorum_extraction() {
+        let s = fig1_shape();
+        let q = TrapezoidQuorum::new(s, WriteThresholds::paper_default(&s, 2).unwrap());
+        let up = NodeSet::full(15);
+        let wq = q.write_quorum_from(up).unwrap();
+        assert_eq!(wq.len(), 2 + 2 + 2);
+        assert!(q.is_write_available(wq));
+        let rq = q.read_quorum_from(up).unwrap();
+        assert_eq!(rq.len(), 2); // r_0 at level 0
+        assert!(rq.intersects(wq), "eq. 2: RQ ∩ WQ ≠ ∅");
+        // Nothing up: no quorums.
+        assert!(q.write_quorum_from(NodeSet::EMPTY).is_none());
+        assert!(q.read_quorum_from(NodeSet::EMPTY).is_none());
+    }
+
+    #[test]
+    fn erc_membership_layout() {
+        // (15, 8) stripe: trapezoid of 8 nodes, e.g. a=0, b=4, h=1.
+        let s = TrapezoidShape::new(0, 4, 1).unwrap();
+        let th = WriteThresholds::paper_default(&s, 2).unwrap();
+        let sys = TrapErcSystem::new(s, th, 15, 8, 3).unwrap();
+        // Level 0: N_3 plus parity nodes 8, 9, 10.
+        assert_eq!(sys.level_members(0), &[3, 8, 9, 10]);
+        // Level 1: parity nodes 11..15.
+        assert_eq!(sys.level_members(1), &[11, 12, 13, 14]);
+        assert_eq!(sys.node_count(), 15);
+    }
+
+    #[test]
+    fn erc_rejects_shape_stripe_mismatch() {
+        let s = fig1_shape(); // 15 nodes
+        let th = WriteThresholds::paper_default(&s, 2).unwrap();
+        assert!(matches!(
+            TrapErcSystem::new(s, th, 15, 8, 0),
+            Err(ShapeError::StripeMismatch {
+                node_count: 15,
+                expected: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn erc_read_direct_vs_decode() {
+        let s = TrapezoidShape::new(0, 4, 1).unwrap();
+        let th = WriteThresholds::paper_default(&s, 2).unwrap();
+        let sys = TrapErcSystem::new(s, th, 15, 8, 0).unwrap();
+        // Everything up: read available.
+        assert!(sys.is_read_available(NodeSet::full(15)));
+
+        // N_0 down; version check possible on level 1 (r_1 = 3 of
+        // {11..14}); decode needs 8 live among the stripe.
+        let mut up = NodeSet::full(15);
+        up.remove(0);
+        assert!(sys.is_read_available(up)); // 14 live ≥ 8
+
+        // N_0 down and only 7 other nodes live: version check may pass but
+        // decode cannot.
+        let up = NodeSet::from_indices([8, 9, 10, 11, 12, 13, 14]);
+        assert!(sys.version_check_available(up));
+        assert!(!sys.decode_available(up));
+        assert!(!sys.is_read_available(up));
+
+        // N_0 alive but no level passes the version check: read fails.
+        // Level 0 members {0, 8, 9, 10}, r_0 = 2: keep only N_0 alive
+        // there; level 1 members {11..14}, r_1 = 3: keep 2.
+        let up = NodeSet::from_indices([0, 11, 12]);
+        assert!(!sys.version_check_available(up));
+        assert!(!sys.is_read_available(up));
+
+        // N_0 alive and level-0 check passes: direct read, no decode need.
+        let up = NodeSet::from_indices([0, 8]);
+        assert!(sys.is_read_available(up));
+    }
+
+    #[test]
+    fn erc_write_is_trapezoid_write() {
+        let s = TrapezoidShape::new(0, 4, 1).unwrap();
+        let th = WriteThresholds::paper_default(&s, 2).unwrap();
+        let sys = TrapErcSystem::new(s, th.clone(), 15, 8, 0).unwrap();
+        // w_0 = 3 of {0,8,9,10}, w_1 = 2 of {11..14}.
+        let up = NodeSet::from_indices([0, 8, 9, 11, 12]);
+        assert!(sys.is_write_available(up));
+        let up = NodeSet::from_indices([0, 8, 11, 12]);
+        assert!(!sys.is_write_available(up), "level 0 below majority");
+        // Data nodes other than N_i are irrelevant to writes.
+        let up = NodeSet::from_indices([1, 2, 3, 4, 5, 6, 7]);
+        assert!(!sys.is_write_available(up));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Strategy: a valid (shape, thresholds) pair.
+        fn shape_and_thresholds() -> impl Strategy<Value = (TrapezoidShape, WriteThresholds)> {
+            (0usize..4, 1usize..5, 0usize..4)
+                .prop_filter_map("node budget", |(a, b, h)| {
+                    let s = TrapezoidShape::new(a, b, h).ok()?;
+                    (s.node_count() <= 24).then_some(s)
+                })
+                .prop_flat_map(|s| {
+                    let per_level: Vec<_> = (0..s.num_levels())
+                        .map(|l| {
+                            if l == 0 {
+                                (s.b() / 2 + 1..=s.b()).boxed()
+                            } else {
+                                (1..=s.level_size(l)).boxed()
+                            }
+                        })
+                        .collect();
+                    (Just(s), per_level)
+                })
+                .prop_map(|(s, w)| {
+                    let th = WriteThresholds::new(&s, w).expect("strategy respects bounds");
+                    (s, th)
+                })
+        }
+
+        proptest! {
+            /// Eq. 3: any two write quorums intersect.
+            #[test]
+            fn write_quorums_pairwise_intersect(
+                (shape, th) in shape_and_thresholds(),
+                seed1 in any::<u128>(),
+                seed2 in any::<u128>(),
+            ) {
+                let q = TrapezoidQuorum::new(shape, th);
+                let n = shape.node_count();
+                // Two arbitrary availability patterns; quorums drawn from
+                // each must intersect whenever both exist (the proof rests
+                // on w_0 being a level-0 majority).
+                let up1 = NodeSet::from_bits(seed1).intersection(NodeSet::full(n));
+                let up2 = NodeSet::from_bits(seed2).intersection(NodeSet::full(n));
+                if let (Some(w1), Some(w2)) = (q.write_quorum_from(up1), q.write_quorum_from(up2)) {
+                    prop_assert!(w1.intersects(w2), "WQ1 ∩ WQ2 = ∅");
+                }
+            }
+
+            /// Eq. 2: every read quorum intersects every write quorum.
+            #[test]
+            fn read_write_quorums_intersect(
+                (shape, th) in shape_and_thresholds(),
+                seed1 in any::<u128>(),
+                seed2 in any::<u128>(),
+            ) {
+                let q = TrapezoidQuorum::new(shape, th);
+                let n = shape.node_count();
+                let up1 = NodeSet::from_bits(seed1).intersection(NodeSet::full(n));
+                let up2 = NodeSet::from_bits(seed2).intersection(NodeSet::full(n));
+                if let (Some(rq), Some(wq)) = (q.read_quorum_from(up1), q.write_quorum_from(up2)) {
+                    prop_assert!(rq.intersects(wq), "RQ ∩ WQ = ∅");
+                }
+            }
+
+            /// Write availability is monotone: adding live nodes never
+            /// breaks a write quorum.
+            #[test]
+            fn availability_monotone(
+                (shape, th) in shape_and_thresholds(),
+                seed in any::<u128>(),
+                extra in any::<u128>(),
+            ) {
+                let q = TrapezoidQuorum::new(shape, th);
+                let n = shape.node_count();
+                let up = NodeSet::from_bits(seed).intersection(NodeSet::full(n));
+                let bigger = up.union(NodeSet::from_bits(extra).intersection(NodeSet::full(n)));
+                if q.is_write_available(up) {
+                    prop_assert!(q.is_write_available(bigger));
+                }
+                if q.is_read_available(up) {
+                    prop_assert!(q.is_read_available(bigger));
+                }
+            }
+
+            /// The ERC system's write predicate agrees with the FR
+            /// trapezoid predicate under the membership mapping.
+            #[test]
+            fn erc_write_matches_fr_on_trapezoid(
+                (shape, th) in shape_and_thresholds(),
+                k_extra in 1usize..5,
+                seed in any::<u128>(),
+            ) {
+                let nbnode = shape.node_count();
+                let k = k_extra;
+                let n = nbnode - 1 + k;
+                prop_assume!(n <= 24);
+                let sys = TrapErcSystem::new(shape, th.clone(), n, k, 0).unwrap();
+                let fr = TrapezoidQuorum::new(shape, th);
+                let up = NodeSet::from_bits(seed).intersection(NodeSet::full(n));
+                // Map stripe availability onto trapezoid positions.
+                let mut trap_up = NodeSet::EMPTY;
+                for pos in 0..nbnode {
+                    if up.contains(sys.member(pos)) {
+                        trap_up.insert(pos);
+                    }
+                }
+                prop_assert_eq!(sys.is_write_available(up), fr.is_write_available(trap_up));
+                prop_assert_eq!(sys.version_check_available(up), fr.is_read_available(trap_up));
+            }
+        }
+    }
+}

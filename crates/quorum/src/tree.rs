@@ -1,0 +1,213 @@
+//! The tree quorum protocol (Agrawal & El Abbadi 1991) — reference \[1\].
+//!
+//! Replicas form a complete binary tree. A quorum is assembled by walking
+//! from the root towards the leaves: a live node is taken and the walk
+//! continues into *one* of its subtrees; a dead node is bypassed by
+//! assembling quorums in *both* its subtrees. With every node live a
+//! quorum is a single root-to-leaf path (`depth + 1` nodes out of
+//! `2^(depth+1) − 1`).
+//!
+//! We implement the symmetric (mutual-exclusion style) variant: read and
+//! write quorums coincide. It serves as a structural baseline against the
+//! trapezoid; the paper cites it among the "many logical structures"
+//! proposed for replication control.
+//!
+//! Nodes are indexed in heap order: root = 0, children of `v` are
+//! `2v + 1` and `2v + 2`.
+
+use crate::nodeset::NodeSet;
+use crate::system::QuorumSystem;
+
+/// Tree quorum over a complete binary tree of the given depth
+/// (`depth = 0` is a single node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeQuorum {
+    depth: usize,
+}
+
+impl TreeQuorum {
+    /// Builds a tree of the given depth (`2^(depth+1) − 1` nodes).
+    ///
+    /// # Panics
+    /// Panics if the tree exceeds the [`NodeSet`] capacity (depth ≤ 5 for
+    /// 128 nodes).
+    pub fn new(depth: usize) -> Self {
+        let nodes = (1usize << (depth + 1)) - 1;
+        assert!(
+            nodes <= crate::nodeset::MAX_NODES,
+            "tree of depth {depth} has {nodes} nodes, exceeding the NodeSet limit"
+        );
+        TreeQuorum { depth }
+    }
+
+    /// Tree depth.
+    pub const fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// `true` iff `v` is a leaf.
+    const fn is_leaf(&self, v: usize) -> bool {
+        // Leaves occupy indices 2^depth - 1 .. 2^(depth+1) - 1.
+        v >= (1usize << self.depth) - 1
+    }
+
+    /// Recursive quorum feasibility (the `GetQuorum` predicate):
+    /// live node → need a quorum in one child subtree (none if leaf);
+    /// dead node → need quorums in both child subtrees.
+    fn can_form(&self, v: usize, up: NodeSet) -> bool {
+        if self.is_leaf(v) {
+            return up.contains(v);
+        }
+        let (l, r) = (2 * v + 1, 2 * v + 2);
+        if up.contains(v) {
+            self.can_form(l, up) || self.can_form(r, up)
+        } else {
+            self.can_form(l, up) && self.can_form(r, up)
+        }
+    }
+
+    /// Materialises one quorum from `up`, if feasible (greedy left-first).
+    pub fn quorum_from(&self, up: NodeSet) -> Option<NodeSet> {
+        fn build(t: &TreeQuorum, v: usize, up: NodeSet, out: &mut NodeSet) -> bool {
+            if t.is_leaf(v) {
+                if up.contains(v) {
+                    out.insert(v);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                let (l, r) = (2 * v + 1, 2 * v + 2);
+                if up.contains(v) {
+                    out.insert(v);
+                    // Build each child path into a scratch set so a failed
+                    // left attempt leaves no stray nodes in the quorum.
+                    let mut tmp = NodeSet::EMPTY;
+                    if build(t, l, up, &mut tmp) || {
+                        tmp = NodeSet::EMPTY;
+                        build(t, r, up, &mut tmp)
+                    } {
+                        *out = out.union(tmp);
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    // Both subtrees must deliver; evaluate both eagerly so
+                    // a failed right side doesn't leave a half-built set.
+                    let mut tmp = NodeSet::EMPTY;
+                    if build(t, l, up, &mut tmp) && build(t, r, up, &mut tmp) {
+                        *out = out.union(tmp);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+        let mut out = NodeSet::EMPTY;
+        build(self, 0, up, &mut out).then_some(out)
+    }
+}
+
+impl QuorumSystem for TreeQuorum {
+    fn node_count(&self) -> usize {
+        (1usize << (self.depth + 1)) - 1
+    }
+
+    fn is_write_available(&self, up: NodeSet) -> bool {
+        self.can_form(0, up)
+    }
+
+    fn is_read_available(&self, up: NodeSet) -> bool {
+        self.can_form(0, up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_zero_single_node() {
+        let t = TreeQuorum::new(0);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_write_available(NodeSet::from_indices([0])));
+        assert!(!t.is_write_available(NodeSet::EMPTY));
+    }
+
+    #[test]
+    fn root_to_leaf_path_is_quorum() {
+        // Depth 2: nodes 0..7; path 0 → 1 → 3.
+        let t = TreeQuorum::new(2);
+        assert_eq!(t.node_count(), 7);
+        let up = NodeSet::from_indices([0, 1, 3]);
+        assert!(t.is_write_available(up));
+        let q = t.quorum_from(up).unwrap();
+        assert_eq!(q, up);
+    }
+
+    #[test]
+    fn dead_root_requires_both_subtrees() {
+        let t = TreeQuorum::new(2);
+        // Root dead; left subtree path 1→3, right subtree path 2→5.
+        let up = NodeSet::from_indices([1, 3, 2, 5]);
+        assert!(t.is_write_available(up));
+        // Only the left subtree: not a quorum.
+        let up = NodeSet::from_indices([1, 3]);
+        assert!(!t.is_write_available(up));
+    }
+
+    #[test]
+    fn dead_internal_node_bypassed() {
+        let t = TreeQuorum::new(2);
+        // Root alive, node 1 dead → both of node 1's children needed
+        // (leaves 3 and 4) OR the walk goes right instead.
+        let up = NodeSet::from_indices([0, 1 + 2, 4]); // 0, 3, 4: node 1 dead
+        assert!(t.is_write_available(up));
+        let q = t.quorum_from(up).unwrap();
+        assert!(q.contains(0) && q.contains(3) && q.contains(4));
+    }
+
+    #[test]
+    fn all_leaves_dead_fails() {
+        let t = TreeQuorum::new(2);
+        let up = NodeSet::from_indices([0, 1, 2]); // only internals
+        assert!(!t.is_write_available(up));
+    }
+
+    #[test]
+    fn any_two_quorums_intersect_exhaustive() {
+        // Depth 2 (7 nodes): enumerate all up-sets, materialise quorums,
+        // check pairwise intersection — the tree protocol's core claim.
+        let t = TreeQuorum::new(2);
+        let mut quorums = Vec::new();
+        for bits in 0u128..128 {
+            if let Some(q) = t.quorum_from(NodeSet::from_bits(bits)) {
+                quorums.push(q);
+            }
+        }
+        assert!(!quorums.is_empty());
+        for a in &quorums {
+            for b in &quorums {
+                assert!(a.intersects(*b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_feasible_iff_predicate() {
+        let t = TreeQuorum::new(2);
+        for bits in 0u128..128 {
+            let up = NodeSet::from_bits(bits);
+            assert_eq!(
+                t.quorum_from(up).is_some(),
+                t.is_write_available(up),
+                "{up:?}"
+            );
+            if let Some(q) = t.quorum_from(up) {
+                assert!(q.is_subset_of(up));
+            }
+        }
+    }
+}

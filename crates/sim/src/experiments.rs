@@ -1,0 +1,658 @@
+//! The paper's figures as executable experiment definitions.
+//!
+//! Parameter reconstruction (the paper gives n = 15 and prose anchors but
+//! not the full configurations; DESIGN.md §5 documents the detective
+//! work):
+//!
+//! * **Fig. 1** — layout illustration, `a = 2, b = 3, h = 2` (stated).
+//! * **Fig. 2** — write availability for n = 15: we sweep the eq. 16
+//!   parameter `w ∈ 1..=4` on the (15, 8) trapezoid `(a=0, b=4, h=1)`,
+//!   plus the alternative shapes for k = 10, 12.
+//! * **Fig. 3** — read availability FR vs ERC. The configuration
+//!   `(n, k) = (15, 8)`, shape `(0, 4, 1)`, `w = 2` reproduces the prose
+//!   anchors: FR ≈ 0.75 and ERC ≈ 0.63 at p = 0.5, curves merging for
+//!   p ≥ 0.8 (our closed forms give 0.785 / 0.655).
+//! * **Fig. 4** — ERC read availability improves with n − k: k ∈
+//!   {12, 10, 8} at n = 15.
+//! * **Fig. 5** — storage per block vs k (eqs. 14/15), cross-checked by
+//!   *measuring* bytes on a provisioned cluster.
+
+use tq_cluster::{Cluster, LocalTransport};
+use tq_quorum::analysis::Series;
+use tq_quorum::availability;
+use tq_quorum::exact::exact_availability;
+use tq_quorum::system::QuorumSystem;
+use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
+use tq_trapezoid::{ProtocolConfig, TrapErcClient, TrapFrClient};
+
+use crate::monte_carlo;
+
+/// One regenerated figure: labelled series plus commentary.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Stable identifier (`fig2`, …) used for file names.
+    pub id: &'static str,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Shape checks and observations, ready for EXPERIMENTS.md.
+    pub notes: Vec<String>,
+}
+
+/// The stripe width used throughout the paper's evaluation.
+pub const PAPER_N: usize = 15;
+
+/// The canonical Fig. 3 configuration reconstructed from the prose
+/// anchors: (15, 8) stripe, trapezoid `a=0, b=4, h=1`, `w = 2`.
+pub fn fig3_config() -> ProtocolConfig {
+    ProtocolConfig::with_uniform_w(PAPER_N, 8, 0, 4, 1, 2).expect("static parameters are valid")
+}
+
+/// The (shape, thresholds, k) families used in Figs. 2 and 4: for each
+/// `k` a trapezoid with `n − k + 1` nodes.
+pub fn shape_for_k(k: usize) -> (TrapezoidShape, WriteThresholds) {
+    let nbnode = PAPER_N - k + 1;
+    // b ≥ 3 keeps r_0 = ⌈b/2⌉ ≥ 2, steering clear of eq. 11's broken
+    // r_0 = 1 edge case (see `eq13_underestimates_when_r0_is_one`).
+    let (a, b, h, w) = match nbnode {
+        4 => (0, 4, 0, 1),
+        6 => (0, 3, 1, 2),
+        8 => (0, 4, 1, 2),
+        _ => {
+            // Fallback: flattest two-level split available for the count.
+            let shapes = TrapezoidShape::with_node_count(nbnode);
+            let s = *shapes
+                .iter()
+                .find(|s| s.h() == 1)
+                .or_else(|| shapes.first())
+                .expect("every count has a shape");
+            let th = WriteThresholds::paper_default(&s, 1).expect("w = 1 is always legal");
+            return (s, th);
+        }
+    };
+    let shape = TrapezoidShape::new(a, b, h).expect("static shape");
+    let th = WriteThresholds::paper_default(&shape, w).expect("static thresholds");
+    (shape, th)
+}
+
+/// Figure 1: the trapezoid layout, rendered as ASCII. For the ERC variant
+/// the stripe indices of block `b_i`'s trapezoid members are shown.
+pub fn fig1_layout() -> FigureData {
+    let shape = TrapezoidShape::new(2, 3, 2).expect("Fig. 1 shape");
+    let mut notes = Vec::new();
+    notes.push(format!(
+        "Fig. 1 geometry: {shape}; Nbnode = {} (paper: 15).",
+        shape.node_count()
+    ));
+    let mut art = String::new();
+    art.push_str("level | nodes (level-major positions)\n");
+    let width = shape.level_size(shape.h()) * 6;
+    for l in 0..shape.num_levels() {
+        let row: String = shape
+            .level_range(l)
+            .map(|p| format!("[{p:>2}] "))
+            .collect();
+        let pad = (width.saturating_sub(row.len())) / 2;
+        art.push_str(&format!("  {l}   |{}{}\n", " ".repeat(pad), row.trim_end()));
+    }
+    notes.push(art);
+    notes.push(
+        "TRAP-ERC placement for block b_0 of a (15, 8) stripe on shape (0, 4, 1):".to_string(),
+    );
+    let sys = fig3_config().system_for_block(0);
+    for l in 0..sys.shape().num_levels() {
+        notes.push(format!("  level {l}: stripe nodes {:?}", sys.level_members(l)));
+    }
+    FigureData {
+        id: "fig1",
+        title: "Trapezoid protocol layout (Nbnode = 15, s_l = 2l + 3)".to_string(),
+        x_label: "level",
+        series: vec![Series::over_ints("s_l = 2l + 3", 0..=2, |l| {
+            shape.level_size(l) as f64
+        })],
+        notes,
+    }
+}
+
+/// Figure 2: write availability of TRAP-ERC vs p, for the eq. 16
+/// parameter `w ∈ 1..=4` on the (15, 8) trapezoid and the alternative
+/// k = 10, 12 shapes. Monte-Carlo points from the *hinted* protocol
+/// write (the eq. 9 predicate) validate each curve.
+pub fn fig2_write_availability(steps: usize, trials: usize, seed: u64) -> FigureData {
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    let (shape8, _) = shape_for_k(8);
+    for w in 1..=4usize {
+        let th = WriteThresholds::paper_default(&shape8, w).expect("w within s_1 = 4");
+        series.push(Series::sweep_p(
+            format!("eq9 k=8 w={w}"),
+            steps,
+            |p| availability::write_availability(&shape8, &th, p),
+        ));
+    }
+    for k in [10usize, 12] {
+        let (shape, th) = shape_for_k(k);
+        series.push(Series::sweep_p(
+            format!("eq9 k={k} w={:?}", th.as_slice()),
+            steps,
+            |p| availability::write_availability(&shape, &th, p),
+        ));
+    }
+    // Simulated overlay for the canonical w = 2 curve.
+    let config = fig3_config();
+    let sim = Series {
+        label: "protocol (hinted) k=8 w=2".to_string(),
+        points: (0..=steps)
+            .map(|i| {
+                let p = i as f64 / steps as f64;
+                let est =
+                    monte_carlo::protocol_write_availability(&config, p, trials, seed + i as u64, true);
+                (p, est.mean())
+            })
+            .collect(),
+    };
+    series.push(sim);
+    // Shape claims from §IV-D.
+    let (s8, th8) = shape_for_k(8);
+    let at_09: Vec<f64> = (1..=4)
+        .map(|w| {
+            let th = WriteThresholds::paper_default(&s8, w).unwrap();
+            availability::write_availability(&s8, &th, 0.9)
+        })
+        .collect();
+    notes.push(format!(
+        "At p = 0.9 the w-family spans {:.3}..{:.3}; the spread collapses as p → 1 \
+         (paper: availability 'not significantly impacted' for usual p).",
+        at_09.iter().cloned().fold(f64::INFINITY, f64::min),
+        at_09.iter().cloned().fold(0.0, f64::max),
+    ));
+    notes.push(format!(
+        "eq. 8 ≡ eq. 9 identity: FR and ERC share one write formula (checked in code: \
+         both call availability::write_availability; k=8 w=2 at p=0.5 gives {:.4}).",
+        availability::write_availability(&s8, &th8, 0.5)
+    ));
+    FigureData {
+        id: "fig2",
+        title: "Write availability of TRAP-ERC as a function of node availability p (n = 15)"
+            .to_string(),
+        x_label: "p",
+        series,
+        notes,
+    }
+}
+
+/// Figure 3: read availability of TRAP-ERC vs TRAP-FR. Four layers per
+/// protocol: the paper's closed form, exact enumeration of the
+/// structural predicate, and protocol-level Monte-Carlo.
+pub fn fig3_read_availability(steps: usize, trials: usize, seed: u64) -> FigureData {
+    let config = fig3_config();
+    let (shape, th) = (*config.shape(), config.thresholds().clone());
+    let (n, k) = (config.params().n(), config.params().k());
+
+    let fr = Series::sweep_p("TRAP-FR eq10", steps, |p| {
+        availability::read_availability_fr(&shape, &th, p)
+    });
+    let erc = Series::sweep_p("TRAP-ERC eq13", steps, |p| {
+        availability::read_availability_erc(&shape, &th, n, k, p)
+    });
+    let sys = config.system_for_block(0);
+    let erc_exact = Series::sweep_p("TRAP-ERC exact structural", steps, |p| {
+        exact_availability(n, p, |up| sys.is_read_available(up))
+    });
+    let erc_sim = Series {
+        label: "TRAP-ERC protocol (simulated)".to_string(),
+        points: (0..=steps)
+            .map(|i| {
+                let p = i as f64 / steps as f64;
+                (p, monte_carlo::protocol_read_availability(&config, p, trials, seed + i as u64).mean())
+            })
+            .collect(),
+    };
+    let fr_sim = Series {
+        label: "TRAP-FR protocol (simulated)".to_string(),
+        points: (0..=steps)
+            .map(|i| {
+                let p = i as f64 / steps as f64;
+                (
+                    p,
+                    monte_carlo::protocol_fr_read_availability(&shape, &th, p, trials, seed + 1000 + i as u64)
+                        .mean(),
+                )
+            })
+            .collect(),
+    };
+
+    let fr_05 = fr.at(0.5);
+    let erc_05 = erc.at(0.5);
+    let merge = fr.merge_point(&erc, 0.02);
+    let (gap_x, gap) = fr.max_gap(&erc);
+    let mut notes = vec![
+        format!(
+            "Anchor points at p = 0.5: FR = {fr_05:.3} (paper ≈ 0.75), ERC = {erc_05:.3} \
+             (paper ≈ 0.63)."
+        ),
+        format!(
+            "Curves merge (|Δ| ≤ 0.02) from p = {} (paper: 'no difference when p ≥ 0.8').",
+            merge.map_or("never".to_string(), |p| format!("{p:.2}"))
+        ),
+        format!("Maximum FR−ERC gap: {gap:.3} at p = {gap_x:.2}."),
+        format!(
+            "eq. 13 vs exact structural predicate at p = 0.5: {:.4} vs {:.4} — the P2 term \
+             drops the version check, so the closed form slightly overestimates.",
+            erc.at(0.5),
+            erc_exact.at(0.5)
+        ),
+    ];
+    if gap < 0.0 {
+        notes.push("WARNING: ERC exceeded FR somewhere — check parameters.".to_string());
+    }
+    FigureData {
+        id: "fig3",
+        title: "Read availability of TRAP-ERC and TRAP-FR as a function of p (n = 15, k = 8)"
+            .to_string(),
+        x_label: "p",
+        series: vec![fr, erc, erc_exact, fr_sim, erc_sim],
+        notes,
+    }
+}
+
+/// Figure 4: TRAP-ERC read availability for n − k ∈ {3, 5, 7} at n = 15.
+pub fn fig4_read_redundancy(steps: usize, trials: usize, seed: u64) -> FigureData {
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    let mut at_half = Vec::new();
+    for (idx, k) in [12usize, 10, 8].into_iter().enumerate() {
+        let (shape, th) = shape_for_k(k);
+        let s = Series::sweep_p(
+            format!("eq13 k={k} (n-k={})", PAPER_N - k),
+            steps,
+            |p| availability::read_availability_erc(&shape, &th, PAPER_N, k, p),
+        );
+        at_half.push((k, s.at(0.5)));
+        series.push(s);
+        let config = ProtocolConfig::new(
+            tq_erasure::CodeParams::new(PAPER_N, k).expect("valid"),
+            shape,
+            th,
+        )
+        .expect("valid");
+        series.push(Series {
+            label: format!("protocol k={k} (simulated)"),
+            points: (0..=steps)
+                .map(|i| {
+                    let p = i as f64 / steps as f64;
+                    (
+                        p,
+                        monte_carlo::protocol_read_availability(
+                            &config,
+                            p,
+                            trials,
+                            seed + (idx * 5000 + i) as u64,
+                        )
+                        .mean(),
+                    )
+                })
+                .collect(),
+        });
+    }
+    for w in at_half.windows(2) {
+        let ((k1, v1), (k2, v2)) = (w[0], w[1]);
+        notes.push(format!(
+            "p = 0.5: k={k1} gives {v1:.3}, k={k2} gives {v2:.3} — more parity (larger n−k) \
+             improves reads, as the paper claims."
+        ));
+        assert!(
+            v2 >= v1 - 0.02,
+            "Fig. 4 monotonicity violated: k={k2} ({v2}) < k={k1} ({v1})"
+        );
+    }
+    FigureData {
+        id: "fig4",
+        title: "Read availability of TRAP-ERC vs p for several redundancy levels (n = 15)"
+            .to_string(),
+        x_label: "p",
+        series,
+        notes,
+    }
+}
+
+/// Figure 5: storage used per data block (in block units) vs k, for both
+/// schemes — eqs. 14/15 plus bytes *measured* on a provisioned cluster.
+pub fn fig5_storage(block_len: usize) -> FigureData {
+    let ks: Vec<usize> = (1..=PAPER_N).collect();
+    let fr = Series::over_ints("TRAP-FR eq14 (n-k+1)", ks.iter().copied(), |k| {
+        availability::storage_fr(PAPER_N, k)
+    });
+    let erc = Series::over_ints("TRAP-ERC eq15 (n/k)", ks.iter().copied(), |k| {
+        availability::storage_erc(PAPER_N, k)
+    });
+    // Measured: provision a real stripe and count stored bytes.
+    let measured = Series::over_ints("TRAP-ERC measured", ks.iter().copied(), |k| {
+        let cluster = Cluster::new(PAPER_N);
+        let config = match nearest_config(PAPER_N, k) {
+            Some(c) => c,
+            // k = n has no trapezoid (Nbnode = 1 needs b = 1, h = 0 — fine)
+            None => return f64::NAN,
+        };
+        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone()))
+            .expect("transport sized");
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; block_len]).collect();
+        client.create_stripe(1, data).expect("all up");
+        cluster.stored_bytes() as f64 / (k * block_len) as f64
+    });
+    let fr_measured = Series::over_ints("TRAP-FR measured", ks.iter().copied(), |k| {
+        let nbnode = PAPER_N - k + 1;
+        let shapes = TrapezoidShape::with_node_count(nbnode);
+        let shape = *shapes.first().expect("some shape");
+        let th = WriteThresholds::paper_default(&shape, 1).expect("w=1 legal");
+        let cluster = Cluster::new(nbnode);
+        let client = TrapFrClient::new(shape, th, LocalTransport::new(cluster.clone()))
+            .expect("transport sized");
+        client.create(1, &vec![0u8; block_len]).expect("all up");
+        cluster.stored_bytes() as f64 / block_len as f64
+    });
+    let mut notes = vec![
+        format!(
+            "n = 15, k = 8: FR stores {:.3} blocks per data block, ERC {:.3} — a {:.0}% saving \
+             (the paper's prose says '8 blocks' vs '4 blocks'; eq. 15 actually gives n/k = 1.875. \
+             We reproduce the equations and flag the prose discrepancy).",
+            availability::storage_fr(PAPER_N, 8),
+            availability::storage_erc(PAPER_N, 8),
+            (1.0 - availability::storage_erc(PAPER_N, 8) / availability::storage_fr(PAPER_N, 8))
+                * 100.0
+        ),
+        "Measured bytes on the provisioned cluster match eq. 14/15 exactly: data blocks \
+         are stored verbatim and each parity block is one full block shared by k data \
+         blocks."
+            .to_string(),
+    ];
+    // Consistency assertion between measurement and closed form.
+    for (i, &k) in ks.iter().enumerate() {
+        let m = measured.points[i].1;
+        if !m.is_nan() {
+            let e = erc.points[i].1;
+            assert!((m - e).abs() < 1e-9, "k={k}: measured {m} vs eq15 {e}");
+        } else {
+            notes.push(format!("k={k}: no trapezoid with {} node(s) skipped.", PAPER_N - k + 1));
+        }
+    }
+    FigureData {
+        id: "fig5",
+        title: "Storage space used per data block divided by blocksize, as a function of k \
+                (n = 15)"
+            .to_string(),
+        x_label: "k",
+        series: vec![fr, erc, measured, fr_measured],
+        notes,
+    }
+}
+
+/// Builds *some* valid TRAP-ERC config for (n, k) by picking the first
+/// enumerable trapezoid with `n − k + 1` nodes (w = 1).
+fn nearest_config(n: usize, k: usize) -> Option<ProtocolConfig> {
+    let shapes = TrapezoidShape::with_node_count(n - k + 1);
+    let shape = *shapes.first()?;
+    let th = WriteThresholds::paper_default(&shape, 1).ok()?;
+    ProtocolConfig::new(tq_erasure::CodeParams::new(n, k).ok()?, shape, th).ok()
+}
+
+/// Extension figure: the trapezoid against the §II related-work quorum
+/// systems (ROWA, Majority, Grid, Tree) on an equal-node-count basis
+/// (8 nodes = the (15, 8) trapezoid). Closed forms, each validated
+/// against exact enumeration at construction time.
+pub fn baselines_comparison(steps: usize) -> FigureData {
+    use tq_quorum::grid::GridQuorum;
+    use tq_quorum::majority::MajorityQuorum;
+    use tq_quorum::rowa::Rowa;
+    use tq_quorum::tree::TreeQuorum;
+
+    let (shape, th) = shape_for_k(8);
+    let n = shape.node_count(); // 8
+    let series = vec![
+        Series::sweep_p("trapezoid write (eq9)", steps, |p| {
+            availability::write_availability(&shape, &th, p)
+        }),
+        Series::sweep_p("trapezoid read (eq10)", steps, |p| {
+            availability::read_availability_fr(&shape, &th, p)
+        }),
+        Series::sweep_p("majority r/w", steps, |p| {
+            availability::majority_availability(n, p)
+        }),
+        Series::sweep_p("ROWA write", steps, |p| {
+            availability::rowa_write_availability(n, p)
+        }),
+        Series::sweep_p("ROWA read", steps, |p| {
+            availability::rowa_read_availability(n, p)
+        }),
+        Series::sweep_p("grid 2x4 write", steps, |p| {
+            availability::grid_write_availability(2, 4, p)
+        }),
+        Series::sweep_p("grid 2x4 read", steps, |p| {
+            availability::grid_read_availability(2, 4, p)
+        }),
+        Series::sweep_p("tree d=2 (7 nodes) r/w", steps, |p| {
+            availability::tree_availability(2, p)
+        }),
+    ];
+    // Spot-verify the closed forms against exact enumeration right here,
+    // so a regenerated figure is self-checking.
+    for &p in &[0.3, 0.6, 0.9] {
+        let m = MajorityQuorum::new(n);
+        assert!(
+            (exact_availability(n, p, |up| m.is_write_available(up))
+                - availability::majority_availability(n, p))
+            .abs()
+                < 1e-9
+        );
+        let r = Rowa::new(n);
+        assert!(
+            (exact_availability(n, p, |up| r.is_write_available(up))
+                - availability::rowa_write_availability(n, p))
+            .abs()
+                < 1e-9
+        );
+        let g = GridQuorum::new(2, 4);
+        assert!(
+            (exact_availability(8, p, |up| g.is_write_available(up))
+                - availability::grid_write_availability(2, 4, p))
+            .abs()
+                < 1e-9
+        );
+        let t = TreeQuorum::new(2);
+        assert!(
+            (exact_availability(7, p, |up| t.is_write_available(up))
+                - availability::tree_availability(2, p))
+            .abs()
+                < 1e-9
+        );
+    }
+    let notes = vec![
+        "Equal-node-count framing: 8 replicas (the (15, 8) trapezoid's Nbnode); the tree \
+         uses 7 (complete binary tree)."
+            .to_string(),
+        "ROWA bounds the spectrum (best reads, worst writes); majority balances; the \
+         trapezoid with w tunes between them per level — the §II positioning, quantified."
+            .to_string(),
+        "All closed forms are asserted against exact 2^N enumeration when this figure is \
+         generated."
+            .to_string(),
+    ];
+    FigureData {
+        id: "baselines",
+        title: "Extension: trapezoid vs related-work quorum systems (8 replicas)".to_string(),
+        x_label: "p",
+        series,
+        notes,
+    }
+}
+
+/// The validation table: closed forms vs exact enumeration vs
+/// protocol-level Monte-Carlo at a grid of p values (the quantified
+/// version of §IV's claims, and the source for EXPERIMENTS.md).
+pub fn validation_table(trials: usize, seed: u64) -> FigureData {
+    let config = fig3_config();
+    let (shape, th) = (*config.shape(), config.thresholds().clone());
+    let (n, k) = (15, 8);
+    let sys = config.system_for_block(0);
+    let ps: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+
+    let mk = |label: &str, f: &mut dyn FnMut(f64) -> f64| Series {
+        label: label.to_string(),
+        points: ps.iter().map(|&p| (p, f(p))).collect(),
+    };
+    let mut idx = 0u64;
+    let series = vec![
+        mk("eq9 write", &mut |p| {
+            availability::write_availability(&shape, &th, p)
+        }),
+        mk("write exact", &mut |p| {
+            exact_availability(n, p, |up| sys.is_write_available(up))
+        }),
+        mk("write protocol hinted", &mut |p| {
+            idx += 1;
+            monte_carlo::protocol_write_availability(&config, p, trials, seed + idx, true).mean()
+        }),
+        mk("write protocol faithful", &mut |p| {
+            idx += 1;
+            monte_carlo::protocol_write_availability(&config, p, trials, seed + idx, false).mean()
+        }),
+        mk("eq13 read", &mut |p| {
+            availability::read_availability_erc(&shape, &th, n, k, p)
+        }),
+        mk("read exact structural", &mut |p| {
+            exact_availability(n, p, |up| sys.is_read_available(up))
+        }),
+        mk("read protocol", &mut |p| {
+            idx += 1;
+            monte_carlo::protocol_read_availability(&config, p, trials, seed + idx).mean()
+        }),
+        mk("eq10 FR read", &mut |p| {
+            availability::read_availability_fr(&shape, &th, p)
+        }),
+        mk("FR read protocol", &mut |p| {
+            idx += 1;
+            monte_carlo::protocol_fr_read_availability(&shape, &th, p, trials, seed + idx).mean()
+        }),
+    ];
+    let notes = vec![
+        "eq. 9 coincides with the exact/protocol write columns (hinted writes); the \
+         faithful column shows Algorithm 1's embedded READBLOCK cost at low p."
+            .to_string(),
+        "eq. 13 upper-bounds the exact structural column (its P2 term skips the version \
+         check); the protocol column tracks the exact one."
+            .to_string(),
+    ];
+    FigureData {
+        id: "validate",
+        title: "Closed forms vs exact enumeration vs executed protocol (n = 15, k = 8, w = 2)"
+            .to_string(),
+        x_label: "p",
+        series,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_layout_renders() {
+        let f = fig1_layout();
+        assert_eq!(f.id, "fig1");
+        let art = f.notes.join("\n");
+        assert!(art.contains("level"));
+        assert!(art.contains("[ 0]"));
+        // ERC placement of block 0 on the (15, 8) stripe.
+        assert!(art.contains("stripe nodes [0, 8, 9, 10]"));
+    }
+
+    #[test]
+    fn fig2_shapes_hold() {
+        let f = fig2_write_availability(10, 120, 7);
+        assert!(f.series.len() >= 6);
+        // Every analytic curve is monotone nondecreasing in p.
+        for s in f.series.iter().filter(|s| s.label.starts_with("eq9")) {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{} not monotone", s.label);
+            }
+            assert!(s.points.last().unwrap().1 > 0.999);
+        }
+    }
+
+    #[test]
+    fn fig3_shapes_hold() {
+        let f = fig3_read_availability(10, 150, 11);
+        let fr = &f.series[0];
+        let erc = &f.series[1];
+        // ERC never exceeds FR by more than MC noise.
+        for (a, b) in fr.points.iter().zip(&erc.points) {
+            assert!(b.1 <= a.1 + 0.02, "p={}: erc {} > fr {}", a.0, b.1, a.1);
+        }
+        // Prose anchors.
+        assert!((fr.at(0.5) - 0.75).abs() < 0.06);
+        assert!((erc.at(0.5) - 0.63).abs() < 0.06);
+    }
+
+    #[test]
+    fn fig4_monotone_in_redundancy() {
+        // The constructor itself asserts monotonicity at p = 0.5.
+        let f = fig4_read_redundancy(8, 100, 3);
+        assert_eq!(f.series.len(), 6);
+    }
+
+    #[test]
+    fn fig5_measured_matches_eq15() {
+        // The constructor asserts measured == eq. 15 for every k.
+        let f = fig5_storage(64);
+        assert_eq!(f.series.len(), 4);
+        // FR measured must match eq. 14 wherever defined.
+        let fr = &f.series[0];
+        let fr_measured = &f.series[3];
+        for (a, b) in fr.points.iter().zip(&fr_measured.points) {
+            assert!((a.1 - b.1).abs() < 1e-9, "k={}: {} vs {}", a.0, a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn baselines_figure_self_checks() {
+        // The generator asserts closed-form == exact internally.
+        let f = baselines_comparison(10);
+        assert_eq!(f.series.len(), 8);
+        // ROWA brackets everything at p = 0.5: its read availability is
+        // the maximum, its write availability the minimum.
+        let at = |label: &str| {
+            f.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+                .at(0.5)
+        };
+        let rowa_read = at("ROWA read");
+        let rowa_write = at("ROWA write");
+        for s in &f.series {
+            let v = s.at(0.5);
+            assert!(v <= rowa_read + 1e-9, "{} above ROWA read", s.label);
+            assert!(v >= rowa_write - 1e-9, "{} below ROWA write", s.label);
+        }
+    }
+
+    #[test]
+    fn validation_table_small() {
+        let f = validation_table(100, 5);
+        assert_eq!(f.series.len(), 9);
+        // eq13 upper-bounds exact everywhere.
+        let eq13 = f.series.iter().find(|s| s.label == "eq13 read").unwrap();
+        let exact = f
+            .series
+            .iter()
+            .find(|s| s.label == "read exact structural")
+            .unwrap();
+        for (a, b) in eq13.points.iter().zip(&exact.points) {
+            assert!(a.1 >= b.1 - 1e-9, "p={}", a.0);
+        }
+    }
+}

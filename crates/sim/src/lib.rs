@@ -1,0 +1,30 @@
+//! # tq-sim — Monte-Carlo validation and figure regeneration
+//!
+//! The paper's §IV-D evaluates the closed forms of §IV-A/B/C numerically
+//! (Figs. 2–5). This crate regenerates every one of those figures and
+//! goes two steps further, cross-validating each closed form against:
+//!
+//! 1. **exact enumeration** (`tq_quorum::exact`) of the structural
+//!    predicates — feasible for the paper's n = 15;
+//! 2. **protocol-level Monte-Carlo** — the *real* Algorithms 1/2 from
+//!    `tq-trapezoid` executed against a `tq-cluster` whose availability
+//!    pattern is re-sampled i.i.d. Bernoulli(p) per trial, exactly the
+//!    model the formulas integrate over.
+//!
+//! Layer 2 is where the paper's approximations become visible: eq. 13's
+//! P2 term drops the version check, and eq. 9 ignores Algorithm 1's
+//! embedded READBLOCK. [`monte_carlo`] measures both gaps;
+//! EXPERIMENTS.md records them.
+//!
+//! The `figures` binary (`cargo run -p tq-sim --bin figures -- all`)
+//! renders every figure as markdown + CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod monte_carlo;
+pub mod report;
+
+pub use experiments::FigureData;
+pub use monte_carlo::{Estimate, MonteCarlo};

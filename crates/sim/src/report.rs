@@ -1,0 +1,108 @@
+//! Rendering figure data as markdown and CSV files.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use tq_quorum::analysis::markdown_table;
+
+use crate::experiments::FigureData;
+
+/// Renders one figure as a self-contained markdown section.
+pub fn to_markdown(fig: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} — {}\n\n", fig.id, fig.title));
+    let refs: Vec<&tq_quorum::analysis::Series> = fig.series.iter().collect();
+    if !refs.is_empty() && refs.iter().all(|s| s.points.len() == refs[0].points.len()) {
+        out.push_str(&markdown_table(fig.x_label, &refs));
+    } else {
+        for s in &fig.series {
+            out.push_str(&format!("### {}\n\n", s.label));
+            out.push_str("| x | y |\n|---|---|\n");
+            for &(x, y) in &s.points {
+                out.push_str(&format!("| {x:.3} | {y:.4} |\n"));
+            }
+            out.push('\n');
+        }
+    }
+    if !fig.notes.is_empty() {
+        out.push_str("\nNotes:\n\n");
+        for n in &fig.notes {
+            out.push_str(&format!("- {n}\n"));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes `<id>.md` and one `<id>__<slug>.csv` per series under `dir`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_files(fig: &FigureData, dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let md_path = dir.join(format!("{}.md", fig.id));
+    let mut f = fs::File::create(&md_path)?;
+    f.write_all(to_markdown(fig).as_bytes())?;
+    for s in &fig.series {
+        let slug: String = s
+            .label
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let csv_path = dir.join(format!("{}__{slug}.csv", fig.id));
+        let mut f = fs::File::create(&csv_path)?;
+        f.write_all(format!("{},{}\n", fig.x_label, s.label).as_bytes())?;
+        f.write_all(s.to_csv().as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_quorum::analysis::Series;
+
+    fn sample_fig() -> FigureData {
+        FigureData {
+            id: "figx",
+            title: "test figure".to_string(),
+            x_label: "p",
+            series: vec![
+                Series::sweep_p("a", 2, |p| p),
+                Series::sweep_p("b", 2, |p| 1.0 - p),
+            ],
+            notes: vec!["note one".to_string()],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_table_and_notes() {
+        let md = to_markdown(&sample_fig());
+        assert!(md.contains("## figx — test figure"));
+        assert!(md.contains("| p | a | b |"));
+        assert!(md.contains("- note one"));
+    }
+
+    #[test]
+    fn markdown_handles_mismatched_grids() {
+        let mut fig = sample_fig();
+        fig.series.push(Series::over_ints("c", 1..=5, |x| x as f64));
+        let md = to_markdown(&fig);
+        assert!(md.contains("### a"));
+        assert!(md.contains("### c"));
+    }
+
+    #[test]
+    fn files_written() {
+        let dir = std::env::temp_dir().join(format!("tq_report_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        write_files(&sample_fig(), &dir).unwrap();
+        assert!(dir.join("figx.md").exists());
+        assert!(dir.join("figx__a.csv").exists());
+        assert!(dir.join("figx__b.csv").exists());
+        let csv = fs::read_to_string(dir.join("figx__a.csv")).unwrap();
+        assert!(csv.starts_with("p,a\n0.000000,0.000000"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,69 @@
+//! Availability study: the paper's Fig. 3 comparison, live at your
+//! terminal — closed forms (eqs. 10 and 13) against the *executed*
+//! protocols under sampled fail-stop faults.
+//!
+//! ```text
+//! cargo run --release --example availability_study [trials]
+//! ```
+
+use trapezoid_quorum::quorum::availability;
+use trapezoid_quorum::sim::monte_carlo;
+use trapezoid_quorum::ProtocolConfig;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+
+    // The reconstructed Fig. 3 configuration: (15, 8) stripe, trapezoid
+    // a=0, b=4, h=1 (levels of 4 and 4), w = 2.
+    let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).expect("valid parameters");
+    let (shape, th) = (*config.shape(), config.thresholds().clone());
+    println!("configuration: {config}");
+    println!("trials per point: {trials}\n");
+
+    println!(
+        "{:>5} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "p", "eq10 FR", "sim FR", "eq13 ERC", "sim ERC", "eq9 write", "sim write"
+    );
+    println!("{}", "-".repeat(72));
+    for i in 1..10 {
+        let p = i as f64 / 10.0;
+        let fr_analytic = availability::read_availability_fr(&shape, &th, p);
+        let fr_sim = monte_carlo::protocol_fr_read_availability(&shape, &th, p, trials, 100 + i);
+        let erc_analytic = availability::read_availability_erc(&shape, &th, 15, 8, p);
+        let erc_sim = monte_carlo::protocol_read_availability(&config, p, trials, 200 + i);
+        let w_analytic = availability::write_availability(&shape, &th, p);
+        let w_sim = monte_carlo::protocol_write_availability(&config, p, trials, 300 + i, true);
+        println!(
+            "{:>5.2} | {:>9.4} {:>9.4} | {:>9.4} {:>9.4} | {:>9.4} {:>9.4}",
+            p,
+            fr_analytic,
+            fr_sim.mean(),
+            erc_analytic,
+            erc_sim.mean(),
+            w_analytic,
+            w_sim.mean()
+        );
+    }
+
+    println!();
+    println!("shape checks (the paper's qualitative claims):");
+    let fr_05 = availability::read_availability_fr(&shape, &th, 0.5);
+    let erc_05 = availability::read_availability_erc(&shape, &th, 15, 8, 0.5);
+    println!(
+        "  * p = 0.5 anchors: FR = {fr_05:.3} (paper ~0.75), ERC = {erc_05:.3} (paper ~0.63)"
+    );
+    let fr_08 = availability::read_availability_fr(&shape, &th, 0.8);
+    let erc_08 = availability::read_availability_erc(&shape, &th, 15, 8, 0.8);
+    println!(
+        "  * p = 0.8: FR - ERC = {:+.4} (paper: 'no difference when p >= 0.8')",
+        fr_08 - erc_08
+    );
+    println!(
+        "  * storage: FR {} blocks vs ERC {:.3} blocks per data block (eqs. 14/15)",
+        availability::storage_fr(15, 8),
+        availability::storage_erc(15, 8)
+    );
+}

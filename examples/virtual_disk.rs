@@ -1,0 +1,157 @@
+//! The paper's motivating workload: a virtual-machine disk image that
+//! *must* stay strictly consistent while living on erasure-coded storage.
+//!
+//! §I: "when users' data stored on virtual disks is accessed by several
+//! virtual machines, a strict consistency protocol is required in any
+//! case to avoid incoherent data." Append-only schemes (the related work)
+//! cannot host such disks; TRAP-ERC can.
+//!
+//! This example builds a small virtual disk from many (15, 8) stripes and
+//! runs a random-write workload through failure windows: at each window
+//! boundary every node returns, a scrub pass repairs accumulated
+//! staleness (the repair extension — the paper itself has no anti-entropy
+//! path, and without one, missed parity deltas accumulate until even a
+//! fully-live cluster cannot assemble k consistent nodes), and then up to
+//! two fresh nodes fail for the next window. A final audit checks every
+//! logical block against a shadow copy.
+//!
+//! ```text
+//! cargo run --release --example virtual_disk
+//! ```
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trapezoid_quorum::{Cluster, FaultInjector, LocalTransport, ProtocolConfig, TrapErcClient};
+
+const BLOCK_SIZE: usize = 1024;
+const STRIPES: usize = 16;
+const K: usize = 8;
+const OPS: usize = 400;
+const WINDOW: usize = 25;
+
+/// Logical block address → (stripe id, block index).
+fn locate(lba: usize) -> (u64, usize) {
+    ((lba / K) as u64, lba % K)
+}
+
+fn main() {
+    let config = ProtocolConfig::with_uniform_w(15, K, 0, 4, 1, 2).expect("valid parameters");
+    let cluster = Cluster::new(15);
+    let client =
+        TrapErcClient::new(config, LocalTransport::new(cluster.clone())).expect("sized cluster");
+
+    for stripe in 0..STRIPES as u64 {
+        let blocks = vec![vec![0u8; BLOCK_SIZE]; K];
+        client.create_stripe(stripe, blocks).expect("all nodes up");
+    }
+    let disk_blocks = STRIPES * K;
+    println!(
+        "virtual disk: {} logical blocks x {} B = {} KiB on a 15-node cluster ((15,8) MDS)",
+        disk_blocks,
+        BLOCK_SIZE,
+        disk_blocks * BLOCK_SIZE / 1024
+    );
+
+    // Shadow copy = the last value the "VM" knows was committed.
+    // Rejected writes are *uncertain*: Algorithm 1 has no rollback, so a
+    // failed write may or may not become visible later — exactly the
+    // anomaly a real initiator must handle. We remember the attempted
+    // payload and accept either value from then on.
+    let mut shadow = vec![vec![0u8; BLOCK_SIZE]; disk_blocks];
+    let mut uncertain: HashMap<usize, Vec<u8>> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(2015);
+    let mut injector = FaultInjector::new(42);
+
+    let mut committed = 0usize;
+    let mut rejected = 0usize;
+    let mut reads_checked = 0usize;
+    let mut scrubbed_nodes = 0usize;
+    for op in 0..OPS {
+        // Window boundary: full recovery, scrub, then a fresh failure set
+        // of up to 3 nodes (well inside the n - k = 7 code tolerance, so
+        // scrubs always succeed and committed data stays readable).
+        if op % WINDOW == 0 {
+            for node in 0..15 {
+                cluster.revive(node);
+            }
+            let mut repaired = 0usize;
+            for stripe in 0..STRIPES as u64 {
+                repaired += client
+                    .scrub_stripe(stripe)
+                    .expect("scrub with all nodes up")
+                    .refreshed
+                    .len();
+            }
+            scrubbed_nodes += repaired;
+            let failures = (op / WINDOW) % 4; // 0, 1, 2, 3, 0, ...
+            let killed = injector.kill_exactly(&cluster, failures);
+            println!(
+                "op {op:3}: window boundary — scrub refreshed {repaired} states, now down = {killed:?}"
+            );
+        }
+
+        let lba = rng.random_range(0..disk_blocks);
+        let (stripe, block) = locate(lba);
+        if rng.random_bool(0.3) {
+            // A VM read: must return the committed value (or the
+            // uncertain one, if the last write to this block failed).
+            if let Ok(out) = client.read_block(stripe, block) {
+                let ok = out.bytes == shadow[lba]
+                    || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
+                assert!(ok, "lba {lba}: read returned neither committed nor uncertain value");
+                reads_checked += 1;
+            }
+            continue;
+        }
+        let mut payload = vec![0u8; BLOCK_SIZE];
+        rng.fill(payload.as_mut_slice());
+        match client.write_block(stripe, block, &payload) {
+            Ok(_) => {
+                shadow[lba] = payload;
+                uncertain.remove(&lba);
+                committed += 1;
+            }
+            Err(_) => {
+                uncertain.insert(lba, payload);
+                rejected += 1;
+            }
+        }
+    }
+
+    // Full recovery, final scrub, then audit every logical block.
+    for node in 0..15 {
+        cluster.revive(node);
+    }
+    for stripe in 0..STRIPES as u64 {
+        client.scrub_stripe(stripe).expect("cluster fully up");
+    }
+    let mut direct = 0usize;
+    let mut decoded = 0usize;
+    for lba in 0..disk_blocks {
+        let (stripe, block) = locate(lba);
+        let out = client.read_block(stripe, block).expect("scrubbed cluster");
+        let ok = out.bytes == shadow[lba]
+            || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
+        assert!(ok, "lba {lba}: content matches neither committed nor uncertain value");
+        if out.decoded() {
+            decoded += 1;
+        } else {
+            direct += 1;
+        }
+    }
+    println!(
+        "\nworkload: {committed} committed writes, {rejected} rejected (no quorum at the time), \
+         {} blocks left uncertain, {reads_checked} mid-run reads verified",
+        uncertain.len()
+    );
+    println!("audit: all {disk_blocks} blocks consistent ({direct} direct, {decoded} decoded)");
+    println!("scrub passes refreshed {scrubbed_nodes} node-stripe states during the run");
+    let io = cluster.io_totals();
+    println!(
+        "cluster IO: {} block reads / {} block writes / {} parity folds; {} rejected requests",
+        io.reads, io.writes, io.parity_adds, io.rejected
+    );
+    println!("strict consistency held across {OPS} operations with fail-stop churn.");
+}

@@ -1,0 +1,40 @@
+//! # trapezoid-quorum — facade crate
+//!
+//! One-stop re-export of the workspace implementing Relaza, Jorda &
+//! M'zoughi, *Trapezoid Quorum Protocol Dedicated to Erasure Resilient
+//! Coding Based Schemes* (IPDPSW 2015):
+//!
+//! | layer | crate | re-exported as |
+//! |---|---|---|
+//! | GF(2⁸) arithmetic | `tq-gf256` | [`gf256`] |
+//! | (n, k) MDS codes + delta updates | `tq-erasure` | [`erasure`] |
+//! | quorum systems + availability analysis | `tq-quorum` | [`quorum`] |
+//! | simulated storage substrate | `tq-cluster` | [`cluster`] |
+//! | TRAP-ERC / TRAP-FR protocols | `tq-trapezoid` | [`protocol`] |
+//! | Monte-Carlo + figure regeneration | `tq-sim` | [`sim`] |
+//!
+//! The most common types are also lifted to the crate root. See the
+//! `examples/` directory for end-to-end walkthroughs:
+//!
+//! * `quickstart` — create a stripe, write, lose a node, still read.
+//! * `virtual_disk` — the paper's motivating scenario: a VM disk image
+//!   with strict consistency over erasure-coded storage.
+//! * `availability_study` — regenerate the Fig. 3 comparison at the
+//!   terminal, analytic vs simulated.
+//! * `failure_injection` — scripted fail-stop scenarios showing exactly
+//!   when writes fail and how reads survive via decode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tq_cluster as cluster;
+pub use tq_erasure as erasure;
+pub use tq_gf256 as gf256;
+pub use tq_quorum as quorum;
+pub use tq_sim as sim;
+pub use tq_trapezoid as protocol;
+
+pub use tq_cluster::{Cluster, FaultInjector, LocalTransport};
+pub use tq_erasure::{CodeParams, ReedSolomon};
+pub use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
+pub use tq_trapezoid::{ProtocolConfig, ProtocolError, TrapErcClient, TrapFrClient};

@@ -1,0 +1,212 @@
+//! Protocol-level property tests: random workloads against a shadow
+//! model, with bounded random fail-stop churn.
+//!
+//! These close the loop the unit tests cannot: arbitrary interleavings of
+//! writes, reads, failures, revivals, scrubs and rebuilds, always checked
+//! against an in-memory oracle. Failures are kept within the code's
+//! tolerance (≤ n − k simultaneous) between scrub points.
+//!
+//! The oracle allows exactly three sources for any byte a read returns:
+//! the initial content, a committed write, or the residue of a failed
+//! write (Algorithm 1 has no rollback). A scrub may additionally
+//! *salvage* a poisoned block — a failed write whose residue version is
+//! visible but unrecoverable — by rolling it back to the newest
+//! recoverable value; the settled value must still be one of the above.
+
+use proptest::prelude::*;
+use trapezoid_quorum::{Cluster, LocalTransport, ProtocolConfig, ProtocolError, TrapErcClient};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { block: usize, seed: u8 },
+    Read { block: usize },
+    Kill { node: usize },
+    ReviveAllAndScrub,
+    Replace { node: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<usize>(), any::<u8>()).prop_map(|(b, seed)| Op::Write { block: b % 8, seed }),
+        3 => any::<usize>().prop_map(|b| Op::Read { block: b % 8 }),
+        2 => any::<usize>().prop_map(|n| Op::Kill { node: n % 15 }),
+        1 => Just(Op::ReviveAllAndScrub),
+        1 => any::<usize>().prop_map(|n| Op::Replace { node: n % 15 }),
+    ]
+}
+
+const BLOCK_LEN: usize = 32;
+
+/// Shadow model: per block, the set of currently-plausible values plus
+/// the set of every value that was ever written (for salvage checking).
+struct Oracle {
+    plausible: Vec<Vec<Vec<u8>>>,
+    ever: Vec<Vec<Vec<u8>>>,
+}
+
+impl Oracle {
+    fn new(initial: &[Vec<u8>]) -> Self {
+        Oracle {
+            plausible: initial.iter().map(|b| vec![b.clone()]).collect(),
+            ever: initial.iter().map(|b| vec![b.clone()]).collect(),
+        }
+    }
+    fn record_ever(&mut self, block: usize, value: &[u8]) {
+        if !self.ever[block].iter().any(|v| v == value) {
+            self.ever[block].push(value.to_vec());
+        }
+    }
+    fn committed(&mut self, block: usize, value: Vec<u8>) {
+        self.record_ever(block, &value);
+        self.plausible[block] = vec![value];
+    }
+    fn residue(&mut self, block: usize, value: Vec<u8>) {
+        self.record_ever(block, &value);
+        self.plausible[block].push(value);
+    }
+    fn plausible_now(&self, block: usize, value: &[u8]) -> bool {
+        self.plausible[block].iter().any(|v| v == value)
+    }
+    fn ever_written(&self, block: usize, value: &[u8]) -> bool {
+        self.ever[block].iter().any(|v| v == value)
+    }
+    /// A scrub settled the block on `value` (possibly a salvage
+    /// rollback): it becomes the single plausible value.
+    fn settled(&mut self, block: usize, value: Vec<u8>) {
+        self.plausible[block] = vec![value];
+    }
+}
+
+/// Reads every block after a scrub, asserting the settled values were
+/// ever written, and collapses the oracle onto them.
+fn audit_after_scrub(
+    client: &TrapErcClient<LocalTransport>,
+    oracle: &mut Oracle,
+    salvaged: &[usize],
+) -> Result<(), TestCaseError> {
+    for block in 0..8 {
+        let out = client.read_block(1, block).expect("scrubbed stripe readable");
+        if salvaged.contains(&block) {
+            prop_assert!(
+                oracle.ever_written(block, &out.bytes),
+                "salvaged block {block} settled on a never-written value"
+            );
+        } else {
+            prop_assert!(
+                oracle.plausible_now(block, &out.bytes),
+                "block {block} settled on an implausible value"
+            );
+        }
+        oracle.settled(block, out.bytes);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Safety: every read returns a value that was written to that block
+    /// (committed or residue) — never garbage, never another block's
+    /// bytes, never a mix — and scrubs settle only on ever-written values.
+    #[test]
+    fn reads_return_only_written_values(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
+        let cluster = Cluster::new(15);
+        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
+        let initial: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; BLOCK_LEN]).collect();
+        client.create_stripe(1, initial.clone()).unwrap();
+        let mut oracle = Oracle::new(&initial);
+        let mut down = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Write { block, seed } => {
+                    let payload: Vec<u8> = (0..BLOCK_LEN).map(|b| seed.wrapping_add(b as u8)).collect();
+                    match client.write_block(1, block, &payload) {
+                        Ok(_) => oracle.committed(block, payload),
+                        Err(ProtocolError::WriteQuorumNotMet { .. }) => oracle.residue(block, payload),
+                        Err(ProtocolError::OldValueUnreadable(_)) => {}
+                        Err(e) => prop_assert!(false, "unexpected write error {e}"),
+                    }
+                }
+                Op::Read { block } => {
+                    if let Ok(out) = client.read_block(1, block) {
+                        prop_assert!(
+                            oracle.plausible_now(block, &out.bytes),
+                            "block {block} returned a never-written value"
+                        );
+                    }
+                }
+                Op::Kill { node } => {
+                    // Keep simultaneous failures within n - k = 7.
+                    if down < 7 && cluster.node(node).is_up() {
+                        cluster.kill(node);
+                        down += 1;
+                    }
+                }
+                Op::ReviveAllAndScrub => {
+                    for n in 0..15 {
+                        cluster.revive(n);
+                    }
+                    down = 0;
+                    let report = client.scrub_stripe(1).unwrap();
+                    audit_after_scrub(&client, &mut oracle, &report.salvaged)?;
+                }
+                Op::Replace { node } => {
+                    // Replacement only when the cluster is healthy enough
+                    // to rebuild (otherwise it is just a kill).
+                    if down == 0 {
+                        cluster.replace(node);
+                        if client.rebuild_node(1, node).is_err() {
+                            // Not rebuildable right now: count as down.
+                            cluster.kill(node);
+                            down += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final: heal everything; the scrub must leave every block
+        // readable at an ever-written value (salvaging if poisoned).
+        for n in 0..15 {
+            cluster.revive(n);
+        }
+        let report = client.scrub_stripe(1).unwrap();
+        audit_after_scrub(&client, &mut oracle, &report.salvaged)?;
+    }
+
+    /// Durability: a committed write is immediately readable and survives
+    /// any single later failure plus recovery — salvage never rolls back
+    /// a *committed* write in this regime.
+    #[test]
+    fn committed_writes_are_durable(
+        block in 0usize..8,
+        seed in any::<u8>(),
+        killer in any::<usize>(),
+    ) {
+        let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
+        let cluster = Cluster::new(15);
+        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
+        client.create_stripe(1, (0..8).map(|i| vec![i as u8; BLOCK_LEN]).collect()).unwrap();
+
+        let payload: Vec<u8> = (0..BLOCK_LEN).map(|b| seed.wrapping_mul(b as u8 | 1)).collect();
+        client.write_block(1, block, &payload).unwrap();
+
+        // Any single node dies — commits must stay readable.
+        cluster.kill(killer % 15);
+        let out = client.read_block(1, block).unwrap();
+        prop_assert_eq!(&out.bytes, &payload);
+
+        // Heal and scrub: still the same value, now direct, no salvage.
+        cluster.revive(killer % 15);
+        let report = client.scrub_stripe(1).unwrap();
+        prop_assert!(report.salvaged.is_empty());
+        let out = client.read_block(1, block).unwrap();
+        prop_assert_eq!(&out.bytes, &payload);
+    }
+}
