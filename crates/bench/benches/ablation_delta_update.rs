@@ -28,7 +28,10 @@ fn naive_reencode_update(
     let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
     let mut versions = Vec::with_capacity(k);
     for i in 0..k {
-        match transport.call(NodeId(i), Request::ReadData { id }).expect("up") {
+        match transport
+            .call(NodeId(i), Request::ReadData { id })
+            .expect("up")
+        {
             Response::Data { bytes, version } => {
                 data.push(bytes.to_vec());
                 versions.push(version);
@@ -41,19 +44,25 @@ fn naive_reencode_update(
     let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
     let parity = client.codec().encode(&refs);
     transport
-        .call(NodeId(target), Request::WriteData {
-            id,
-            bytes: Bytes::copy_from_slice(new),
-            version: versions[target],
-        })
+        .call(
+            NodeId(target),
+            Request::WriteData {
+                id,
+                bytes: Bytes::copy_from_slice(new),
+                version: versions[target],
+            },
+        )
         .expect("up");
     for (j, p) in client.config().params().parity_indices().zip(&parity) {
         transport
-            .call(NodeId(j), Request::PutParity {
-                id,
-                bytes: Bytes::copy_from_slice(p),
-                versions: versions.clone(),
-            })
+            .call(
+                NodeId(j),
+                Request::PutParity {
+                    id,
+                    bytes: Bytes::copy_from_slice(p),
+                    versions: versions.clone(),
+                },
+            )
             .expect("up");
     }
 }

@@ -9,7 +9,7 @@ use tq_erasure::{delta, CodeParams, ReedSolomon};
 const BLOCK: usize = 4096;
 
 fn setup(n: usize, k: usize) -> (ReedSolomon, Vec<Vec<u8>>, Vec<Vec<u8>>) {
-    let rs = ReedSolomon::new(CodeParams::new(n, k).expect("valid")) ;
+    let rs = ReedSolomon::new(CodeParams::new(n, k).expect("valid"));
     let data: Vec<Vec<u8>> = (0..k).map(|i| payload(BLOCK, i as u8)).collect();
     let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
     let parity = rs.encode(&refs);
@@ -22,9 +22,11 @@ fn bench_encode(c: &mut Criterion) {
         let (rs, data, _) = setup(n, k);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         group.throughput(Throughput::Bytes((k * BLOCK) as u64));
-        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
-            b.iter(|| rs.encode(black_box(&refs)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stripe", format!("{n}_{k}")),
+            &k,
+            |b, _| b.iter(|| rs.encode(black_box(&refs))),
+        );
     }
     group.finish();
 }
@@ -37,12 +39,24 @@ fn bench_decode_block(c: &mut Criterion) {
         // data survive.
         let available: Vec<(usize, &[u8])> = (1..k)
             .map(|i| (i, data[i].as_slice()))
-            .chain(parity.iter().enumerate().map(|(j, p)| (k + j, p.as_slice())))
+            .chain(
+                parity
+                    .iter()
+                    .enumerate()
+                    .map(|(j, p)| (k + j, p.as_slice())),
+            )
             .collect();
         group.throughput(Throughput::Bytes(BLOCK as u64));
-        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
-            b.iter(|| rs.decode_block(0, black_box(&available)).expect("decodable"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stripe", format!("{n}_{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    rs.decode_block(0, black_box(&available))
+                        .expect("decodable")
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -53,19 +67,23 @@ fn bench_reconstruct(c: &mut Criterion) {
         let (rs, data, parity) = setup(n, k);
         let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
         group.throughput(Throughput::Bytes(((n - k) * BLOCK) as u64));
-        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
-            b.iter_with_setup(
-                || {
-                    let mut shards: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
-                    for lost in 0..(n - k) {
-                        shards[lost * n / (n - k)] = None;
-                    }
-                    shards
-                },
-                |mut shards| rs.reconstruct(black_box(&mut shards)).expect("recoverable"),
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stripe", format!("{n}_{k}")),
+            &k,
+            |b, _| {
+                b.iter_with_setup(
+                    || {
+                        let mut shards: Vec<Option<Vec<u8>>> =
+                            full.iter().cloned().map(Some).collect();
+                        for lost in 0..(n - k) {
+                            shards[lost * n / (n - k)] = None;
+                        }
+                        shards
+                    },
+                    |mut shards| rs.reconstruct(black_box(&mut shards)).expect("recoverable"),
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -76,12 +94,16 @@ fn bench_parity_deltas(c: &mut Criterion) {
         let (rs, data, _) = setup(n, k);
         let new_block = payload(BLOCK, 0xEE);
         group.throughput(Throughput::Bytes(((n - k) * BLOCK) as u64));
-        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
-            b.iter(|| {
-                delta::parity_deltas(&rs, 0, black_box(&data[0]), black_box(&new_block))
-                    .expect("valid update")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stripe", format!("{n}_{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    delta::parity_deltas(&rs, 0, black_box(&data[0]), black_box(&new_block))
+                        .expect("valid update")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -65,17 +65,13 @@ fn bench_protocol_read_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3/protocol_read_op");
     for block_len in [512usize, 4096] {
         let (cluster, client) = provisioned(block_len);
-        group.bench_with_input(
-            BenchmarkId::new("direct", block_len),
-            &block_len,
-            |b, _| b.iter(|| client.read_block(1, 0).expect("direct path")),
-        );
+        group.bench_with_input(BenchmarkId::new("direct", block_len), &block_len, |b, _| {
+            b.iter(|| client.read_block(1, 0).expect("direct path"))
+        });
         cluster.kill(0);
-        group.bench_with_input(
-            BenchmarkId::new("decode", block_len),
-            &block_len,
-            |b, _| b.iter(|| client.read_block(1, 0).expect("decode path")),
-        );
+        group.bench_with_input(BenchmarkId::new("decode", block_len), &block_len, |b, _| {
+            b.iter(|| client.read_block(1, 0).expect("decode path"))
+        });
         cluster.revive(0);
     }
     group.finish();

@@ -46,8 +46,11 @@ fn bench_stripe_provisioning(c: &mut Criterion) {
 fn bench_storage_accounting(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/stored_bytes_scan");
     let cluster = Cluster::new(15);
-    let client = TrapErcClient::new(tq_bench::paper_config(), LocalTransport::new(cluster.clone()))
-        .expect("sized");
+    let client = TrapErcClient::new(
+        tq_bench::paper_config(),
+        LocalTransport::new(cluster.clone()),
+    )
+    .expect("sized");
     for id in 0..64u64 {
         let blocks: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 1024]).collect();
         client.create_stripe(id, blocks).expect("all up");

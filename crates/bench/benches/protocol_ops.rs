@@ -80,7 +80,9 @@ fn bench_read_latency(c: &mut Criterion) {
     let maj_cluster = Cluster::new(8);
     let majority = MajorityClient::new(8, LocalTransport::new(maj_cluster)).expect("sized");
     majority.create(1, &payload(BLOCK, 0)).expect("all up");
-    group.bench_function("majority", |b| b.iter(|| majority.read(1).expect("healthy")));
+    group.bench_function("majority", |b| {
+        b.iter(|| majority.read(1).expect("healthy"))
+    });
     group.finish();
 }
 
@@ -94,5 +96,10 @@ fn bench_scrub(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_write_latency, bench_read_latency, bench_scrub);
+criterion_group!(
+    benches,
+    bench_write_latency,
+    bench_read_latency,
+    bench_scrub
+);
 criterion_main!(benches);

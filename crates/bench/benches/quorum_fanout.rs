@@ -1,0 +1,200 @@
+//! Sequential vs scatter-gather dispatch under injected per-node latency.
+//!
+//! The motivation for the quorum round engine in numbers: a trapezoid
+//! level of `s_l` members costs `s_l` round trips when walked one
+//! blocking call at a time, but roughly *one* round trip when fanned out
+//! concurrently — the paper's quorum structure only pays off once
+//! dispatch overlaps. This bench injects a uniform per-node service
+//! delay into a [`ChannelTransport`] and measures both shapes at two
+//! granularities:
+//!
+//! * raw rounds (`QuorumRound` over ping batches of level-like sizes);
+//! * whole protocol operations (`TrapErcClient` writes/reads), where the
+//!   sequential reference routes the *same* engine code through a
+//!   wrapper that falls back to the default lazy sequential `multicall`.
+//!
+//! A speedup summary is printed at start-up (the repo's bench style:
+//! artefact rows first, measurements after).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_cluster::{
+    ChannelTransport, Cluster, NodeError, NodeId, QuorumRound, Request, Response, Transport,
+};
+use tq_trapezoid::{ProtocolConfig, TrapErcClient};
+
+/// Injected per-node service delay. Large enough to dominate channel
+/// overhead, small enough to keep the bench quick.
+const NODE_DELAY: Duration = Duration::from_micros(400);
+
+/// Wrapper that keeps a transport's `call` but *drops* its concurrent
+/// `multicall` override, restoring the default lazy sequential dispatch —
+/// the seed implementation's shape, over identical latency.
+struct SequentialDispatch<T>(T);
+
+impl<T: Transport> Transport for SequentialDispatch<T> {
+    fn node_count(&self) -> usize {
+        self.0.node_count()
+    }
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        self.0.call(node, req)
+    }
+    // multicall: inherited sequential default.
+}
+
+fn slow_transport(n: usize) -> ChannelTransport {
+    ChannelTransport::with_latency(Cluster::new(n), &vec![NODE_DELAY; n])
+}
+
+fn pings(n: usize) -> Vec<(NodeId, Request)> {
+    (0..n).map(|i| (NodeId(i), Request::Ping)).collect()
+}
+
+fn time<R>(mut f: impl FnMut() -> R, reps: u32) -> Duration {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed() / reps
+}
+
+/// Printed preamble: the speedup table the tentpole promises.
+fn print_speedup_summary() {
+    eprintln!("# quorum_fanout — await-all round over s members, {NODE_DELAY:?}/node");
+    eprintln!("# s  sequential  fanout  speedup");
+    for s in [4usize, 8, 15] {
+        let t = slow_transport(15);
+        let seq = SequentialDispatch(&t);
+        let sequential = time(
+            || {
+                let out = QuorumRound::await_all(s).run(&seq, pings(s));
+                assert!(out.quorum_met());
+            },
+            10,
+        );
+        let fanout = time(
+            || {
+                let out = QuorumRound::await_all(s).run(&t, pings(s));
+                assert!(out.quorum_met());
+            },
+            10,
+        );
+        eprintln!(
+            "{s:>4}  {:>9.2?}  {fanout:>7.2?}  {:>6.2}x",
+            sequential,
+            sequential.as_secs_f64() / fanout.as_secs_f64()
+        );
+    }
+}
+
+fn bench_raw_rounds(c: &mut Criterion) {
+    print_speedup_summary();
+    let mut group = c.benchmark_group("fanout/round_awaitall");
+    group.sample_size(20);
+    for s in [4usize, 8, 15] {
+        let t = slow_transport(15);
+        group.bench_with_input(BenchmarkId::new("sequential", s), &s, |b, &s| {
+            let seq = SequentialDispatch(&t);
+            b.iter(|| QuorumRound::await_all(s).run(&seq, pings(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("concurrent", s), &s, |b, &s| {
+            b.iter(|| QuorumRound::await_all(s).run(&t, pings(s)))
+        });
+    }
+    group.finish();
+
+    // First-quorum: the concurrent round returns on the fastest `needed`
+    // responders; the sequential walk still pays one delay per polled
+    // member.
+    let mut group = c.benchmark_group("fanout/round_first_quorum");
+    group.sample_size(20);
+    for (s, needed) in [(8usize, 2usize), (15, 8)] {
+        let t = slow_transport(15);
+        let id = format!("{needed}_of_{s}");
+        group.bench_with_input(BenchmarkId::new("sequential", &id), &s, |b, &s| {
+            let seq = SequentialDispatch(&t);
+            b.iter(|| QuorumRound::first_quorum(needed).run(&seq, pings(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("concurrent", &id), &s, |b, &s| {
+            b.iter(|| QuorumRound::first_quorum(needed).run(&t, pings(s)))
+        });
+    }
+    group.finish();
+}
+
+const BLOCK: usize = 1024;
+
+fn protocol_fixture<T: Transport>(transport: T) -> TrapErcClient<T> {
+    let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).expect("static parameters");
+    let client = TrapErcClient::new(config, transport).expect("sized transport");
+    let blocks: Vec<Vec<u8>> = (0..8)
+        .map(|i| (0..BLOCK).map(|b| (i * 13 + b) as u8).collect())
+        .collect();
+    client.create_stripe(1, blocks).expect("all nodes up");
+    client
+}
+
+fn bench_protocol_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout/protocol");
+    group.sample_size(20);
+
+    // Algorithm 1 (hinted): level 0 = N_i + 3 parity folds, level 1 = 4
+    // parity folds; await-all both levels.
+    let old = vec![0u8; BLOCK];
+    let new = vec![0xA5u8; BLOCK];
+    {
+        let client = protocol_fixture(SequentialDispatch(slow_transport(15)));
+        let mut version = 0u64;
+        group.bench_function("write/sequential", |b| {
+            b.iter(|| {
+                let out = client
+                    .write_block_with_hint(
+                        1,
+                        0,
+                        &new,
+                        if version == 0 { &old } else { &new },
+                        version,
+                    )
+                    .expect("healthy cluster");
+                version = out.version;
+            })
+        });
+    }
+    {
+        let client = protocol_fixture(slow_transport(15));
+        let mut version = 0u64;
+        group.bench_function("write/concurrent", |b| {
+            b.iter(|| {
+                let out = client
+                    .write_block_with_hint(
+                        1,
+                        0,
+                        &new,
+                        if version == 0 { &old } else { &new },
+                        version,
+                    )
+                    .expect("healthy cluster");
+                version = out.version;
+            })
+        });
+    }
+
+    // Algorithm 2: level-0 version check (r_0 = 2 of 4) + direct read.
+    {
+        let client = protocol_fixture(SequentialDispatch(slow_transport(15)));
+        group.bench_function("read/sequential", |b| {
+            b.iter(|| client.read_block(1, 0).expect("healthy cluster"))
+        });
+    }
+    {
+        let client = protocol_fixture(slow_transport(15));
+        group.bench_function("read/concurrent", |b| {
+            b.iter(|| client.read_block(1, 0).expect("healthy cluster"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_rounds, bench_protocol_ops);
+criterion_main!(benches);

@@ -44,13 +44,17 @@ fn bench_functional_repair_row(c: &mut Criterion) {
     group.sample_size(20);
     for (n, k) in [(9usize, 6usize), (15, 8)] {
         let rs = ReedSolomon::new(CodeParams::new(n, k).expect("valid"));
-        group.bench_with_input(BenchmarkId::new("stripe", format!("{n}_{k}")), &k, |b, _| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                functional_repair_row(black_box(&rs), k, seed).expect("repairable")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stripe", format!("{n}_{k}")),
+            &k,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    functional_repair_row(black_box(&rs), k, seed).expect("repairable")
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -60,8 +64,8 @@ fn bench_cluster_rebuild(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Bytes((8 * BLOCK) as u64)); // k source reads
     let cluster = Cluster::new(15);
-    let client = TrapErcClient::new(paper_config(), LocalTransport::new(cluster.clone()))
-        .expect("sized");
+    let client =
+        TrapErcClient::new(paper_config(), LocalTransport::new(cluster.clone())).expect("sized");
     let blocks: Vec<Vec<u8>> = (0..8).map(|i| payload(BLOCK, i as u8)).collect();
     client.create_stripe(1, blocks).expect("all up");
     group.bench_function("data_node", |b| {

@@ -24,7 +24,9 @@ impl Cluster {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "cluster needs at least one node");
         Cluster {
-            nodes: (0..n).map(|i| Arc::new(StorageNode::new(NodeId(i)))).collect(),
+            nodes: (0..n)
+                .map(|i| Arc::new(StorageNode::new(NodeId(i))))
+                .collect(),
         }
     }
 

@@ -146,7 +146,11 @@ mod tests {
         let mut live = 0usize;
         let trials = 2000;
         for _ in 0..trials {
-            live += inj.bernoulli_pattern(10, 0.8).iter().filter(|&&b| b).count();
+            live += inj
+                .bernoulli_pattern(10, 0.8)
+                .iter()
+                .filter(|&&b| b)
+                .count();
         }
         let freq = live as f64 / (trials * 10) as f64;
         assert!((freq - 0.8).abs() < 0.02, "empirical p = {freq}");

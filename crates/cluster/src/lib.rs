@@ -19,6 +19,10 @@
 //!   experiments), [`transport::ChannelTransport`] runs a thread per node behind
 //!   crossbeam channels (the concurrent configuration integration tests
 //!   exercise).
+//! * [`quorum_round`] — the scatter-gather round engine: one trapezoid
+//!   level's requests issued at once through [`transport::Transport::multicall`],
+//!   completed on the paper's `w_l`/`r_l` quorum condition, stragglers
+//!   and failures reported for accounting.
 //! * [`fault`] — seeded Bernoulli availability sampling and fault
 //!   schedules, so every experiment is replayable bit-for-bit.
 //!
@@ -32,6 +36,7 @@
 pub mod cluster;
 pub mod fault;
 pub mod node;
+pub mod quorum_round;
 pub mod rpc;
 pub mod stats;
 pub mod transport;
@@ -39,6 +44,7 @@ pub mod transport;
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
 pub use node::{NodeId, StorageNode};
+pub use quorum_round::{Accepted, Completion, QuorumRound, Rejected, RoundOutcome};
 pub use rpc::{BlockId, NodeError, Request, Response};
 pub use stats::IoStats;
-pub use transport::{ChannelTransport, LocalTransport, Transport};
+pub use transport::{ChannelTransport, LocalTransport, RoundReply, Transport};

@@ -239,7 +239,11 @@ impl StorageNode {
                     }
                 }
             }
-            Request::PutParity { id, bytes, versions } => {
+            Request::PutParity {
+                id,
+                bytes,
+                versions,
+            } => {
                 let mut blocks = self.blocks.lock();
                 match blocks.get_mut(&id) {
                     Some(StoredBlock::Parity {
@@ -359,7 +363,10 @@ mod tests {
         })
         .unwrap();
         // Fresh block: version 0.
-        assert_eq!(n.handle(Request::VersionData { id: 7 }), Ok(Response::Version(0)));
+        assert_eq!(
+            n.handle(Request::VersionData { id: 7 }),
+            Ok(Response::Version(0))
+        );
         // Overwrite with version 1.
         n.handle(Request::WriteData {
             id: 7,
@@ -397,7 +404,10 @@ mod tests {
     #[test]
     fn missing_block_not_found() {
         let n = node();
-        assert_eq!(n.handle(Request::ReadData { id: 9 }), Err(NodeError::NotFound));
+        assert_eq!(
+            n.handle(Request::ReadData { id: 9 }),
+            Err(NodeError::NotFound)
+        );
         assert_eq!(
             n.handle(Request::VersionData { id: 9 }),
             Err(NodeError::NotFound)
@@ -422,7 +432,10 @@ mod tests {
             n.handle(Request::VersionVector { id: 1 }),
             Err(NodeError::WrongKind)
         );
-        assert_eq!(n.handle(Request::ReadData { id: 2 }), Err(NodeError::WrongKind));
+        assert_eq!(
+            n.handle(Request::ReadData { id: 2 }),
+            Err(NodeError::WrongKind)
+        );
         assert_eq!(
             n.handle(Request::WriteData {
                 id: 2,

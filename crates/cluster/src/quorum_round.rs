@@ -1,0 +1,285 @@
+//! The quorum round engine: scatter a level's requests, gather until the
+//! quorum condition is met.
+//!
+//! The paper's Algorithms 1 and 2 are loops over trapezoid levels; each
+//! level polls its members and proceeds once `w_l` (write) or `r_l`
+//! (read) of them validate. The seed implementation walked members one
+//! blocking [`Transport::call`] at a time, so a level's wall-clock cost
+//! was the *sum* of member latencies. [`QuorumRound`] restores the shape
+//! quorum systems are built for: issue the whole level at once via
+//! [`Transport::multicall`] and complete on the quorum condition —
+//! roughly the latency of the slowest *needed* responder on a concurrent
+//! transport, and bit-for-bit the old sequential behaviour on
+//! [`LocalTransport`](crate::transport::LocalTransport).
+//!
+//! Two completion policies cover both algorithms:
+//!
+//! * [`QuorumRound::await_all`] — every reply is awaited; the quorum
+//!   threshold only decides success afterwards. Writes need this: a
+//!   validated write *set* is the durability statement, and on the
+//!   sequential transport an early exit would leave members unwritten.
+//! * [`QuorumRound::first_quorum`] — the round ends the moment the
+//!   threshold-th success arrives. Version checks (Algorithm 2 line 30)
+//!   and "first live replica" reads use this; outstanding members are
+//!   reported as [`RoundOutcome::abandoned`] stragglers.
+
+use crate::node::NodeId;
+use crate::rpc::{NodeError, Request, Response};
+use crate::transport::Transport;
+
+/// When a round stops gathering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Stop as soon as `needed` successes arrived.
+    FirstQuorum,
+    /// Gather every reply; `needed` only grades the outcome.
+    AwaitAll,
+}
+
+/// A successful reply within a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accepted {
+    /// Position within the issued batch (stable across transports).
+    pub index: usize,
+    /// The responding node.
+    pub node: NodeId,
+    /// Its answer.
+    pub response: Response,
+}
+
+/// A failed reply within a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejected {
+    /// Position within the issued batch.
+    pub index: usize,
+    /// The failing node.
+    pub node: NodeId,
+    /// Why it failed.
+    pub error: NodeError,
+}
+
+/// Everything a round learned, for protocol logic and accounting.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The quorum threshold the round was run with.
+    pub needed: usize,
+    /// Successes, in arrival order.
+    pub accepted: Vec<Accepted>,
+    /// Failures, in arrival order.
+    pub rejected: Vec<Rejected>,
+    /// Members whose replies were never awaited (first-quorum early
+    /// completion). On a concurrent transport their requests were still
+    /// delivered and executed; on the sequential transport they were
+    /// never issued.
+    pub abandoned: Vec<NodeId>,
+}
+
+impl RoundOutcome {
+    /// `true` iff at least `needed` members validated.
+    pub fn quorum_met(&self) -> bool {
+        self.accepted.len() >= self.needed
+    }
+
+    /// Number of validations gathered.
+    pub fn validations(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Accepted replies re-sorted into batch-issue order — use when a
+    /// result must be independent of reply arrival order (validated-set
+    /// reporting, decode input selection).
+    pub fn accepted_in_issue_order(&self) -> Vec<&Accepted> {
+        let mut sorted: Vec<&Accepted> = self.accepted.iter().collect();
+        sorted.sort_by_key(|a| a.index);
+        sorted
+    }
+
+    /// `true` iff any rejection carries the given error.
+    pub fn saw_error(&self, is: impl Fn(&NodeError) -> bool) -> bool {
+        self.rejected.iter().any(|r| is(&r.error))
+    }
+
+    /// The first rejection in batch-issue order, if any — the error a
+    /// sequential walk would have tripped on first.
+    pub fn first_rejection(&self) -> Option<&Rejected> {
+        self.rejected.iter().min_by_key(|r| r.index)
+    }
+}
+
+/// One scatter-gather round against a set of nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumRound {
+    needed: usize,
+    completion: Completion,
+}
+
+impl QuorumRound {
+    /// A round that completes on the `needed`-th success.
+    pub fn first_quorum(needed: usize) -> Self {
+        QuorumRound {
+            needed,
+            completion: Completion::FirstQuorum,
+        }
+    }
+
+    /// A round that gathers every reply and grades against `needed`.
+    pub fn await_all(needed: usize) -> Self {
+        QuorumRound {
+            needed,
+            completion: Completion::AwaitAll,
+        }
+    }
+
+    /// The quorum threshold.
+    pub fn needed(&self) -> usize {
+        self.needed
+    }
+
+    /// The completion policy.
+    pub fn completion(&self) -> Completion {
+        self.completion
+    }
+
+    /// Runs the round: scatters `calls` through the transport's fan-out
+    /// primitive and gathers according to the completion policy.
+    pub fn run<T: Transport + ?Sized>(
+        &self,
+        transport: &T,
+        calls: Vec<(NodeId, Request)>,
+    ) -> RoundOutcome {
+        let issued: Vec<NodeId> = calls.iter().map(|&(node, _)| node).collect();
+        let mut outcome = RoundOutcome {
+            needed: self.needed,
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            abandoned: Vec::new(),
+        };
+        let mut seen = vec![false; issued.len()];
+        // A zero threshold under FirstQuorum is already satisfied; skip
+        // dispatch entirely rather than special-casing inside the sink.
+        if !(self.completion == Completion::FirstQuorum && self.needed == 0) {
+            transport.multicall(calls, &mut |reply| {
+                seen[reply.index] = true;
+                match reply.result {
+                    Ok(response) => outcome.accepted.push(Accepted {
+                        index: reply.index,
+                        node: reply.node,
+                        response,
+                    }),
+                    Err(error) => outcome.rejected.push(Rejected {
+                        index: reply.index,
+                        node: reply.node,
+                        error,
+                    }),
+                }
+                match self.completion {
+                    Completion::AwaitAll => true,
+                    Completion::FirstQuorum => outcome.accepted.len() < self.needed,
+                }
+            });
+        }
+        for (i, node) in issued.into_iter().enumerate() {
+            if !seen[i] {
+                outcome.abandoned.push(node);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::transport::{ChannelTransport, LocalTransport};
+
+    fn pings(n: usize) -> Vec<(NodeId, Request)> {
+        (0..n).map(|i| (NodeId(i), Request::Ping)).collect()
+    }
+
+    #[test]
+    fn await_all_gathers_everything() {
+        let t = LocalTransport::new(Cluster::new(5));
+        t.cluster().kill(2);
+        let out = QuorumRound::await_all(4).run(&t, pings(5));
+        assert_eq!(out.validations(), 4);
+        assert!(out.quorum_met());
+        assert_eq!(out.rejected.len(), 1);
+        assert_eq!(out.rejected[0].node, NodeId(2));
+        assert_eq!(out.rejected[0].error, NodeError::Down);
+        assert!(out.abandoned.is_empty());
+    }
+
+    #[test]
+    fn await_all_reports_missed_quorum() {
+        let t = LocalTransport::new(Cluster::new(3));
+        t.cluster().kill(0);
+        t.cluster().kill(1);
+        let out = QuorumRound::await_all(2).run(&t, pings(3));
+        assert!(!out.quorum_met());
+        assert_eq!(out.validations(), 1);
+    }
+
+    #[test]
+    fn first_quorum_stops_early_sequentially() {
+        let t = LocalTransport::new(Cluster::new(6));
+        let before = t.cluster().io_totals();
+        let out = QuorumRound::first_quorum(2).run(&t, pings(6));
+        assert!(out.quorum_met());
+        assert_eq!(out.validations(), 2);
+        assert_eq!(
+            out.abandoned,
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+            "sequential transport never issues the abandoned suffix"
+        );
+        // Ping is unaccounted, but ensure nothing else was counted.
+        assert_eq!(t.cluster().io_totals().since(&before).reads, 0);
+    }
+
+    #[test]
+    fn first_quorum_skips_failures_until_met() {
+        let t = LocalTransport::new(Cluster::new(5));
+        t.cluster().kill(0);
+        t.cluster().kill(1);
+        let out = QuorumRound::first_quorum(2).run(&t, pings(5));
+        assert!(out.quorum_met());
+        assert_eq!(out.rejected.len(), 2, "failures before quorum are recorded");
+        assert_eq!(out.accepted_in_issue_order()[0].node, NodeId(2));
+        assert_eq!(out.abandoned, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn first_quorum_zero_needed_is_a_noop() {
+        let t = LocalTransport::new(Cluster::new(3));
+        let out = QuorumRound::first_quorum(0).run(&t, pings(3));
+        assert!(out.quorum_met());
+        assert_eq!(out.validations(), 0);
+        assert_eq!(out.abandoned.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_round_meets_quorum_despite_dead_member() {
+        let t = ChannelTransport::new(Cluster::new(5));
+        t.cluster().kill(3);
+        let out = QuorumRound::await_all(4).run(&t, pings(5));
+        assert!(out.quorum_met());
+        assert_eq!(out.validations(), 4);
+        assert_eq!(out.rejected[0].node, NodeId(3));
+        // Arrival order is nondeterministic; issue order is not.
+        let order: Vec<usize> = out
+            .accepted_in_issue_order()
+            .iter()
+            .map(|a| a.index)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn empty_round_trivially_met_at_zero() {
+        let t = LocalTransport::new(Cluster::new(1));
+        let out = QuorumRound::await_all(0).run(&t, Vec::new());
+        assert!(out.quorum_met());
+        let out = QuorumRound::await_all(1).run(&t, Vec::new());
+        assert!(!out.quorum_met());
+    }
+}

@@ -165,13 +165,19 @@ impl fmt::Display for NodeError {
             NodeError::NotFound => write!(f, "block not found on node"),
             NodeError::WrongKind => write!(f, "operation does not match stored block kind"),
             NodeError::VersionConflict { expected, actual } => {
-                write!(f, "version guard failed: expected {expected}, node holds {actual}")
+                write!(
+                    f,
+                    "version guard failed: expected {expected}, node holds {actual}"
+                )
             }
             NodeError::SizeMismatch { stored, got } => {
                 write!(f, "payload of {got} bytes against stored block of {stored}")
             }
             NodeError::BadBlockIndex { index, k } => {
-                write!(f, "block index {index} outside version vector of length {k}")
+                write!(
+                    f,
+                    "block index {index} outside version vector of length {k}"
+                )
             }
             NodeError::TransportClosed => write!(f, "transport to node closed"),
         }

@@ -9,10 +9,20 @@
 //!   channels, a faithful stand-in for an RPC fabric. Requests from many
 //!   protocol threads interleave on the node's mailbox exactly as they
 //!   would on a socket. Links are reliable and FIFO, matching the
-//!   paper's "no failure on communication links" assumption.
+//!   paper's "no failure on communication links" assumption. Per-node
+//!   latency injection ([`ChannelTransport::set_node_latency`]) makes
+//!   dispatch strategies measurable: a level fanned out over slow nodes
+//!   costs one round trip, a sequential walk costs their sum.
+//!
+//! Besides the single-node [`Transport::call`], the trait exposes the
+//! fan-out primitive [`Transport::multicall`] that the quorum round
+//! engine ([`crate::quorum_round`]) builds on: issue a batch, observe
+//! completions in arrival order, stop early once a quorum is satisfied.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 
@@ -20,17 +30,59 @@ use crate::cluster::Cluster;
 use crate::node::NodeId;
 use crate::rpc::{NodeError, Request, Response};
 
-/// A way to issue one request to one node and wait for its answer.
+/// One completed call of a [`Transport::multicall`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundReply {
+    /// Position of this call within the issued batch.
+    pub index: usize,
+    /// The node that was addressed.
+    pub node: NodeId,
+    /// What came back.
+    pub result: Result<Response, NodeError>,
+}
+
+/// A way to issue requests to nodes and wait for their answers.
 pub trait Transport: Send + Sync {
     /// Number of reachable nodes.
     fn node_count(&self) -> usize;
 
     /// Sends `req` to node `node` and waits for the outcome.
     fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError>;
+
+    /// Fans out a batch of calls, delivering each completion to `sink`
+    /// in *arrival order*. The sink returning `false` abandons the rest
+    /// of the round (a quorum was satisfied; the stragglers' answers are
+    /// no longer needed).
+    ///
+    /// Dispatch semantics differ by transport and both are load-bearing:
+    ///
+    /// * The default implementation (used by [`LocalTransport`]) issues
+    ///   calls **lazily and sequentially** in batch order — fully
+    ///   deterministic, and an abandoned suffix is *never issued*, so
+    ///   experiment replays and IO accounting are bit-for-bit stable.
+    /// * [`ChannelTransport`] **sends every request up front** and
+    ///   forwards completions as they arrive, so a round costs roughly
+    ///   the latency of the slowest *needed* responder instead of the
+    ///   sum over members. Abandoning a round only stops waiting: every
+    ///   request has already been delivered and will still execute on
+    ///   its node (exactly how a real fabric behaves — a write you stop
+    ///   waiting for may still land).
+    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        for (index, (node, req)) in calls.into_iter().enumerate() {
+            let result = self.call(node, req);
+            if !sink(RoundReply {
+                index,
+                node,
+                result,
+            }) {
+                break;
+            }
+        }
+    }
 }
 
 /// Synchronous in-process transport: `call` runs the node handler on the
-/// caller's thread.
+/// caller's thread, and `multicall` is the lazy sequential default.
 #[derive(Debug, Clone)]
 pub struct LocalTransport {
     cluster: Cluster,
@@ -59,10 +111,23 @@ impl Transport for LocalTransport {
     }
 }
 
+/// Where a node worker routes its answer.
+enum ReplyTo {
+    /// A lone [`Transport::call`]: one rendezvous channel.
+    Single(Sender<Result<Response, NodeError>>),
+    /// Part of a [`Transport::multicall`] round: answers from the whole
+    /// batch funnel into one channel, tagged with their batch position.
+    Round {
+        index: usize,
+        node: NodeId,
+        tx: Sender<RoundReply>,
+    },
+}
+
 /// One in-flight request envelope.
 struct Envelope {
     req: Request,
-    reply: Sender<Result<Response, NodeError>>,
+    reply: ReplyTo,
 }
 
 /// Thread-per-node transport over crossbeam channels.
@@ -71,17 +136,33 @@ struct Envelope {
 pub struct ChannelTransport {
     cluster: Cluster,
     mailboxes: Vec<Sender<Envelope>>,
+    /// Injected service delay per node, in nanoseconds (0 = none).
+    latencies: Vec<Arc<AtomicU64>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ChannelTransport {
-    /// Spawns one worker thread per node of `cluster`.
+    /// Spawns one worker thread per node of `cluster`, with no injected
+    /// latency.
     pub fn new(cluster: Cluster) -> Self {
+        Self::with_latency(cluster, &[])
+    }
+
+    /// Spawns workers with an initial per-node service delay: node `i`
+    /// sleeps `latency[i]` before handling each request (nodes beyond
+    /// the slice get zero). Use this to model heterogeneous or uniformly
+    /// slow fabrics; [`set_node_latency`](Self::set_node_latency)
+    /// adjusts it live.
+    pub fn with_latency(cluster: Cluster, latency: &[Duration]) -> Self {
         let mut mailboxes = Vec::with_capacity(cluster.len());
+        let mut latencies = Vec::with_capacity(cluster.len());
         let mut workers = Vec::with_capacity(cluster.len());
         for i in 0..cluster.len() {
             let (tx, rx) = unbounded::<Envelope>();
             let node = Arc::clone(cluster.node(i));
+            let initial = latency.get(i).map_or(0, |d| d.as_nanos() as u64);
+            let delay = Arc::new(AtomicU64::new(initial));
+            let worker_delay = Arc::clone(&delay);
             let handle = std::thread::Builder::new()
                 .name(format!("tq-node-{i}"))
                 .spawn(move || {
@@ -89,16 +170,34 @@ impl ChannelTransport {
                     // send means the caller gave up; that is its problem,
                     // not the node's.
                     while let Ok(Envelope { req, reply }) = rx.recv() {
-                        let _ = reply.send(node.handle(req));
+                        let nanos = worker_delay.load(Ordering::Relaxed);
+                        if nanos > 0 {
+                            std::thread::sleep(Duration::from_nanos(nanos));
+                        }
+                        let result = node.handle(req);
+                        match reply {
+                            ReplyTo::Single(tx) => {
+                                let _ = tx.send(result);
+                            }
+                            ReplyTo::Round { index, node, tx } => {
+                                let _ = tx.send(RoundReply {
+                                    index,
+                                    node,
+                                    result,
+                                });
+                            }
+                        }
                     }
                 })
                 .expect("spawn node worker");
             mailboxes.push(tx);
+            latencies.push(delay);
             workers.push(handle);
         }
         ChannelTransport {
             cluster,
             mailboxes,
+            latencies,
             workers,
         }
     }
@@ -106,6 +205,23 @@ impl ChannelTransport {
     /// Borrow the underlying cluster (fault injection, accounting).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Sets node `i`'s injected service delay (applies to requests the
+    /// worker picks up from now on).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_node_latency(&self, i: usize, latency: Duration) {
+        self.latencies[i].store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Node `i`'s current injected service delay.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn node_latency(&self, i: usize) -> Duration {
+        Duration::from_nanos(self.latencies[i].load(Ordering::Relaxed))
     }
 }
 
@@ -123,10 +239,50 @@ impl Transport for ChannelTransport {
         mailbox
             .send(Envelope {
                 req,
-                reply: reply_tx,
+                reply: ReplyTo::Single(reply_tx),
             })
             .map_err(|_| NodeError::TransportClosed)?;
         reply_rx.recv().map_err(|_| NodeError::TransportClosed)?
+    }
+
+    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        let total = calls.len();
+        if total == 0 {
+            return;
+        }
+        let (tx, rx) = unbounded::<RoundReply>();
+        for (index, (node, req)) in calls.into_iter().enumerate() {
+            let mailbox = self
+                .mailboxes
+                .get(node.0)
+                .expect("node index within cluster");
+            let sent = mailbox.send(Envelope {
+                req,
+                reply: ReplyTo::Round {
+                    index,
+                    node,
+                    tx: tx.clone(),
+                },
+            });
+            if sent.is_err() {
+                // The worker is gone; synthesise the failure in-band so
+                // the round still sees `total` completions.
+                let _ = tx.send(RoundReply {
+                    index,
+                    node,
+                    result: Err(NodeError::TransportClosed),
+                });
+            }
+        }
+        drop(tx); // the receiver must not count our own handle as pending
+        let mut received = 0;
+        while received < total {
+            let Ok(reply) = rx.recv() else { break };
+            received += 1;
+            if !sink(reply) {
+                break; // stragglers execute anyway; nobody awaits them
+            }
+        }
     }
 }
 
@@ -148,13 +304,17 @@ impl std::fmt::Debug for ChannelTransport {
 }
 
 /// Blanket impl so `Arc<T>` transports can be shared across protocol
-/// threads.
+/// threads. Forwards `multicall` so concurrent fan-out survives the
+/// indirection.
 impl<T: Transport + ?Sized> Transport for Arc<T> {
     fn node_count(&self) -> usize {
         (**self).node_count()
     }
     fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
         (**self).call(node, req)
+    }
+    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        (**self).multicall(calls, sink)
     }
 }
 
@@ -165,12 +325,16 @@ impl<T: Transport + ?Sized> Transport for &T {
     fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
         (**self).call(node, req)
     }
+    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        (**self).multicall(calls, sink)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use std::time::Instant;
 
     fn exercise(transport: &dyn Transport) {
         assert_eq!(transport.node_count(), 3);
@@ -183,7 +347,10 @@ mod tests {
                 },
             )
             .unwrap();
-        match transport.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
+        match transport
+            .call(NodeId(0), Request::ReadData { id: 1 })
+            .unwrap()
+        {
             Response::Data { bytes, version } => {
                 assert_eq!(&bytes[..], b"abc");
                 assert_eq!(version, 0);
@@ -276,5 +443,131 @@ mod tests {
             Response::Data { bytes, .. } => assert_eq!(&bytes[..], b"shared"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    fn ping_batch(n: usize) -> Vec<(NodeId, Request)> {
+        (0..n).map(|i| (NodeId(i), Request::Ping)).collect()
+    }
+
+    #[test]
+    fn sequential_multicall_is_lazy_and_ordered() {
+        let t = LocalTransport::new(Cluster::new(4));
+        let mut seen = Vec::new();
+        t.multicall(ping_batch(4), &mut |reply| {
+            seen.push(reply.index);
+            seen.len() < 2 // abandon after two completions
+        });
+        assert_eq!(seen, vec![0, 1], "issue order, early exit");
+        // Lazy: abandoned pings were never issued, so no rejects either.
+        let t = LocalTransport::new(Cluster::new(4));
+        t.cluster().kill(3);
+        let mut results = Vec::new();
+        t.multicall(ping_batch(4), &mut |reply| {
+            results.push((reply.index, reply.result.is_ok()));
+            true
+        });
+        assert_eq!(
+            results,
+            vec![(0, true), (1, true), (2, true), (3, false)],
+            "full batch delivered in order with failures in-band"
+        );
+    }
+
+    #[test]
+    fn concurrent_multicall_delivers_every_reply() {
+        let t = ChannelTransport::new(Cluster::new(8));
+        t.cluster().kill(5);
+        let mut ok = 0;
+        let mut down = 0;
+        t.multicall(ping_batch(8), &mut |reply| {
+            match reply.result {
+                Ok(Response::Pong) => ok += 1,
+                Err(NodeError::Down) => down += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+            true
+        });
+        assert_eq!((ok, down), (7, 1));
+    }
+
+    #[test]
+    fn concurrent_multicall_overlaps_injected_latency() {
+        // 6 nodes, 40ms each: sequential costs ≥ 240ms, fan-out ≈ 40ms.
+        // The margin is generous (4× the ideal, well under sequential) so
+        // scheduler noise on a loaded CI runner cannot flake the test.
+        let delay = Duration::from_millis(40);
+        let t = ChannelTransport::with_latency(Cluster::new(6), &[delay; 6]);
+        let start = Instant::now();
+        let mut count = 0;
+        t.multicall(ping_batch(6), &mut |reply| {
+            assert_eq!(reply.result, Ok(Response::Pong));
+            count += 1;
+            true
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(count, 6);
+        assert!(
+            elapsed < delay * 4,
+            "fan-out took {elapsed:?}, expected ~1 round trip of {delay:?}"
+        );
+    }
+
+    #[test]
+    fn abandoned_round_still_executes_stragglers() {
+        // First-quorum abandon over the channel transport: the write we
+        // stop waiting for still lands on the node.
+        let t = ChannelTransport::new(Cluster::new(3));
+        for i in 0..3 {
+            t.call(
+                NodeId(i),
+                Request::InitData {
+                    id: 9,
+                    bytes: Bytes::from_static(b"old"),
+                },
+            )
+            .unwrap();
+        }
+        let calls: Vec<(NodeId, Request)> = (0..3)
+            .map(|i| {
+                (
+                    NodeId(i),
+                    Request::WriteData {
+                        id: 9,
+                        bytes: Bytes::from_static(b"new"),
+                        version: 1,
+                    },
+                )
+            })
+            .collect();
+        let mut first = None;
+        t.multicall(calls, &mut |reply| {
+            first = Some(reply.result.clone());
+            false // abandon after the first ack
+        });
+        assert_eq!(first, Some(Ok(Response::Ack)));
+        // Every node eventually applied the write (drain via fresh calls,
+        // which queue behind the straggling writes on each mailbox).
+        for i in 0..3 {
+            match t.call(NodeId(i), Request::ReadData { id: 9 }).unwrap() {
+                Response::Data { bytes, version } => {
+                    assert_eq!(&bytes[..], b"new");
+                    assert_eq!(version, 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn latency_can_be_adjusted_live() {
+        let t = ChannelTransport::new(Cluster::new(2));
+        assert_eq!(t.node_latency(0), Duration::ZERO);
+        t.set_node_latency(0, Duration::from_millis(5));
+        assert_eq!(t.node_latency(0), Duration::from_millis(5));
+        let start = Instant::now();
+        t.call(NodeId(0), Request::Ping).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        t.set_node_latency(0, Duration::ZERO);
+        assert_eq!(t.node_latency(0), Duration::ZERO);
     }
 }

@@ -5,10 +5,10 @@
 //! spectrum the paper sketches (ROWA: perfect reads / fragile writes;
 //! Majority: balanced; trapezoid: tunable between them).
 
-use bytes::Bytes;
-use tq_cluster::{NodeError, NodeId, Request, Response, Transport};
+use tq_cluster::{NodeError, NodeId, QuorumRound, Request, Response, Transport};
 
 use crate::errors::ProtocolError;
+use crate::rounds::{provision, write_all};
 use crate::trap_erc::{ReadOutcome, ReadPath, WriteOutcome};
 
 /// Read One, Write All.
@@ -33,32 +33,33 @@ impl<T: Transport> RowaClient<T> {
     /// Installs the object everywhere (provisioning).
     ///
     /// # Errors
-    /// [`ProtocolError::Node`] on the first failing node.
+    /// [`ProtocolError::Node`] with the lowest-indexed failing node's
+    /// error.
     pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
-        for node in 0..self.n {
-            self.transport
-                .call(NodeId(node), Request::InitData {
-                    id,
-                    bytes: Bytes::copy_from_slice(bytes),
-                })
-                .map_err(ProtocolError::Node)?;
-        }
-        Ok(())
+        provision(&self.transport, self.n, id, bytes)
     }
 
     /// Reads from the first live replica — "any single block read will
-    /// give the latest value" because writes reach all replicas.
+    /// give the latest value" because writes reach all replicas. A
+    /// first-quorum round with threshold 1 over `ReadData`: on the
+    /// sequential transport this is exactly the seed's one-RPC walk
+    /// (ROWA's defining read cost); on a concurrent transport the
+    /// fastest replica serves, trading the fan-out's extra payload
+    /// reads on abandoned stragglers for one-responder latency — the
+    /// same bandwidth-for-latency trade every first-quorum round makes.
     ///
     /// # Errors
     /// [`ProtocolError::VersionCheckFailed`] if every replica is down.
     pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
-        for node in 0..self.n {
-            if let Ok(Response::Data { bytes, version }) =
-                self.transport.call(NodeId(node), Request::ReadData { id })
-            {
+        let calls: Vec<(NodeId, Request)> = (0..self.n)
+            .map(|node| (NodeId(node), Request::ReadData { id }))
+            .collect();
+        let outcome = QuorumRound::first_quorum(1).run(&self.transport, calls);
+        for accepted in &outcome.accepted {
+            if let Response::Data { bytes, version } = &accepted.response {
                 return Ok(ReadOutcome {
                     bytes: bytes.to_vec(),
-                    version,
+                    version: *version,
                     path: ReadPath::Direct,
                 });
             }
@@ -77,29 +78,7 @@ impl<T: Transport> RowaClient<T> {
         let old = self
             .read(id)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
-        let version = old.version + 1;
-        let mut validated = Vec::with_capacity(self.n);
-        for node in 0..self.n {
-            if self
-                .transport
-                .call(NodeId(node), Request::WriteData {
-                    id,
-                    bytes: Bytes::copy_from_slice(new),
-                    version,
-                })
-                .is_ok()
-            {
-                validated.push(node);
-            }
-        }
-        if validated.len() < self.n {
-            return Err(ProtocolError::WriteQuorumNotMet {
-                level: 0,
-                needed: self.n,
-                achieved: validated.len(),
-            });
-        }
-        Ok(WriteOutcome { version, validated })
+        write_all(&self.transport, self.n, self.n, id, new, old.version + 1)
     }
 }
 
@@ -130,39 +109,27 @@ impl<T: Transport> MajorityClient<T> {
     /// Installs the object everywhere (provisioning).
     ///
     /// # Errors
-    /// [`ProtocolError::Node`] on the first failing node.
+    /// [`ProtocolError::Node`] with the lowest-indexed failing node's
+    /// error.
     pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
-        for node in 0..self.n {
-            self.transport
-                .call(NodeId(node), Request::InitData {
-                    id,
-                    bytes: Bytes::copy_from_slice(bytes),
-                })
-                .map_err(ProtocolError::Node)?;
-        }
-        Ok(())
+        provision(&self.transport, self.n, id, bytes)
     }
 
-    /// Polls versions until a majority answers, then serves the bytes
-    /// from a replica holding the maximum version seen.
+    /// Polls versions in a first-quorum round until a majority answers,
+    /// then serves the bytes from a replica holding the maximum version
+    /// seen.
     ///
     /// # Errors
     /// [`ProtocolError::VersionCheckFailed`] without a live majority.
     pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
-        let mut responders: Vec<(usize, u64)> = Vec::with_capacity(self.quorum());
-        for node in 0..self.n {
-            if let Ok(Response::Version(v)) =
-                self.transport.call(NodeId(node), Request::VersionData { id })
-            {
-                responders.push((node, v));
-                if responders.len() == self.quorum() {
-                    break;
-                }
-            }
-        }
-        if responders.len() < self.quorum() {
+        let calls: Vec<(NodeId, Request)> = (0..self.n)
+            .map(|node| (NodeId(node), Request::VersionData { id }))
+            .collect();
+        let outcome = QuorumRound::first_quorum(self.quorum()).run(&self.transport, calls);
+        if !outcome.quorum_met() {
             return Err(ProtocolError::VersionCheckFailed);
         }
+        let responders = crate::rounds::version_responders(&outcome);
         let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
         for &(node, v) in &responders {
             if v != latest {
@@ -182,7 +149,7 @@ impl<T: Transport> MajorityClient<T> {
     }
 
     /// Reads the current version from a majority, then writes
-    /// `version + 1` to a majority.
+    /// `version + 1` to every replica, requiring a majority of acks.
     ///
     /// # Errors
     /// [`ProtocolError::OldValueUnreadable`] /
@@ -191,29 +158,14 @@ impl<T: Transport> MajorityClient<T> {
         let old = self
             .read(id)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
-        let version = old.version + 1;
-        let mut validated = Vec::with_capacity(self.n);
-        for node in 0..self.n {
-            if self
-                .transport
-                .call(NodeId(node), Request::WriteData {
-                    id,
-                    bytes: Bytes::copy_from_slice(new),
-                    version,
-                })
-                .is_ok()
-            {
-                validated.push(node);
-            }
-        }
-        if validated.len() < self.quorum() {
-            return Err(ProtocolError::WriteQuorumNotMet {
-                level: 0,
-                needed: self.quorum(),
-                achieved: validated.len(),
-            });
-        }
-        Ok(WriteOutcome { version, validated })
+        write_all(
+            &self.transport,
+            self.n,
+            self.quorum(),
+            id,
+            new,
+            old.version + 1,
+        )
     }
 }
 
@@ -241,7 +193,11 @@ mod tests {
         let err = c.write(1, b"nope").unwrap_err();
         assert!(matches!(
             err,
-            ProtocolError::WriteQuorumNotMet { needed: 5, achieved: 4, .. }
+            ProtocolError::WriteQuorumNotMet {
+                needed: 5,
+                achieved: 4,
+                ..
+            }
         ));
     }
 

@@ -63,8 +63,7 @@ impl ProtocolConfig {
         let mut thresholds = Vec::with_capacity(w.len() + 1);
         thresholds.push(b / 2 + 1);
         thresholds.extend_from_slice(w);
-        let thresholds =
-            WriteThresholds::new(&shape, thresholds).map_err(ProtocolError::Shape)?;
+        let thresholds = WriteThresholds::new(&shape, thresholds).map_err(ProtocolError::Shape)?;
         ProtocolConfig::new(params, shape, thresholds)
     }
 
@@ -82,8 +81,7 @@ impl ProtocolConfig {
     ) -> Result<Self, ProtocolError> {
         let params = CodeParams::new(n, k).map_err(ProtocolError::Params)?;
         let shape = TrapezoidShape::new(a, b, h).map_err(ProtocolError::Shape)?;
-        let thresholds =
-            WriteThresholds::paper_default(&shape, w).map_err(ProtocolError::Shape)?;
+        let thresholds = WriteThresholds::paper_default(&shape, w).map_err(ProtocolError::Shape)?;
         ProtocolConfig::new(params, shape, thresholds)
     }
 
@@ -162,7 +160,10 @@ mod tests {
         // (9, 6): trapezoid must have 4 nodes.
         assert!(ProtocolConfig::build(9, 6, 2, 1, 1, &[1]).is_ok()); // 1 + 3 = 4
         let err = ProtocolConfig::build(9, 6, 2, 3, 2, &[2, 2]).unwrap_err();
-        assert!(matches!(err, ProtocolError::Shape(ShapeError::StripeMismatch { .. })));
+        assert!(matches!(
+            err,
+            ProtocolError::Shape(ShapeError::StripeMismatch { .. })
+        ));
     }
 
     #[test]

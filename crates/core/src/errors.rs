@@ -107,14 +107,20 @@ mod tests {
         assert_eq!(e.to_string(), "write failed: level 1 validated 1/2 nodes");
         let e = ProtocolError::OldValueUnreadable(Box::new(ProtocolError::VersionCheckFailed));
         assert!(e.to_string().contains("old value unreadable"));
-        assert!(ProtocolError::NotEnoughForDecode { needed: 6, found: 4 }
-            .to_string()
-            .contains("4 consistent nodes"));
+        assert!(ProtocolError::NotEnoughForDecode {
+            needed: 6,
+            found: 4
+        }
+        .to_string()
+        .contains("4 consistent nodes"));
     }
 
     #[test]
     fn code_error_converts() {
         let e: ProtocolError = CodeError::ShardSizeMismatch.into();
-        assert!(matches!(e, ProtocolError::Code(CodeError::ShardSizeMismatch)));
+        assert!(matches!(
+            e,
+            ProtocolError::Code(CodeError::ShardSizeMismatch)
+        ));
     }
 }

@@ -26,6 +26,14 @@
 //!   (TRAP-FR), the paper's §IV comparison baseline.
 //! * [`baselines`] — ROWA and Majority replication clients (§II).
 //!
+//! Every level loop dispatches through the scatter-gather round engine
+//! ([`tq_cluster::QuorumRound`]): a level's requests go out in one
+//! [`tq_cluster::Transport::multicall`] batch and the round completes on
+//! the paper's `w_l`/`r_l` quorum condition — sequential and
+//! deterministic on [`tq_cluster::LocalTransport`], concurrent (one
+//! round trip per level instead of one per member) on
+//! [`tq_cluster::ChannelTransport`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -57,6 +65,7 @@ pub mod config;
 pub mod errors;
 pub mod locking;
 pub mod recovery;
+mod rounds;
 pub mod trap_erc;
 pub mod trap_fr;
 pub mod version_matrix;

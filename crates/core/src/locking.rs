@@ -137,7 +137,10 @@ mod tests {
         let before_release = std::time::Instant::now();
         drop(guard);
         let acquired_at = waiter.join().unwrap();
-        assert!(acquired_at >= before_release, "waiter ran only after release");
+        assert!(
+            acquired_at >= before_release,
+            "waiter ran only after release"
+        );
     }
 
     /// The race the paper leaves open, fixed by the lock: contending
@@ -148,9 +151,8 @@ mod tests {
     fn locked_contending_writers_stay_consistent() {
         let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
         let cluster = Cluster::new(15);
-        let client = Arc::new(
-            TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap(),
-        );
+        let client =
+            Arc::new(TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap());
         client
             .create_stripe(1, (0..8).map(|i| vec![i as u8; 32]).collect())
             .unwrap();

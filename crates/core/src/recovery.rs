@@ -57,16 +57,22 @@ impl<T: Transport> TrapErcClient<T> {
                 // (re-running a rebuild); treat its own copy as source.
                 crate::trap_erc::ReadPath::Direct => vec![node],
             };
-            self.raw_call(node, Request::InitData {
-                id,
-                bytes: Bytes::copy_from_slice(&out.bytes),
-            })
+            self.raw_call(
+                node,
+                Request::InitData {
+                    id,
+                    bytes: Bytes::copy_from_slice(&out.bytes),
+                },
+            )
             .map_err(ProtocolError::Node)?;
-            self.raw_call(node, Request::WriteData {
-                id,
-                bytes: Bytes::copy_from_slice(&out.bytes),
-                version: out.version,
-            })
+            self.raw_call(
+                node,
+                Request::WriteData {
+                    id,
+                    bytes: Bytes::copy_from_slice(&out.bytes),
+                    version: out.version,
+                },
+            )
             .map_err(ProtocolError::Node)?;
             Ok(RebuildReport {
                 node,
@@ -92,17 +98,23 @@ impl<T: Transport> TrapErcClient<T> {
                 &refs,
                 &mut block,
             );
-            self.raw_call(node, Request::InitParity {
-                id,
-                bytes: Bytes::copy_from_slice(&block),
-                k,
-            })
+            self.raw_call(
+                node,
+                Request::InitParity {
+                    id,
+                    bytes: Bytes::copy_from_slice(&block),
+                    k,
+                },
+            )
             .map_err(ProtocolError::Node)?;
-            self.raw_call(node, Request::PutParity {
-                id,
-                bytes: Bytes::copy_from_slice(&block),
-                versions,
-            })
+            self.raw_call(
+                node,
+                Request::PutParity {
+                    id,
+                    bytes: Bytes::copy_from_slice(&block),
+                    versions,
+                },
+            )
             .map_err(ProtocolError::Node)?;
             Ok(RebuildReport {
                 node,
@@ -145,9 +157,9 @@ mod tests {
     #[test]
     fn rebuild_replaced_data_node() {
         let (client, cluster) = setup();
-        client.write_block(1, 2, &vec![0xAA; 64]).unwrap();
+        client.write_block(1, 2, &[0xAA; 64]).unwrap();
         cluster.replace(2); // blank disk
-        // Blank node: reads of block 2 must decode.
+                            // Blank node: reads of block 2 must decode.
         let pre = client.read_block(1, 2).unwrap();
         assert!(pre.decoded());
         let report = client.rebuild_node(1, 2).unwrap();
@@ -164,14 +176,14 @@ mod tests {
     #[test]
     fn rebuild_replaced_parity_node() {
         let (client, cluster) = setup();
-        client.write_block(1, 0, &vec![0x11; 64]).unwrap();
-        client.write_block(1, 5, &vec![0x55; 64]).unwrap();
+        client.write_block(1, 0, &[0x11; 64]).unwrap();
+        client.write_block(1, 5, &[0x55; 64]).unwrap();
         cluster.replace(12);
         let report = client.rebuild_node(1, 12).unwrap();
         assert_eq!(report.sources, (0..8).collect::<Vec<_>>());
         // The rebuilt parity participates in writes (guard at the right
         // versions) and in decodes.
-        let w = client.write_block(1, 0, &vec![0x12; 64]).unwrap();
+        let w = client.write_block(1, 0, &[0x12; 64]).unwrap();
         assert!(w.validated.contains(&12));
         cluster.kill(0);
         let r = client.read_block(1, 0).unwrap();
@@ -201,7 +213,7 @@ mod tests {
         let reports = client.rebuild_node_stripes(&[1, 2, 3, 4, 5], 9).unwrap();
         assert_eq!(reports.len(), 5);
         for id in 1..6u64 {
-            let w = client.write_block(id, 0, &vec![0x77; 64]).unwrap();
+            let w = client.write_block(id, 0, &[0x77; 64]).unwrap();
             assert!(w.validated.contains(&9), "stripe {id}");
         }
     }

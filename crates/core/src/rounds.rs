@@ -1,0 +1,104 @@
+//! Crate-internal helpers for the fan-out shapes every client shares.
+
+use bytes::Bytes;
+use tq_cluster::{NodeId, QuorumRound, Request, RoundOutcome, Transport};
+
+use crate::errors::ProtocolError;
+use crate::trap_erc::WriteOutcome;
+
+/// Extracts the `(node, version)` pairs from a version-poll round's
+/// successes, in arrival order.
+pub(crate) fn version_responders(outcome: &RoundOutcome) -> Vec<(usize, u64)> {
+    outcome
+        .accepted
+        .iter()
+        .filter_map(|a| match a.response {
+            tq_cluster::Response::Version(v) => Some((a.node.0, v)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Grades a round that required every member: `Ok` iff nothing was
+/// rejected, otherwise the lowest-indexed rejection's error — the one a
+/// sequential walk would have tripped on first.
+pub(crate) fn require_all(outcome: &RoundOutcome) -> Result<(), ProtocolError> {
+    match outcome.first_rejection() {
+        None => Ok(()),
+        Some(rejected) => Err(ProtocolError::Node(rejected.error.clone())),
+    }
+}
+
+/// One provisioning fan-out: install the object on nodes `0..n`; any
+/// failure fails the operation.
+pub(crate) fn provision<T: Transport>(
+    transport: &T,
+    n: usize,
+    id: u64,
+    bytes: &[u8],
+) -> Result<(), ProtocolError> {
+    // One shared allocation; per-node clones are O(1) Arc bumps.
+    let payload = Bytes::copy_from_slice(bytes);
+    let calls: Vec<(NodeId, Request)> = (0..n)
+        .map(|node| {
+            (
+                NodeId(node),
+                Request::InitData {
+                    id,
+                    bytes: payload.clone(),
+                },
+            )
+        })
+        .collect();
+    require_all(&QuorumRound::await_all(n).run(transport, calls))
+}
+
+/// Runs one graded write level: await-all round, validated members
+/// appended in issue order, [`ProtocolError::WriteQuorumNotMet`] if
+/// fewer than `needed` acks arrive.
+pub(crate) fn graded_write_level<T: Transport>(
+    transport: &T,
+    level: usize,
+    needed: usize,
+    calls: Vec<(NodeId, Request)>,
+    validated: &mut Vec<usize>,
+) -> Result<(), ProtocolError> {
+    let outcome = QuorumRound::await_all(needed).run(transport, calls);
+    validated.extend(outcome.accepted_in_issue_order().iter().map(|a| a.node.0));
+    if !outcome.quorum_met() {
+        return Err(ProtocolError::WriteQuorumNotMet {
+            level,
+            needed,
+            achieved: outcome.validations(),
+        });
+    }
+    Ok(())
+}
+
+/// One write fan-out over nodes `0..n` requiring `needed` acks.
+pub(crate) fn write_all<T: Transport>(
+    transport: &T,
+    n: usize,
+    needed: usize,
+    id: u64,
+    new: &[u8],
+    version: u64,
+) -> Result<WriteOutcome, ProtocolError> {
+    // One shared allocation; per-node clones are O(1) Arc bumps.
+    let payload = Bytes::copy_from_slice(new);
+    let calls: Vec<(NodeId, Request)> = (0..n)
+        .map(|node| {
+            (
+                NodeId(node),
+                Request::WriteData {
+                    id,
+                    bytes: payload.clone(),
+                    version,
+                },
+            )
+        })
+        .collect();
+    let mut validated = Vec::with_capacity(n);
+    graded_write_level(transport, 0, needed, calls, &mut validated)?;
+    Ok(WriteOutcome { version, validated })
+}

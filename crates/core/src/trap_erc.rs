@@ -25,9 +25,22 @@
 //!   legitimately observe the new version (a classic quorum-protocol
 //!   anomaly the paper inherits from [12]); the failure-injection tests
 //!   pin down this behaviour.
+//!
+//! ## Dispatch
+//!
+//! Every level loop runs through the [`QuorumRound`] engine: the level's
+//! requests are scattered in one [`Transport::multicall`] batch and
+//! gathered under the paper's quorum condition. Write levels use
+//! [`QuorumRound::await_all`] (the validated *set* is the durability
+//! statement; every member must still be attempted), read version checks
+//! use [`QuorumRound::first_quorum`] (Algorithm 2 line 30 completes on
+//! the `r_l`-th answer; stragglers are abandoned). On
+//! `LocalTransport` this reproduces the seed's sequential behaviour
+//! bit-for-bit; on `ChannelTransport` a level costs roughly its slowest
+//! needed responder instead of the sum over members.
 
 use bytes::Bytes;
-use tq_cluster::{NodeError, NodeId, Request, Response, Transport};
+use tq_cluster::{NodeError, NodeId, QuorumRound, Request, Response, RoundOutcome, Transport};
 use tq_erasure::delta::{block_delta, scale_delta};
 use tq_erasure::ReedSolomon;
 use tq_quorum::trapezoid::TrapErcSystem;
@@ -139,12 +152,13 @@ impl<T: Transport> TrapErcClient<T> {
     }
 
     /// Provisions a stripe: installs the `k` data blocks and `n − k`
-    /// encoded parity blocks, all at version 0. Requires every node live
-    /// (provisioning is out of scope of the paper's availability model).
+    /// encoded parity blocks, all at version 0, in one fan-out round over
+    /// all `n` nodes. Requires every node live (provisioning is out of
+    /// scope of the paper's availability model).
     ///
     /// # Errors
-    /// [`ProtocolError::Node`] on the first node failure;
-    /// [`ProtocolError::SizeMismatch`] on ragged input.
+    /// [`ProtocolError::Node`] with the lowest-indexed failing node's
+    /// error; [`ProtocolError::SizeMismatch`] on ragged input.
     pub fn create_stripe(&self, id: u64, data: Vec<Vec<u8>>) -> Result<(), ProtocolError> {
         let k = self.config.params().k();
         if data.len() != k {
@@ -156,22 +170,29 @@ impl<T: Transport> TrapErcClient<T> {
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = self.rs.encode(&refs);
+        let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(self.config.params().n());
         for (i, block) in data.iter().enumerate() {
-            self.call(i, Request::InitData {
-                id,
-                bytes: Bytes::copy_from_slice(block),
-            })
-            .map_err(ProtocolError::Node)?;
+            calls.push((
+                NodeId(i),
+                Request::InitData {
+                    id,
+                    bytes: Bytes::copy_from_slice(block),
+                },
+            ));
         }
         for (j, block) in self.config.params().parity_indices().zip(&parity) {
-            self.call(j, Request::InitParity {
-                id,
-                bytes: Bytes::copy_from_slice(block),
-                k,
-            })
-            .map_err(ProtocolError::Node)?;
+            calls.push((
+                NodeId(j),
+                Request::InitParity {
+                    id,
+                    bytes: Bytes::copy_from_slice(block),
+                    k,
+                },
+            ));
         }
-        Ok(())
+        let needed = calls.len();
+        let outcome = QuorumRound::await_all(needed).run(&self.transport, calls);
+        crate::rounds::require_all(&outcome)
     }
 
     /// **Algorithm 1** — writes value `new` to data block `i`.
@@ -185,7 +206,12 @@ impl<T: Transport> TrapErcClient<T> {
     /// [`ProtocolError::WriteQuorumNotMet`] if some level validates fewer
     /// than `w_l` nodes; [`ProtocolError::SizeMismatch`] if `new` has the
     /// wrong length.
-    pub fn write_block(&self, id: u64, i: usize, new: &[u8]) -> Result<WriteOutcome, ProtocolError> {
+    pub fn write_block(
+        &self,
+        id: u64,
+        i: usize,
+        new: &[u8],
+    ) -> Result<WriteOutcome, ProtocolError> {
         let old = self
             .read_block(id, i)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
@@ -218,43 +244,39 @@ impl<T: Transport> TrapErcClient<T> {
         let mut validated = Vec::new();
 
         // Lines 16–38: level by level, from the top of the trapezoid.
+        // Each level is one scatter-gather round: every member is always
+        // attempted (await-all — durability wants the full validated
+        // set), success requires w_l validations.
         for l in 0..sys.shape().num_levels() {
             let needed = sys.thresholds().write_threshold(l);
-            let mut counter = 0usize;
-            for &member in sys.level_members(l) {
-                let ok = if member == i {
-                    // Line 20: write x into N_i.
-                    self.call(member, Request::WriteData {
-                        id,
-                        bytes: Bytes::copy_from_slice(new),
-                        version: new_version,
-                    })
-                    .is_ok()
-                } else {
-                    // Lines 25–28: guarded parity fold of α_{j,i}·(x − c).
-                    let delta = scale_delta(&self.rs, member, i, &raw_delta);
-                    self.call(member, Request::AddParity {
-                        id,
-                        block_index: i,
-                        delta: Bytes::from(delta.delta),
-                        expected_version: old_version,
-                        new_version,
-                    })
-                    .is_ok()
-                };
-                if ok {
-                    counter += 1;
-                    validated.push(member);
-                }
-            }
-            // Lines 35–37: the level failed to validate w_l writes.
-            if counter < needed {
-                return Err(ProtocolError::WriteQuorumNotMet {
-                    level: l,
-                    needed,
-                    achieved: counter,
-                });
-            }
+            let calls: Vec<(NodeId, Request)> = sys
+                .level_members(l)
+                .iter()
+                .map(|&member| {
+                    let req = if member == i {
+                        // Line 20: write x into N_i.
+                        Request::WriteData {
+                            id,
+                            bytes: Bytes::copy_from_slice(new),
+                            version: new_version,
+                        }
+                    } else {
+                        // Lines 25–28: guarded parity fold of α_{j,i}·(x − c).
+                        let delta = scale_delta(&self.rs, member, i, &raw_delta);
+                        Request::AddParity {
+                            id,
+                            block_index: i,
+                            delta: Bytes::from(delta.delta),
+                            expected_version: old_version,
+                            new_version,
+                        }
+                    };
+                    (NodeId(member), req)
+                })
+                .collect();
+            // Lines 35–37 live in the shared grading: fewer than w_l
+            // validations fail the write at this level.
+            crate::rounds::graded_write_level(&self.transport, l, needed, calls, &mut validated)?;
         }
         Ok(WriteOutcome {
             version: new_version,
@@ -283,66 +305,53 @@ impl<T: Transport> TrapErcClient<T> {
 
         for l in 0..sys.shape().num_levels() {
             let needed = sys.thresholds().read_threshold(sys.shape(), l);
-            let mut counter = 0usize;
-            for &member in sys.level_members(l) {
-                let answered = if member == i {
-                    match self.call(member, Request::VersionData { id }) {
-                        Ok(Response::Version(v)) => {
-                            matrix.set_data_version(i, v);
-                            true
-                        }
-                        Err(NodeError::NotFound) => {
-                            saw_not_found = true;
-                            false
-                        }
-                        _ => false,
-                    }
-                } else {
-                    match self.call(member, Request::VersionVector { id }) {
-                        Ok(Response::Versions(col)) => {
-                            matrix.set_column(member, col);
-                            true
-                        }
-                        Err(NodeError::NotFound) => {
-                            saw_not_found = true;
-                            false
-                        }
-                        _ => false,
-                    }
-                };
-                if answered {
-                    saw_success = true;
-                    counter += 1;
-                }
-                // Line 30: the check for this level is complete.
-                if counter == needed {
-                    let latest = matrix
-                        .latest_version(i)
-                        .expect("counter > 0 implies at least one version");
-                    // Line 31: compare against N_i's current version.
-                    let ni_version = match self.call(i, Request::VersionData { id }) {
-                        Ok(Response::Version(v)) => Some(v),
-                        _ => None,
+            // One first-quorum round per level: the version check is
+            // complete on the r_l-th answer (line 30); later members are
+            // abandoned stragglers.
+            let calls: Vec<(NodeId, Request)> = sys
+                .level_members(l)
+                .iter()
+                .map(|&member| {
+                    let req = if member == i {
+                        Request::VersionData { id }
+                    } else {
+                        Request::VersionVector { id }
                     };
-                    if ni_version == Some(latest) {
-                        // Case 1: direct read from N_i.
-                        if let Ok(Response::Data { bytes, version }) =
-                            self.call(i, Request::ReadData { id })
-                        {
-                            if version == latest {
-                                return Ok(ReadOutcome {
-                                    bytes: bytes.to_vec(),
-                                    version: latest,
-                                    path: ReadPath::Direct,
-                                });
-                            }
+                    (NodeId(member), req)
+                })
+                .collect();
+            let outcome = QuorumRound::first_quorum(needed).run(&self.transport, calls);
+            self.fold_versions_into(&mut matrix, &outcome);
+            saw_not_found |= outcome.saw_error(|e| matches!(e, NodeError::NotFound));
+            saw_success |= !outcome.accepted.is_empty();
+            // Line 30: the check for this level is complete.
+            if outcome.quorum_met() {
+                let latest = matrix
+                    .latest_version(i)
+                    .expect("quorum met implies at least one version");
+                // Line 31: compare against N_i's current version.
+                let ni_version = match self.call(i, Request::VersionData { id }) {
+                    Ok(Response::Version(v)) => Some(v),
+                    _ => None,
+                };
+                if ni_version == Some(latest) {
+                    // Case 1: direct read from N_i.
+                    if let Ok(Response::Data { bytes, version }) =
+                        self.call(i, Request::ReadData { id })
+                    {
+                        if version == latest {
+                            return Ok(ReadOutcome {
+                                bytes: bytes.to_vec(),
+                                version: latest,
+                                path: ReadPath::Direct,
+                            });
                         }
-                        // N_i died (or changed) between the version query
-                        // and the read; fall through to the decode path.
                     }
-                    // Case 2: reconstruct from k updated nodes.
-                    return self.decode_block_at(id, i, latest, &mut matrix);
+                    // N_i died (or changed) between the version query
+                    // and the read; fall through to the decode path.
                 }
+                // Case 2: reconstruct from k updated nodes.
+                return self.decode_block_at(id, i, latest, &mut matrix);
             }
             // Level incomplete (fewer than r_l live members): try the
             // next level, keeping whatever columns we already collected.
@@ -366,21 +375,23 @@ impl<T: Transport> TrapErcClient<T> {
         let k = self.config.params().k();
         // Widen V beyond the nodes the version check happened to probe:
         // ask every parity node for its column and every data node for
-        // its version ("any k nodes out of n", line 34).
+        // its version ("any k nodes out of n", line 34) — one fan-out
+        // round, every reply awaited.
+        let mut calls: Vec<(NodeId, Request)> = Vec::new();
         for j in self.config.params().parity_indices() {
             if matrix.get(0, j).is_none() {
-                if let Ok(Response::Versions(col)) = self.call(j, Request::VersionVector { id }) {
-                    matrix.set_column(j, col);
-                }
+                calls.push((NodeId(j), Request::VersionVector { id }));
             }
         }
-        for t in 0..k {
-            if t != i && matrix.data_version(t).is_none() {
-                if let Ok(Response::Version(v)) = self.call(t, Request::VersionData { id }) {
-                    matrix.set_data_version(t, v);
-                }
+        for t in (0..k).filter(|&t| t != i) {
+            if matrix.data_version(t).is_none() {
+                calls.push((NodeId(t), Request::VersionData { id }));
             }
         }
+        self.fold_versions_into(
+            matrix,
+            &QuorumRound::await_all(0).run(&self.transport, calls),
+        );
 
         // Every group of parity nodes sharing one exact version vector
         // (with block i at `latest`) is a valid decode basis; data nodes
@@ -401,7 +412,10 @@ impl<T: Transport> TrapErcClient<T> {
             }
         }
         let Some((parity_members, column, data_members)) = best else {
-            return Err(ProtocolError::NotEnoughForDecode { needed: k, found: 0 });
+            return Err(ProtocolError::NotEnoughForDecode {
+                needed: k,
+                found: 0,
+            });
         };
 
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
@@ -415,24 +429,34 @@ impl<T: Transport> TrapErcClient<T> {
             });
         }
 
-        // Fetch the chosen blocks, re-validating versions at read time
-        // (a node may have changed or died since the version pass).
+        // Fetch the chosen blocks in one round, re-validating versions at
+        // read time (a node may have changed or died since the version
+        // pass). Issue order keeps the decode input deterministic.
+        let fetch: Vec<(NodeId, Request)> = chosen
+            .iter()
+            .map(|&node| {
+                let req = if node < k {
+                    Request::ReadData { id }
+                } else {
+                    Request::ReadParity { id }
+                };
+                (NodeId(node), req)
+            })
+            .collect();
+        // Gather-all with no enforced threshold: sufficiency is decided
+        // below, after version re-validation of each fetched block.
+        let outcome = QuorumRound::await_all(0).run(&self.transport, fetch);
         let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
-        for &node in &chosen {
-            if node < k {
-                if let Ok(Response::Data { bytes, version }) =
-                    self.call(node, Request::ReadData { id })
-                {
-                    if version == column[node] {
-                        available.push((node, bytes.to_vec()));
-                    }
-                }
-            } else if let Ok(Response::Parity { bytes, versions }) =
-                self.call(node, Request::ReadParity { id })
-            {
-                if versions == column {
+        for accepted in outcome.accepted_in_issue_order() {
+            let node = accepted.node.0;
+            match &accepted.response {
+                Response::Data { bytes, version } if *version == column[node] => {
                     available.push((node, bytes.to_vec()));
                 }
+                Response::Parity { bytes, versions } if *versions == column => {
+                    available.push((node, bytes.to_vec()));
+                }
+                _ => {}
             }
         }
         if available.len() < k {
@@ -506,63 +530,66 @@ impl<T: Transport> TrapErcClient<T> {
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = self.rs.encode(&refs);
-        let mut refreshed = Vec::new();
+        // Push the reconstructed state to every node in one round; only
+        // live nodes ack and are reported refreshed.
+        let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(self.config.params().n());
         for (i, block) in data.iter().enumerate() {
-            if self
-                .call(i, Request::WriteData {
+            calls.push((
+                NodeId(i),
+                Request::WriteData {
                     id,
                     bytes: Bytes::copy_from_slice(block),
                     version: versions[i],
-                })
-                .is_ok()
-            {
-                refreshed.push(i);
-            }
+                },
+            ));
         }
         for (j, block) in self.config.params().parity_indices().zip(&parity) {
-            if self
-                .call(j, Request::PutParity {
+            calls.push((
+                NodeId(j),
+                Request::PutParity {
                     id,
                     bytes: Bytes::copy_from_slice(block),
                     versions: versions.clone(),
-                })
-                .is_ok()
-            {
-                refreshed.push(j);
-            }
+                },
+            ));
         }
-        Ok(ScrubReport { refreshed, salvaged })
+        let outcome = QuorumRound::await_all(0).run(&self.transport, calls);
+        let refreshed = outcome
+            .accepted_in_issue_order()
+            .iter()
+            .map(|a| a.node.0)
+            .collect();
+        Ok(ScrubReport {
+            refreshed,
+            salvaged,
+        })
     }
 
     /// Salvage search: the newest version of block `i` recoverable from
     /// the currently-live nodes. Returns `(bytes, recovered_version,
     /// max_observed_version)`.
-    fn best_recoverable(
-        &self,
-        id: u64,
-        i: usize,
-    ) -> Result<(Vec<u8>, u64, u64), ProtocolError> {
+    fn best_recoverable(&self, id: u64, i: usize) -> Result<(Vec<u8>, u64, u64), ProtocolError> {
         let (n, k) = (self.config.params().n(), self.config.params().k());
         let mut matrix = VersionMatrix::new(n, k);
-        // Gather everything live in one pass: N_i's bytes+version, every
-        // parity column, every other data version.
-        let ni = match self.call(i, Request::ReadData { id }) {
-            Ok(Response::Data { bytes, version }) => {
-                matrix.set_data_version(i, version);
-                Some((bytes.to_vec(), version))
-            }
-            _ => None,
-        };
+        // Gather everything live in one fan-out round: N_i's
+        // bytes+version, every parity column, every other data version.
+        let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(n);
+        calls.push((NodeId(i), Request::ReadData { id }));
         for j in self.config.params().parity_indices() {
-            if let Ok(Response::Versions(col)) = self.call(j, Request::VersionVector { id }) {
-                matrix.set_column(j, col);
-            }
+            calls.push((NodeId(j), Request::VersionVector { id }));
         }
         for t in (0..k).filter(|&t| t != i) {
-            if let Ok(Response::Version(v)) = self.call(t, Request::VersionData { id }) {
-                matrix.set_data_version(t, v);
+            calls.push((NodeId(t), Request::VersionData { id }));
+        }
+        let outcome = QuorumRound::await_all(0).run(&self.transport, calls);
+        let mut ni = None;
+        for accepted in &outcome.accepted {
+            if let Response::Data { bytes, version } = &accepted.response {
+                matrix.set_data_version(i, *version);
+                ni = Some((bytes.to_vec(), *version));
             }
         }
+        self.fold_versions_into(&mut matrix, &outcome);
         let mut candidates: Vec<u64> = self
             .config
             .params()
@@ -585,7 +612,23 @@ impl<T: Transport> TrapErcClient<T> {
                 return Ok((out.bytes, v, max_observed));
             }
         }
-        Err(ProtocolError::NotEnoughForDecode { needed: k, found: 0 })
+        Err(ProtocolError::NotEnoughForDecode {
+            needed: k,
+            found: 0,
+        })
+    }
+
+    /// Folds the version-query replies of a gather round into `matrix`:
+    /// parity columns from `Versions` answers, data-node versions from
+    /// scalar `Version` answers.
+    fn fold_versions_into(&self, matrix: &mut VersionMatrix, outcome: &RoundOutcome) {
+        for accepted in &outcome.accepted {
+            match &accepted.response {
+                Response::Versions(col) => matrix.set_column(accepted.node.0, col.clone()),
+                Response::Version(v) => matrix.set_data_version(accepted.node.0, *v),
+                _ => {}
+            }
+        }
     }
 
     #[inline]
@@ -632,9 +675,9 @@ mod tests {
         let (client, _cluster) = client_9_6();
         let data = blocks(6, 64);
         client.create_stripe(1, data.clone()).unwrap();
-        for i in 0..6 {
+        for (i, expect) in data.iter().enumerate() {
             let out = client.read_block(1, i).unwrap();
-            assert_eq!(out.bytes, data[i]);
+            assert_eq!(&out.bytes, expect);
             assert_eq!(out.version, 0);
             assert_eq!(out.path, ReadPath::Direct);
         }
@@ -681,8 +724,11 @@ mod tests {
         // Kill N_3, write block 3 (level 0 of its trapezoid = {N_3} alone
         // with w_0 = 1 ⇒ the write FAILS at level 0 and leaves no residue.
         cluster.kill(3);
-        let err = client.write_block(1, 3, &vec![1u8; 16]).unwrap_err();
-        assert!(matches!(err, ProtocolError::WriteQuorumNotMet { level: 0, .. }));
+        let err = client.write_block(1, 3, &[1u8; 16]).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::WriteQuorumNotMet { level: 0, .. }
+        ));
         cluster.revive(3);
 
         // For a *stale N_i* we need the trapezoid to allow writes that
@@ -711,7 +757,7 @@ mod tests {
         for j in 6..9 {
             cluster.kill(j);
         }
-        let err = client.write_block(1, 1, &vec![9u8; 16]).unwrap_err();
+        let err = client.write_block(1, 1, &[9u8; 16]).unwrap_err();
         assert_eq!(
             err,
             ProtocolError::WriteQuorumNotMet {
@@ -732,7 +778,7 @@ mod tests {
         for j in 6..9 {
             cluster.kill(j);
         }
-        let _ = client.write_block(1, 4, &vec![0xBB; 16]).unwrap_err();
+        let _ = client.write_block(1, 4, &[0xBB; 16]).unwrap_err();
         for j in 6..9 {
             cluster.revive(j);
         }
@@ -799,7 +845,9 @@ mod tests {
             if round % 4 == 2 {
                 cluster.kill(8 + (round as usize % 7));
             }
-            let new: Vec<u8> = (0..24).map(|b| round.wrapping_mul(b as u8 ^ 0x33)).collect();
+            let new: Vec<u8> = (0..24)
+                .map(|b| round.wrapping_mul(b as u8 ^ 0x33))
+                .collect();
             if client.write_block(1, i, &new).is_ok() {
                 data[i] = new;
             }
@@ -850,7 +898,7 @@ mod tests {
         let (client, _cluster) = client_9_6();
         client.create_stripe(1, blocks(6, 16)).unwrap();
         assert_eq!(
-            client.write_block(1, 0, &vec![0u8; 17]).unwrap_err(),
+            client.write_block(1, 0, &[0u8; 17]).unwrap_err(),
             ProtocolError::SizeMismatch
         );
     }
@@ -885,9 +933,9 @@ mod tests {
         client.create_stripe(1, data).unwrap();
         // Parity node 11 misses two writes, N_0 misses one.
         cluster.kill(11);
-        client.write_block(1, 0, &vec![1u8; 16]).unwrap();
+        client.write_block(1, 0, &[1u8; 16]).unwrap();
         cluster.kill(0);
-        client.write_block(1, 0, &vec![2u8; 16]).unwrap();
+        client.write_block(1, 0, &[2u8; 16]).unwrap();
         cluster.revive(0);
         cluster.revive(11);
 
@@ -898,7 +946,11 @@ mod tests {
         assert!(out.decoded());
 
         let report = client.scrub_stripe(1).unwrap();
-        assert_eq!(report.refreshed.len(), 15, "all nodes live -> all refreshed");
+        assert_eq!(
+            report.refreshed.len(),
+            15,
+            "all nodes live -> all refreshed"
+        );
         assert!(report.salvaged.is_empty(), "nothing was poisoned");
 
         // After the scrub: N_0 is current again (direct reads), and node
@@ -906,7 +958,7 @@ mod tests {
         let out = client.read_block(1, 0).unwrap();
         assert_eq!(out.bytes, vec![2u8; 16]);
         assert_eq!(out.path, ReadPath::Direct);
-        let w = client.write_block(1, 0, &vec![3u8; 16]).unwrap();
+        let w = client.write_block(1, 0, &[3u8; 16]).unwrap();
         assert!(w.validated.contains(&11), "node 11 takes deltas again");
     }
 
@@ -927,11 +979,11 @@ mod tests {
         // Minimal poisoning sequence (found by proptest shrinking):
         cluster.kill(2);
         cluster.kill(10);
-        let _ = client.write_block(1, 2, &vec![211; 16]).unwrap_err(); // residue on parity 8, 9
+        let _ = client.write_block(1, 2, &[211; 16]).unwrap_err(); // residue on parity 8, 9
         cluster.kill(8);
-        let _ = client.write_block(1, 7, &vec![89; 16]).unwrap_err(); // residue on N_7, parity 9
+        let _ = client.write_block(1, 7, &[89; 16]).unwrap_err(); // residue on N_7, parity 9
         cluster.kill(9);
-        let _ = client.write_block(1, 5, &vec![189; 16]).unwrap_err(); // residue on N_5 only
+        let _ = client.write_block(1, 5, &[189; 16]).unwrap_err(); // residue on N_5 only
 
         // Fully healed — yet block 2 is bricked: the version check sees
         // v1, but parity 8 and 9 disagree on other columns and no data
@@ -945,18 +997,24 @@ mod tests {
             "{err:?}"
         );
         // ... and writes to it are bricked too (embedded read fails).
-        let err = client.write_block(1, 2, &vec![1; 16]).unwrap_err();
-        assert!(matches!(err, ProtocolError::OldValueUnreadable(_)), "{err:?}");
+        let err = client.write_block(1, 2, &[1; 16]).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::OldValueUnreadable(_)),
+            "{err:?}"
+        );
 
         // The scrub salvages block 2 back to its newest recoverable value
         // (the initial content) at a superseding version.
         let report = client.scrub_stripe(1).unwrap();
         assert!(report.salvaged.contains(&2), "{report:?}");
         let out = client.read_block(1, 2).unwrap();
-        assert_eq!(out.bytes, initial[2], "rolled back to the recoverable value");
+        assert_eq!(
+            out.bytes, initial[2],
+            "rolled back to the recoverable value"
+        );
         assert!(out.version > 1, "residue version superseded, not reused");
         // The block is fully writable again.
-        let w = client.write_block(1, 2, &vec![0x99; 16]).unwrap();
+        let w = client.write_block(1, 2, &[0x99; 16]).unwrap();
         assert_eq!(w.validated.len(), 8);
         assert_eq!(client.read_block(1, 2).unwrap().bytes, vec![0x99; 16]);
     }

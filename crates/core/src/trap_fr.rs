@@ -13,7 +13,7 @@
 //! dependence on other blocks.
 
 use bytes::Bytes;
-use tq_cluster::{NodeError, NodeId, Request, Response, Transport};
+use tq_cluster::{NodeError, NodeId, QuorumRound, Request, Response, Transport};
 use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 
 use crate::errors::ProtocolError;
@@ -58,20 +58,14 @@ impl<T: Transport> TrapFrClient<T> {
         &self.thresholds
     }
 
-    /// Installs the object on every replica at version 0 (provisioning;
-    /// requires all nodes live).
+    /// Installs the object on every replica at version 0 in one fan-out
+    /// round (provisioning; requires all nodes live).
     ///
     /// # Errors
-    /// [`ProtocolError::Node`] on the first failing node.
+    /// [`ProtocolError::Node`] with the lowest-positioned failing
+    /// replica's error.
     pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
-        for pos in 0..self.shape.node_count() {
-            self.call(pos, Request::InitData {
-                id,
-                bytes: Bytes::copy_from_slice(bytes),
-            })
-            .map_err(ProtocolError::Node)?;
-        }
-        Ok(())
+        crate::rounds::provision(&self.transport, self.shape.node_count(), id, bytes)
     }
 
     /// Reads the object: per level, poll `r_l` members' versions; once a
@@ -87,40 +81,39 @@ impl<T: Transport> TrapFrClient<T> {
         let mut saw_success = false;
         for l in 0..self.shape.num_levels() {
             let needed = self.thresholds.read_threshold(&self.shape, l);
-            let mut responders: Vec<(usize, u64)> = Vec::with_capacity(needed);
-            for pos in self.shape.level_range(l) {
-                match self.call(pos, Request::VersionData { id }) {
-                    Ok(Response::Version(v)) => {
-                        saw_success = true;
-                        responders.push((pos, v));
+            // One first-quorum round per level: complete on the r_l-th
+            // version answer, abandon the stragglers.
+            let calls: Vec<(NodeId, Request)> = self
+                .shape
+                .level_range(l)
+                .map(|pos| (NodeId(pos), Request::VersionData { id }))
+                .collect();
+            let outcome = QuorumRound::first_quorum(needed).run(&self.transport, calls);
+            saw_not_found |= outcome.saw_error(|e| matches!(e, NodeError::NotFound));
+            saw_success |= !outcome.accepted.is_empty();
+            let responders = crate::rounds::version_responders(&outcome);
+            if outcome.quorum_met() {
+                let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
+                // Any replica at the latest version serves the read;
+                // prefer the ones we already know are live.
+                for &(pos, v) in &responders {
+                    if v != latest {
+                        continue;
                     }
-                    Err(NodeError::NotFound) => saw_not_found = true,
-                    _ => {}
-                }
-                if responders.len() == needed {
-                    let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
-                    // Any replica at the latest version serves the read;
-                    // prefer the ones we already know are live.
-                    for &(pos, v) in &responders {
-                        if v != latest {
-                            continue;
-                        }
-                        if let Ok(Response::Data { bytes, version }) =
-                            self.call(pos, Request::ReadData { id })
-                        {
-                            if version >= latest {
-                                return Ok(ReadOutcome {
-                                    bytes: bytes.to_vec(),
-                                    version,
-                                    path: ReadPath::Direct,
-                                });
-                            }
+                    if let Ok(Response::Data { bytes, version }) =
+                        self.call(pos, Request::ReadData { id })
+                    {
+                        if version >= latest {
+                            return Ok(ReadOutcome {
+                                bytes: bytes.to_vec(),
+                                version,
+                                path: ReadPath::Direct,
+                            });
                         }
                     }
-                    // Every latest holder died between the two calls —
-                    // treat the level as failed and move on.
-                    break;
                 }
+                // Every latest holder died between the two calls — treat
+                // the level as failed and move on.
             }
         }
         if saw_not_found && !saw_success {
@@ -158,30 +151,28 @@ impl<T: Transport> TrapFrClient<T> {
         old_version: u64,
     ) -> Result<WriteOutcome, ProtocolError> {
         let new_version = old_version + 1;
+        // One shared allocation; per-replica clones are O(1) Arc bumps.
+        let payload = Bytes::copy_from_slice(new);
         let mut validated = Vec::new();
         for l in 0..self.shape.num_levels() {
             let needed = self.thresholds.write_threshold(l);
-            let mut counter = 0usize;
-            for pos in self.shape.level_range(l) {
-                if self
-                    .call(pos, Request::WriteData {
-                        id,
-                        bytes: Bytes::copy_from_slice(new),
-                        version: new_version,
-                    })
-                    .is_ok()
-                {
-                    counter += 1;
-                    validated.push(pos);
-                }
-            }
-            if counter < needed {
-                return Err(ProtocolError::WriteQuorumNotMet {
-                    level: l,
-                    needed,
-                    achieved: counter,
-                });
-            }
+            // Await-all: every replica of the level is written; w_l acks
+            // grade the level.
+            let calls: Vec<(NodeId, Request)> = self
+                .shape
+                .level_range(l)
+                .map(|pos| {
+                    (
+                        NodeId(pos),
+                        Request::WriteData {
+                            id,
+                            bytes: payload.clone(),
+                            version: new_version,
+                        },
+                    )
+                })
+                .collect();
+            crate::rounds::graded_write_level(&self.transport, l, needed, calls, &mut validated)?;
         }
         Ok(WriteOutcome {
             version: new_version,
@@ -285,7 +276,9 @@ mod tests {
         c.create(1, b"zz").unwrap();
         let mut rng = 0x12345678u64;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng
         };
         let mut ground_version = 0u64;

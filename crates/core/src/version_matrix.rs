@@ -74,12 +74,7 @@ impl VersionMatrix {
     /// and every collected parity column — Algorithm 2's "latest version"
     /// after a completed check.
     pub fn latest_version(&self, i: usize) -> Option<u64> {
-        let from_parity = self
-            .columns
-            .iter()
-            .flatten()
-            .map(|c| c[i])
-            .max();
+        let from_parity = self.columns.iter().flatten().map(|c| c[i]).max();
         match (self.data[i], from_parity) {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),
@@ -189,8 +184,8 @@ mod tests {
     #[test]
     fn consistent_group_selection() {
         let mut v = VersionMatrix::new(8, 4); // parity 4..8
-        // Two nodes agree on one stripe state, one diverges on another
-        // block's version, one is stale for block 0.
+                                              // Two nodes agree on one stripe state, one diverges on another
+                                              // block's version, one is stale for block 0.
         v.set_column(4, vec![7, 1, 2, 0]);
         v.set_column(5, vec![7, 1, 2, 0]);
         v.set_column(6, vec![7, 9, 2, 0]); // consistent for block 0 only

@@ -125,7 +125,10 @@ impl<T: Transport> Volume<T> {
     /// # Errors
     /// Range outside the volume or protocol failure.
     pub fn read_at(&self, offset: usize, len: usize) -> Result<Vec<u8>, ProtocolError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.capacity()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity())
+        {
             return Err(ProtocolError::SizeMismatch);
         }
         let mut out = Vec::with_capacity(len);
@@ -241,8 +244,8 @@ mod tests {
     fn bounds_checked() {
         let (vol, _c) = volume(4, 128);
         assert!(vol.read_block(4).is_err());
-        assert!(vol.write_block(4, &vec![0; 128]).is_err());
-        assert!(vol.write_block(0, &vec![0; 100]).is_err());
+        assert!(vol.write_block(4, &[0; 128]).is_err());
+        assert!(vol.write_block(0, &[0; 100]).is_err());
         assert!(vol.read_at(4 * 128 - 10, 11).is_err());
         assert!(vol.write_at(usize::MAX, &[1]).is_err());
     }
@@ -263,7 +266,7 @@ mod tests {
     fn survives_failure_and_rebuild() {
         let (vol, cluster) = volume(16, 128);
         for lba in 0..16 {
-            vol.write_block(lba, &vec![lba as u8 ^ 0x5A; 128]).unwrap();
+            vol.write_block(lba, &[lba as u8 ^ 0x5A; 128]).unwrap();
         }
         // Data node 3 dies and is replaced with blank hardware.
         cluster.replace(3);

@@ -154,7 +154,9 @@ mod tests {
         let (rs, mut data, mut parity) = setup(6, 4);
         for round in 0..5u8 {
             let target = (round as usize) % 4;
-            let new_block: Vec<u8> = (0..32).map(|b| round.wrapping_mul(b as u8 ^ 0x5A)).collect();
+            let new_block: Vec<u8> = (0..32)
+                .map(|b| round.wrapping_mul(b as u8 ^ 0x5A))
+                .collect();
             for d in parity_deltas(&rs, target, &data[target], &new_block).unwrap() {
                 d.apply(&mut parity[d.index - 4]);
             }

@@ -147,7 +147,10 @@ pub fn functional_repair_row(
     // Exponents 0..n name the original points; n..255 are fresh.
     let pool: Vec<u32> = (n as u32..255).collect();
     if pool.is_empty() {
-        return Err(CodeError::TooFewShards { present: 0, needed: k });
+        return Err(CodeError::TooFewShards {
+            present: 0,
+            needed: k,
+        });
     }
     let start = (seed % pool.len() as u64) as usize;
     for offset in 0..pool.len() {
@@ -164,7 +167,11 @@ pub fn functional_repair_row(
         let mut parity = Matrix::zero(n - k, k);
         for (r, j) in params.parity_indices().enumerate() {
             for c in 0..k {
-                parity[(r, c)] = if j == lost { row[c] } else { rs.coefficient(j, c) };
+                parity[(r, c)] = if j == lost {
+                    row[c]
+                } else {
+                    rs.coefficient(j, c)
+                };
             }
         }
         if let Some(new_rs) = ReedSolomon::with_parity_matrix(params, &parity) {
@@ -176,6 +183,11 @@ pub fn functional_repair_row(
         needed: k,
     })
 }
+
+/// What [`hybrid_repair`] produces: the (possibly new) codec, the
+/// rebuilt blocks in `lost` order, and the replacement generator rows
+/// used for parity targets (`None` for data targets).
+pub type HybridRepairOutcome = (ReedSolomon, Vec<Vec<u8>>, Vec<Option<Vec<Gf256>>>);
 
 /// Hybrid repair of a whole failed node set: exact for data indices,
 /// functional for parity indices. Returns the (possibly new) codec, the
@@ -191,7 +203,7 @@ pub fn hybrid_repair(
     lost: &[usize],
     survivor_blocks: &[(usize, &[u8])],
     seed: u64,
-) -> Result<(ReedSolomon, Vec<Vec<u8>>, Vec<Option<Vec<Gf256>>>), CodeError> {
+) -> Result<HybridRepairOutcome, CodeError> {
     let k = rs.params().k();
     let live: Vec<usize> = survivor_blocks.iter().map(|&(i, _)| i).collect();
     let mut current = rs.clone();
@@ -269,10 +281,22 @@ mod tests {
     fn exact_repair_needs_k_survivors() {
         let (rs, _) = setup(6, 4);
         let err = plan_exact_repair(&rs, 0, &[1, 2, 3]).unwrap_err();
-        assert_eq!(err, CodeError::TooFewShards { present: 3, needed: 4 });
+        assert_eq!(
+            err,
+            CodeError::TooFewShards {
+                present: 3,
+                needed: 4
+            }
+        );
         // Target itself in the live list is ignored.
         let err = plan_exact_repair(&rs, 0, &[0, 1, 2, 3]).unwrap_err();
-        assert_eq!(err, CodeError::TooFewShards { present: 3, needed: 4 });
+        assert_eq!(
+            err,
+            CodeError::TooFewShards {
+                present: 3,
+                needed: 4
+            }
+        );
         assert!(plan_exact_repair(&rs, 9, &[0, 1, 2, 3]).is_err());
     }
 
@@ -291,13 +315,19 @@ mod tests {
         // Any k of the new stripe reconstructs the data: exhaustive spot
         // check over a handful of subsets including the new block.
         let new_full: Vec<Vec<u8>> = full[..6].iter().cloned().chain(new_parity).collect();
-        for subset in [[0usize, 1, 2, 3, 4, 7], [1, 2, 3, 6, 7, 8], [0, 2, 4, 5, 7, 8]] {
-            let avail: Vec<(usize, &[u8])> =
-                subset.iter().map(|&i| (i, new_full[i].as_slice())).collect();
-            for target in 0..6 {
+        for subset in [
+            [0usize, 1, 2, 3, 4, 7],
+            [1, 2, 3, 6, 7, 8],
+            [0, 2, 4, 5, 7, 8],
+        ] {
+            let avail: Vec<(usize, &[u8])> = subset
+                .iter()
+                .map(|&i| (i, new_full[i].as_slice()))
+                .collect();
+            for (target, expect) in new_full.iter().enumerate().take(6) {
                 assert_eq!(
-                    new_rs.decode_block(target, &avail).unwrap(),
-                    new_full[target],
+                    &new_rs.decode_block(target, &avail).unwrap(),
+                    expect,
                     "subset {subset:?} target {target}"
                 );
             }
@@ -316,15 +346,20 @@ mod tests {
             for seed in [0u64, 1, 42, 0xFFFF_FFFF] {
                 let (new_rs, row) = functional_repair_row(&rs, lost, seed).unwrap();
                 assert_eq!(row.len(), 8);
-                assert!(row.iter().all(|c| !c.is_zero()), "Lagrange basis rows have no zeros");
+                assert!(
+                    row.iter().all(|c| !c.is_zero()),
+                    "Lagrange basis rows have no zeros"
+                );
                 // Decode still works from a subset including the new row.
                 let data_refs: Vec<&[u8]> = full[..8].iter().map(|d| d.as_slice()).collect();
                 let new_parity = new_rs.encode(&data_refs);
                 let mut new_full: Vec<Vec<u8>> = full[..8].to_vec();
                 new_full.extend(new_parity);
                 let subset: Vec<usize> = (1..8).chain([lost]).collect();
-                let avail: Vec<(usize, &[u8])> =
-                    subset.iter().map(|&i| (i, new_full[i].as_slice())).collect();
+                let avail: Vec<(usize, &[u8])> = subset
+                    .iter()
+                    .map(|&i| (i, new_full[i].as_slice()))
+                    .collect();
                 assert_eq!(new_rs.decode_block(0, &avail).unwrap(), new_full[0]);
             }
         }
@@ -375,8 +410,8 @@ mod tests {
             .iter()
             .map(|&i| (i, new_full[i].as_slice()))
             .collect();
-        for target in 0..6 {
-            assert_eq!(new_rs.decode_block(target, &avail).unwrap(), new_full[target]);
+        for (target, expect) in new_full.iter().enumerate().take(6) {
+            assert_eq!(&new_rs.decode_block(target, &avail).unwrap(), expect);
         }
     }
 

@@ -240,7 +240,9 @@ mod tests {
         let mut s = stripe(8, 5);
         for round in 0u8..20 {
             let i = (round as usize * 3) % 5;
-            let new: Vec<u8> = (0..24).map(|b| round.wrapping_mul(b as u8).wrapping_add(1)).collect();
+            let new: Vec<u8> = (0..24)
+                .map(|b| round.wrapping_mul(b as u8).wrapping_add(1))
+                .collect();
             s.update_block(i, &new).unwrap();
             assert!(s.is_consistent(), "round {round}");
         }
@@ -250,11 +252,11 @@ mod tests {
     fn update_errors() {
         let mut s = stripe(5, 3);
         assert!(matches!(
-            s.update_block(3, &vec![0; 24]),
+            s.update_block(3, &[0; 24]),
             Err(CodeError::IndexOutOfRange { .. })
         ));
         assert!(matches!(
-            s.update_block(0, &vec![0; 10]),
+            s.update_block(0, &[0; 10]),
             Err(CodeError::ShardSizeMismatch)
         ));
     }

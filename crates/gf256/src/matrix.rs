@@ -459,9 +459,8 @@ mod tests {
         use proptest::prelude::*;
 
         fn random_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-            proptest::collection::vec(any::<u8>(), n * n).prop_map(move |bytes| {
-                Matrix::from_fn(n, n, |r, c| Gf256(bytes[r * n + c]))
-            })
+            proptest::collection::vec(any::<u8>(), n * n)
+                .prop_map(move |bytes| Matrix::from_fn(n, n, |r, c| Gf256(bytes[r * n + c])))
         }
 
         proptest! {

@@ -253,7 +253,7 @@ mod tests {
         let (q, r) = num.div_rem(&den);
         let back = q.mul(&den).add(&r);
         assert_eq!(back, num);
-        assert!(r.degree().map_or(true, |d| d < den.degree().unwrap()));
+        assert!(r.degree().is_none_or(|d| d < den.degree().unwrap()));
     }
 
     #[test]

@@ -143,7 +143,9 @@ pub fn linear_combination(coeffs: &[Gf256], blocks: &[&[u8]], out: &mut [u8]) {
 #[inline]
 pub fn dot(a: &[Gf256], b: &[Gf256]) -> Gf256 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).fold(Gf256::ZERO, |acc, (&x, &y)| acc + x * y)
+    a.iter()
+        .zip(b)
+        .fold(Gf256::ZERO, |acc, (&x, &y)| acc + x * y)
 }
 
 #[cfg(test)]

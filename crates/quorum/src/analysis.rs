@@ -18,7 +18,11 @@ pub struct Series {
 impl Series {
     /// Builds a series by sweeping `f` over `steps + 1` evenly spaced
     /// points of `[0, 1]` (the node-availability axis of Figs. 2–4).
-    pub fn sweep_p(label: impl Into<String>, steps: usize, mut f: impl FnMut(f64) -> f64) -> Series {
+    pub fn sweep_p(
+        label: impl Into<String>,
+        steps: usize,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> Series {
         assert!(steps >= 1, "need at least one interval");
         let points = (0..=steps)
             .map(|i| {

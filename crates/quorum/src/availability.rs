@@ -65,7 +65,14 @@ pub fn phi(z: usize, lo: usize, hi: usize, p: f64) -> f64 {
 /// every level `l` must have at least `w_l` live nodes.
 pub fn write_availability(shape: &TrapezoidShape, th: &WriteThresholds, p: f64) -> f64 {
     (0..shape.num_levels())
-        .map(|l| phi(shape.level_size(l), th.write_threshold(l), shape.level_size(l), p))
+        .map(|l| {
+            phi(
+                shape.level_size(l),
+                th.write_threshold(l),
+                shape.level_size(l),
+                p,
+            )
+        })
         .product()
 }
 
@@ -273,7 +280,12 @@ mod tests {
     /// structural write predicate.
     #[test]
     fn eq8_matches_exact_enumeration() {
-        for (a, b, h, wparam) in [(2usize, 3usize, 2usize, 2usize), (0, 4, 1, 2), (1, 2, 2, 1), (0, 3, 1, 3)] {
+        for (a, b, h, wparam) in [
+            (2usize, 3usize, 2usize, 2usize),
+            (0, 4, 1, 2),
+            (1, 2, 2, 1),
+            (0, 3, 1, 3),
+        ] {
             let s = TrapezoidShape::new(a, b, h).unwrap();
             let th = WriteThresholds::paper_default(&s, wparam).unwrap();
             let q = TrapezoidQuorum::new(s, th.clone());
@@ -453,8 +465,7 @@ mod tests {
         for depth in [0usize, 1, 2, 3] {
             let t = TreeQuorum::new(depth);
             for &p in &[0.3, 0.5, 0.8] {
-                let exact =
-                    exact_availability(t.node_count(), p, |up| t.is_write_available(up));
+                let exact = exact_availability(t.node_count(), p, |up| t.is_write_available(up));
                 assert!(
                     (exact - tree_availability(depth, p)).abs() < 1e-9,
                     "depth {depth} p {p}"

@@ -215,7 +215,7 @@ impl TrapezoidShape {
                     continue;
                 }
                 let denom = h * (h + 1) / 2;
-                if rem % denom == 0 {
+                if rem.is_multiple_of(denom) {
                     let a = rem / denom;
                     shapes.push(TrapezoidShape { a, b, h });
                 }
@@ -573,7 +573,10 @@ mod tests {
 
     #[test]
     fn shape_validation() {
-        assert_eq!(TrapezoidShape::new(1, 0, 2), Err(ShapeError::EmptyBaseLevel));
+        assert_eq!(
+            TrapezoidShape::new(1, 0, 2),
+            Err(ShapeError::EmptyBaseLevel)
+        );
         assert!(TrapezoidShape::new(0, 1, 0).is_ok());
         assert!(matches!(
             TrapezoidShape::new(10, 100, 10),
@@ -618,15 +621,26 @@ mod tests {
         ));
         assert!(matches!(
             WriteThresholds::new(&s, vec![2, 2]),
-            Err(ShapeError::WrongThresholdCount { got: 2, expected: 3 })
+            Err(ShapeError::WrongThresholdCount {
+                got: 2,
+                expected: 3
+            })
         ));
         assert!(matches!(
             WriteThresholds::new(&s, vec![2, 6, 2]),
-            Err(ShapeError::ThresholdOutOfRange { level: 1, w: 6, s: 5 })
+            Err(ShapeError::ThresholdOutOfRange {
+                level: 1,
+                w: 6,
+                s: 5
+            })
         ));
         assert!(matches!(
             WriteThresholds::new(&s, vec![2, 2, 0]),
-            Err(ShapeError::ThresholdOutOfRange { level: 2, w: 0, s: 7 })
+            Err(ShapeError::ThresholdOutOfRange {
+                level: 2,
+                w: 0,
+                s: 7
+            })
         ));
         // w beyond s_1 rejected by paper_default too.
         assert!(WriteThresholds::paper_default(&s, 6).is_err());

@@ -53,8 +53,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
-            t @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "validate" | "baselines"
-            | "all") => targets.push(t.to_string()),
+            t @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "validate" | "baselines" | "all") => {
+                targets.push(t.to_string())
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }

@@ -91,10 +91,7 @@ pub fn fig1_layout() -> FigureData {
     art.push_str("level | nodes (level-major positions)\n");
     let width = shape.level_size(shape.h()) * 6;
     for l in 0..shape.num_levels() {
-        let row: String = shape
-            .level_range(l)
-            .map(|p| format!("[{p:>2}] "))
-            .collect();
+        let row: String = shape.level_range(l).map(|p| format!("[{p:>2}] ")).collect();
         let pad = (width.saturating_sub(row.len())) / 2;
         art.push_str(&format!("  {l}   |{}{}\n", " ".repeat(pad), row.trim_end()));
     }
@@ -104,7 +101,10 @@ pub fn fig1_layout() -> FigureData {
     );
     let sys = fig3_config().system_for_block(0);
     for l in 0..sys.shape().num_levels() {
-        notes.push(format!("  level {l}: stripe nodes {:?}", sys.level_members(l)));
+        notes.push(format!(
+            "  level {l}: stripe nodes {:?}",
+            sys.level_members(l)
+        ));
     }
     FigureData {
         id: "fig1",
@@ -127,11 +127,9 @@ pub fn fig2_write_availability(steps: usize, trials: usize, seed: u64) -> Figure
     let (shape8, _) = shape_for_k(8);
     for w in 1..=4usize {
         let th = WriteThresholds::paper_default(&shape8, w).expect("w within s_1 = 4");
-        series.push(Series::sweep_p(
-            format!("eq9 k=8 w={w}"),
-            steps,
-            |p| availability::write_availability(&shape8, &th, p),
-        ));
+        series.push(Series::sweep_p(format!("eq9 k=8 w={w}"), steps, |p| {
+            availability::write_availability(&shape8, &th, p)
+        }));
     }
     for k in [10usize, 12] {
         let (shape, th) = shape_for_k(k);
@@ -148,8 +146,13 @@ pub fn fig2_write_availability(steps: usize, trials: usize, seed: u64) -> Figure
         points: (0..=steps)
             .map(|i| {
                 let p = i as f64 / steps as f64;
-                let est =
-                    monte_carlo::protocol_write_availability(&config, p, trials, seed + i as u64, true);
+                let est = monte_carlo::protocol_write_availability(
+                    &config,
+                    p,
+                    trials,
+                    seed + i as u64,
+                    true,
+                );
                 (p, est.mean())
             })
             .collect(),
@@ -207,7 +210,11 @@ pub fn fig3_read_availability(steps: usize, trials: usize, seed: u64) -> FigureD
         points: (0..=steps)
             .map(|i| {
                 let p = i as f64 / steps as f64;
-                (p, monte_carlo::protocol_read_availability(&config, p, trials, seed + i as u64).mean())
+                (
+                    p,
+                    monte_carlo::protocol_read_availability(&config, p, trials, seed + i as u64)
+                        .mean(),
+                )
             })
             .collect(),
     };
@@ -218,8 +225,14 @@ pub fn fig3_read_availability(steps: usize, trials: usize, seed: u64) -> FigureD
                 let p = i as f64 / steps as f64;
                 (
                     p,
-                    monte_carlo::protocol_fr_read_availability(&shape, &th, p, trials, seed + 1000 + i as u64)
-                        .mean(),
+                    monte_carlo::protocol_fr_read_availability(
+                        &shape,
+                        &th,
+                        p,
+                        trials,
+                        seed + 1000 + i as u64,
+                    )
+                    .mean(),
                 )
             })
             .collect(),
@@ -266,11 +279,9 @@ pub fn fig4_read_redundancy(steps: usize, trials: usize, seed: u64) -> FigureDat
     let mut at_half = Vec::new();
     for (idx, k) in [12usize, 10, 8].into_iter().enumerate() {
         let (shape, th) = shape_for_k(k);
-        let s = Series::sweep_p(
-            format!("eq13 k={k} (n-k={})", PAPER_N - k),
-            steps,
-            |p| availability::read_availability_erc(&shape, &th, PAPER_N, k, p),
-        );
+        let s = Series::sweep_p(format!("eq13 k={k} (n-k={})", PAPER_N - k), steps, |p| {
+            availability::read_availability_erc(&shape, &th, PAPER_N, k, p)
+        });
         at_half.push((k, s.at(0.5)));
         series.push(s);
         let config = ProtocolConfig::new(
@@ -376,7 +387,10 @@ pub fn fig5_storage(block_len: usize) -> FigureData {
             let e = erc.points[i].1;
             assert!((m - e).abs() < 1e-9, "k={k}: measured {m} vs eq15 {e}");
         } else {
-            notes.push(format!("k={k}: no trapezoid with {} node(s) skipped.", PAPER_N - k + 1));
+            notes.push(format!(
+                "k={k}: no trapezoid with {} node(s) skipped.",
+                PAPER_N - k + 1
+            ));
         }
     }
     FigureData {

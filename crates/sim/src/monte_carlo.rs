@@ -138,7 +138,9 @@ pub fn protocol_write_availability(
     for trial in 0..trials {
         let id = trial as u64;
         all_up(&cluster);
-        client.create_stripe(id, data.clone()).expect("all nodes up");
+        client
+            .create_stripe(id, data.clone())
+            .expect("all nodes up");
         injector.sample_bernoulli(&cluster, p);
         let ok = if hinted {
             client
@@ -173,7 +175,7 @@ pub fn protocol_read_availability(
         .create_stripe(1, tiny_blocks(config.params().k()))
         .expect("all nodes up");
     client
-        .write_block(1, 0, &vec![0x42u8; MC_BLOCK_LEN])
+        .write_block(1, 0, &[0x42u8; MC_BLOCK_LEN])
         .expect("all nodes up");
     let mut successes = 0;
     for _ in 0..trials {
@@ -195,11 +197,15 @@ pub fn protocol_fr_read_availability(
     seed: u64,
 ) -> Estimate {
     let cluster = Cluster::new(shape.node_count());
-    let client = TrapFrClient::new(*shape, thresholds.clone(), LocalTransport::new(cluster.clone()))
-        .expect("transport sized to shape");
+    let client = TrapFrClient::new(
+        *shape,
+        thresholds.clone(),
+        LocalTransport::new(cluster.clone()),
+    )
+    .expect("transport sized to shape");
     let mut injector = FaultInjector::new(seed);
-    client.create(1, &vec![0u8; MC_BLOCK_LEN]).expect("all up");
-    client.write(1, &vec![0x42u8; MC_BLOCK_LEN]).expect("all up");
+    client.create(1, &[0u8; MC_BLOCK_LEN]).expect("all up");
+    client.write(1, &[0x42u8; MC_BLOCK_LEN]).expect("all up");
     let mut successes = 0;
     for _ in 0..trials {
         injector.sample_bernoulli(&cluster, p);
@@ -221,15 +227,19 @@ pub fn protocol_fr_write_availability(
     seed: u64,
 ) -> Estimate {
     let cluster = Cluster::new(shape.node_count());
-    let client = TrapFrClient::new(*shape, thresholds.clone(), LocalTransport::new(cluster.clone()))
-        .expect("transport sized to shape");
+    let client = TrapFrClient::new(
+        *shape,
+        thresholds.clone(),
+        LocalTransport::new(cluster.clone()),
+    )
+    .expect("transport sized to shape");
     let mut injector = FaultInjector::new(seed);
-    client.create(1, &vec![0u8; MC_BLOCK_LEN]).expect("all up");
+    client.create(1, &[0u8; MC_BLOCK_LEN]).expect("all up");
     let mut successes = 0;
     for trial in 0..trials {
         injector.sample_bernoulli(&cluster, p);
         if client
-            .write_with_version(1, &vec![0x42u8; MC_BLOCK_LEN], trial as u64 + 1)
+            .write_with_version(1, &[0x42u8; MC_BLOCK_LEN], trial as u64 + 1)
             .is_ok()
         {
             successes += 1;
@@ -306,8 +316,7 @@ mod tests {
         let config = fig3_config();
         for &p in &[0.5, 0.8] {
             let est = protocol_write_availability(&config, p, 600, 42, true);
-            let analytic =
-                availability::write_availability(config.shape(), config.thresholds(), p);
+            let analytic = availability::write_availability(config.shape(), config.thresholds(), p);
             assert!(
                 est.consistent_with(analytic, 4.5),
                 "p={p}: protocol {} vs eq9 {analytic}",
@@ -324,8 +333,7 @@ mod tests {
         let sys: TrapErcSystem = config.system_for_block(0);
         for &p in &[0.4, 0.7] {
             let est = protocol_read_availability(&config, p, 600, 23);
-            let exact =
-                tq_quorum::exact::exact_availability(15, p, |up| sys.is_read_available(up));
+            let exact = tq_quorum::exact::exact_availability(15, p, |up| sys.is_read_available(up));
             assert!(
                 est.consistent_with(exact, 4.5),
                 "p={p}: protocol {} vs structural {exact}",

@@ -48,7 +48,13 @@ pub fn write_files(fig: &FigureData, dir: &Path) -> std::io::Result<()> {
         let slug: String = s
             .label
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let csv_path = dir.join(format!("{}__{slug}.csv", fig.id));
         let mut f = fs::File::create(&csv_path)?;

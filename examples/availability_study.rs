@@ -52,9 +52,7 @@ fn main() {
     println!("shape checks (the paper's qualitative claims):");
     let fr_05 = availability::read_availability_fr(&shape, &th, 0.5);
     let erc_05 = availability::read_availability_erc(&shape, &th, 15, 8, 0.5);
-    println!(
-        "  * p = 0.5 anchors: FR = {fr_05:.3} (paper ~0.75), ERC = {erc_05:.3} (paper ~0.63)"
-    );
+    println!("  * p = 0.5 anchors: FR = {fr_05:.3} (paper ~0.75), ERC = {erc_05:.3} (paper ~0.63)");
     let fr_08 = availability::read_availability_fr(&shape, &th, 0.8);
     let erc_08 = availability::read_availability_erc(&shape, &th, 15, 8, 0.8);
     println!(

@@ -34,7 +34,10 @@ fn main() {
     let w = client
         .write_block(1, 0, &vec![0x11; 256])
         .expect("w0=3 of {0,8,10}; w1=2 of {11,12,14}");
-    println!("  write ok -> version {} validated by {:?}", w.version, w.validated);
+    println!(
+        "  write ok -> version {} validated by {:?}",
+        w.version, w.validated
+    );
     let r = client.read_block(1, 0).expect("version check at level 0");
     println!("  read ok -> version {} via {:?}", r.version, r.path);
     println!("  N9 and N13 are now STALE: their AddParity guards will reject future deltas\n");
@@ -45,7 +48,10 @@ fn main() {
     println!("act 2: revive N9/N13, scrub, then kill N0 (the data node)");
     FaultSchedule::new(vec![FaultEvent::Revive(9), FaultEvent::Revive(13)]).run_to_end(&cluster);
     let report = client.scrub_stripe(1).expect("all nodes up");
-    println!("  scrub refreshed {} node-states (N9/N13 current again)", report.refreshed.len());
+    println!(
+        "  scrub refreshed {} node-states (N9/N13 current again)",
+        report.refreshed.len()
+    );
     cluster.kill(0);
     let w = client
         .write_block(1, 0, &vec![0x22; 256])
@@ -67,7 +73,11 @@ fn main() {
     ])
     .run_to_end(&cluster);
     match client.write_block(1, 0, &vec![0x33; 256]) {
-        Err(ProtocolError::WriteQuorumNotMet { level, needed, achieved }) => {
+        Err(ProtocolError::WriteQuorumNotMet {
+            level,
+            needed,
+            achieved,
+        }) => {
             println!("  write failed at level {level}: {achieved}/{needed} validated");
             println!("  but level 0 (and live N13) already took the v3 delta — residue!\n");
         }
@@ -93,8 +103,14 @@ fn main() {
         "  read ok via {:?} at version {} — the v3 residue surfaced (failed ≠ rolled back)",
         r.path, r.version
     );
-    let w = client.write_block(1, 0, &vec![0x44; 256]).expect("full quorums");
-    assert_eq!(w.validated.len(), 8, "all 8 trapezoid members validate again");
+    let w = client
+        .write_block(1, 0, &vec![0x44; 256])
+        .expect("full quorums");
+    assert_eq!(
+        w.validated.len(),
+        8,
+        "all 8 trapezoid members validate again"
+    );
     println!(
         "  write ok -> version {} validated by all {} members",
         w.version,

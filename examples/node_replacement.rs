@@ -72,5 +72,8 @@ fn main() {
         .client()
         .write_block(0, 5, &vec![0xEE; 2048])
         .expect("healthy");
-    println!("  write -> version {} validated by {:?}", w.version, w.validated);
+    println!(
+        "  write -> version {} validated by {:?}",
+        w.version, w.validated
+    );
 }

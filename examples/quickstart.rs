@@ -21,13 +21,17 @@ fn main() {
 
     // Provision a stripe of 6 × 4 KiB blocks.
     let blocks: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 4096]).collect();
-    client.create_stripe(1, blocks).expect("provisioning with all nodes up");
+    client
+        .create_stripe(1, blocks)
+        .expect("provisioning with all nodes up");
     println!("stripe 1 created: 6 data + 3 parity blocks of 4 KiB");
 
     // Algorithm 1: write block 2. The client reads the old chunk, writes
     // N_2, and sends each parity node only the delta α_{j,2}·(new − old).
     let new_block = vec![0xAB; 4096];
-    let outcome = client.write_block(1, 2, &new_block).expect("write quorum available");
+    let outcome = client
+        .write_block(1, 2, &new_block)
+        .expect("write quorum available");
     println!(
         "write: block 2 -> version {} ({} nodes validated)",
         outcome.version,

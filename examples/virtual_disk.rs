@@ -100,7 +100,10 @@ fn main() {
             if let Ok(out) = client.read_block(stripe, block) {
                 let ok = out.bytes == shadow[lba]
                     || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
-                assert!(ok, "lba {lba}: read returned neither committed nor uncertain value");
+                assert!(
+                    ok,
+                    "lba {lba}: read returned neither committed nor uncertain value"
+                );
                 reads_checked += 1;
             }
             continue;
@@ -129,12 +132,14 @@ fn main() {
     }
     let mut direct = 0usize;
     let mut decoded = 0usize;
-    for lba in 0..disk_blocks {
+    for (lba, committed) in shadow.iter().enumerate() {
         let (stripe, block) = locate(lba);
         let out = client.read_block(stripe, block).expect("scrubbed cluster");
-        let ok = out.bytes == shadow[lba]
-            || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
-        assert!(ok, "lba {lba}: content matches neither committed nor uncertain value");
+        let ok = out.bytes == *committed || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
+        assert!(
+            ok,
+            "lba {lba}: content matches neither committed nor uncertain value"
+        );
         if out.decoded() {
             decoded += 1;
         } else {

@@ -29,7 +29,7 @@ fn transports_agree_on_protocol_behaviour() {
         let mut log = Vec::new();
         client.create_stripe(1, blocks(8, 64, 1)).unwrap();
         log.push("created".to_string());
-        let w = client.write_block(1, 3, &vec![0xAA; 64]).unwrap();
+        let w = client.write_block(1, 3, &[0xAA; 64]).unwrap();
         log.push(format!("write v{} n{}", w.version, w.validated.len()));
         cluster.kill(3);
         let r = client.read_block(1, 3).unwrap();
@@ -37,7 +37,7 @@ fn transports_agree_on_protocol_behaviour() {
         cluster.kill(11);
         cluster.kill(12);
         cluster.kill(13);
-        let e = client.write_block(1, 3, &vec![0xBB; 64]).unwrap_err();
+        let e = client.write_block(1, 3, &[0xBB; 64]).unwrap_err();
         log.push(format!("write err: {e}"));
         for n in [3, 11, 12, 13] {
             cluster.revive(n);
@@ -88,10 +88,10 @@ fn concurrent_writers_different_blocks() {
         assert_eq!(r.path, ReadPath::Direct);
     }
     // And the decode path agrees with the direct path for every block.
-    for i in 0..8 {
+    for (i, expect) in finals.iter().enumerate() {
         cluster.kill(i);
         let r = client.read_block(1, i).unwrap();
-        assert_eq!(&r.bytes, &finals[i], "decoded block {i}");
+        assert_eq!(&r.bytes, expect, "decoded block {i}");
         assert!(r.decoded());
         cluster.revive(i);
     }
@@ -146,12 +146,13 @@ fn linearizable_single_client_history() {
     let client = TrapErcClient::new(config_15_8(), LocalTransport::new(cluster.clone())).unwrap();
     client.create_stripe(1, blocks(8, 64, 3)).unwrap();
 
-    let mut last_plausible: Vec<Vec<Vec<u8>>> = (0..8)
-        .map(|i| vec![blocks(8, 64, 3)[i].clone()])
-        .collect();
+    let mut last_plausible: Vec<Vec<Vec<u8>>> =
+        (0..8).map(|i| vec![blocks(8, 64, 3)[i].clone()]).collect();
     let mut seed = 0xC0FFEEu64;
     let mut next = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         seed
     };
     for step in 0..120 {
@@ -180,7 +181,7 @@ fn linearizable_single_client_history() {
         }
         if let Ok(r) = client.read_block(1, i) {
             assert!(
-                last_plausible[i].iter().any(|v| *v == r.bytes),
+                last_plausible[i].contains(&r.bytes),
                 "step {step}: read returned a value that was never plausibly current"
             );
             // Observed values collapse the plausible set (reads are
@@ -201,7 +202,7 @@ fn scrub_restores_eq1_invariant_across_cluster() {
     // Interleave writes with failures so parity nodes diverge.
     for round in 0..12u8 {
         cluster.kill((round as usize) % 15);
-        let _ = client.write_block(1, (round as usize * 5) % 8, &vec![round; 96]);
+        let _ = client.write_block(1, (round as usize * 5) % 8, &[round; 96]);
         cluster.revive((round as usize) % 15);
     }
     for n in 0..15 {
@@ -219,7 +220,10 @@ fn scrub_restores_eq1_invariant_across_cluster() {
     for (j, expect) in (8..15).zip(&expect_parity) {
         use trapezoid_quorum::cluster::{NodeId, Request, Response};
         let transport = LocalTransport::new(cluster.clone());
-        match transport.call(NodeId(j), Request::ReadParity { id: 1 }).unwrap() {
+        match transport
+            .call(NodeId(j), Request::ReadParity { id: 1 })
+            .unwrap()
+        {
             Response::Parity { bytes, versions } => {
                 assert_eq!(&bytes[..], expect.as_slice(), "parity node {j}");
                 assert_eq!(versions.len(), 8);

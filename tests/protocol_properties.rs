@@ -85,7 +85,9 @@ fn audit_after_scrub(
     salvaged: &[usize],
 ) -> Result<(), TestCaseError> {
     for block in 0..8 {
-        let out = client.read_block(1, block).expect("scrubbed stripe readable");
+        let out = client
+            .read_block(1, block)
+            .expect("scrubbed stripe readable");
         if salvaged.contains(&block) {
             prop_assert!(
                 oracle.ever_written(block, &out.bytes),

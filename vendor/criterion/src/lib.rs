@@ -1,0 +1,310 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the API the workspace's benches use:
+//! [`Criterion`], benchmark groups with [`Throughput`] and
+//! [`BenchmarkId`], `Bencher::iter`, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short warm-up, then batches of
+//! iterations until ~`measurement_millis` of wall clock is consumed
+//! (bounded by `sample_size` batches); mean and best per-iteration times
+//! plus derived throughput go to stdout as plain text. No statistics,
+//! no HTML report. Like upstream, bench bodies only execute when the
+//! binary is run in `--bench` mode, so `cargo test` merely type-checks
+//! bench targets.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units a measurement is normalised by when reporting throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Total time and iteration count accumulated by `iter`.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` on fresh `setup()` output each iteration; only the
+    /// routine is timed.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = per_batch;
+        let deadline = Instant::now() + Duration::from_millis(60);
+        while self.samples.len() < 50 && Instant::now() < deadline {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Runs `f` repeatedly, timing batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: target ~1ms per batch.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = per_batch;
+        let deadline = Instant::now() + Duration::from_millis(60);
+        while self.samples.len() < 50 && Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_nanos() as f64 / bencher.iters_per_sample as f64;
+    let best = bencher
+        .samples
+        .iter()
+        .map(per_iter)
+        .fold(f64::INFINITY, f64::min);
+    let mean = bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
+    let thr = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib = b as f64 / mean * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  {gib:>8.3} GiB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 / mean * 1e9 / 1e6;
+            format!("  {meps:>8.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} mean {:>10}  best {:>10}{thr}",
+        fmt_duration(mean),
+        fmt_duration(best)
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; under `cargo test`
+        // that flag is absent and benches are skipped (upstream behaviour).
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Upstream builder hook; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        run_one(self.bench_mode, &id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let bench_mode = self.bench_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            bench_mode,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    bench_mode: bool,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !bench_mode {
+        return;
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    report(id, &bencher, throughput);
+}
+
+/// A group of benchmarks sharing a name prefix and throughput unit.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    bench_mode: bool,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput normalisation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for upstream compatibility; sampling here is time-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(self.bench_mode, &id, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(self.bench_mode, &id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

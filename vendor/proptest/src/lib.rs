@@ -1,0 +1,191 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_filter` / `prop_filter_map` / `prop_flat_map` /
+//! `boxed`, strategies for integer and float ranges, tuples, `Vec`s and
+//! [`collection::vec`], [`any`](arbitrary::any) over primitive types,
+//! [`Just`](strategy::Just), weighted [`prop_oneof!`], and the
+//! [`proptest!`] / `prop_assert*!` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the `Debug` rendering
+//!   of its inputs instead of a minimised counterexample.
+//! * **Deterministic seeding.** Cases derive from a fixed seed hashed
+//!   with the test name, so every run explores the same inputs.
+//! * Default `cases` is 64 (upstream: 256) to keep `cargo test` quick.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs one named property test: `proptest!` expands to calls of this.
+///
+/// Not public API in upstream proptest; kept in the crate root so the
+/// macros can reach it via `$crate`.
+#[doc(hidden)]
+pub fn __run_cases<S, F>(config: test_runner::ProptestConfig, name: &str, strategy: &S, mut test: F)
+where
+    S: strategy::Strategy,
+    F: FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    use test_runner::{TestCaseError, TestRng};
+
+    let mut rng = TestRng::for_test(name);
+    let mut rejections = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let Some(value) = strategy.generate(&mut rng) else {
+            rejections += 1;
+            assert!(
+                rejections < config.cases.saturating_mul(256).max(4096),
+                "proptest stub: too many strategy rejections in `{name}`"
+            );
+            continue;
+        };
+        let rendered = format!("{value:?}");
+        match test(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejections += 1;
+                assert!(
+                    rejections < config.cases.saturating_mul(256).max(4096),
+                    "proptest stub: too many prop_assume rejections in `{name}`"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed: {msg}\n  test: {name}\n  input: {rendered}")
+            }
+        }
+    }
+}
+
+/// The main property-test macro. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                $crate::__run_cases(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |($($pat,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails the case (no panic
+/// mid-shrink in upstream; here it simply reports the inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Weighted or unweighted union of strategies over one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

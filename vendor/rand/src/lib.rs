@@ -1,0 +1,179 @@
+//! Minimal offline stand-in for the `rand` crate (0.9 API names).
+//!
+//! Provides [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`] and the
+//! subset of [`Rng`] the workspace uses: `random_bool`, `random_range`,
+//! `fill`. The generator is SplitMix64 — high-quality enough for
+//! Monte-Carlo availability sampling, fully deterministic in its seed
+//! (the stream differs from upstream `rand`, so absolute experiment
+//! numbers are reproducible within this workspace only).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Deterministically seeds the generator from one `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `random_range` accepts (subset of `rand::distr::uniform`).
+pub trait SampleRange {
+    /// The produced value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+// Rejection-free Lemire-style bounded draw: take the high 64 bits of a
+// 128-bit product. Bias is < 2^-64 per draw — immaterial for simulation.
+fn bounded(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+/// User-facing random-value methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits, exactly the precision of f64 in [0,1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform draw from a range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard PRNG: SplitMix64.
+    ///
+    /// Passes BigCrush-level statistical scrutiny for the 64-bit stream
+    /// and needs only one word of state; deterministic in its seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(5usize..9);
+            assert!((5..9).contains(&v));
+            let w = rng.random_range(3u8..=5);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn fill_covers_slice() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
