@@ -44,7 +44,9 @@ pub mod transport;
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
 pub use node::{NodeId, StorageNode};
-pub use quorum_round::{Accepted, Completion, QuorumRound, Rejected, RoundOutcome};
+pub use quorum_round::{
+    Accepted, Completion, MultiRound, PlanOp, QuorumRound, Rejected, RoundOutcome,
+};
 pub use rpc::{BlockId, NodeError, Request, Response};
 pub use stats::IoStats;
 pub use transport::{ChannelTransport, LocalTransport, RoundReply, Transport};

@@ -187,6 +187,125 @@ impl QuorumRound {
     }
 }
 
+/// One logical operation inside a fused multi-op scatter
+/// ([`MultiRound::run`]): its own quorum condition over its own calls.
+#[derive(Debug)]
+pub struct PlanOp {
+    /// Threshold and completion policy for this op.
+    pub round: QuorumRound,
+    /// The op's calls; reply indices in the op's [`RoundOutcome`] refer
+    /// to positions within this vector.
+    pub calls: Vec<(NodeId, Request)>,
+}
+
+/// A multi-stripe scatter plan: several logical quorum rounds fused into
+/// **one** [`Transport::multicall`] batch.
+///
+/// Batched protocol operations build on this: where a loop of single ops
+/// costs one network round per op per level, a fused plan issues every
+/// op's level-`l` requests in one fan-out and completes each op on its
+/// own quorum condition. On a concurrent transport the whole plan costs
+/// roughly one round trip; on the sequential transport it degenerates to
+/// the same ordered walk a loop would make (determinism preserved).
+///
+/// Semantic differences from running the ops separately, both inherent
+/// to fusion and documented here because accounting depends on them:
+///
+/// * A [`Completion::FirstQuorum`] op that has already met its threshold
+///   keeps *recording* replies that arrive while sibling ops are still
+///   gathering (a lone round would have abandoned them). Extra accepts
+///   beyond `needed` are harmless to quorum logic.
+/// * On the lazy sequential transport, calls are issued in op order;
+///   once every op has completed, the remaining calls are never issued
+///   and show up as [`RoundOutcome::abandoned`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiRound;
+
+impl MultiRound {
+    /// Runs the fused plan; returns one [`RoundOutcome`] per op, in op
+    /// order.
+    pub fn run<T: Transport + ?Sized>(transport: &T, ops: Vec<PlanOp>) -> Vec<RoundOutcome> {
+        let mut outcomes: Vec<RoundOutcome> = ops
+            .iter()
+            .map(|op| RoundOutcome {
+                needed: op.round.needed(),
+                accepted: Vec::new(),
+                rejected: Vec::new(),
+                abandoned: Vec::new(),
+            })
+            .collect();
+        let completions: Vec<Completion> = ops.iter().map(|op| op.round.completion()).collect();
+        let mut remaining: Vec<usize> = ops.iter().map(|op| op.calls.len()).collect();
+
+        // Flatten op calls into one batch, remembering each flat index's
+        // (op, local-index) origin.
+        let mut flat: Vec<(NodeId, Request)> = Vec::new();
+        let mut origin: Vec<(usize, usize)> = Vec::new();
+        for (op_idx, op) in ops.into_iter().enumerate() {
+            for (local, call) in op.calls.into_iter().enumerate() {
+                origin.push((op_idx, local));
+                flat.push(call);
+            }
+        }
+
+        // An op with nothing left to prove is complete up front: a
+        // zero-threshold first-quorum op, or any op with no calls.
+        let mut complete: Vec<bool> = (0..outcomes.len())
+            .map(|i| {
+                remaining[i] == 0
+                    || (completions[i] == Completion::FirstQuorum && outcomes[i].needed == 0)
+            })
+            .collect();
+        let mut incomplete = complete.iter().filter(|&&c| !c).count();
+
+        let issued: Vec<NodeId> = flat.iter().map(|&(node, _)| node).collect();
+        let mut seen = vec![false; flat.len()];
+        if incomplete > 0 {
+            transport.multicall(flat, &mut |reply| {
+                let (op_idx, local) = origin[reply.index];
+                seen[reply.index] = true;
+                remaining[op_idx] -= 1;
+                let outcome = &mut outcomes[op_idx];
+                match reply.result {
+                    Ok(response) => outcome.accepted.push(Accepted {
+                        index: local,
+                        node: reply.node,
+                        response,
+                    }),
+                    Err(error) => outcome.rejected.push(Rejected {
+                        index: local,
+                        node: reply.node,
+                        error,
+                    }),
+                }
+                if !complete[op_idx] {
+                    let done = match completions[op_idx] {
+                        // An op that exhausted its calls is complete even
+                        // short of quorum — it can make no more progress
+                        // and must not keep siblings from early exit.
+                        Completion::FirstQuorum => {
+                            outcome.accepted.len() >= outcome.needed || remaining[op_idx] == 0
+                        }
+                        Completion::AwaitAll => remaining[op_idx] == 0,
+                    };
+                    if done {
+                        complete[op_idx] = true;
+                        incomplete -= 1;
+                    }
+                }
+                incomplete > 0
+            });
+        }
+        for (flat_idx, &node) in issued.iter().enumerate() {
+            if !seen[flat_idx] {
+                let (op_idx, _) = origin[flat_idx];
+                outcomes[op_idx].abandoned.push(node);
+            }
+        }
+        outcomes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +400,124 @@ mod tests {
         assert!(out.quorum_met());
         let out = QuorumRound::await_all(1).run(&t, Vec::new());
         assert!(!out.quorum_met());
+    }
+
+    #[test]
+    fn fused_awaitall_ops_gather_independently() {
+        let t = LocalTransport::new(Cluster::new(6));
+        t.cluster().kill(4);
+        let ops = vec![
+            PlanOp {
+                round: QuorumRound::await_all(3),
+                calls: pings(3),
+            },
+            PlanOp {
+                round: QuorumRound::await_all(2),
+                calls: (3..6).map(|i| (NodeId(i), Request::Ping)).collect(),
+            },
+        ];
+        let outcomes = MultiRound::run(&t, ops);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].quorum_met());
+        assert_eq!(outcomes[0].validations(), 3);
+        assert!(outcomes[0].rejected.is_empty());
+        assert!(outcomes[1].quorum_met());
+        assert_eq!(outcomes[1].validations(), 2);
+        assert_eq!(outcomes[1].rejected[0].node, NodeId(4));
+        // Local indices are per-op, not per-batch.
+        assert_eq!(outcomes[1].accepted_in_issue_order()[0].index, 0);
+    }
+
+    #[test]
+    fn fused_first_quorum_stops_after_every_op_is_met() {
+        let t = LocalTransport::new(Cluster::new(6));
+        let ops = vec![
+            PlanOp {
+                round: QuorumRound::first_quorum(1),
+                calls: pings(3),
+            },
+            PlanOp {
+                round: QuorumRound::first_quorum(2),
+                calls: (3..6).map(|i| (NodeId(i), Request::Ping)).collect(),
+            },
+        ];
+        let outcomes = MultiRound::run(&t, ops);
+        // Sequential lazy dispatch: op 0 is met on its first call; its
+        // other two calls are issued anyway while op 1 still gathers
+        // (fusion records them as accepts, a lone round would have
+        // abandoned them). Op 1 completes on its second success and its
+        // remaining call is never issued.
+        assert!(outcomes[0].quorum_met());
+        assert!(outcomes[1].quorum_met());
+        assert_eq!(outcomes[1].validations(), 2);
+        assert_eq!(outcomes[1].abandoned, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn fused_unsatisfiable_op_does_not_block_early_exit() {
+        let t = LocalTransport::new(Cluster::new(6));
+        for n in 0..3 {
+            t.cluster().kill(n);
+        }
+        let ops = vec![
+            // Op 0 can never meet its quorum: all members dead.
+            PlanOp {
+                round: QuorumRound::first_quorum(1),
+                calls: pings(3),
+            },
+            PlanOp {
+                round: QuorumRound::first_quorum(1),
+                calls: (3..6).map(|i| (NodeId(i), Request::Ping)).collect(),
+            },
+        ];
+        let outcomes = MultiRound::run(&t, ops);
+        assert!(!outcomes[0].quorum_met());
+        assert_eq!(outcomes[0].rejected.len(), 3, "exhausted, not stuck");
+        assert!(outcomes[1].quorum_met());
+        assert_eq!(outcomes[1].validations(), 1);
+        assert_eq!(
+            outcomes[1].abandoned,
+            vec![NodeId(4), NodeId(5)],
+            "the dead op must not keep the met op's stragglers awaited"
+        );
+    }
+
+    #[test]
+    fn fused_zero_threshold_and_empty_ops_complete_upfront() {
+        let t = LocalTransport::new(Cluster::new(3));
+        let ops = vec![
+            PlanOp {
+                round: QuorumRound::first_quorum(0),
+                calls: pings(3),
+            },
+            PlanOp {
+                round: QuorumRound::await_all(0),
+                calls: Vec::new(),
+            },
+        ];
+        let outcomes = MultiRound::run(&t, ops);
+        assert_eq!(outcomes[0].abandoned.len(), 3, "never dispatched");
+        assert!(outcomes[1].quorum_met());
+    }
+
+    #[test]
+    fn fused_plan_on_concurrent_transport_delivers_everything() {
+        let t = ChannelTransport::new(Cluster::new(8));
+        t.cluster().kill(6);
+        let ops: Vec<PlanOp> = (0..4)
+            .map(|op| PlanOp {
+                round: QuorumRound::await_all(1),
+                calls: (0..2)
+                    .map(|j| (NodeId(op * 2 + j), Request::Ping))
+                    .collect(),
+            })
+            .collect();
+        let outcomes = MultiRound::run(&t, ops);
+        for (op, out) in outcomes.iter().enumerate() {
+            let expect_rejects = usize::from(op == 3);
+            assert_eq!(out.rejected.len(), expect_rejects, "op {op}");
+            assert_eq!(out.validations(), 2 - expect_rejects, "op {op}");
+            assert!(out.abandoned.is_empty(), "op {op}");
+        }
     }
 }

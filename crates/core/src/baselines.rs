@@ -1,21 +1,236 @@
 //! Replication-control baselines from §II: ROWA and Majority quorum.
 //!
-//! Both manage one fully-replicated object over `n` nodes; they exist so
+//! Both manage fully-replicated objects over `n` nodes; they exist so
 //! the benches can place the trapezoid protocols on the availability
 //! spectrum the paper sketches (ROWA: perfect reads / fragile writes;
 //! Majority: balanced; trapezoid: tunable between them).
+//!
+//! The create/read/write scaffolding both clients share — provisioning
+//! fan-outs, graded write rounds, anti-entropy pushes, fused batches —
+//! lives in one crate-internal `ReplicaSet`; the clients differ only
+//! in their read strategy and quorum size. Both populate the unified
+//! [`ReadOutcome`] fully (quorum-time version, path, round accounting),
+//! so cross-protocol assertions through
+//! [`QuorumStore`](crate::store::QuorumStore) are possible.
 
-use tq_cluster::{NodeError, NodeId, QuorumRound, Request, Response, Transport};
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use tq_cluster::{NodeError, NodeId, PlanOp, QuorumRound, Request, Response, Transport};
 
 use crate::errors::ProtocolError;
-use crate::rounds::{provision, write_all};
-use crate::trap_erc::{ReadOutcome, ReadPath, WriteOutcome};
+use crate::rounds::{self, run_fused, run_recorded};
+use crate::store::{BatchReads, BatchWrites, OpReport, OBJECTS_PER_STRIPE};
+use crate::trap_erc::{ReadOutcome, ReadPath, ScrubReport, WriteOutcome};
+
+/// The replica scaffolding ROWA and Majority share: `n` replicas on one
+/// transport, provisioning, graded write fan-outs and batch plumbing.
+#[derive(Debug)]
+struct ReplicaSet<T: Transport> {
+    n: usize,
+    transport: T,
+}
+
+impl<T: Transport> ReplicaSet<T> {
+    fn new(n: usize, transport: T) -> Result<Self, ProtocolError> {
+        if transport.node_count() < n || n == 0 {
+            return Err(ProtocolError::Node(NodeError::TransportClosed));
+        }
+        Ok(ReplicaSet { n, transport })
+    }
+
+    /// Installs one object everywhere (provisioning).
+    fn create(&self, id: u64, bytes: &[u8]) -> Result<OpReport, ProtocolError> {
+        let mut report = OpReport::default();
+        rounds::provision(&self.transport, self.n, id, bytes, &mut report)?;
+        Ok(report)
+    }
+
+    /// Installs many objects everywhere in one fused fan-out round.
+    fn create_many(&self, items: &[(u64, &[u8])]) -> Result<OpReport, ProtocolError> {
+        let mut report = OpReport::default();
+        rounds::provision_many(&self.transport, self.n, items, &mut report)?;
+        Ok(report)
+    }
+
+    /// One graded write fan-out to all replicas, requiring `needed` acks.
+    fn write(
+        &self,
+        id: u64,
+        new: &[u8],
+        version: u64,
+        needed: usize,
+        report: &mut OpReport,
+    ) -> Result<WriteOutcome, ProtocolError> {
+        let (version, validated) =
+            rounds::write_all(&self.transport, self.n, needed, id, new, version, report)?;
+        Ok(WriteOutcome {
+            version,
+            validated,
+            report: OpReport::default(),
+        })
+    }
+
+    /// One *fused* write round for many objects, each graded against
+    /// `needed` acks.
+    fn write_many(
+        &self,
+        items: &[(u64, &[u8], u64)],
+        needed: usize,
+        report: &mut OpReport,
+    ) -> Vec<Result<WriteOutcome, ProtocolError>> {
+        let ops: Vec<PlanOp> = items
+            .iter()
+            .map(|&(id, new, version)| PlanOp {
+                round: QuorumRound::await_all(needed),
+                calls: rounds::write_calls(self.n, id, new, version),
+            })
+            .collect();
+        run_fused(&self.transport, Some(0), ops, report)
+            .into_iter()
+            .zip(items)
+            .map(|(outcome, &(_, _, version))| {
+                let mut validated = Vec::new();
+                rounds::grade_write_level(&outcome, 0, needed, &mut validated)?;
+                Ok(WriteOutcome {
+                    version,
+                    validated,
+                    report: OpReport::default(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Anti-entropy pass shared by every replication backend (ROWA,
+/// Majority, TRAP-FR): for each object of the stripe's contiguous block
+/// prefix, read the latest state with the protocol's own quorum read and
+/// push it back to all `n` replicas — stale replicas catch up, wiped
+/// replacements are re-initialised. `refreshed` reports the replicas
+/// that acked every push.
+pub(crate) fn repair_contiguous_objects<T: Transport>(
+    transport: &T,
+    n: usize,
+    stripe: u64,
+    read: impl Fn(u64, &mut OpReport) -> Result<ReadOutcome, ProtocolError>,
+) -> Result<ScrubReport, ProtocolError> {
+    let mut report = OpReport::default();
+    let mut refreshed: Option<BTreeSet<usize>> = None;
+    for block in 0..OBJECTS_PER_STRIPE {
+        let id = stripe * OBJECTS_PER_STRIPE + block;
+        let out = match read(id, &mut report) {
+            Ok(out) => out,
+            Err(ProtocolError::StripeMissing) => break,
+            Err(e) => return Err(e),
+        };
+        // Residue guard: a failed write may have stamped a *higher*
+        // version on some replicas than the quorum read served, and a
+        // client may have observed it. Versions must never regress, so
+        // poll every live replica and — like the TRAP-ERC salvage —
+        // install the settled value at a version superseding any
+        // residue rather than rolling the counter back.
+        let calls: Vec<(NodeId, Request)> = (0..n)
+            .map(|node| (NodeId(node), Request::VersionData { id }))
+            .collect();
+        let poll = run_recorded(
+            transport,
+            QuorumRound::await_all(0),
+            None,
+            calls,
+            &mut report,
+        );
+        let vmax = rounds::version_responders(&poll)
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .map_or(out.version, |v| v.max(out.version));
+        let install = if out.version < vmax {
+            vmax + 1
+        } else {
+            out.version
+        };
+        let acked = push_state(transport, n, id, &out.bytes, install, &mut report);
+        refreshed = Some(match refreshed {
+            None => acked,
+            Some(prev) => prev.intersection(&acked).copied().collect(),
+        });
+    }
+    Ok(ScrubReport {
+        refreshed: refreshed.unwrap_or_default().into_iter().collect(),
+        salvaged: Vec::new(),
+        report,
+    })
+}
+
+/// Pushes `(bytes, version)` to all `n` replicas; replicas that lost the
+/// object entirely (wiped replacements answer `NotFound`) get an
+/// init-then-write follow-up. Returns the replicas holding the state.
+fn push_state<T: Transport>(
+    transport: &T,
+    n: usize,
+    id: u64,
+    bytes: &[u8],
+    version: u64,
+    report: &mut OpReport,
+) -> BTreeSet<usize> {
+    let calls = rounds::write_calls(n, id, bytes, version);
+    let outcome = run_recorded(transport, QuorumRound::await_all(0), None, calls, report);
+    let mut acked: BTreeSet<usize> = outcome.accepted.iter().map(|a| a.node.0).collect();
+    let missing: Vec<usize> = outcome
+        .rejected
+        .iter()
+        .filter(|r| matches!(r.error, NodeError::NotFound))
+        .map(|r| r.node.0)
+        .collect();
+    if !missing.is_empty() {
+        let payload = Bytes::copy_from_slice(bytes);
+        let init: Vec<(NodeId, Request)> = missing
+            .iter()
+            .map(|&node| {
+                (
+                    NodeId(node),
+                    Request::InitData {
+                        id,
+                        bytes: payload.clone(),
+                    },
+                )
+            })
+            .collect();
+        run_recorded(transport, QuorumRound::await_all(0), None, init, report);
+        let stamp: Vec<(NodeId, Request)> = missing
+            .iter()
+            .map(|&node| {
+                (
+                    NodeId(node),
+                    Request::WriteData {
+                        id,
+                        bytes: payload.clone(),
+                        version,
+                    },
+                )
+            })
+            .collect();
+        let outcome = run_recorded(transport, QuorumRound::await_all(0), None, stamp, report);
+        acked.extend(outcome.accepted.iter().map(|a| a.node.0));
+    }
+    acked
+}
+
+/// Grades a read round's liveness evidence into the unified error: a
+/// stripe no contacted node knows is [`ProtocolError::StripeMissing`],
+/// anything else is [`ProtocolError::VersionCheckFailed`].
+fn read_failure(saw_not_found: bool, saw_success: bool) -> ProtocolError {
+    if saw_not_found && !saw_success {
+        ProtocolError::StripeMissing
+    } else {
+        ProtocolError::VersionCheckFailed
+    }
+}
 
 /// Read One, Write All.
 #[derive(Debug)]
 pub struct RowaClient<T: Transport> {
-    n: usize,
-    transport: T,
+    replicas: ReplicaSet<T>,
 }
 
 impl<T: Transport> RowaClient<T> {
@@ -24,10 +239,14 @@ impl<T: Transport> RowaClient<T> {
     /// # Errors
     /// [`ProtocolError::Node`] if the transport is too small.
     pub fn new(n: usize, transport: T) -> Result<Self, ProtocolError> {
-        if transport.node_count() < n || n == 0 {
-            return Err(ProtocolError::Node(NodeError::TransportClosed));
-        }
-        Ok(RowaClient { n, transport })
+        Ok(RowaClient {
+            replicas: ReplicaSet::new(n, transport)?,
+        })
+    }
+
+    /// The replica count n.
+    pub fn replicas(&self) -> usize {
+        self.replicas.n
     }
 
     /// Installs the object everywhere (provisioning).
@@ -35,8 +254,16 @@ impl<T: Transport> RowaClient<T> {
     /// # Errors
     /// [`ProtocolError::Node`] with the lowest-indexed failing node's
     /// error.
-    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
-        provision(&self.transport, self.n, id, bytes)
+    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<OpReport, ProtocolError> {
+        self.replicas.create(id, bytes)
+    }
+
+    /// Installs many objects in one fused provisioning round.
+    ///
+    /// # Errors
+    /// See [`RowaClient::create`].
+    pub fn create_many(&self, items: &[(u64, &[u8])]) -> Result<OpReport, ProtocolError> {
+        self.replicas.create_many(items)
     }
 
     /// Reads from the first live replica — "any single block read will
@@ -44,31 +271,76 @@ impl<T: Transport> RowaClient<T> {
     /// first-quorum round with threshold 1 over `ReadData`: on the
     /// sequential transport this is exactly the seed's one-RPC walk
     /// (ROWA's defining read cost); on a concurrent transport the
-    /// fastest replica serves, trading the fan-out's extra payload
-    /// reads on abandoned stragglers for one-responder latency — the
-    /// same bandwidth-for-latency trade every first-quorum round makes.
+    /// fastest replica serves. The outcome carries the serving replica's
+    /// version — under ROWA's invariant that *is* the quorum-time latest.
     ///
     /// # Errors
-    /// [`ProtocolError::VersionCheckFailed`] if every replica is down.
+    /// [`ProtocolError::StripeMissing`] if replicas answer but none
+    /// stores the object; [`ProtocolError::VersionCheckFailed`] if every
+    /// replica is down.
     pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
-        let calls: Vec<(NodeId, Request)> = (0..self.n)
+        let mut report = OpReport::default();
+        let result = self.read_recorded(id, &mut report);
+        result.map(|mut out| {
+            out.report = report;
+            out
+        })
+    }
+
+    fn read_recorded(&self, id: u64, report: &mut OpReport) -> Result<ReadOutcome, ProtocolError> {
+        let calls: Vec<(NodeId, Request)> = (0..self.replicas.n)
             .map(|node| (NodeId(node), Request::ReadData { id }))
             .collect();
-        let outcome = QuorumRound::first_quorum(1).run(&self.transport, calls);
+        let outcome = run_recorded(
+            &self.replicas.transport,
+            QuorumRound::first_quorum(1),
+            Some(0),
+            calls,
+            report,
+        );
+        Self::serve_first(&outcome)
+    }
+
+    /// Extracts the first `Data` answer of a ROWA read round.
+    fn serve_first(outcome: &tq_cluster::RoundOutcome) -> Result<ReadOutcome, ProtocolError> {
         for accepted in &outcome.accepted {
             if let Response::Data { bytes, version } = &accepted.response {
                 return Ok(ReadOutcome {
                     bytes: bytes.to_vec(),
                     version: *version,
                     path: ReadPath::Direct,
+                    report: OpReport::default(),
                 });
             }
         }
-        Err(ProtocolError::VersionCheckFailed)
+        Err(read_failure(
+            outcome.saw_error(|e| matches!(e, NodeError::NotFound)),
+            false,
+        ))
+    }
+
+    /// Batched ROWA read: one fused round carrying every object's
+    /// first-live-replica poll.
+    pub fn read_many(&self, ids: &[u64]) -> BatchReads {
+        let mut report = OpReport::default();
+        let ops: Vec<PlanOp> = ids
+            .iter()
+            .map(|&id| PlanOp {
+                round: QuorumRound::first_quorum(1),
+                calls: (0..self.replicas.n)
+                    .map(|node| (NodeId(node), Request::ReadData { id }))
+                    .collect(),
+            })
+            .collect();
+        let outcomes = run_fused(&self.replicas.transport, Some(0), ops, &mut report);
+        BatchReads {
+            outcomes: outcomes.iter().map(Self::serve_first).collect(),
+            report,
+        }
     }
 
     /// Writes to *all* replicas; a single failure fails the operation
-    /// (the paper's "any failure prevent[s] these operations").
+    /// (the paper's "any failure prevent\[s\] these operations").
     ///
     /// # Errors
     /// [`ProtocolError::WriteQuorumNotMet`] with `needed = n` on any
@@ -78,15 +350,38 @@ impl<T: Transport> RowaClient<T> {
         let old = self
             .read(id)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
-        write_all(&self.transport, self.n, self.n, id, new, old.version + 1)
+        let mut report = old.report;
+        let mut out =
+            self.replicas
+                .write(id, new, old.version + 1, self.replicas.n, &mut report)?;
+        out.report = report;
+        Ok(out)
+    }
+
+    /// Batched ROWA write: one fused read round for current versions,
+    /// one fused all-replica write round.
+    pub fn write_many(&self, items: &[(u64, &[u8])]) -> BatchWrites {
+        write_many_via(&self.replicas, items, self.replicas.n, |ids| {
+            self.read_many(ids)
+        })
+    }
+
+    /// Anti-entropy for the store facade (see
+    /// [`repair_contiguous_objects`]).
+    pub(crate) fn repair_stripe_objects(&self, stripe: u64) -> Result<ScrubReport, ProtocolError> {
+        repair_contiguous_objects(
+            &self.replicas.transport,
+            self.replicas.n,
+            stripe,
+            |id, report| self.read_recorded(id, report),
+        )
     }
 }
 
 /// Majority quorum consensus (Thomas 1979).
 #[derive(Debug)]
 pub struct MajorityClient<T: Transport> {
-    n: usize,
-    transport: T,
+    replicas: ReplicaSet<T>,
 }
 
 impl<T: Transport> MajorityClient<T> {
@@ -95,15 +390,19 @@ impl<T: Transport> MajorityClient<T> {
     /// # Errors
     /// [`ProtocolError::Node`] if the transport is too small.
     pub fn new(n: usize, transport: T) -> Result<Self, ProtocolError> {
-        if transport.node_count() < n || n == 0 {
-            return Err(ProtocolError::Node(NodeError::TransportClosed));
-        }
-        Ok(MajorityClient { n, transport })
+        Ok(MajorityClient {
+            replicas: ReplicaSet::new(n, transport)?,
+        })
+    }
+
+    /// The replica count n.
+    pub fn replicas(&self) -> usize {
+        self.replicas.n
     }
 
     /// The quorum size `⌊n/2⌋ + 1`.
     pub fn quorum(&self) -> usize {
-        self.n / 2 + 1
+        self.replicas.n / 2 + 1
     }
 
     /// Installs the object everywhere (provisioning).
@@ -111,41 +410,175 @@ impl<T: Transport> MajorityClient<T> {
     /// # Errors
     /// [`ProtocolError::Node`] with the lowest-indexed failing node's
     /// error.
-    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
-        provision(&self.transport, self.n, id, bytes)
+    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<OpReport, ProtocolError> {
+        self.replicas.create(id, bytes)
+    }
+
+    /// Installs many objects in one fused provisioning round.
+    ///
+    /// # Errors
+    /// See [`MajorityClient::create`].
+    pub fn create_many(&self, items: &[(u64, &[u8])]) -> Result<OpReport, ProtocolError> {
+        self.replicas.create_many(items)
     }
 
     /// Polls versions in a first-quorum round until a majority answers,
     /// then serves the bytes from a replica holding the maximum version
-    /// seen.
+    /// seen — the outcome's `version` is that quorum-time maximum (or
+    /// newer, if the replica advanced between the two rounds), never a
+    /// stale replica's private version.
     ///
     /// # Errors
-    /// [`ProtocolError::VersionCheckFailed`] without a live majority.
+    /// [`ProtocolError::StripeMissing`] if replicas answer but none
+    /// stores the object; [`ProtocolError::VersionCheckFailed`] without
+    /// a live majority.
     pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
-        let calls: Vec<(NodeId, Request)> = (0..self.n)
+        let mut report = OpReport::default();
+        let result = self.read_recorded(id, &mut report);
+        result.map(|mut out| {
+            out.report = report;
+            out
+        })
+    }
+
+    fn read_recorded(&self, id: u64, report: &mut OpReport) -> Result<ReadOutcome, ProtocolError> {
+        let calls: Vec<(NodeId, Request)> = (0..self.replicas.n)
             .map(|node| (NodeId(node), Request::VersionData { id }))
             .collect();
-        let outcome = QuorumRound::first_quorum(self.quorum()).run(&self.transport, calls);
-        if !outcome.quorum_met() {
-            return Err(ProtocolError::VersionCheckFailed);
-        }
-        let responders = crate::rounds::version_responders(&outcome);
-        let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
-        for &(node, v) in &responders {
-            if v != latest {
-                continue;
-            }
-            if let Ok(Response::Data { bytes, version }) =
-                self.transport.call(NodeId(node), Request::ReadData { id })
-            {
-                return Ok(ReadOutcome {
-                    bytes: bytes.to_vec(),
-                    version,
-                    path: ReadPath::Direct,
-                });
+        let outcome = run_recorded(
+            &self.replicas.transport,
+            QuorumRound::first_quorum(self.quorum()),
+            Some(0),
+            calls,
+            report,
+        );
+        let (latest, holders) = Self::quorum_versions(&outcome)?;
+        for &node in &holders {
+            let result = self
+                .replicas
+                .transport
+                .call(NodeId(node), Request::ReadData { id });
+            report.absorb_call(result.is_ok());
+            if let Ok(Response::Data { bytes, version }) = result {
+                if version >= latest {
+                    return Ok(ReadOutcome {
+                        bytes: bytes.to_vec(),
+                        version,
+                        path: ReadPath::Direct,
+                        report: OpReport::default(),
+                    });
+                }
             }
         }
         Err(ProtocolError::VersionCheckFailed)
+    }
+
+    /// Grades a version-poll round: quorum-time latest version plus the
+    /// replicas known to hold it.
+    fn quorum_versions(
+        outcome: &tq_cluster::RoundOutcome,
+    ) -> Result<(u64, Vec<usize>), ProtocolError> {
+        if !outcome.quorum_met() {
+            return Err(read_failure(
+                outcome.saw_error(|e| matches!(e, NodeError::NotFound)),
+                !outcome.accepted.is_empty(),
+            ));
+        }
+        let responders = rounds::version_responders(outcome);
+        let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
+        let holders = responders
+            .iter()
+            .filter(|&&(_, v)| v == latest)
+            .map(|&(node, _)| node)
+            .collect();
+        Ok((latest, holders))
+    }
+
+    /// Batched Majority read: one fused version-poll round, one fused
+    /// fetch round from each object's first latest holder, per-object
+    /// fallback only when that holder died in between.
+    pub fn read_many(&self, ids: &[u64]) -> BatchReads {
+        let mut report = OpReport::default();
+        let ops: Vec<PlanOp> = ids
+            .iter()
+            .map(|&id| PlanOp {
+                round: QuorumRound::first_quorum(self.quorum()),
+                calls: (0..self.replicas.n)
+                    .map(|node| (NodeId(node), Request::VersionData { id }))
+                    .collect(),
+            })
+            .collect();
+        let polls = run_fused(&self.replicas.transport, Some(0), ops, &mut report);
+        let graded: Vec<Result<(u64, Vec<usize>), ProtocolError>> =
+            polls.iter().map(Self::quorum_versions).collect();
+
+        // One fused fetch from the first latest holder of each object.
+        let fetch: Vec<usize> = (0..ids.len()).filter(|&i| graded[i].is_ok()).collect();
+        let fetch_ops: Vec<PlanOp> = fetch
+            .iter()
+            .map(|&i| {
+                let (_, holders) = graded[i].as_ref().expect("filtered Ok");
+                PlanOp {
+                    round: QuorumRound::await_all(0),
+                    calls: vec![(NodeId(holders[0]), Request::ReadData { id: ids[i] })],
+                }
+            })
+            .collect();
+        let fetched = run_fused(&self.replicas.transport, None, fetch_ops, &mut report);
+
+        let mut outcomes: Vec<Option<Result<ReadOutcome, ProtocolError>>> = graded
+            .iter()
+            .map(|g| match g {
+                Err(e) => Some(Err(e.clone())),
+                Ok(_) => None,
+            })
+            .collect();
+        for (&i, outcome) in fetch.iter().zip(&fetched) {
+            let (latest, holders) = graded[i].as_ref().expect("filtered Ok");
+            if let Some(accepted) = outcome.accepted.first() {
+                if let Response::Data { bytes, version } = &accepted.response {
+                    if version >= latest {
+                        outcomes[i] = Some(Ok(ReadOutcome {
+                            bytes: bytes.to_vec(),
+                            version: *version,
+                            path: ReadPath::Direct,
+                            report: OpReport::default(),
+                        }));
+                    }
+                }
+            }
+            if outcomes[i].is_none() {
+                // The first holder died between the rounds: walk the
+                // remaining holders one call at a time.
+                let mut served = None;
+                for &node in &holders[1..] {
+                    let result = self
+                        .replicas
+                        .transport
+                        .call(NodeId(node), Request::ReadData { id: ids[i] });
+                    report.absorb_call(result.is_ok());
+                    if let Ok(Response::Data { bytes, version }) = result {
+                        if version >= *latest {
+                            served = Some(ReadOutcome {
+                                bytes: bytes.to_vec(),
+                                version,
+                                path: ReadPath::Direct,
+                                report: OpReport::default(),
+                            });
+                            break;
+                        }
+                    }
+                }
+                outcomes[i] = Some(served.ok_or(ProtocolError::VersionCheckFailed));
+            }
+        }
+        BatchReads {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every item resolved"))
+                .collect(),
+            report,
+        }
     }
 
     /// Reads the current version from a majority, then writes
@@ -158,14 +591,69 @@ impl<T: Transport> MajorityClient<T> {
         let old = self
             .read(id)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
-        write_all(
-            &self.transport,
-            self.n,
-            self.quorum(),
-            id,
-            new,
-            old.version + 1,
+        let mut report = old.report;
+        let mut out = self
+            .replicas
+            .write(id, new, old.version + 1, self.quorum(), &mut report)?;
+        out.report = report;
+        Ok(out)
+    }
+
+    /// Batched Majority write: one fused version-discovery pass, one
+    /// fused all-replica write round graded against the majority.
+    pub fn write_many(&self, items: &[(u64, &[u8])]) -> BatchWrites {
+        write_many_via(&self.replicas, items, self.quorum(), |ids| {
+            self.read_many(ids)
+        })
+    }
+
+    /// Anti-entropy for the store facade (see
+    /// [`repair_contiguous_objects`]).
+    pub(crate) fn repair_stripe_objects(&self, stripe: u64) -> Result<ScrubReport, ProtocolError> {
+        repair_contiguous_objects(
+            &self.replicas.transport,
+            self.replicas.n,
+            stripe,
+            |id, report| self.read_recorded(id, report),
         )
+    }
+}
+
+/// The shared batched-write shape: fused version discovery through the
+/// protocol's own batched read, then one fused graded write round.
+fn write_many_via<T: Transport>(
+    replicas: &ReplicaSet<T>,
+    items: &[(u64, &[u8])],
+    needed: usize,
+    read_many: impl FnOnce(&[u64]) -> BatchReads,
+) -> BatchWrites {
+    let mut results: Vec<Option<Result<WriteOutcome, ProtocolError>>> = vec![None; items.len()];
+    rounds::flag_duplicates(items.iter().map(|&(id, _)| id), &mut results);
+    let read_idx: Vec<usize> = (0..items.len())
+        .filter(|&idx| results[idx].is_none())
+        .collect();
+    let ids: Vec<u64> = read_idx.iter().map(|&idx| items[idx].0).collect();
+    let reads = read_many(&ids);
+    let mut report = reads.report;
+
+    let mut writable: Vec<(usize, u64)> = Vec::with_capacity(read_idx.len());
+    for (&idx, old) in read_idx.iter().zip(reads.outcomes) {
+        match old {
+            Ok(old) => writable.push((idx, old.version + 1)),
+            Err(e) => results[idx] = Some(Err(ProtocolError::OldValueUnreadable(Box::new(e)))),
+        }
+    }
+    let write_items: Vec<(u64, &[u8], u64)> = writable
+        .iter()
+        .map(|&(idx, version)| (items[idx].0, items[idx].1, version))
+        .collect();
+    let written = replicas.write_many(&write_items, needed, &mut report);
+    for (&(idx, _), result) in writable.iter().zip(written) {
+        results[idx] = Some(result);
+    }
+    BatchWrites {
+        outcomes: rounds::finish_batch(results),
+        report,
     }
 }
 
@@ -249,6 +737,119 @@ mod tests {
         let out = c.read(1).unwrap();
         assert_eq!(out.bytes, b"v1");
         assert_eq!(out.version, 1);
+    }
+
+    #[test]
+    fn reads_report_quorum_time_version_and_accounting() {
+        let cluster = Cluster::new(5);
+        let rowa = RowaClient::new(5, LocalTransport::new(cluster.clone())).unwrap();
+        rowa.create(7, b"r0").unwrap();
+        let out = rowa.read(7).unwrap();
+        assert_eq!(out.version, 0);
+        assert_eq!(out.path, ReadPath::Direct);
+        assert_eq!(out.report.network_rounds(), 1, "one first-quorum round");
+        assert_eq!(out.report.messages(), 1, "ROWA's defining one-RPC read");
+
+        let majority = MajorityClient::new(5, LocalTransport::new(cluster)).unwrap();
+        majority.create(8, b"m0").unwrap();
+        majority.write(8, b"m1").unwrap();
+        let out = majority.read(8).unwrap();
+        assert_eq!(out.version, 1, "quorum-time latest, not first responder");
+        // One version-poll round + one data fetch call.
+        assert_eq!(out.report.network_rounds(), 2);
+        assert_eq!(out.report.messages(), majority.quorum() + 1);
+    }
+
+    #[test]
+    fn missing_objects_are_distinguished_from_dead_clusters() {
+        let cluster = Cluster::new(3);
+        let rowa = RowaClient::new(3, LocalTransport::new(cluster.clone())).unwrap();
+        let majority = MajorityClient::new(3, LocalTransport::new(cluster.clone())).unwrap();
+        assert_eq!(rowa.read(99).unwrap_err(), ProtocolError::StripeMissing);
+        assert_eq!(majority.read(99).unwrap_err(), ProtocolError::StripeMissing);
+        for n in 0..3 {
+            cluster.kill(n);
+        }
+        assert_eq!(
+            rowa.read(99).unwrap_err(),
+            ProtocolError::VersionCheckFailed
+        );
+        assert_eq!(
+            majority.read(99).unwrap_err(),
+            ProtocolError::VersionCheckFailed
+        );
+    }
+
+    #[test]
+    fn batched_ops_fuse_rounds() {
+        let cluster = Cluster::new(5);
+        let c = MajorityClient::new(5, LocalTransport::new(cluster.clone())).unwrap();
+        let initial: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 16]).collect();
+        let items: Vec<(u64, &[u8])> = (0..6u64)
+            .map(|i| (i, initial[i as usize].as_slice()))
+            .collect();
+        let report = c.create_many(&items).unwrap();
+        assert_eq!(report.network_rounds(), 1, "fused provisioning");
+
+        let payloads: Vec<Vec<u8>> = (0..6).map(|i| vec![0x40 + i as u8; 16]).collect();
+        let write_items: Vec<(u64, &[u8])> = (0..6u64)
+            .map(|i| (i, payloads[i as usize].as_slice()))
+            .collect();
+        let batch = c.write_many(&write_items);
+        assert!(batch.all_ok());
+        // One fused poll + one fused fetch + one fused write — not 6×3.
+        assert_eq!(batch.report.network_rounds(), 3);
+
+        let ids: Vec<u64> = (0..6).collect();
+        let reads = c.read_many(&ids);
+        assert!(reads.all_ok());
+        assert_eq!(reads.report.network_rounds(), 2, "fused poll + fetch");
+        for (i, out) in reads.outcomes.iter().enumerate() {
+            assert_eq!(out.as_ref().unwrap().bytes, payloads[i]);
+            assert_eq!(out.as_ref().unwrap().version, 1);
+        }
+
+        let rowa = RowaClient::new(5, LocalTransport::new(cluster)).unwrap();
+        rowa.create_many(&items).unwrap();
+        let reads = rowa.read_many(&ids);
+        assert!(reads.all_ok());
+        assert_eq!(reads.report.network_rounds(), 1, "one fused ROWA round");
+    }
+
+    #[test]
+    fn repair_supersedes_residue_instead_of_regressing_versions() {
+        // A failed ROWA write leaves residue v1 on the live replicas;
+        // with the writer's replica down, clients can observe v1. The
+        // repair pass must never re-stamp a version below anything
+        // observable — like the TRAP-ERC salvage, it installs the
+        // settled value at a version superseding the residue.
+        let cluster = Cluster::new(3);
+        let c = RowaClient::new(3, LocalTransport::new(cluster.clone())).unwrap();
+        c.create(0, b"old").unwrap(); // object 0 = (stripe 0, block 0)
+        cluster.kill(0);
+        let _ = c.write(0, b"new").unwrap_err(); // residue v1 on nodes 1, 2
+        let observed = c.read(0).unwrap();
+        assert_eq!(observed.version, 1, "residue is client-visible");
+        cluster.revive(0);
+        // The repair's own read serves stale node 0 (v0) — the settled
+        // value — but must install it above the v1 residue.
+        c.repair_stripe_objects(0).unwrap();
+        let out = c.read(0).unwrap();
+        assert_eq!(out.bytes, b"old", "settled on the quorum-read value");
+        assert_eq!(out.version, 2, "residue superseded, never regressed");
+    }
+
+    #[test]
+    fn duplicate_batch_addresses_rejected() {
+        let cluster = Cluster::new(3);
+        let c = RowaClient::new(3, LocalTransport::new(cluster)).unwrap();
+        c.create(1, b"x").unwrap();
+        let batch = c.write_many(&[(1, b"a".as_slice()), (1, b"b".as_slice())]);
+        assert!(batch.outcomes[0].is_ok());
+        assert!(matches!(
+            batch.outcomes[1],
+            Err(ProtocolError::Misconfigured(_))
+        ));
     }
 
     #[test]

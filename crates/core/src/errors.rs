@@ -52,6 +52,9 @@ pub enum ProtocolError {
     /// node errors are absorbed by quorum logic; this surfaces the ones
     /// that are not, e.g. `TransportClosed` during stripe creation).
     Node(NodeError),
+    /// The store API was used inconsistently (builder protocol mismatch,
+    /// duplicate batch addresses, out-of-range block index).
+    Misconfigured(&'static str),
 }
 
 impl fmt::Display for ProtocolError {
@@ -81,6 +84,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Shape(e) => write!(f, "invalid trapezoid: {e}"),
             ProtocolError::Code(e) => write!(f, "codec error: {e}"),
             ProtocolError::Node(e) => write!(f, "node error: {e}"),
+            ProtocolError::Misconfigured(what) => write!(f, "store misuse: {what}"),
         }
     }
 }

@@ -66,16 +66,22 @@ pub mod errors;
 pub mod locking;
 pub mod recovery;
 mod rounds;
+pub mod store;
 pub mod trap_erc;
 pub mod trap_fr;
 pub mod version_matrix;
 pub mod volume;
 
+pub use baselines::{MajorityClient, RowaClient};
 pub use config::ProtocolConfig;
 pub use errors::ProtocolError;
 pub use locking::StripeLockManager;
 pub use recovery::RebuildReport;
-pub use trap_erc::{ReadOutcome, ReadPath, TrapErcClient, WriteOutcome};
+pub use store::{
+    BatchReads, BatchWrite, BatchWrites, BlockAddr, OpReport, QuorumStore, RoundStats, Store,
+    StoreBuilder, StoreInfo,
+};
+pub use trap_erc::{ReadOutcome, ReadPath, ScrubReport, TrapErcClient, WriteOutcome};
 pub use trap_fr::TrapFrClient;
 pub use version_matrix::VersionMatrix;
 pub use volume::Volume;

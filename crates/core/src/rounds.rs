@@ -1,10 +1,40 @@
 //! Crate-internal helpers for the fan-out shapes every client shares.
+//!
+//! Every round runs through these helpers so that [`OpReport`]
+//! accounting is uniform across protocols: single rounds via
+//! [`run_recorded`], fused multi-op rounds via [`run_fused`].
 
 use bytes::Bytes;
-use tq_cluster::{NodeId, QuorumRound, Request, RoundOutcome, Transport};
+use tq_cluster::{MultiRound, NodeId, PlanOp, QuorumRound, Request, RoundOutcome, Transport};
 
 use crate::errors::ProtocolError;
-use crate::trap_erc::WriteOutcome;
+use crate::store::OpReport;
+
+/// Runs one single-op round and records it in `report`.
+pub(crate) fn run_recorded<T: Transport>(
+    transport: &T,
+    round: QuorumRound,
+    level: Option<usize>,
+    calls: Vec<(NodeId, Request)>,
+    report: &mut OpReport,
+) -> RoundOutcome {
+    let outcome = round.run(transport, calls);
+    report.absorb(level, &outcome);
+    outcome
+}
+
+/// Runs one fused multi-op round and records it in `report` as a single
+/// network round covering `ops.len()` logical operations.
+pub(crate) fn run_fused<T: Transport>(
+    transport: &T,
+    level: Option<usize>,
+    ops: Vec<PlanOp>,
+    report: &mut OpReport,
+) -> Vec<RoundOutcome> {
+    let outcomes = MultiRound::run(transport, ops);
+    report.absorb_fused(level, &outcomes);
+    outcomes
+}
 
 /// Extracts the `(node, version)` pairs from a version-poll round's
 /// successes, in arrival order.
@@ -36,6 +66,7 @@ pub(crate) fn provision<T: Transport>(
     n: usize,
     id: u64,
     bytes: &[u8],
+    report: &mut OpReport,
 ) -> Result<(), ProtocolError> {
     // One shared allocation; per-node clones are O(1) Arc bumps.
     let payload = Bytes::copy_from_slice(bytes);
@@ -50,20 +81,85 @@ pub(crate) fn provision<T: Transport>(
             )
         })
         .collect();
-    require_all(&QuorumRound::await_all(n).run(transport, calls))
+    require_all(&run_recorded(
+        transport,
+        QuorumRound::await_all(n),
+        None,
+        calls,
+        report,
+    ))
 }
 
-/// Runs one graded write level: await-all round, validated members
-/// appended in issue order, [`ProtocolError::WriteQuorumNotMet`] if
-/// fewer than `needed` acks arrive.
-pub(crate) fn graded_write_level<T: Transport>(
+/// Flags duplicate batch keys: every occurrence of a key after its
+/// first gets the per-item `Misconfigured` error (duplicate addresses
+/// in one fused write have no single-op-equivalent ordering).
+pub(crate) fn flag_duplicates<K: Eq + std::hash::Hash, T>(
+    keys: impl Iterator<Item = K>,
+    results: &mut [Option<Result<T, ProtocolError>>],
+) {
+    let mut seen = std::collections::HashSet::new();
+    for (idx, key) in keys.enumerate() {
+        if !seen.insert(key) {
+            results[idx] = Some(Err(ProtocolError::Misconfigured(
+                "duplicate address in write batch",
+            )));
+        }
+    }
+}
+
+/// Unwraps a fully-resolved batch result table into per-item results.
+pub(crate) fn finish_batch<T>(
+    results: Vec<Option<Result<T, ProtocolError>>>,
+) -> Vec<Result<T, ProtocolError>> {
+    results
+        .into_iter()
+        .map(|r| r.expect("every item resolved"))
+        .collect()
+}
+
+/// Fused provisioning for many objects: one [`MultiRound`] scatter of
+/// all-replica `InitData` fan-outs, every op requiring all `n` acks.
+pub(crate) fn provision_many<T: Transport>(
     transport: &T,
+    n: usize,
+    items: &[(u64, &[u8])],
+    report: &mut OpReport,
+) -> Result<(), ProtocolError> {
+    let ops: Vec<PlanOp> = items
+        .iter()
+        .map(|(id, bytes)| {
+            let payload = Bytes::copy_from_slice(bytes);
+            PlanOp {
+                round: QuorumRound::await_all(n),
+                calls: (0..n)
+                    .map(|node| {
+                        (
+                            NodeId(node),
+                            Request::InitData {
+                                id: *id,
+                                bytes: payload.clone(),
+                            },
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    for outcome in run_fused(transport, None, ops, report) {
+        require_all(&outcome)?;
+    }
+    Ok(())
+}
+
+/// Grades one write level's outcome: validated members appended in issue
+/// order, [`ProtocolError::WriteQuorumNotMet`] if fewer than `needed`
+/// acks arrived.
+pub(crate) fn grade_write_level(
+    outcome: &RoundOutcome,
     level: usize,
     needed: usize,
-    calls: Vec<(NodeId, Request)>,
     validated: &mut Vec<usize>,
 ) -> Result<(), ProtocolError> {
-    let outcome = QuorumRound::await_all(needed).run(transport, calls);
     validated.extend(outcome.accepted_in_issue_order().iter().map(|a| a.node.0));
     if !outcome.quorum_met() {
         return Err(ProtocolError::WriteQuorumNotMet {
@@ -75,6 +171,26 @@ pub(crate) fn graded_write_level<T: Transport>(
     Ok(())
 }
 
+/// Runs one graded write level: await-all round, recorded in `report`,
+/// then graded via [`grade_write_level`].
+pub(crate) fn graded_write_level<T: Transport>(
+    transport: &T,
+    level: usize,
+    needed: usize,
+    calls: Vec<(NodeId, Request)>,
+    validated: &mut Vec<usize>,
+    report: &mut OpReport,
+) -> Result<(), ProtocolError> {
+    let outcome = run_recorded(
+        transport,
+        QuorumRound::await_all(needed),
+        Some(level),
+        calls,
+        report,
+    );
+    grade_write_level(&outcome, level, needed, validated)
+}
+
 /// One write fan-out over nodes `0..n` requiring `needed` acks.
 pub(crate) fn write_all<T: Transport>(
     transport: &T,
@@ -83,10 +199,19 @@ pub(crate) fn write_all<T: Transport>(
     id: u64,
     new: &[u8],
     version: u64,
-) -> Result<WriteOutcome, ProtocolError> {
-    // One shared allocation; per-node clones are O(1) Arc bumps.
+    report: &mut OpReport,
+) -> Result<(u64, Vec<usize>), ProtocolError> {
+    let calls = write_calls(n, id, new, version);
+    let mut validated = Vec::with_capacity(n);
+    graded_write_level(transport, 0, needed, calls, &mut validated, report)?;
+    Ok((version, validated))
+}
+
+/// The full-replication write batch for one object: `WriteData` to every
+/// node `0..n`, sharing one payload allocation.
+pub(crate) fn write_calls(n: usize, id: u64, new: &[u8], version: u64) -> Vec<(NodeId, Request)> {
     let payload = Bytes::copy_from_slice(new);
-    let calls: Vec<(NodeId, Request)> = (0..n)
+    (0..n)
         .map(|node| {
             (
                 NodeId(node),
@@ -97,8 +222,5 @@ pub(crate) fn write_all<T: Transport>(
                 },
             )
         })
-        .collect();
-    let mut validated = Vec::with_capacity(n);
-    graded_write_level(transport, 0, needed, calls, &mut validated)?;
-    Ok(WriteOutcome { version, validated })
+        .collect()
 }

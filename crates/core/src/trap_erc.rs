@@ -23,7 +23,7 @@
 //!   level and has no rollback; a write that fails at level `l` has
 //!   already updated `≥ w_m` nodes at every level `m < l`. Reads may
 //!   legitimately observe the new version (a classic quorum-protocol
-//!   anomaly the paper inherits from [12]); the failure-injection tests
+//!   anomaly the paper inherits from \[12\]); the failure-injection tests
 //!   pin down this behaviour.
 //!
 //! ## Dispatch
@@ -40,13 +40,17 @@
 //! needed responder instead of the sum over members.
 
 use bytes::Bytes;
-use tq_cluster::{NodeError, NodeId, QuorumRound, Request, Response, RoundOutcome, Transport};
+use tq_cluster::{
+    NodeError, NodeId, PlanOp, QuorumRound, Request, Response, RoundOutcome, Transport,
+};
 use tq_erasure::delta::{block_delta, scale_delta};
 use tq_erasure::ReedSolomon;
 use tq_quorum::trapezoid::TrapErcSystem;
 
 use crate::config::ProtocolConfig;
 use crate::errors::ProtocolError;
+use crate::rounds::{run_fused, run_recorded};
+use crate::store::{BatchReads, BatchWrite, BatchWrites, BlockAddr, OpReport};
 use crate::version_matrix::VersionMatrix;
 
 /// How a read was served.
@@ -71,6 +75,9 @@ pub struct ReadOutcome {
     pub version: u64,
     /// Which case of Algorithm 2 served it.
     pub path: ReadPath,
+    /// Round/message/straggler accounting for the operation (empty on
+    /// batch items — the fused rounds are reported on the batch).
+    pub report: OpReport,
 }
 
 impl ReadOutcome {
@@ -89,6 +96,8 @@ pub struct ScrubReport {
     /// unrecoverable residue, so an older recoverable value was installed
     /// at a superseding version.
     pub salvaged: Vec<usize>,
+    /// Round/message accounting for the whole pass.
+    pub report: OpReport,
 }
 
 /// Result of a successful write.
@@ -98,6 +107,9 @@ pub struct WriteOutcome {
     pub version: u64,
     /// Stripe indices of nodes that validated the write, level-major.
     pub validated: Vec<usize>,
+    /// Round/message/straggler accounting for the operation (empty on
+    /// batch items — the fused rounds are reported on the batch).
+    pub report: OpReport,
 }
 
 /// The TRAP-ERC client: one per (code, trapezoid, transport) binding.
@@ -159,7 +171,7 @@ impl<T: Transport> TrapErcClient<T> {
     /// # Errors
     /// [`ProtocolError::Node`] with the lowest-indexed failing node's
     /// error; [`ProtocolError::SizeMismatch`] on ragged input.
-    pub fn create_stripe(&self, id: u64, data: Vec<Vec<u8>>) -> Result<(), ProtocolError> {
+    pub fn create_stripe(&self, id: u64, data: Vec<Vec<u8>>) -> Result<OpReport, ProtocolError> {
         let k = self.config.params().k();
         if data.len() != k {
             return Err(ProtocolError::SizeMismatch);
@@ -191,8 +203,16 @@ impl<T: Transport> TrapErcClient<T> {
             ));
         }
         let needed = calls.len();
-        let outcome = QuorumRound::await_all(needed).run(&self.transport, calls);
-        crate::rounds::require_all(&outcome)
+        let mut report = OpReport::default();
+        let outcome = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(needed),
+            None,
+            calls,
+            &mut report,
+        );
+        crate::rounds::require_all(&outcome)?;
+        Ok(report)
     }
 
     /// **Algorithm 1** — writes value `new` to data block `i`.
@@ -215,7 +235,12 @@ impl<T: Transport> TrapErcClient<T> {
         let old = self
             .read_block(id, i)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
-        self.write_block_with_hint(id, i, new, &old.bytes, old.version)
+        let mut out = self.write_block_with_hint(id, i, new, &old.bytes, old.version)?;
+        // The embedded read's rounds belong to this operation's bill.
+        let mut report = old.report;
+        report.merge_from(std::mem::take(&mut out.report));
+        out.report = report;
+        Ok(out)
     }
 
     /// Algorithm 1 with the old chunk/version supplied by the caller —
@@ -242,6 +267,7 @@ impl<T: Transport> TrapErcClient<T> {
         let new_version = old_version + 1;
         let raw_delta = block_delta(old_chunk, new)?;
         let mut validated = Vec::new();
+        let mut report = OpReport::default();
 
         // Lines 16–38: level by level, from the top of the trapezoid.
         // Each level is one scatter-gather round: every member is always
@@ -249,39 +275,63 @@ impl<T: Transport> TrapErcClient<T> {
         // set), success requires w_l validations.
         for l in 0..sys.shape().num_levels() {
             let needed = sys.thresholds().write_threshold(l);
-            let calls: Vec<(NodeId, Request)> = sys
-                .level_members(l)
-                .iter()
-                .map(|&member| {
-                    let req = if member == i {
-                        // Line 20: write x into N_i.
-                        Request::WriteData {
-                            id,
-                            bytes: Bytes::copy_from_slice(new),
-                            version: new_version,
-                        }
-                    } else {
-                        // Lines 25–28: guarded parity fold of α_{j,i}·(x − c).
-                        let delta = scale_delta(&self.rs, member, i, &raw_delta);
-                        Request::AddParity {
-                            id,
-                            block_index: i,
-                            delta: Bytes::from(delta.delta),
-                            expected_version: old_version,
-                            new_version,
-                        }
-                    };
-                    (NodeId(member), req)
-                })
-                .collect();
+            let calls =
+                self.write_level_calls(id, i, l, new, &raw_delta, (old_version, new_version));
             // Lines 35–37 live in the shared grading: fewer than w_l
             // validations fail the write at this level.
-            crate::rounds::graded_write_level(&self.transport, l, needed, calls, &mut validated)?;
+            crate::rounds::graded_write_level(
+                &self.transport,
+                l,
+                needed,
+                calls,
+                &mut validated,
+                &mut report,
+            )?;
         }
         Ok(WriteOutcome {
             version: new_version,
             validated,
+            report,
         })
+    }
+
+    /// Builds level `l`'s scatter for a write of block `i`: `write(x)` to
+    /// `N_i`, a guarded delta fold to every other member (Algorithm 1
+    /// lines 20 and 25–28).
+    fn write_level_calls(
+        &self,
+        id: u64,
+        i: usize,
+        l: usize,
+        new: &[u8],
+        raw_delta: &[u8],
+        (old_version, new_version): (u64, u64),
+    ) -> Vec<(NodeId, Request)> {
+        self.systems[i]
+            .level_members(l)
+            .iter()
+            .map(|&member| {
+                let req = if member == i {
+                    // Line 20: write x into N_i.
+                    Request::WriteData {
+                        id,
+                        bytes: Bytes::copy_from_slice(new),
+                        version: new_version,
+                    }
+                } else {
+                    // Lines 25–28: guarded parity fold of α_{j,i}·(x − c).
+                    let delta = scale_delta(&self.rs, member, i, raw_delta);
+                    Request::AddParity {
+                        id,
+                        block_index: i,
+                        delta: Bytes::from(delta.delta),
+                        expected_version: old_version,
+                        new_version,
+                    }
+                };
+                (NodeId(member), req)
+            })
+            .collect()
     }
 
     /// **Algorithm 2** — reads data block `i`.
@@ -297,6 +347,22 @@ impl<T: Transport> TrapErcClient<T> {
     /// [`ProtocolError::StripeMissing`] if nodes respond but none knows
     /// the object.
     pub fn read_block(&self, id: u64, i: usize) -> Result<ReadOutcome, ProtocolError> {
+        let mut report = OpReport::default();
+        let result = self.read_block_recorded(id, i, &mut report);
+        result.map(|mut out| {
+            out.report = report;
+            out
+        })
+    }
+
+    /// Algorithm 2 with the rounds recorded into a caller-owned report
+    /// (the scrub and batch paths bill several reads to one report).
+    fn read_block_recorded(
+        &self,
+        id: u64,
+        i: usize,
+        report: &mut OpReport,
+    ) -> Result<ReadOutcome, ProtocolError> {
         let sys = &self.systems[i];
         let (n, k) = (self.config.params().n(), self.config.params().k());
         let mut matrix = VersionMatrix::new(n, k);
@@ -308,19 +374,14 @@ impl<T: Transport> TrapErcClient<T> {
             // One first-quorum round per level: the version check is
             // complete on the r_l-th answer (line 30); later members are
             // abandoned stragglers.
-            let calls: Vec<(NodeId, Request)> = sys
-                .level_members(l)
-                .iter()
-                .map(|&member| {
-                    let req = if member == i {
-                        Request::VersionData { id }
-                    } else {
-                        Request::VersionVector { id }
-                    };
-                    (NodeId(member), req)
-                })
-                .collect();
-            let outcome = QuorumRound::first_quorum(needed).run(&self.transport, calls);
+            let calls = self.version_level_calls(id, i, l);
+            let outcome = run_recorded(
+                &self.transport,
+                QuorumRound::first_quorum(needed),
+                Some(l),
+                calls,
+                report,
+            );
             self.fold_versions_into(&mut matrix, &outcome);
             saw_not_found |= outcome.saw_error(|e| matches!(e, NodeError::NotFound));
             saw_success |= !outcome.accepted.is_empty();
@@ -330,20 +391,21 @@ impl<T: Transport> TrapErcClient<T> {
                     .latest_version(i)
                     .expect("quorum met implies at least one version");
                 // Line 31: compare against N_i's current version.
-                let ni_version = match self.call(i, Request::VersionData { id }) {
+                let ni_version = match self.call_recorded(i, Request::VersionData { id }, report) {
                     Ok(Response::Version(v)) => Some(v),
                     _ => None,
                 };
                 if ni_version == Some(latest) {
                     // Case 1: direct read from N_i.
                     if let Ok(Response::Data { bytes, version }) =
-                        self.call(i, Request::ReadData { id })
+                        self.call_recorded(i, Request::ReadData { id }, report)
                     {
                         if version == latest {
                             return Ok(ReadOutcome {
                                 bytes: bytes.to_vec(),
                                 version: latest,
                                 path: ReadPath::Direct,
+                                report: OpReport::default(),
                             });
                         }
                     }
@@ -351,7 +413,7 @@ impl<T: Transport> TrapErcClient<T> {
                     // and the read; fall through to the decode path.
                 }
                 // Case 2: reconstruct from k updated nodes.
-                return self.decode_block_at(id, i, latest, &mut matrix);
+                return self.decode_block_at(id, i, latest, &mut matrix, report);
             }
             // Level incomplete (fewer than r_l live members): try the
             // next level, keeping whatever columns we already collected.
@@ -363,6 +425,24 @@ impl<T: Transport> TrapErcClient<T> {
         Err(ProtocolError::VersionCheckFailed)
     }
 
+    /// Builds level `l`'s version-check scatter for block `i`
+    /// (Algorithm 2 line 30): scalar version from `N_i`, version vector
+    /// from every other member.
+    fn version_level_calls(&self, id: u64, i: usize, l: usize) -> Vec<(NodeId, Request)> {
+        self.systems[i]
+            .level_members(l)
+            .iter()
+            .map(|&member| {
+                let req = if member == i {
+                    Request::VersionData { id }
+                } else {
+                    Request::VersionVector { id }
+                };
+                (NodeId(member), req)
+            })
+            .collect()
+    }
+
     /// Case 2 of Algorithm 2: decode block `i` at version `latest` from
     /// `k` mutually consistent live nodes.
     fn decode_block_at(
@@ -371,6 +451,7 @@ impl<T: Transport> TrapErcClient<T> {
         i: usize,
         latest: u64,
         matrix: &mut VersionMatrix,
+        report: &mut OpReport,
     ) -> Result<ReadOutcome, ProtocolError> {
         let k = self.config.params().k();
         // Widen V beyond the nodes the version check happened to probe:
@@ -388,10 +469,14 @@ impl<T: Transport> TrapErcClient<T> {
                 calls.push((NodeId(t), Request::VersionData { id }));
             }
         }
-        self.fold_versions_into(
-            matrix,
-            &QuorumRound::await_all(0).run(&self.transport, calls),
+        let widen = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(0),
+            None,
+            calls,
+            report,
         );
+        self.fold_versions_into(matrix, &widen);
 
         // Every group of parity nodes sharing one exact version vector
         // (with block i at `latest`) is a valid decode basis; data nodes
@@ -445,7 +530,13 @@ impl<T: Transport> TrapErcClient<T> {
             .collect();
         // Gather-all with no enforced threshold: sufficiency is decided
         // below, after version re-validation of each fetched block.
-        let outcome = QuorumRound::await_all(0).run(&self.transport, fetch);
+        let outcome = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(0),
+            None,
+            fetch,
+            report,
+        );
         let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
         for accepted in outcome.accepted_in_issue_order() {
             let node = accepted.node.0;
@@ -476,6 +567,7 @@ impl<T: Transport> TrapErcClient<T> {
             path: ReadPath::Decoded {
                 nodes: refs.iter().map(|&(idx, _)| idx).take(k).collect(),
             },
+            report: OpReport::default(),
         })
     }
 
@@ -507,8 +599,9 @@ impl<T: Transport> TrapErcClient<T> {
         let mut data = Vec::with_capacity(k);
         let mut versions = Vec::with_capacity(k);
         let mut salvaged = Vec::new();
+        let mut report = OpReport::default();
         for i in 0..k {
-            match self.read_block(id, i) {
+            match self.read_block_recorded(id, i, &mut report) {
                 Ok(out) => {
                     versions.push(out.version);
                     data.push(out.bytes);
@@ -516,7 +609,8 @@ impl<T: Transport> TrapErcClient<T> {
                 Err(ProtocolError::NotEnoughForDecode { .. }) => {
                     // Poisoned: chase older versions for the newest one
                     // that still decodes, then supersede the residue.
-                    let (bytes, recovered, max_observed) = self.best_recoverable(id, i)?;
+                    let (bytes, recovered, max_observed) =
+                        self.best_recoverable(id, i, &mut report)?;
                     versions.push(if recovered < max_observed {
                         max_observed + 1
                     } else {
@@ -553,7 +647,13 @@ impl<T: Transport> TrapErcClient<T> {
                 },
             ));
         }
-        let outcome = QuorumRound::await_all(0).run(&self.transport, calls);
+        let outcome = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(0),
+            None,
+            calls,
+            &mut report,
+        );
         let refreshed = outcome
             .accepted_in_issue_order()
             .iter()
@@ -562,13 +662,19 @@ impl<T: Transport> TrapErcClient<T> {
         Ok(ScrubReport {
             refreshed,
             salvaged,
+            report,
         })
     }
 
     /// Salvage search: the newest version of block `i` recoverable from
     /// the currently-live nodes. Returns `(bytes, recovered_version,
     /// max_observed_version)`.
-    fn best_recoverable(&self, id: u64, i: usize) -> Result<(Vec<u8>, u64, u64), ProtocolError> {
+    fn best_recoverable(
+        &self,
+        id: u64,
+        i: usize,
+        report: &mut OpReport,
+    ) -> Result<(Vec<u8>, u64, u64), ProtocolError> {
         let (n, k) = (self.config.params().n(), self.config.params().k());
         let mut matrix = VersionMatrix::new(n, k);
         // Gather everything live in one fan-out round: N_i's
@@ -581,7 +687,13 @@ impl<T: Transport> TrapErcClient<T> {
         for t in (0..k).filter(|&t| t != i) {
             calls.push((NodeId(t), Request::VersionData { id }));
         }
-        let outcome = QuorumRound::await_all(0).run(&self.transport, calls);
+        let outcome = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(0),
+            None,
+            calls,
+            report,
+        );
         let mut ni = None;
         for accepted in &outcome.accepted {
             if let Response::Data { bytes, version } = &accepted.response {
@@ -608,7 +720,7 @@ impl<T: Transport> TrapErcClient<T> {
                     return Ok((bytes.clone(), v, max_observed));
                 }
             }
-            if let Ok(out) = self.decode_block_at(id, i, v, &mut matrix) {
+            if let Ok(out) = self.decode_block_at(id, i, v, &mut matrix, report) {
                 return Ok((out.bytes, v, max_observed));
             }
         }
@@ -616,6 +728,288 @@ impl<T: Transport> TrapErcClient<T> {
             needed: k,
             found: 0,
         })
+    }
+
+    /// **Batched Algorithm 2** — reads many blocks (possibly across
+    /// stripes) in *fused* per-level fan-outs: one
+    /// [`tq_cluster::MultiRound`] scatter per trapezoid level carries
+    /// every pending block's version check, one fused fetch round serves
+    /// all current `N_i` copies. The round count stays flat as the batch
+    /// grows, instead of scaling with the number of blocks.
+    pub fn read_blocks(&self, addrs: &[BlockAddr]) -> BatchReads {
+        let (n, k) = (self.config.params().n(), self.config.params().k());
+        let mut report = OpReport::default();
+
+        struct ItemState {
+            matrix: VersionMatrix,
+            latest: Option<u64>,
+            saw_not_found: bool,
+            saw_success: bool,
+            done: Option<Result<ReadOutcome, ProtocolError>>,
+        }
+        let mut states: Vec<ItemState> = addrs
+            .iter()
+            .map(|addr| ItemState {
+                matrix: VersionMatrix::new(n, k),
+                latest: None,
+                saw_not_found: false,
+                saw_success: false,
+                done: (addr.block >= k).then_some(Err(ProtocolError::Misconfigured(
+                    "block index outside the stripe",
+                ))),
+            })
+            .collect();
+
+        // Fused version checks, level by level; a block leaves the
+        // pending set once some level completes its check (line 30).
+        for l in 0..self.config.shape().num_levels() {
+            let pending: Vec<usize> = (0..states.len())
+                .filter(|&idx| states[idx].done.is_none() && states[idx].latest.is_none())
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let ops: Vec<PlanOp> = pending
+                .iter()
+                .map(|&idx| {
+                    let i = addrs[idx].block;
+                    let sys = &self.systems[i];
+                    PlanOp {
+                        round: QuorumRound::first_quorum(
+                            sys.thresholds().read_threshold(sys.shape(), l),
+                        ),
+                        calls: self.version_level_calls(addrs[idx].stripe, i, l),
+                    }
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, Some(l), ops, &mut report);
+            for (&idx, outcome) in pending.iter().zip(&outcomes) {
+                let st = &mut states[idx];
+                self.fold_versions_into(&mut st.matrix, outcome);
+                st.saw_not_found |= outcome.saw_error(|e| matches!(e, NodeError::NotFound));
+                st.saw_success |= !outcome.accepted.is_empty();
+                if outcome.quorum_met() {
+                    st.latest = Some(
+                        st.matrix
+                            .latest_version(addrs[idx].block)
+                            .expect("quorum met implies at least one version"),
+                    );
+                }
+            }
+        }
+        for st in &mut states {
+            if st.done.is_none() && st.latest.is_none() {
+                st.done = Some(Err(if st.saw_not_found && !st.saw_success {
+                    ProtocolError::StripeMissing
+                } else {
+                    ProtocolError::VersionCheckFailed
+                }));
+            }
+        }
+
+        // One fused probe for the N_i versions the level rounds did not
+        // happen to observe (line 31's comparison, batched).
+        let probe: Vec<usize> = (0..states.len())
+            .filter(|&idx| {
+                states[idx].done.is_none()
+                    && states[idx].matrix.data_version(addrs[idx].block).is_none()
+            })
+            .collect();
+        if !probe.is_empty() {
+            let ops: Vec<PlanOp> = probe
+                .iter()
+                .map(|&idx| PlanOp {
+                    round: QuorumRound::await_all(0),
+                    calls: vec![(
+                        NodeId(addrs[idx].block),
+                        Request::VersionData {
+                            id: addrs[idx].stripe,
+                        },
+                    )],
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, None, ops, &mut report);
+            for (&idx, outcome) in probe.iter().zip(&outcomes) {
+                let st = &mut states[idx];
+                self.fold_versions_into(&mut st.matrix, outcome);
+            }
+        }
+
+        // One fused fetch for every block whose N_i is current (Case 1);
+        // blocks it cannot serve fall through to the decode path.
+        let direct: Vec<usize> = (0..states.len())
+            .filter(|&idx| {
+                states[idx].done.is_none()
+                    && states[idx].matrix.data_version(addrs[idx].block) == states[idx].latest
+            })
+            .collect();
+        if !direct.is_empty() {
+            let ops: Vec<PlanOp> = direct
+                .iter()
+                .map(|&idx| PlanOp {
+                    round: QuorumRound::await_all(0),
+                    calls: vec![(
+                        NodeId(addrs[idx].block),
+                        Request::ReadData {
+                            id: addrs[idx].stripe,
+                        },
+                    )],
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, None, ops, &mut report);
+            for (&idx, outcome) in direct.iter().zip(&outcomes) {
+                let st = &mut states[idx];
+                if let Some(accepted) = outcome.accepted.first() {
+                    if let Response::Data { bytes, version } = &accepted.response {
+                        if Some(*version) == st.latest {
+                            st.done = Some(Ok(ReadOutcome {
+                                bytes: bytes.to_vec(),
+                                version: *version,
+                                path: ReadPath::Direct,
+                                report: OpReport::default(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Case 2 for the leftovers: per-block decode (the uncommon,
+        // failure-mode path — fusing it would complicate the consistent
+        // group selection for no steady-state gain).
+        for (idx, st) in states.iter_mut().enumerate() {
+            if st.done.is_none() {
+                let latest = st.latest.expect("leftover items have a version");
+                st.done = Some(self.decode_block_at(
+                    addrs[idx].stripe,
+                    addrs[idx].block,
+                    latest,
+                    &mut st.matrix,
+                    &mut report,
+                ));
+            }
+        }
+
+        BatchReads {
+            outcomes: states
+                .into_iter()
+                .map(|st| st.done.expect("every item resolved"))
+                .collect(),
+            report,
+        }
+    }
+
+    /// **Batched Algorithm 1** — writes many blocks in fused per-level
+    /// fan-outs: the embedded READBLOCKs run as one [`read_blocks`]
+    /// batch, then every surviving block's level-`l` scatter (the data
+    /// write and the guarded parity folds) is fused into one round per
+    /// level. Addresses must be distinct.
+    ///
+    /// [`read_blocks`]: TrapErcClient::read_blocks
+    pub fn write_blocks(&self, items: &[BatchWrite<'_>]) -> BatchWrites {
+        let k = self.config.params().k();
+        let mut results: Vec<Option<Result<WriteOutcome, ProtocolError>>> = vec![None; items.len()];
+
+        // Input validation: range + duplicate addresses.
+        crate::rounds::flag_duplicates(items.iter().map(|it| it.addr), &mut results);
+        for (idx, item) in items.iter().enumerate() {
+            if item.addr.block >= k {
+                results[idx] = Some(Err(ProtocolError::Misconfigured(
+                    "block index outside the stripe",
+                )));
+            }
+        }
+
+        // Fused embedded read (Algorithm 1 line 15 for the whole batch).
+        let read_idx: Vec<usize> = (0..items.len())
+            .filter(|&idx| results[idx].is_none())
+            .collect();
+        let addrs: Vec<BlockAddr> = read_idx.iter().map(|&idx| items[idx].addr).collect();
+        let reads = self.read_blocks(&addrs);
+        let mut report = reads.report;
+
+        struct Alive {
+            idx: usize,
+            raw_delta: Vec<u8>,
+            old_version: u64,
+            new_version: u64,
+            validated: Vec<usize>,
+        }
+        let mut alive: Vec<Alive> = Vec::with_capacity(read_idx.len());
+        for (&idx, old) in read_idx.iter().zip(reads.outcomes) {
+            match old {
+                Ok(old) => {
+                    if items[idx].bytes.len() != old.bytes.len() {
+                        results[idx] = Some(Err(ProtocolError::SizeMismatch));
+                        continue;
+                    }
+                    match block_delta(&old.bytes, items[idx].bytes) {
+                        Ok(raw_delta) => alive.push(Alive {
+                            idx,
+                            raw_delta,
+                            old_version: old.version,
+                            new_version: old.version + 1,
+                            validated: Vec::new(),
+                        }),
+                        Err(e) => results[idx] = Some(Err(e.into())),
+                    }
+                }
+                Err(e) => {
+                    results[idx] = Some(Err(ProtocolError::OldValueUnreadable(Box::new(e))));
+                }
+            }
+        }
+
+        // Fused write levels: every surviving block's level-l scatter in
+        // one round; a block failing its w_l grade leaves the batch
+        // (Algorithm 1 stops at the failed level, residue and all).
+        for l in 0..self.config.shape().num_levels() {
+            if alive.is_empty() {
+                break;
+            }
+            let ops: Vec<PlanOp> = alive
+                .iter()
+                .map(|w| {
+                    let i = items[w.idx].addr.block;
+                    PlanOp {
+                        round: QuorumRound::await_all(
+                            self.systems[i].thresholds().write_threshold(l),
+                        ),
+                        calls: self.write_level_calls(
+                            items[w.idx].addr.stripe,
+                            i,
+                            l,
+                            items[w.idx].bytes,
+                            &w.raw_delta,
+                            (w.old_version, w.new_version),
+                        ),
+                    }
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, Some(l), ops, &mut report);
+            let mut survivors = Vec::with_capacity(alive.len());
+            for (mut w, outcome) in alive.into_iter().zip(outcomes) {
+                let i = items[w.idx].addr.block;
+                let needed = self.systems[i].thresholds().write_threshold(l);
+                match crate::rounds::grade_write_level(&outcome, l, needed, &mut w.validated) {
+                    Ok(()) => survivors.push(w),
+                    Err(e) => results[w.idx] = Some(Err(e)),
+                }
+            }
+            alive = survivors;
+        }
+        for w in alive {
+            results[w.idx] = Some(Ok(WriteOutcome {
+                version: w.new_version,
+                validated: w.validated,
+                report: OpReport::default(),
+            }));
+        }
+
+        BatchWrites {
+            outcomes: crate::rounds::finish_batch(results),
+            report,
+        }
     }
 
     /// Folds the version-query replies of a gather round into `matrix`:
@@ -634,6 +1028,18 @@ impl<T: Transport> TrapErcClient<T> {
     #[inline]
     fn call(&self, node: usize, req: Request) -> Result<Response, NodeError> {
         self.transport.call(NodeId(node), req)
+    }
+
+    /// A lone node call, billed to `report` as a round of one.
+    fn call_recorded(
+        &self,
+        node: usize,
+        req: Request,
+        report: &mut OpReport,
+    ) -> Result<Response, NodeError> {
+        let result = self.call(node, req);
+        report.absorb_call(result.is_ok());
+        result
     }
 
     /// Crate-internal raw node access for the recovery workflows.
@@ -1027,6 +1433,102 @@ mod tests {
         let report = client.scrub_stripe(1).unwrap();
         assert_eq!(report.refreshed.len(), 14);
         assert!(!report.refreshed.contains(&12));
+    }
+
+    #[test]
+    fn batched_ops_fuse_per_level_rounds() {
+        let (client, _cluster) = client_15_8();
+        client.create_stripe(1, blocks(8, 32)).unwrap();
+        client.create_stripe(2, blocks(8, 32)).unwrap();
+
+        // Single-op baseline: a healthy read costs one level round plus
+        // two lone N_i calls; a write adds one round per level.
+        let single = client.read_block(1, 0).unwrap();
+        assert_eq!(single.report.network_rounds(), 3);
+
+        // Batched read across two stripes: one fused level-0 round plus
+        // one fused fetch round — flat in m, not 3·m.
+        let addrs: Vec<BlockAddr> = (0..8)
+            .map(|i| BlockAddr::new(1 + (i as u64 & 1), i))
+            .collect();
+        let reads = client.read_blocks(&addrs);
+        assert!(reads.all_ok());
+        assert_eq!(reads.report.network_rounds(), 2);
+        assert_eq!(
+            reads.report.rounds_at_level(0),
+            1,
+            "one fused level-0 scatter"
+        );
+        assert_eq!(reads.report.rounds[0].ops, 8, "all blocks share it");
+
+        // Batched write: the fused embedded read + one fused round per
+        // trapezoid level (h + 1 = 2).
+        let payloads: Vec<Vec<u8>> = (0..8).map(|i| vec![0xB0 | i as u8; 32]).collect();
+        let items: Vec<BatchWrite> = addrs
+            .iter()
+            .zip(&payloads)
+            .map(|(&addr, p)| BatchWrite::new(addr, p))
+            .collect();
+        let batch = client.write_blocks(&items);
+        assert!(batch.all_ok());
+        assert_eq!(batch.report.network_rounds(), 4);
+        assert_eq!(
+            batch.report.rounds_at_level(0),
+            2,
+            "read check + write level 0"
+        );
+        assert_eq!(batch.report.rounds_at_level(1), 1, "write level 1");
+        // Message volume still scales with m — fusion amortises rounds,
+        // not payloads: every trapezoid member of every block was written.
+        assert!(batch.report.messages() >= 8 * 8);
+
+        // The batch is real: single-op reads observe its effects.
+        for (addr, payload) in addrs.iter().zip(&payloads) {
+            let out = client.read_block(addr.stripe, addr.block).unwrap();
+            assert_eq!(&out.bytes, payload);
+            assert_eq!(out.version, 1);
+        }
+    }
+
+    #[test]
+    fn batched_writes_grade_per_block() {
+        let (client, cluster) = client_15_8();
+        client.create_stripe(1, blocks(8, 16)).unwrap();
+        // Block i's level 0 is {N_i, 8, 9, 10} with w_0 = 3. Killing N_5
+        // and parity 8 leaves block 5 with only 2 reachable level-0
+        // members (fails) while every other block still has exactly 3
+        // (succeeds) — one fused scatter, divergent per-item grades.
+        cluster.kill(5);
+        cluster.kill(8);
+        let payloads: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 16]).collect();
+        let items: Vec<BatchWrite> = (0..8)
+            .map(|i| BatchWrite::new(BlockAddr::new(1, i), payloads[i].as_slice()))
+            .collect();
+        let batch = client.write_blocks(&items);
+        // Every block except 5 commits; block 5 fails its level-0 grade
+        // (3 of {5, 8, 9, 10} needed, N_5 down) — per-item results, one
+        // fused scatter.
+        for (i, out) in batch.outcomes.iter().enumerate() {
+            if i == 5 {
+                assert!(
+                    matches!(out, Err(ProtocolError::WriteQuorumNotMet { level: 0, .. })),
+                    "{out:?}"
+                );
+            } else {
+                assert_eq!(out.as_ref().unwrap().version, 1, "block {i}");
+            }
+        }
+
+        // Duplicate addresses are rejected per-item.
+        let dup = client.write_blocks(&[
+            BatchWrite::new(BlockAddr::new(1, 0), &payloads[0]),
+            BatchWrite::new(BlockAddr::new(1, 0), &payloads[1]),
+        ]);
+        assert!(dup.outcomes[0].is_ok());
+        assert!(matches!(
+            dup.outcomes[1],
+            Err(ProtocolError::Misconfigured(_))
+        ));
     }
 
     #[test]

@@ -13,17 +13,22 @@
 //! dependence on other blocks.
 
 use bytes::Bytes;
-use tq_cluster::{NodeError, NodeId, QuorumRound, Request, Response, Transport};
+use tq_cluster::{NodeError, NodeId, PlanOp, QuorumRound, Request, Response, Transport};
 use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 
 use crate::errors::ProtocolError;
-use crate::trap_erc::{ReadOutcome, ReadPath, WriteOutcome};
+use crate::rounds::{run_fused, run_recorded};
+use crate::store::{BatchReads, BatchWrites, OpReport};
+use crate::trap_erc::{ReadOutcome, ReadPath, ScrubReport, WriteOutcome};
 
 /// Full-replication trapezoid client for one replicated object universe.
 #[derive(Debug)]
 pub struct TrapFrClient<T: Transport> {
     shape: TrapezoidShape,
     thresholds: WriteThresholds,
+    /// The (n, k) stripe this deployment substitutes for — eq. 5 sizes
+    /// the trapezoid as `n − k + 1`; kept for [`crate::store::StoreInfo`].
+    stripe: (usize, usize),
     transport: T,
 }
 
@@ -38,12 +43,46 @@ impl<T: Transport> TrapFrClient<T> {
         thresholds: WriteThresholds,
         transport: T,
     ) -> Result<Self, ProtocolError> {
+        let n = shape.node_count();
+        Self::with_stripe(shape, thresholds, n, 1, transport)
+    }
+
+    /// [`TrapFrClient::new`] with the (n, k) stripe identity recorded:
+    /// the paper's §IV baseline stores each block on `n − k + 1` full
+    /// replicas, so the trapezoid must organise exactly that many nodes.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Shape`] if `shape.node_count() ≠ n − k + 1`;
+    /// [`ProtocolError::Node`] if the transport is too small.
+    pub fn with_stripe(
+        shape: TrapezoidShape,
+        thresholds: WriteThresholds,
+        n: usize,
+        k: usize,
+        transport: T,
+    ) -> Result<Self, ProtocolError> {
+        let expected =
+            (n + 1)
+                .checked_sub(k)
+                .filter(|&e| e >= 1)
+                .ok_or(ProtocolError::Misconfigured(
+                    "stripe k exceeds n (no trapezoid of n - k + 1 nodes exists)",
+                ))?;
+        if shape.node_count() != expected {
+            return Err(ProtocolError::Shape(
+                tq_quorum::trapezoid::ShapeError::StripeMismatch {
+                    node_count: shape.node_count(),
+                    expected,
+                },
+            ));
+        }
         if transport.node_count() < shape.node_count() {
             return Err(ProtocolError::Node(NodeError::TransportClosed));
         }
         Ok(TrapFrClient {
             shape,
             thresholds,
+            stripe: (n, k),
             transport,
         })
     }
@@ -58,14 +97,47 @@ impl<T: Transport> TrapFrClient<T> {
         &self.thresholds
     }
 
+    /// The stripe width n this deployment substitutes for.
+    pub fn stripe_n(&self) -> usize {
+        self.stripe.0
+    }
+
+    /// The stripe data-block count k this deployment substitutes for.
+    pub fn stripe_k(&self) -> usize {
+        self.stripe.1
+    }
+
     /// Installs the object on every replica at version 0 in one fan-out
     /// round (provisioning; requires all nodes live).
     ///
     /// # Errors
     /// [`ProtocolError::Node`] with the lowest-positioned failing
     /// replica's error.
-    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<(), ProtocolError> {
-        crate::rounds::provision(&self.transport, self.shape.node_count(), id, bytes)
+    pub fn create(&self, id: u64, bytes: &[u8]) -> Result<OpReport, ProtocolError> {
+        let mut report = OpReport::default();
+        crate::rounds::provision(
+            &self.transport,
+            self.shape.node_count(),
+            id,
+            bytes,
+            &mut report,
+        )?;
+        Ok(report)
+    }
+
+    /// Provisions many objects in one fused fan-out round.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Node`] with the first failing replica's error.
+    pub fn create_many(&self, items: &[(u64, &[u8])]) -> Result<OpReport, ProtocolError> {
+        let mut report = OpReport::default();
+        crate::rounds::provision_many(
+            &self.transport,
+            self.shape.node_count(),
+            items,
+            &mut report,
+        )?;
+        Ok(report)
     }
 
     /// Reads the object: per level, poll `r_l` members' versions; once a
@@ -77,6 +149,15 @@ impl<T: Transport> TrapFrClient<T> {
     /// check; [`ProtocolError::StripeMissing`] if nodes answer but none
     /// stores the object.
     pub fn read(&self, id: u64) -> Result<ReadOutcome, ProtocolError> {
+        let mut report = OpReport::default();
+        let result = self.read_recorded(id, &mut report);
+        result.map(|mut out| {
+            out.report = report;
+            out
+        })
+    }
+
+    fn read_recorded(&self, id: u64, report: &mut OpReport) -> Result<ReadOutcome, ProtocolError> {
         let mut saw_not_found = false;
         let mut saw_success = false;
         for l in 0..self.shape.num_levels() {
@@ -88,29 +169,20 @@ impl<T: Transport> TrapFrClient<T> {
                 .level_range(l)
                 .map(|pos| (NodeId(pos), Request::VersionData { id }))
                 .collect();
-            let outcome = QuorumRound::first_quorum(needed).run(&self.transport, calls);
+            let outcome = run_recorded(
+                &self.transport,
+                QuorumRound::first_quorum(needed),
+                Some(l),
+                calls,
+                report,
+            );
             saw_not_found |= outcome.saw_error(|e| matches!(e, NodeError::NotFound));
             saw_success |= !outcome.accepted.is_empty();
             let responders = crate::rounds::version_responders(&outcome);
             if outcome.quorum_met() {
                 let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
-                // Any replica at the latest version serves the read;
-                // prefer the ones we already know are live.
-                for &(pos, v) in &responders {
-                    if v != latest {
-                        continue;
-                    }
-                    if let Ok(Response::Data { bytes, version }) =
-                        self.call(pos, Request::ReadData { id })
-                    {
-                        if version >= latest {
-                            return Ok(ReadOutcome {
-                                bytes: bytes.to_vec(),
-                                version,
-                                path: ReadPath::Direct,
-                            });
-                        }
-                    }
+                if let Some(out) = self.fetch_latest(id, latest, &responders, report) {
+                    return Ok(out);
                 }
                 // Every latest holder died between the two calls — treat
                 // the level as failed and move on.
@@ -120,6 +192,35 @@ impl<T: Transport> TrapFrClient<T> {
             return Err(ProtocolError::StripeMissing);
         }
         Err(ProtocolError::VersionCheckFailed)
+    }
+
+    /// Serves the bytes from some polled replica holding `latest` ("any
+    /// node giving the adequate latest version ... can be used").
+    fn fetch_latest(
+        &self,
+        id: u64,
+        latest: u64,
+        responders: &[(usize, u64)],
+        report: &mut OpReport,
+    ) -> Option<ReadOutcome> {
+        for &(pos, v) in responders {
+            if v != latest {
+                continue;
+            }
+            let result = self.call(pos, Request::ReadData { id });
+            report.absorb_call(result.is_ok());
+            if let Ok(Response::Data { bytes, version }) = result {
+                if version >= latest {
+                    return Some(ReadOutcome {
+                        bytes: bytes.to_vec(),
+                        version,
+                        path: ReadPath::Direct,
+                        report: OpReport::default(),
+                    });
+                }
+            }
+        }
+        None
     }
 
     /// Writes the object: discovers the current version via the read
@@ -134,7 +235,11 @@ impl<T: Transport> TrapFrClient<T> {
         let old = self
             .read(id)
             .map_err(|e| ProtocolError::OldValueUnreadable(Box::new(e)))?;
-        self.write_with_version(id, new, old.version)
+        let mut out = self.write_with_version(id, new, old.version)?;
+        let mut report = old.report;
+        report.merge_from(std::mem::take(&mut out.report));
+        out.report = report;
+        Ok(out)
     }
 
     /// The write fan-out with a caller-supplied current version — the
@@ -154,30 +259,260 @@ impl<T: Transport> TrapFrClient<T> {
         // One shared allocation; per-replica clones are O(1) Arc bumps.
         let payload = Bytes::copy_from_slice(new);
         let mut validated = Vec::new();
+        let mut report = OpReport::default();
         for l in 0..self.shape.num_levels() {
             let needed = self.thresholds.write_threshold(l);
             // Await-all: every replica of the level is written; w_l acks
             // grade the level.
-            let calls: Vec<(NodeId, Request)> = self
-                .shape
-                .level_range(l)
-                .map(|pos| {
-                    (
-                        NodeId(pos),
-                        Request::WriteData {
-                            id,
-                            bytes: payload.clone(),
-                            version: new_version,
-                        },
-                    )
-                })
-                .collect();
-            crate::rounds::graded_write_level(&self.transport, l, needed, calls, &mut validated)?;
+            let calls = self.write_level_calls(id, l, &payload, new_version);
+            crate::rounds::graded_write_level(
+                &self.transport,
+                l,
+                needed,
+                calls,
+                &mut validated,
+                &mut report,
+            )?;
         }
         Ok(WriteOutcome {
             version: new_version,
             validated,
+            report,
         })
+    }
+
+    /// Builds level `l`'s write scatter: `WriteData` to every member.
+    fn write_level_calls(
+        &self,
+        id: u64,
+        l: usize,
+        payload: &Bytes,
+        version: u64,
+    ) -> Vec<(NodeId, Request)> {
+        self.shape
+            .level_range(l)
+            .map(|pos| {
+                (
+                    NodeId(pos),
+                    Request::WriteData {
+                        id,
+                        bytes: payload.clone(),
+                        version,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Batched read: fused per-level version rounds for every object,
+    /// then one fused fetch round serving each object from a replica
+    /// that answered with the latest version.
+    pub fn read_many(&self, ids: &[u64]) -> BatchReads {
+        let mut report = OpReport::default();
+        struct ItemState {
+            latest: Option<u64>,
+            holders: Vec<usize>,
+            saw_not_found: bool,
+            saw_success: bool,
+            done: Option<Result<ReadOutcome, ProtocolError>>,
+        }
+        let mut states: Vec<ItemState> = ids
+            .iter()
+            .map(|_| ItemState {
+                latest: None,
+                holders: Vec::new(),
+                saw_not_found: false,
+                saw_success: false,
+                done: None,
+            })
+            .collect();
+
+        for l in 0..self.shape.num_levels() {
+            let pending: Vec<usize> = (0..states.len())
+                .filter(|&idx| states[idx].latest.is_none())
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let needed = self.thresholds.read_threshold(&self.shape, l);
+            let ops: Vec<PlanOp> = pending
+                .iter()
+                .map(|&idx| PlanOp {
+                    round: QuorumRound::first_quorum(needed),
+                    calls: self
+                        .shape
+                        .level_range(l)
+                        .map(|pos| (NodeId(pos), Request::VersionData { id: ids[idx] }))
+                        .collect(),
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, Some(l), ops, &mut report);
+            for (&idx, outcome) in pending.iter().zip(&outcomes) {
+                let st = &mut states[idx];
+                st.saw_not_found |= outcome.saw_error(|e| matches!(e, NodeError::NotFound));
+                st.saw_success |= !outcome.accepted.is_empty();
+                if outcome.quorum_met() {
+                    let responders = crate::rounds::version_responders(outcome);
+                    let latest = responders.iter().map(|&(_, v)| v).max().expect("non-empty");
+                    st.latest = Some(latest);
+                    st.holders = responders
+                        .iter()
+                        .filter(|&&(_, v)| v == latest)
+                        .map(|&(pos, _)| pos)
+                        .collect();
+                }
+            }
+        }
+        for st in &mut states {
+            if st.latest.is_none() {
+                st.done = Some(Err(if st.saw_not_found && !st.saw_success {
+                    ProtocolError::StripeMissing
+                } else {
+                    ProtocolError::VersionCheckFailed
+                }));
+            }
+        }
+
+        // One fused fetch round: the first known holder of each object.
+        let fetch: Vec<usize> = (0..states.len())
+            .filter(|&idx| states[idx].done.is_none())
+            .collect();
+        if !fetch.is_empty() {
+            let ops: Vec<PlanOp> = fetch
+                .iter()
+                .map(|&idx| PlanOp {
+                    round: QuorumRound::await_all(0),
+                    calls: vec![(
+                        NodeId(states[idx].holders[0]),
+                        Request::ReadData { id: ids[idx] },
+                    )],
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, None, ops, &mut report);
+            for (&idx, outcome) in fetch.iter().zip(&outcomes) {
+                let st = &mut states[idx];
+                let latest = st.latest.expect("fetch items have a version");
+                if let Some(accepted) = outcome.accepted.first() {
+                    if let Response::Data { bytes, version } = &accepted.response {
+                        if *version >= latest {
+                            st.done = Some(Ok(ReadOutcome {
+                                bytes: bytes.to_vec(),
+                                version: *version,
+                                path: ReadPath::Direct,
+                                report: OpReport::default(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        // Fallback for objects whose first holder died between the two
+        // rounds: walk the remaining holders, then (matching the
+        // single-op semantics, which treat a fetch-less level as failed
+        // and move on to the next) rerun the full per-object read.
+        for (idx, st) in states.iter_mut().enumerate() {
+            if st.done.is_none() {
+                let latest = st.latest.expect("resolved above otherwise");
+                let holders: Vec<(usize, u64)> =
+                    st.holders.iter().map(|&pos| (pos, latest)).collect();
+                st.done = Some(
+                    match self.fetch_latest(ids[idx], latest, &holders[1..], &mut report) {
+                        Some(out) => Ok(out),
+                        None => self.read_recorded(ids[idx], &mut report),
+                    },
+                );
+            }
+        }
+        BatchReads {
+            outcomes: states
+                .into_iter()
+                .map(|st| st.done.expect("every item resolved"))
+                .collect(),
+            report,
+        }
+    }
+
+    /// Batched write: one fused version-discovery pass, then one fused
+    /// `WriteData` scatter per trapezoid level for every object.
+    pub fn write_many(&self, items: &[(u64, &[u8])]) -> BatchWrites {
+        let mut results: Vec<Option<Result<WriteOutcome, ProtocolError>>> = vec![None; items.len()];
+        crate::rounds::flag_duplicates(items.iter().map(|&(id, _)| id), &mut results);
+        let read_idx: Vec<usize> = (0..items.len())
+            .filter(|&idx| results[idx].is_none())
+            .collect();
+        let ids: Vec<u64> = read_idx.iter().map(|&idx| items[idx].0).collect();
+        let reads = self.read_many(&ids);
+        let mut report = reads.report;
+
+        struct Alive {
+            idx: usize,
+            payload: Bytes,
+            new_version: u64,
+            validated: Vec<usize>,
+        }
+        let mut alive: Vec<Alive> = Vec::with_capacity(read_idx.len());
+        for (&idx, old) in read_idx.iter().zip(reads.outcomes) {
+            match old {
+                Ok(old) => alive.push(Alive {
+                    idx,
+                    payload: Bytes::copy_from_slice(items[idx].1),
+                    new_version: old.version + 1,
+                    validated: Vec::new(),
+                }),
+                Err(e) => {
+                    results[idx] = Some(Err(ProtocolError::OldValueUnreadable(Box::new(e))));
+                }
+            }
+        }
+
+        for l in 0..self.shape.num_levels() {
+            if alive.is_empty() {
+                break;
+            }
+            let needed = self.thresholds.write_threshold(l);
+            let ops: Vec<PlanOp> = alive
+                .iter()
+                .map(|w| PlanOp {
+                    round: QuorumRound::await_all(needed),
+                    calls: self.write_level_calls(items[w.idx].0, l, &w.payload, w.new_version),
+                })
+                .collect();
+            let outcomes = run_fused(&self.transport, Some(l), ops, &mut report);
+            let mut survivors = Vec::with_capacity(alive.len());
+            for (mut w, outcome) in alive.into_iter().zip(outcomes) {
+                match crate::rounds::grade_write_level(&outcome, l, needed, &mut w.validated) {
+                    Ok(()) => survivors.push(w),
+                    Err(e) => results[w.idx] = Some(Err(e)),
+                }
+            }
+            alive = survivors;
+        }
+        for w in alive {
+            results[w.idx] = Some(Ok(WriteOutcome {
+                version: w.new_version,
+                validated: w.validated,
+                report: OpReport::default(),
+            }));
+        }
+        BatchWrites {
+            outcomes: crate::rounds::finish_batch(results),
+            report,
+        }
+    }
+
+    /// Anti-entropy for the store facade: reads every object of the
+    /// stripe's contiguous block prefix and pushes the latest state back
+    /// to all replicas, refreshing stale ones. Must run quiesced.
+    ///
+    /// # Errors
+    /// Propagates objects whose current state cannot be read back.
+    pub(crate) fn repair_stripe_objects(&self, stripe: u64) -> Result<ScrubReport, ProtocolError> {
+        crate::baselines::repair_contiguous_objects(
+            &self.transport,
+            self.shape.node_count(),
+            stripe,
+            |id, report| self.read_recorded(id, report),
+        )
     }
 
     #[inline]

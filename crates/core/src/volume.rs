@@ -1,16 +1,20 @@
-//! A byte-addressable volume over TRAP-ERC stripes.
+//! A byte-addressable volume over any [`QuorumStore`] backend.
 //!
 //! The paper's motivating deployment (§I) is virtual-disk storage: VMs
 //! issue block reads/writes against an image that must stay strictly
-//! consistent. [`Volume`] packages the protocol into that shape:
+//! consistent. [`Volume`] packages a store into that shape:
 //!
 //! * logical blocks of `block_size` bytes, striped round-robin over
-//!   (n, k) stripes (`lba → (stripe id, block index)`);
+//!   stripes of the backend's width (`lba → (stripe id, block index)`);
 //! * byte-granular `read_at` / `write_at` with read-modify-write at
 //!   unaligned edges — what a virtio/iSCSI head would do;
 //! * writes serialised per block through a [`StripeLockManager`];
-//! * maintenance entry points (`scrub`, `rebuild_node`) wrapping the
-//!   recovery workflows.
+//! * maintenance entry points (`scrub`, and `rebuild_node` on TRAP-ERC
+//!   backends) wrapping the recovery workflows.
+//!
+//! The volume is generic over `S: QuorumStore`, so the same virtual disk
+//! runs on TRAP-ERC, TRAP-FR, ROWA or Majority — including over
+//! `Box<dyn QuorumStore>` when the backend is chosen at runtime.
 
 use std::sync::Arc;
 
@@ -19,24 +23,28 @@ use tq_cluster::Transport;
 use crate::errors::ProtocolError;
 use crate::locking::StripeLockManager;
 use crate::recovery::RebuildReport;
+use crate::store::{BlockAddr, QuorumStore};
 use crate::trap_erc::TrapErcClient;
 
 /// A fixed-size logical volume on one cluster.
 #[derive(Debug)]
-pub struct Volume<T: Transport> {
-    client: TrapErcClient<T>,
+pub struct Volume<S: QuorumStore> {
+    store: S,
     locks: Arc<StripeLockManager>,
     block_size: usize,
     logical_blocks: usize,
     /// Stripe ids are `base_id..base_id + stripe_count`.
     base_id: u64,
     stripe_count: u64,
+    blocks_per_stripe: usize,
 }
 
-impl<T: Transport> Volume<T> {
+impl<S: QuorumStore> Volume<S> {
     /// Provisions a zero-filled volume of `logical_blocks` blocks of
     /// `block_size` bytes, using stripe ids starting at `base_id`.
-    /// Requires every node live (provisioning).
+    /// Requires every node live (provisioning). Stripes carry the
+    /// backend's fixed width, or `k = 8` blocks on width-free
+    /// (replication) backends.
     ///
     /// # Errors
     /// Propagates stripe-creation failures.
@@ -44,31 +52,33 @@ impl<T: Transport> Volume<T> {
     /// # Panics
     /// Panics on zero `block_size` / `logical_blocks` (programmer error).
     pub fn create(
-        client: TrapErcClient<T>,
+        store: S,
         base_id: u64,
         block_size: usize,
         logical_blocks: usize,
     ) -> Result<Self, ProtocolError> {
         assert!(block_size > 0, "block_size must be positive");
         assert!(logical_blocks > 0, "volume needs at least one block");
-        let k = client.config().params().k();
-        let stripe_count = logical_blocks.div_ceil(k) as u64;
+        let blocks_per_stripe = store.info().stripe_width.unwrap_or(8);
+        let stripe_count = logical_blocks.div_ceil(blocks_per_stripe) as u64;
         for s in 0..stripe_count {
-            client.create_stripe(base_id + s, vec![vec![0u8; block_size]; k])?;
+            store.create(base_id + s, vec![vec![0u8; block_size]; blocks_per_stripe])?;
         }
         Ok(Volume {
-            client,
+            store,
             locks: StripeLockManager::new(),
             block_size,
             logical_blocks,
             base_id,
             stripe_count,
+            blocks_per_stripe,
         })
     }
 
-    /// The protocol client (for fault-injection handles in tests).
-    pub fn client(&self) -> &TrapErcClient<T> {
-        &self.client
+    /// The backing store (for fault-injection handles in tests and the
+    /// typed extension surface).
+    pub fn store(&self) -> &S {
+        &self.store
     }
 
     /// Logical block size in bytes.
@@ -86,12 +96,14 @@ impl<T: Transport> Volume<T> {
         self.logical_blocks * self.block_size
     }
 
-    fn locate(&self, lba: usize) -> Result<(u64, usize), ProtocolError> {
+    fn locate(&self, lba: usize) -> Result<BlockAddr, ProtocolError> {
         if lba >= self.logical_blocks {
             return Err(ProtocolError::SizeMismatch);
         }
-        let k = self.client.config().params().k();
-        Ok((self.base_id + (lba / k) as u64, lba % k))
+        Ok(BlockAddr::new(
+            self.base_id + (lba / self.blocks_per_stripe) as u64,
+            lba % self.blocks_per_stripe,
+        ))
     }
 
     /// Reads one logical block.
@@ -99,8 +111,7 @@ impl<T: Transport> Volume<T> {
     /// # Errors
     /// Out-of-range `lba` or protocol read failure.
     pub fn read_block(&self, lba: usize) -> Result<Vec<u8>, ProtocolError> {
-        let (stripe, block) = self.locate(lba)?;
-        Ok(self.client.read_block(stripe, block)?.bytes)
+        Ok(self.store.read(self.locate(lba)?)?.bytes)
     }
 
     /// Writes one logical block (must be exactly `block_size` bytes),
@@ -112,11 +123,9 @@ impl<T: Transport> Volume<T> {
         if data.len() != self.block_size {
             return Err(ProtocolError::SizeMismatch);
         }
-        let (stripe, block) = self.locate(lba)?;
-        Ok(self
-            .client
-            .write_block_locked(&self.locks, stripe, block, data)?
-            .version)
+        let addr = self.locate(lba)?;
+        let _guard = self.locks.lock(addr.stripe, addr.block);
+        Ok(self.store.write(addr, data)?.version)
     }
 
     /// Reads `len` bytes starting at byte `offset`, spanning blocks as
@@ -162,44 +171,48 @@ impl<T: Transport> Volume<T> {
             let lba = pos / self.block_size;
             let in_block = pos % self.block_size;
             let take = (self.block_size - in_block).min(remaining.len());
-            let (stripe, block) = self.locate(lba)?;
+            let addr = self.locate(lba)?;
             // Hold the (stripe, block) lock across the whole
             // read-modify-write so a concurrent writer of the same block
             // cannot interleave between the read and the write.
-            let _guard = self.locks.lock(stripe, block);
+            let _guard = self.locks.lock(addr.stripe, addr.block);
             let mut buf = if take == self.block_size {
                 vec![0u8; self.block_size]
             } else {
-                self.client.read_block(stripe, block)?.bytes
+                self.store.read(addr)?.bytes
             };
             buf[in_block..in_block + take].copy_from_slice(&remaining[..take]);
-            self.client.write_block(stripe, block, &buf)?;
+            self.store.write(addr, &buf)?;
             pos += take;
             remaining = &remaining[take..];
         }
         Ok(())
     }
 
-    /// Scrubs every stripe (see [`TrapErcClient::scrub_stripe`]); returns
-    /// total node-states refreshed.
+    /// Scrubs every stripe (anti-entropy through the backend's
+    /// [`QuorumStore::scrub`]); returns total node-states refreshed.
     ///
     /// # Errors
     /// Stops at the first stripe that cannot be read back.
     pub fn scrub(&self) -> Result<usize, ProtocolError> {
         let mut refreshed = 0;
         for s in 0..self.stripe_count {
-            refreshed += self.client.scrub_stripe(self.base_id + s)?.refreshed.len();
+            refreshed += self.store.scrub(self.base_id + s)?.refreshed.len();
         }
         Ok(refreshed)
     }
+}
 
-    /// Rebuilds a replaced node across every stripe of this volume.
+impl<T: Transport> Volume<TrapErcClient<T>> {
+    /// Rebuilds a replaced node across every stripe of this volume (the
+    /// TRAP-ERC-specific recovery workflow; other backends heal through
+    /// [`Volume::scrub`]).
     ///
     /// # Errors
     /// Stops at the first stripe that cannot be rebuilt.
     pub fn rebuild_node(&self, node: usize) -> Result<Vec<RebuildReport>, ProtocolError> {
         let ids: Vec<u64> = (0..self.stripe_count).map(|s| self.base_id + s).collect();
-        self.client.rebuild_node_stripes(&ids, node)
+        self.store.rebuild_node_stripes(&ids, node)
     }
 }
 
@@ -207,9 +220,13 @@ impl<T: Transport> Volume<T> {
 mod tests {
     use super::*;
     use crate::config::ProtocolConfig;
+    use crate::store::Store;
     use tq_cluster::{Cluster, LocalTransport};
 
-    fn volume(blocks: usize, block_size: usize) -> (Volume<LocalTransport>, Cluster) {
+    fn volume(
+        blocks: usize,
+        block_size: usize,
+    ) -> (Volume<TrapErcClient<LocalTransport>>, Cluster) {
         let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
         let cluster = Cluster::new(15);
         let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
@@ -279,6 +296,30 @@ mod tests {
         assert_eq!(reports.len(), 2);
         let scrubbed = vol.scrub().unwrap();
         assert_eq!(scrubbed, 2 * 15);
+    }
+
+    #[test]
+    fn volume_runs_on_any_backend() {
+        // The same virtual-disk shape on a replication backend, through
+        // a trait object — the store choice is a runtime decision.
+        let cluster = Cluster::new(5);
+        let store = Store::majority(5)
+            .transport(LocalTransport::new(cluster.clone()))
+            .build()
+            .unwrap();
+        let vol = Volume::create(store, 0, 64, 16).unwrap();
+        for lba in [0usize, 7, 15] {
+            vol.write_block(lba, &[lba as u8 | 0x80; 64]).unwrap();
+        }
+        cluster.kill(1);
+        cluster.kill(4);
+        for lba in [0usize, 7, 15] {
+            assert_eq!(vol.read_block(lba).unwrap(), vec![lba as u8 | 0x80; 64]);
+        }
+        for n in 0..5 {
+            cluster.revive(n);
+        }
+        assert!(vol.scrub().unwrap() > 0, "stale replicas refreshed");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use tq_quorum::availability;
 use tq_quorum::exact::exact_availability;
 use tq_quorum::system::QuorumSystem;
 use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
-use tq_trapezoid::{ProtocolConfig, TrapErcClient, TrapFrClient};
+use tq_trapezoid::{ProtocolConfig, QuorumStore, Store};
 
 use crate::monte_carlo;
 
@@ -340,7 +340,8 @@ pub fn fig5_storage(block_len: usize) -> FigureData {
     let erc = Series::over_ints("TRAP-ERC eq15 (n/k)", ks.iter().copied(), |k| {
         availability::storage_erc(PAPER_N, k)
     });
-    // Measured: provision a real stripe and count stored bytes.
+    // Measured: provision a real stripe through the unified store facade
+    // and count stored bytes.
     let measured = Series::over_ints("TRAP-ERC measured", ks.iter().copied(), |k| {
         let cluster = Cluster::new(PAPER_N);
         let config = match nearest_config(PAPER_N, k) {
@@ -348,21 +349,32 @@ pub fn fig5_storage(block_len: usize) -> FigureData {
             // k = n has no trapezoid (Nbnode = 1 needs b = 1, h = 0 — fine)
             None => return f64::NAN,
         };
-        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone()))
+        let store = Store::from_config(config)
+            .transport(LocalTransport::new(cluster.clone()))
+            .build()
             .expect("transport sized");
         let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; block_len]).collect();
-        client.create_stripe(1, data).expect("all up");
-        cluster.stored_bytes() as f64 / (k * block_len) as f64
+        store.create(1, data).expect("all up");
+        // The descriptor's prediction must match what the nodes hold.
+        let stored = cluster.stored_bytes() as f64 / (k * block_len) as f64;
+        assert!(
+            (store.info().storage_overhead - stored).abs() < 1e-9,
+            "StoreInfo disagrees with measured bytes at k={k}"
+        );
+        stored
     });
     let fr_measured = Series::over_ints("TRAP-FR measured", ks.iter().copied(), |k| {
         let nbnode = PAPER_N - k + 1;
         let shapes = TrapezoidShape::with_node_count(nbnode);
         let shape = *shapes.first().expect("some shape");
-        let th = WriteThresholds::paper_default(&shape, 1).expect("w=1 legal");
         let cluster = Cluster::new(nbnode);
-        let client = TrapFrClient::new(shape, th, LocalTransport::new(cluster.clone()))
+        let store = Store::trap_fr(nbnode, 1)
+            .shape(shape.a(), shape.b(), shape.h())
+            .uniform_w(1)
+            .transport(LocalTransport::new(cluster.clone()))
+            .build()
             .expect("transport sized");
-        client.create(1, &vec![0u8; block_len]).expect("all up");
+        store.create(1, vec![vec![0u8; block_len]]).expect("all up");
         cluster.stored_bytes() as f64 / block_len as f64
     });
     let mut notes = vec![

@@ -1,8 +1,8 @@
 //! Monte-Carlo availability estimation, at two fidelities.
 //!
 //! * [`MonteCarlo::estimate_predicate`] samples availability patterns and
-//!   evaluates a structural [`QuorumSystem`]-style predicate — cheap, for
-//!   wide sweeps.
+//!   evaluates a structural [`tq_quorum::system::QuorumSystem`]-style
+//!   predicate — cheap, for wide sweeps.
 //! * The `protocol_*` functions run the actual `tq-trapezoid` clients
 //!   against a real cluster per sample — the ground truth for what the
 //!   executable protocol delivers, including every behaviour the paper's
@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use tq_cluster::{Cluster, FaultInjector, LocalTransport};
 use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 use tq_quorum::NodeSet;
-use tq_trapezoid::{ProtocolConfig, TrapErcClient, TrapFrClient};
+use tq_trapezoid::{ProtocolConfig, Store, TrapErcClient, TrapFrClient};
 
 /// A Bernoulli estimate with its sampling error.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +105,35 @@ fn tiny_blocks(k: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// Binds an already-validated config to a fresh cluster through the
+/// unified store builder; the concrete client is kept because the
+/// hinted-write extension surface is what the eq. 8/9 validation needs.
+fn erc_client(config: &ProtocolConfig, cluster: &Cluster) -> TrapErcClient<LocalTransport> {
+    Store::from_config(config.clone())
+        .transport(LocalTransport::new(cluster.clone()))
+        .build_trap_erc()
+        .expect("transport sized to n")
+}
+
+/// The TRAP-FR deployment for a (shape, thresholds) pair. The typed
+/// constructor is used (not the builder's `.thresholds(..)`, which
+/// re-derives the eq. 6 majority `w_0`) so a caller-supplied custom
+/// `w_0` reaches the simulated protocol verbatim.
+fn fr_client(
+    shape: &TrapezoidShape,
+    thresholds: &WriteThresholds,
+    cluster: &Cluster,
+) -> TrapFrClient<LocalTransport> {
+    TrapFrClient::with_stripe(
+        *shape,
+        thresholds.clone(),
+        shape.node_count(),
+        1,
+        LocalTransport::new(cluster.clone()),
+    )
+    .expect("transport sized to shape")
+}
+
 fn all_up(cluster: &Cluster) {
     for i in 0..cluster.len() {
         cluster.revive(i);
@@ -129,8 +158,7 @@ pub fn protocol_write_availability(
 ) -> Estimate {
     let n = config.params().n();
     let cluster = Cluster::new(n);
-    let client = TrapErcClient::new(config.clone(), LocalTransport::new(cluster.clone()))
-        .expect("transport sized to n");
+    let client = erc_client(config, &cluster);
     let mut injector = FaultInjector::new(seed);
     let data = tiny_blocks(config.params().k());
     let new_value = vec![0xD7u8; MC_BLOCK_LEN];
@@ -168,8 +196,7 @@ pub fn protocol_read_availability(
 ) -> Estimate {
     let n = config.params().n();
     let cluster = Cluster::new(n);
-    let client = TrapErcClient::new(config.clone(), LocalTransport::new(cluster.clone()))
-        .expect("transport sized to n");
+    let client = erc_client(config, &cluster);
     let mut injector = FaultInjector::new(seed);
     client
         .create_stripe(1, tiny_blocks(config.params().k()))
@@ -197,12 +224,7 @@ pub fn protocol_fr_read_availability(
     seed: u64,
 ) -> Estimate {
     let cluster = Cluster::new(shape.node_count());
-    let client = TrapFrClient::new(
-        *shape,
-        thresholds.clone(),
-        LocalTransport::new(cluster.clone()),
-    )
-    .expect("transport sized to shape");
+    let client = fr_client(shape, thresholds, &cluster);
     let mut injector = FaultInjector::new(seed);
     client.create(1, &[0u8; MC_BLOCK_LEN]).expect("all up");
     client.write(1, &[0x42u8; MC_BLOCK_LEN]).expect("all up");
@@ -227,12 +249,7 @@ pub fn protocol_fr_write_availability(
     seed: u64,
 ) -> Estimate {
     let cluster = Cluster::new(shape.node_count());
-    let client = TrapFrClient::new(
-        *shape,
-        thresholds.clone(),
-        LocalTransport::new(cluster.clone()),
-    )
-    .expect("transport sized to shape");
+    let client = fr_client(shape, thresholds, &cluster);
     let mut injector = FaultInjector::new(seed);
     client.create(1, &[0u8; MC_BLOCK_LEN]).expect("all up");
     let mut successes = 0;

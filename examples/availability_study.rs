@@ -8,7 +8,7 @@
 
 use trapezoid_quorum::quorum::availability;
 use trapezoid_quorum::sim::monte_carlo;
-use trapezoid_quorum::ProtocolConfig;
+use trapezoid_quorum::{Cluster, LocalTransport, QuorumStore, Store};
 
 fn main() {
     let trials: usize = std::env::args()
@@ -17,8 +17,16 @@ fn main() {
         .unwrap_or(2000);
 
     // The reconstructed Fig. 3 configuration: (15, 8) stripe, trapezoid
-    // a=0, b=4, h=1 (levels of 4 and 4), w = 2.
-    let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).expect("valid parameters");
+    // a=0, b=4, h=1 (levels of 4 and 4), w = 2. The builder is the one
+    // place the deployment is described; the simulator reuses the
+    // resulting validated config.
+    let client = Store::trap_erc(15, 8)
+        .shape(0, 4, 1)
+        .uniform_w(2)
+        .transport(LocalTransport::new(Cluster::new(15)))
+        .build_trap_erc()
+        .expect("valid parameters");
+    let config = client.config().clone();
     let (shape, th) = (*config.shape(), config.thresholds().clone());
     println!("configuration: {config}");
     println!("trials per point: {trials}\n");
@@ -59,9 +67,45 @@ fn main() {
         "  * p = 0.8: FR - ERC = {:+.4} (paper: 'no difference when p >= 0.8')",
         fr_08 - erc_08
     );
-    println!(
-        "  * storage: FR {} blocks vs ERC {:.3} blocks per data block (eqs. 14/15)",
-        availability::storage_fr(15, 8),
-        availability::storage_erc(15, 8)
+
+    // Eqs. 14/15 straight from the stores' own descriptors: every
+    // protocol reports its storage price through one `StoreInfo`.
+    println!("  * storage per data block (each store's own StoreInfo):");
+    let stores: Vec<Box<dyn QuorumStore>> = vec![
+        Store::trap_erc(15, 8)
+            .shape(0, 4, 1)
+            .uniform_w(2)
+            .transport(LocalTransport::new(Cluster::new(15)))
+            .build()
+            .expect("valid"),
+        Store::trap_fr(15, 8)
+            .shape(0, 4, 1)
+            .uniform_w(2)
+            .transport(LocalTransport::new(Cluster::new(15)))
+            .build()
+            .expect("valid"),
+        Store::rowa(8)
+            .transport(LocalTransport::new(Cluster::new(8)))
+            .build()
+            .expect("valid"),
+        Store::majority(8)
+            .transport(LocalTransport::new(Cluster::new(8)))
+            .build()
+            .expect("valid"),
+    ];
+    for store in &stores {
+        let info = store.info();
+        println!(
+            "      {:>9}: {:>6.3} blocks ({} nodes)",
+            info.protocol, info.storage_overhead, info.nodes
+        );
+    }
+    assert!(
+        (stores[0].info().storage_overhead - availability::storage_erc(15, 8)).abs() < 1e-12,
+        "StoreInfo must agree with eq. 15"
+    );
+    assert!(
+        (stores[1].info().storage_overhead - availability::storage_fr(15, 8)).abs() < 1e-12,
+        "StoreInfo must agree with eq. 14"
     );
 }

@@ -1,5 +1,6 @@
 //! Scripted failure injection: watch Algorithms 1 and 2 succeed and fail
-//! exactly where the quorum analysis says they must.
+//! exactly where the quorum analysis says they must, through the unified
+//! `QuorumStore` facade.
 //!
 //! Walks a (15, 8) stripe through a deterministic fault script and
 //! narrates every protocol decision: which level blocks a write, when a
@@ -13,32 +14,36 @@
 
 use trapezoid_quorum::cluster::fault::{FaultEvent, FaultSchedule};
 use trapezoid_quorum::protocol::ReadPath;
-use trapezoid_quorum::{Cluster, LocalTransport, ProtocolConfig, ProtocolError, TrapErcClient};
+use trapezoid_quorum::{BlockAddr, Cluster, LocalTransport, ProtocolError, QuorumStore, Store};
 
 fn main() {
     // Block 0's trapezoid on this config: level 0 = {N0, N8, N9, N10}
     // (w0 = 3, r0 = 2), level 1 = {N11..N14} (w1 = 2, r1 = 3).
-    let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).expect("valid parameters");
     let cluster = Cluster::new(15);
-    let client =
-        TrapErcClient::new(config, LocalTransport::new(cluster.clone())).expect("sized cluster");
+    let store = Store::trap_erc(15, 8)
+        .shape(0, 4, 1)
+        .uniform_w(2)
+        .transport(LocalTransport::new(cluster.clone()))
+        .build()
+        .expect("valid parameters");
+    let block0 = BlockAddr::new(1, 0);
 
     let blocks: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 256]).collect();
-    client.create_stripe(1, blocks).expect("all nodes up");
+    store.create(1, blocks).expect("all nodes up");
     println!("stripe created; block 0's trapezoid: level 0 = {{0,8,9,10}}, level 1 = {{11..14}}\n");
 
     // Act 1 — lose one parity node per level: both quorums survive.
     println!("act 1: kill N9 (level 0) and N13 (level 1)");
     let mut script = FaultSchedule::new(vec![FaultEvent::Kill(9), FaultEvent::Kill(13)]);
     script.run_to_end(&cluster);
-    let w = client
-        .write_block(1, 0, &vec![0x11; 256])
+    let w = store
+        .write(block0, &vec![0x11; 256])
         .expect("w0=3 of {0,8,10}; w1=2 of {11,12,14}");
     println!(
         "  write ok -> version {} validated by {:?}",
         w.version, w.validated
     );
-    let r = client.read_block(1, 0).expect("version check at level 0");
+    let r = store.read(block0).expect("version check at level 0");
     println!("  read ok -> version {} via {:?}", r.version, r.path);
     println!("  N9 and N13 are now STALE: their AddParity guards will reject future deltas\n");
 
@@ -47,17 +52,17 @@ fn main() {
     // switch to the decode path.
     println!("act 2: revive N9/N13, scrub, then kill N0 (the data node)");
     FaultSchedule::new(vec![FaultEvent::Revive(9), FaultEvent::Revive(13)]).run_to_end(&cluster);
-    let report = client.scrub_stripe(1).expect("all nodes up");
+    let report = store.scrub(1).expect("all nodes up");
     println!(
         "  scrub refreshed {} node-states (N9/N13 current again)",
         report.refreshed.len()
     );
     cluster.kill(0);
-    let w = client
-        .write_block(1, 0, &vec![0x22; 256])
+    let w = store
+        .write(block0, &vec![0x22; 256])
         .expect("level 0 majority {8,9,10} without N0");
     println!("  write ok without N0 -> version {}", w.version);
-    let r = client.read_block(1, 0).expect("decode from k = 8 nodes");
+    let r = store.read(block0).expect("decode from k = 8 nodes");
     assert!(matches!(r.path, ReadPath::Decoded { .. }));
     assert_eq!(r.bytes, vec![0x22; 256]);
     println!("  read ok via {:?}\n", r.path);
@@ -72,7 +77,7 @@ fn main() {
         FaultEvent::Kill(14),
     ])
     .run_to_end(&cluster);
-    match client.write_block(1, 0, &vec![0x33; 256]) {
+    match store.write(block0, &vec![0x33; 256]) {
         Err(ProtocolError::WriteQuorumNotMet {
             level,
             needed,
@@ -93,9 +98,9 @@ fn main() {
     for node in 0..15 {
         cluster.revive(node);
     }
-    let report = client.scrub_stripe(1).expect("cluster fully up");
+    let report = store.scrub(1).expect("cluster fully up");
     println!("  scrub refreshed {} node-states", report.refreshed.len());
-    let r = client.read_block(1, 0).expect("direct read after scrub");
+    let r = store.read(block0).expect("direct read after scrub");
     assert_eq!(r.path, ReadPath::Direct);
     assert_eq!(r.version, 3, "the failed write's residue was promoted");
     assert_eq!(r.bytes, vec![0x33; 256]);
@@ -103,9 +108,7 @@ fn main() {
         "  read ok via {:?} at version {} — the v3 residue surfaced (failed ≠ rolled back)",
         r.path, r.version
     );
-    let w = client
-        .write_block(1, 0, &vec![0x44; 256])
-        .expect("full quorums");
+    let w = store.write(block0, &vec![0x44; 256]).expect("full quorums");
     assert_eq!(
         w.validated.len(),
         8,

@@ -3,20 +3,26 @@
 //!
 //! A byte-addressable volume serves IO while a node's disk is replaced;
 //! the rebuild sources k blocks per stripe (the classical MDS repair cost
-//! the paper cites) and the IO counters show exactly what that costs.
+//! the paper cites) and the IO counters show exactly what that costs. The
+//! volume is generic over `QuorumStore`; the rebuild entry point is the
+//! TRAP-ERC-typed extension, so the store is built with
+//! `build_trap_erc()`.
 //!
 //! ```text
 //! cargo run --release --example node_replacement
 //! ```
 
 use trapezoid_quorum::protocol::Volume;
-use trapezoid_quorum::{Cluster, LocalTransport, ProtocolConfig, TrapErcClient};
+use trapezoid_quorum::{BlockAddr, Cluster, LocalTransport, QuorumStore, Store};
 
 fn main() {
-    let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).expect("valid parameters");
     let cluster = Cluster::new(15);
-    let client =
-        TrapErcClient::new(config, LocalTransport::new(cluster.clone())).expect("sized cluster");
+    let client = Store::trap_erc(15, 8)
+        .shape(0, 4, 1)
+        .uniform_w(2)
+        .transport(LocalTransport::new(cluster.clone()))
+        .build_trap_erc()
+        .expect("valid parameters");
     let volume = Volume::create(client, 0, 2048, 64).expect("provisioning");
     println!(
         "volume: {} blocks x {} B = {} KiB over a (15, 8) stripe set",
@@ -65,12 +71,12 @@ fn main() {
     );
 
     // Direct service restored.
-    let out = volume.client().read_block(0, 5).expect("healthy");
+    let out = volume.store().read(BlockAddr::new(0, 5)).expect("healthy");
     assert!(!out.decoded(), "N5 serves its block directly again");
     println!("\nN5 serves direct reads again; writes validate on all 8 trapezoid members:");
     let w = volume
-        .client()
-        .write_block(0, 5, &vec![0xEE; 2048])
+        .store()
+        .write(BlockAddr::new(0, 5), &vec![0xEE; 2048])
         .expect("healthy");
     println!(
         "  write -> version {} validated by {:?}",

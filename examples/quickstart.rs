@@ -1,64 +1,95 @@
 //! Quickstart: strict-consistency reads and writes over an erasure-coded
-//! stripe, surviving node failures.
+//! stripe through the unified `QuorumStore` API, surviving node failures.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use trapezoid_quorum::{Cluster, LocalTransport, ProtocolConfig, TrapErcClient};
+use trapezoid_quorum::protocol::store::{BatchWrite, BlockAddr};
+use trapezoid_quorum::{Cluster, LocalTransport, QuorumStore, Store};
 
 fn main() {
     // A (9, 6) MDS stripe — the paper's §I example: 6 data blocks, 3
     // parity blocks, any 6 of 9 reconstruct everything. Each data block's
     // consistency is managed by a trapezoid of n-k+1 = 4 nodes
     // (a=2, b=1, h=1: one node at level 0, three at level 1).
-    let config = ProtocolConfig::with_uniform_w(9, 6, 2, 1, 1, 1).expect("valid parameters");
-    println!("configuration: {config}");
-
     let cluster = Cluster::new(9);
-    let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone()))
-        .expect("cluster has n nodes");
+    let store = Store::trap_erc(9, 6)
+        .shape(2, 1, 1)
+        .uniform_w(1)
+        .transport(LocalTransport::new(cluster.clone()))
+        .build()
+        .expect("valid parameters");
+    let info = store.info();
+    println!(
+        "store: {} (n={}, k={}, shape={:?}, {:.3} blocks stored per data block)",
+        info.protocol,
+        info.n,
+        info.k,
+        info.shape.expect("trapezoid protocol"),
+        info.storage_overhead
+    );
 
     // Provision a stripe of 6 × 4 KiB blocks.
     let blocks: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 4096]).collect();
-    client
-        .create_stripe(1, blocks)
+    store
+        .create(1, blocks)
         .expect("provisioning with all nodes up");
     println!("stripe 1 created: 6 data + 3 parity blocks of 4 KiB");
 
     // Algorithm 1: write block 2. The client reads the old chunk, writes
     // N_2, and sends each parity node only the delta α_{j,2}·(new − old).
     let new_block = vec![0xAB; 4096];
-    let outcome = client
-        .write_block(1, 2, &new_block)
+    let outcome = store
+        .write(BlockAddr::new(1, 2), &new_block)
         .expect("write quorum available");
     println!(
-        "write: block 2 -> version {} ({} nodes validated)",
+        "write: block 2 -> version {} ({} nodes validated, {} rounds, {} messages)",
         outcome.version,
-        outcome.validated.len()
+        outcome.validated.len(),
+        outcome.report.network_rounds(),
+        outcome.report.messages()
     );
 
     // Algorithm 2, Case 1: N_2 is up and current — direct read.
-    let read = client.read_block(1, 2).expect("read quorum available");
+    let read = store.read(BlockAddr::new(1, 2)).expect("read quorum");
     assert_eq!(read.bytes, new_block);
     println!("read: version {} via {:?}", read.version, read.path);
+
+    // Batched writes fuse every block's per-level fan-out into one
+    // scatter per level: the round count stays flat as the batch grows.
+    let payloads: Vec<Vec<u8>> = (0..6).map(|i| vec![0xC0 | i as u8; 4096]).collect();
+    let items: Vec<BatchWrite> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| BatchWrite::new(BlockAddr::new(1, i), p))
+        .collect();
+    let batch = store.write_batch(&items);
+    assert!(batch.all_ok());
+    println!(
+        "write_batch: 6 blocks in {} fused rounds ({} messages) — a loop would cost ~6x the rounds",
+        batch.report.network_rounds(),
+        batch.report.messages()
+    );
 
     // Kill the data node. Algorithm 2, Case 2: the version check still
     // completes on the parity levels, and the block is decoded from any
     // k = 6 consistent stripe nodes.
     cluster.kill(2);
     println!("node N_2 killed (fail-stop)");
-    let read = client.read_block(1, 2).expect("decode path available");
-    assert_eq!(read.bytes, new_block);
+    let read = store.read(BlockAddr::new(1, 2)).expect("decode path");
+    assert_eq!(read.bytes, payloads[2]);
     println!("read: version {} via {:?}", read.version, read.path);
 
     // Writes to block 2 keep working too: level 0 of its trapezoid holds
     // only N_2 (b = 1, w_0 = 1), so they now fail...
-    let err = client.write_block(1, 2, &vec![0xCD; 4096]).unwrap_err();
+    let err = store
+        .write(BlockAddr::new(1, 2), &vec![0xCD; 4096])
+        .unwrap_err();
     println!("write to block 2 with N_2 down: {err}");
     // ...while other blocks are unaffected.
-    client
-        .write_block(1, 0, &vec![0xEE; 4096])
+    store
+        .write(BlockAddr::new(1, 0), &vec![0xEE; 4096])
         .expect("block 0's trapezoid is fully alive");
     println!("write to block 0 still succeeds — per-block fault isolation");
 

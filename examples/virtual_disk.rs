@@ -6,14 +6,16 @@
 //! case to avoid incoherent data." Append-only schemes (the related work)
 //! cannot host such disks; TRAP-ERC can.
 //!
-//! This example builds a small virtual disk from many (15, 8) stripes and
-//! runs a random-write workload through failure windows: at each window
-//! boundary every node returns, a scrub pass repairs accumulated
-//! staleness (the repair extension — the paper itself has no anti-entropy
-//! path, and without one, missed parity deltas accumulate until even a
-//! fully-live cluster cannot assemble k consistent nodes), and then up to
-//! two fresh nodes fail for the next window. A final audit checks every
-//! logical block against a shadow copy.
+//! This example builds a small virtual disk from many (15, 8) stripes
+//! behind the protocol-agnostic `QuorumStore` facade and runs a
+//! random-write workload through failure windows: at each window boundary
+//! every node returns, a scrub pass repairs accumulated staleness (the
+//! repair extension — the paper itself has no anti-entropy path, and
+//! without one, missed parity deltas accumulate until even a fully-live
+//! cluster cannot assemble k consistent nodes), and then up to three
+//! fresh nodes fail for the next window. A final audit checks every
+//! logical block against a shadow copy — in one batched, fused-fan-out
+//! read per stripe.
 //!
 //! ```text
 //! cargo run --release --example virtual_disk
@@ -23,7 +25,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use trapezoid_quorum::{Cluster, FaultInjector, LocalTransport, ProtocolConfig, TrapErcClient};
+use trapezoid_quorum::{BlockAddr, Cluster, FaultInjector, LocalTransport, QuorumStore, Store};
 
 const BLOCK_SIZE: usize = 1024;
 const STRIPES: usize = 16;
@@ -32,19 +34,22 @@ const OPS: usize = 400;
 const WINDOW: usize = 25;
 
 /// Logical block address → (stripe id, block index).
-fn locate(lba: usize) -> (u64, usize) {
-    ((lba / K) as u64, lba % K)
+fn locate(lba: usize) -> BlockAddr {
+    BlockAddr::new((lba / K) as u64, lba % K)
 }
 
 fn main() {
-    let config = ProtocolConfig::with_uniform_w(15, K, 0, 4, 1, 2).expect("valid parameters");
     let cluster = Cluster::new(15);
-    let client =
-        TrapErcClient::new(config, LocalTransport::new(cluster.clone())).expect("sized cluster");
+    let store = Store::trap_erc(15, K)
+        .shape(0, 4, 1)
+        .uniform_w(2)
+        .transport(LocalTransport::new(cluster.clone()))
+        .build()
+        .expect("valid parameters");
 
     for stripe in 0..STRIPES as u64 {
         let blocks = vec![vec![0u8; BLOCK_SIZE]; K];
-        client.create_stripe(stripe, blocks).expect("all nodes up");
+        store.create(stripe, blocks).expect("all nodes up");
     }
     let disk_blocks = STRIPES * K;
     println!(
@@ -78,8 +83,8 @@ fn main() {
             }
             let mut repaired = 0usize;
             for stripe in 0..STRIPES as u64 {
-                repaired += client
-                    .scrub_stripe(stripe)
+                repaired += store
+                    .scrub(stripe)
                     .expect("scrub with all nodes up")
                     .refreshed
                     .len();
@@ -93,11 +98,11 @@ fn main() {
         }
 
         let lba = rng.random_range(0..disk_blocks);
-        let (stripe, block) = locate(lba);
+        let addr = locate(lba);
         if rng.random_bool(0.3) {
             // A VM read: must return the committed value (or the
             // uncertain one, if the last write to this block failed).
-            if let Ok(out) = client.read_block(stripe, block) {
+            if let Ok(out) = store.read(addr) {
                 let ok = out.bytes == shadow[lba]
                     || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
                 assert!(
@@ -110,7 +115,7 @@ fn main() {
         }
         let mut payload = vec![0u8; BLOCK_SIZE];
         rng.fill(payload.as_mut_slice());
-        match client.write_block(stripe, block, &payload) {
+        match store.write(addr, &payload) {
             Ok(_) => {
                 shadow[lba] = payload;
                 uncertain.remove(&lba);
@@ -123,27 +128,38 @@ fn main() {
         }
     }
 
-    // Full recovery, final scrub, then audit every logical block.
+    // Full recovery, final scrub, then audit every logical block —
+    // stripe by stripe through the batched read path (one fused fan-out
+    // per level per stripe instead of one per block).
     for node in 0..15 {
         cluster.revive(node);
     }
     for stripe in 0..STRIPES as u64 {
-        client.scrub_stripe(stripe).expect("cluster fully up");
+        store.scrub(stripe).expect("cluster fully up");
     }
     let mut direct = 0usize;
     let mut decoded = 0usize;
-    for (lba, committed) in shadow.iter().enumerate() {
-        let (stripe, block) = locate(lba);
-        let out = client.read_block(stripe, block).expect("scrubbed cluster");
-        let ok = out.bytes == *committed || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
-        assert!(
-            ok,
-            "lba {lba}: content matches neither committed nor uncertain value"
-        );
-        if out.decoded() {
-            decoded += 1;
-        } else {
-            direct += 1;
+    let mut audit_rounds = 0usize;
+    for stripe in 0..STRIPES {
+        let addrs: Vec<BlockAddr> = (0..K)
+            .map(|block| BlockAddr::new(stripe as u64, block))
+            .collect();
+        let batch = store.read_batch(&addrs);
+        audit_rounds += batch.report.network_rounds();
+        for (block, out) in batch.outcomes.into_iter().enumerate() {
+            let lba = stripe * K + block;
+            let out = out.expect("scrubbed cluster");
+            let ok =
+                out.bytes == shadow[lba] || uncertain.get(&lba).is_some_and(|u| out.bytes == *u);
+            assert!(
+                ok,
+                "lba {lba}: content matches neither committed nor uncertain value"
+            );
+            if out.decoded() {
+                decoded += 1;
+            } else {
+                direct += 1;
+            }
         }
     }
     println!(
@@ -151,7 +167,11 @@ fn main() {
          {} blocks left uncertain, {reads_checked} mid-run reads verified",
         uncertain.len()
     );
-    println!("audit: all {disk_blocks} blocks consistent ({direct} direct, {decoded} decoded)");
+    println!(
+        "audit: all {disk_blocks} blocks consistent ({direct} direct, {decoded} decoded) in \
+         {audit_rounds} fused rounds — {} blocks per round",
+        disk_blocks / audit_rounds.max(1)
+    );
     println!("scrub passes refreshed {scrubbed_nodes} node-stripe states during the run");
     let io = cluster.io_totals();
     println!(

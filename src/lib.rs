@@ -13,16 +13,20 @@
 //! | TRAP-ERC / TRAP-FR protocols | `tq-trapezoid` | [`protocol`] |
 //! | Monte-Carlo + figure regeneration | `tq-sim` | [`sim`] |
 //!
-//! The most common types are also lifted to the crate root. See the
-//! `examples/` directory for end-to-end walkthroughs:
+//! The most common types are also lifted to the crate root — above all
+//! the unified store API ([`Store`], [`QuorumStore`], [`BlockAddr`]),
+//! which is how new code should construct and drive the protocols. See
+//! the `examples/` directory for end-to-end walkthroughs:
 //!
-//! * `quickstart` — create a stripe, write, lose a node, still read.
+//! * `quickstart` — build a store, write, batch-write, lose a node,
+//!   still read.
 //! * `virtual_disk` — the paper's motivating scenario: a VM disk image
 //!   with strict consistency over erasure-coded storage.
 //! * `availability_study` — regenerate the Fig. 3 comparison at the
 //!   terminal, analytic vs simulated.
 //! * `failure_injection` — scripted fail-stop scenarios showing exactly
 //!   when writes fail and how reads survive via decode.
+//! * `node_replacement` — rebuild a replaced node under live traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,4 +41,7 @@ pub use tq_trapezoid as protocol;
 pub use tq_cluster::{Cluster, FaultInjector, LocalTransport};
 pub use tq_erasure::{CodeParams, ReedSolomon};
 pub use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
-pub use tq_trapezoid::{ProtocolConfig, ProtocolError, TrapErcClient, TrapFrClient};
+pub use tq_trapezoid::{
+    BatchReads, BatchWrite, BatchWrites, BlockAddr, OpReport, ProtocolConfig, ProtocolError,
+    QuorumStore, Store, StoreBuilder, StoreInfo, TrapErcClient, TrapFrClient, Volume,
+};
