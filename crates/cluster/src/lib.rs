@@ -25,6 +25,12 @@
 //!   and failures reported for accounting.
 //! * [`fault`] — seeded Bernoulli availability sampling and fault
 //!   schedules, so every experiment is replayable bit-for-bit.
+//! * [`sim`] — the deterministic simulation transport
+//!   ([`sim::SimTransport`]): a seeded virtual-time event scheduler that
+//!   drives the same fan-outs through an adversarial [`sim::NetworkModel`]
+//!   (delay, loss, duplication, asymmetric partitions, crash-restart with
+//!   durable or volatile state) — the substrate of the DST harness in
+//!   `tq-sim`.
 //!
 //! Nothing here knows about trapezoids or erasure codes; `tq-trapezoid`
 //! composes this substrate with `tq-erasure` and `tq-quorum` into the
@@ -38,6 +44,7 @@ pub mod fault;
 pub mod node;
 pub mod quorum_round;
 pub mod rpc;
+pub mod sim;
 pub mod stats;
 pub mod transport;
 
@@ -48,5 +55,6 @@ pub use quorum_round::{
     Accepted, Completion, MultiRound, PlanOp, QuorumRound, Rejected, RoundOutcome,
 };
 pub use rpc::{BlockId, NodeError, Request, Response};
+pub use sim::{NetworkModel, SimFault, SimStats, SimTransport};
 pub use stats::IoStats;
 pub use transport::{ChannelTransport, LocalTransport, RoundReply, Transport};

@@ -159,6 +159,15 @@ impl QuorumRound {
         // dispatch entirely rather than special-casing inside the sink.
         if !(self.completion == Completion::FirstQuorum && self.needed == 0) {
             transport.multicall(calls, &mut |reply| {
+                // At-least-once fabrics may deliver the same reply twice;
+                // only the first completion per batch position counts, or
+                // a duplicated ack could fake a quorum.
+                if reply.index >= seen.len() || seen[reply.index] {
+                    return match self.completion {
+                        Completion::AwaitAll => true,
+                        Completion::FirstQuorum => outcome.accepted.len() < self.needed,
+                    };
+                }
                 seen[reply.index] = true;
                 match reply.result {
                     Ok(response) => outcome.accepted.push(Accepted {
@@ -262,6 +271,11 @@ impl MultiRound {
         let mut seen = vec![false; flat.len()];
         if incomplete > 0 {
             transport.multicall(flat, &mut |reply| {
+                // Duplicate delivery guard — see `QuorumRound::run`. Vital
+                // here: a duplicate would also underflow `remaining`.
+                if reply.index >= seen.len() || seen[reply.index] {
+                    return incomplete > 0;
+                }
                 let (op_idx, local) = origin[reply.index];
                 seen[reply.index] = true;
                 remaining[op_idx] -= 1;
@@ -498,6 +512,125 @@ mod tests {
         let outcomes = MultiRound::run(&t, ops);
         assert_eq!(outcomes[0].abandoned.len(), 3, "never dispatched");
         assert!(outcomes[1].quorum_met());
+    }
+
+    /// Delivers every reply twice — an at-least-once fabric in the
+    /// worst case. The engines must count each batch position once.
+    struct DuplicatingTransport {
+        inner: LocalTransport,
+    }
+
+    impl Transport for DuplicatingTransport {
+        fn node_count(&self) -> usize {
+            self.inner.node_count()
+        }
+        fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+            self.inner.call(node, req)
+        }
+        fn multicall(
+            &self,
+            calls: Vec<(NodeId, Request)>,
+            sink: &mut dyn FnMut(crate::transport::RoundReply) -> bool,
+        ) {
+            let mut buffered = Vec::new();
+            self.inner.multicall(calls, &mut |reply| {
+                buffered.push(reply);
+                true
+            });
+            for reply in buffered {
+                if !sink(reply.clone()) || !sink(reply) {
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_thresholds_met_exactly_and_one_short() {
+        // Exactly at the boundary: 4 live of 5, threshold 4.
+        let t = LocalTransport::new(Cluster::new(5));
+        t.cluster().kill(2);
+        let met = QuorumRound::await_all(4).run(&t, pings(5));
+        assert!(met.quorum_met());
+        assert_eq!(met.validations(), 4);
+        assert_eq!(met.rejected.len(), 1);
+        // One short: same round graded against 5.
+        let short = QuorumRound::await_all(5).run(&t, pings(5));
+        assert!(!short.quorum_met());
+        assert_eq!(short.validations(), 4);
+        assert_eq!(short.rejected.len(), 1);
+        assert!(short.abandoned.is_empty(), "await_all leaves no stragglers");
+    }
+
+    #[test]
+    fn fused_ops_graded_at_boundary_and_one_short_independently() {
+        let t = LocalTransport::new(Cluster::new(6));
+        t.cluster().kill(4);
+        let ops = vec![
+            // Met exactly at the boundary: 3 live members, needs 3.
+            PlanOp {
+                round: QuorumRound::await_all(3),
+                calls: pings(3),
+            },
+            // One short: members {3, 4, 5} with 4 dead, needs 3.
+            PlanOp {
+                round: QuorumRound::await_all(3),
+                calls: (3..6).map(|i| (NodeId(i), Request::Ping)).collect(),
+            },
+        ];
+        let outcomes = MultiRound::run(&t, ops);
+        assert!(outcomes[0].quorum_met());
+        assert_eq!(outcomes[0].validations(), 3);
+        assert!(outcomes[0].rejected.is_empty());
+        assert!(!outcomes[1].quorum_met());
+        assert_eq!(outcomes[1].validations(), 2);
+        assert_eq!(outcomes[1].rejected.len(), 1);
+        assert_eq!(outcomes[1].rejected[0].node, NodeId(4));
+        assert!(outcomes[1].abandoned.is_empty());
+    }
+
+    #[test]
+    fn duplicated_replies_do_not_fake_a_quorum() {
+        let t = DuplicatingTransport {
+            inner: LocalTransport::new(Cluster::new(4)),
+        };
+        // Without the dedup guard, node 0's duplicated ack would satisfy
+        // threshold 2 on its own.
+        let out = QuorumRound::first_quorum(2).run(&t, pings(4));
+        assert!(out.quorum_met());
+        assert_eq!(out.validations(), 2);
+        let mut nodes: Vec<usize> = out.accepted.iter().map(|a| a.node.0).collect();
+        nodes.dedup();
+        assert_eq!(nodes, vec![0, 1], "two *distinct* members validated");
+    }
+
+    #[test]
+    fn duplicated_replies_keep_fused_accounting_exact() {
+        let t = DuplicatingTransport {
+            inner: LocalTransport::new(Cluster::new(6)),
+        };
+        t.inner.cluster().kill(4);
+        let ops = vec![
+            PlanOp {
+                round: QuorumRound::await_all(3),
+                calls: pings(3),
+            },
+            PlanOp {
+                round: QuorumRound::first_quorum(2),
+                calls: (3..6).map(|i| (NodeId(i), Request::Ping)).collect(),
+            },
+        ];
+        // Without the dedup guard this underflows `remaining` and panics.
+        let outcomes = MultiRound::run(&t, ops);
+        assert!(outcomes[0].quorum_met());
+        assert_eq!(outcomes[0].validations(), 3);
+        assert!(outcomes[1].quorum_met());
+        assert_eq!(outcomes[1].validations(), 2);
+        assert_eq!(outcomes[1].rejected.len(), 1, "dead member counted once");
+        // Totals never exceed the issued batch despite double delivery.
+        for out in &outcomes {
+            assert!(out.accepted.len() + out.rejected.len() + out.abandoned.len() <= 3);
+        }
     }
 
     #[test]

@@ -156,6 +156,12 @@ pub enum NodeError {
     },
     /// The transport lost the node (channel closed).
     TransportClosed,
+    /// The round-trip budget elapsed without an answer (simulated
+    /// networks only: the request or its reply was lost, delayed past
+    /// the deadline, or stranded behind a partition). The request *may
+    /// still have executed* on the node — a timed-out write is a
+    /// partial write, not a no-op.
+    TimedOut,
 }
 
 impl fmt::Display for NodeError {
@@ -180,6 +186,7 @@ impl fmt::Display for NodeError {
                 )
             }
             NodeError::TransportClosed => write!(f, "transport to node closed"),
+            NodeError::TimedOut => write!(f, "no reply within the round-trip budget"),
         }
     }
 }

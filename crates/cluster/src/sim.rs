@@ -1,0 +1,938 @@
+//! Deterministic simulation transport: virtual time, adversarial links.
+//!
+//! The other transports realise the paper's §IV model faithfully —
+//! perfect links, fail-stop nodes. Real deployments are hostile in ways
+//! that model never probes: messages are delayed, lost, duplicated and
+//! reordered; partitions cut one direction of a link but not the other;
+//! nodes crash mid-round and come back with (or without) their disks.
+//! [`SimTransport`] is a FoundationDB-style deterministic simulation of
+//! exactly that hostility:
+//!
+//! * **Virtual time.** No wall clock and no threads: a seeded
+//!   event-scheduler loop pops `(time, seq)`-ordered events off a heap.
+//!   The same seed replays the same schedule bit-for-bit, on any
+//!   machine, under any test runner.
+//! * **Programmable network.** A [`NetworkModel`] gives every message an
+//!   independently sampled link delay (with optional per-link override),
+//!   a loss probability per *direction* (a lost reply is a write that
+//!   landed but looks failed — the classic partial-write hazard), a
+//!   duplication probability (at-least-once delivery: the duplicate
+//!   executes on the node again), and a round-trip `timeout` after which
+//!   the caller sees [`NodeError::TimedOut`].
+//! * **Faults in virtual time.** [`SimFault`]s can be applied
+//!   immediately or scheduled at an absolute virtual instant, so a crash
+//!   can land *between two replies of the same round*. Crashes are
+//!   durable (state kept, the paper's fail-stop) or volatile (disk lost:
+//!   the node answers `NotFound` after restart until anti-entropy
+//!   reinstalls it). Partitions block the request or the reply direction
+//!   of a set of links, independently.
+//!
+//! One boundary is deliberate: a request still in flight when its round
+//! ends (timeout fired, or a first-quorum round stopped waiting) is
+//! *dropped*, not delivered later. Cross-round redelivery would model a
+//! fabric that retries writes behind the protocol's back — the storage
+//! nodes have no per-write version guard against that, and neither do
+//! the paper's algorithms (they assume a link either delivers promptly
+//! or fails). Within a round, loss/duplication/reordering are fully
+//! adversarial; a request whose reply was lost has still executed.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::Cluster;
+use crate::node::NodeId;
+use crate::rpc::{NodeError, Request, Response};
+use crate::transport::{RoundReply, Transport};
+
+/// Link behaviour knobs, all per-message and independently sampled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Minimum one-way delay, in virtual nanoseconds.
+    pub min_delay: u64,
+    /// Maximum one-way delay (inclusive). Widening `[min, max]` is the
+    /// reordering knob: independent draws land replies out of issue
+    /// order.
+    pub max_delay: u64,
+    /// Probability that a message (request or reply, each direction
+    /// rolled separately) is lost.
+    pub loss: f64,
+    /// Probability that a delivered request is delivered *again* at an
+    /// independently sampled time (at-least-once fabric).
+    pub duplicate: f64,
+    /// Round-trip budget per call: with no reply by `issue + timeout`
+    /// the caller sees [`NodeError::TimedOut`].
+    pub timeout: u64,
+    /// Keep each link FIFO (per direction, per node): a later message on
+    /// the same link never overtakes an earlier one. Reordering across
+    /// *different* links is unaffected. Off = fully adversarial
+    /// per-message order even within a link.
+    pub fifo_links: bool,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::reliable()
+    }
+}
+
+impl NetworkModel {
+    /// Perfect links with mild symmetric jitter — the §IV model plus a
+    /// clock.
+    pub fn reliable() -> Self {
+        NetworkModel {
+            min_delay: 50,
+            max_delay: 150,
+            loss: 0.0,
+            duplicate: 0.0,
+            timeout: 100_000,
+            fifo_links: true,
+        }
+    }
+
+    /// Lossy, duplicating, widely-jittered links: the adversarial
+    /// default of the DST scenarios.
+    pub fn hostile(loss: f64, duplicate: f64) -> Self {
+        NetworkModel {
+            min_delay: 10,
+            max_delay: 5_000,
+            loss,
+            duplicate,
+            timeout: 50_000,
+            fifo_links: false,
+        }
+    }
+}
+
+/// One network/node fault, applied immediately or scheduled in virtual
+/// time via [`SimTransport::schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimFault {
+    /// Fail-stop the node. `durable: true` keeps its disk (the paper's
+    /// model — it revives stale); `durable: false` loses it (the node
+    /// revives empty and answers `NotFound` until repaired).
+    Crash {
+        /// Which node.
+        node: usize,
+        /// Whether the stored stripe state survives the crash.
+        durable: bool,
+    },
+    /// Bring the node back up (state as the crash left it).
+    Restart {
+        /// Which node.
+        node: usize,
+    },
+    /// Block the *request* direction of the links to these nodes.
+    PartitionRequests {
+        /// Unreachable nodes.
+        nodes: Vec<usize>,
+    },
+    /// Block the *reply* direction of the links from these nodes
+    /// (asymmetric partition: their writes land, their acks do not).
+    PartitionReplies {
+        /// Muted nodes.
+        nodes: Vec<usize>,
+    },
+    /// Clear every partition in both directions.
+    HealPartitions,
+    /// Replace the loss probability.
+    SetLoss(f64),
+    /// Replace the duplication probability.
+    SetDuplication(f64),
+    /// Replace the global delay band.
+    SetDelay {
+        /// New minimum one-way delay.
+        min: u64,
+        /// New maximum one-way delay.
+        max: u64,
+    },
+}
+
+/// Counters the scheduler keeps; deterministic per seed, so tests can
+/// assert on them to prove two runs took the same schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Fan-out rounds served.
+    pub rounds: u64,
+    /// Requests handed to the network.
+    pub requests: u64,
+    /// Replies delivered to callers.
+    pub delivered: u64,
+    /// Requests lost (sampled loss or request-partition).
+    pub requests_dropped: u64,
+    /// Replies lost (sampled loss or reply-partition).
+    pub replies_dropped: u64,
+    /// Duplicate request deliveries that executed.
+    pub duplicates: u64,
+    /// Calls completed by the timeout instead of a reply.
+    pub timeouts: u64,
+    /// Faults applied (scheduled and immediate).
+    pub faults: u64,
+}
+
+/// What travels through the event heap.
+#[derive(Debug)]
+enum EventKind {
+    /// A request reaches its node (and executes there).
+    ReqArrive {
+        index: usize,
+        node: NodeId,
+        req: Request,
+        deadline: u64,
+        duplicate: bool,
+    },
+    /// A reply reaches the caller.
+    ReplyArrive {
+        index: usize,
+        node: NodeId,
+        result: Result<Response, NodeError>,
+    },
+    /// The round-trip budget for a call elapses.
+    Timeout { index: usize, node: NodeId },
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    /// Min-heap order on `(time, seq)` through `BinaryHeap`'s max-heap:
+    /// earliest time first, issue order breaking ties — a total,
+    /// deterministic order.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A fault bound to a virtual instant.
+#[derive(Debug)]
+struct PlannedFault {
+    time: u64,
+    seq: u64,
+    fault: SimFault,
+}
+
+/// Mutable scheduler state behind the transport's `&self` surface.
+#[derive(Debug)]
+struct SimState {
+    now: u64,
+    seq: u64,
+    rng: StdRng,
+    model: NetworkModel,
+    /// Per-node one-way delay override `(min, max)`; `None` uses the
+    /// model band. Applies to both directions of the link.
+    link_delay: Vec<Option<(u64, u64)>>,
+    /// Request direction blocked towards node `i`.
+    req_blocked: Vec<bool>,
+    /// Reply direction blocked from node `i`.
+    reply_blocked: Vec<bool>,
+    /// Pending scheduled faults (unsorted; drained by time).
+    plan: Vec<PlannedFault>,
+    /// Last delivery instant per link direction, for FIFO enforcement.
+    req_last: Vec<u64>,
+    reply_last: Vec<u64>,
+    stats: SimStats,
+}
+
+impl SimState {
+    fn sample_delay(&mut self, node: usize) -> u64 {
+        let (lo, hi) =
+            self.link_delay[node].unwrap_or((self.model.min_delay, self.model.max_delay));
+        let hi = hi.max(lo);
+        self.rng.random_range(lo..=hi)
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.random_bool(p)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// FIFO clamp: delivery on a link never precedes an earlier message
+    /// of the same link/direction.
+    fn fifo(&mut self, last: u64, at: u64) -> u64 {
+        if self.model.fifo_links && at <= last {
+            last + 1
+        } else {
+            at
+        }
+    }
+
+    fn apply_fault(&mut self, cluster: &Cluster, fault: &SimFault) {
+        self.stats.faults += 1;
+        match fault {
+            SimFault::Crash { node, durable } => {
+                if !durable {
+                    cluster.node(*node).wipe();
+                }
+                cluster.kill(*node);
+            }
+            SimFault::Restart { node } => cluster.revive(*node),
+            SimFault::PartitionRequests { nodes } => {
+                for &n in nodes {
+                    self.req_blocked[n] = true;
+                }
+            }
+            SimFault::PartitionReplies { nodes } => {
+                for &n in nodes {
+                    self.reply_blocked[n] = true;
+                }
+            }
+            SimFault::HealPartitions => {
+                self.req_blocked.iter_mut().for_each(|b| *b = false);
+                self.reply_blocked.iter_mut().for_each(|b| *b = false);
+            }
+            SimFault::SetLoss(p) => self.model.loss = *p,
+            SimFault::SetDuplication(p) => self.model.duplicate = *p,
+            SimFault::SetDelay { min, max } => {
+                self.model.min_delay = *min;
+                self.model.max_delay = *max;
+            }
+        }
+    }
+
+    /// Applies every scheduled fault with `time <= t`, in `(time, seq)`
+    /// order.
+    fn run_faults_until(&mut self, cluster: &Cluster, t: u64) {
+        loop {
+            let mut due: Option<usize> = None;
+            for (i, pf) in self.plan.iter().enumerate() {
+                if pf.time <= t
+                    && due.is_none_or(|j| (pf.time, pf.seq) < (self.plan[j].time, self.plan[j].seq))
+                {
+                    due = Some(i);
+                }
+            }
+            let Some(i) = due else { break };
+            let pf = self.plan.swap_remove(i);
+            self.apply_fault(cluster, &pf.fault);
+        }
+    }
+}
+
+/// The deterministic simulation transport. See the [module docs](self).
+///
+/// All mutation goes through a single internal lock, and the event loop
+/// runs on the caller's thread: the simulation is effectively
+/// single-threaded even if the handle is shared, which is what makes
+/// replays exact.
+pub struct SimTransport {
+    cluster: Cluster,
+    state: Mutex<SimState>,
+}
+
+impl SimTransport {
+    /// A simulation over `cluster` with the default (reliable) model.
+    pub fn new(cluster: Cluster, seed: u64) -> Self {
+        Self::with_model(cluster, seed, NetworkModel::default())
+    }
+
+    /// A simulation with an explicit network model.
+    pub fn with_model(cluster: Cluster, seed: u64, model: NetworkModel) -> Self {
+        let n = cluster.len();
+        SimTransport {
+            cluster,
+            state: Mutex::new(SimState {
+                now: 0,
+                seq: 0,
+                rng: StdRng::seed_from_u64(seed),
+                model,
+                link_delay: vec![None; n],
+                req_blocked: vec![false; n],
+                reply_blocked: vec![false; n],
+                plan: Vec::new(),
+                req_last: vec![0; n],
+                reply_last: vec![0; n],
+                stats: SimStats::default(),
+            }),
+        }
+    }
+
+    /// Borrow the underlying cluster (state inspection, accounting).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Current virtual instant.
+    pub fn now(&self) -> u64 {
+        self.state.lock().now
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> SimStats {
+        self.state.lock().stats
+    }
+
+    /// A copy of the current network model.
+    pub fn model(&self) -> NetworkModel {
+        self.state.lock().model.clone()
+    }
+
+    /// Replaces the network model (delay band, loss, duplication,
+    /// timeout, FIFO discipline) from now on.
+    pub fn set_model(&self, model: NetworkModel) {
+        self.state.lock().model = model;
+    }
+
+    /// Overrides the one-way delay band of node `i`'s link (both
+    /// directions); `None` restores the model band.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_link_delay(&self, i: usize, band: Option<(u64, u64)>) {
+        self.state.lock().link_delay[i] = band;
+    }
+
+    /// Applies a fault right now.
+    pub fn apply(&self, fault: SimFault) {
+        let mut st = self.state.lock();
+        st.apply_fault(&self.cluster, &fault);
+    }
+
+    /// Schedules a fault at absolute virtual time `at` (clamped to the
+    /// present if already past). It fires when the event loop or
+    /// [`advance_to`](Self::advance_to) reaches that instant — including
+    /// *between two replies of one round*.
+    pub fn schedule(&self, at: u64, fault: SimFault) {
+        let mut st = self.state.lock();
+        let seq = st.next_seq();
+        st.plan.push(PlannedFault {
+            time: at,
+            seq,
+            fault,
+        });
+    }
+
+    /// Advances virtual time to `t`, firing scheduled faults on the way
+    /// (no-op if `t` is in the past).
+    pub fn advance_to(&self, t: u64) {
+        let mut st = self.state.lock();
+        st.run_faults_until(&self.cluster, t);
+        st.now = st.now.max(t);
+    }
+
+    /// Advances virtual time by `dt`.
+    pub fn advance(&self, dt: u64) {
+        let now = self.now();
+        self.advance_to(now.saturating_add(dt));
+    }
+
+    /// Earliest pending scheduled-fault instant, if any — drive time past
+    /// it with [`advance_to`](Self::advance_to) to quiesce the plan.
+    pub fn next_planned_fault(&self) -> Option<u64> {
+        self.state.lock().plan.iter().map(|p| p.time).min()
+    }
+
+    /// Shared event loop: runs one fan-out until every call completed or
+    /// the sink abandoned the round. Undelivered messages die with the
+    /// round (see the module docs for why).
+    fn run_round(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        let total = calls.len();
+        if total == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.stats.rounds += 1;
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut completed = vec![false; total];
+        let mut done = 0usize;
+
+        for (index, (node, req)) in calls.into_iter().enumerate() {
+            assert!(node.0 < self.cluster.len(), "node {node} out of range");
+            st.stats.requests += 1;
+            let deadline = st.now + st.model.timeout;
+            let seq = st.next_seq();
+            heap.push(Event {
+                time: deadline,
+                seq,
+                kind: EventKind::Timeout { index, node },
+            });
+            let loss = st.model.loss;
+            if st.req_blocked[node.0] || st.roll(loss) {
+                st.stats.requests_dropped += 1;
+                continue;
+            }
+            let delay = st.sample_delay(node.0);
+            let last = st.req_last[node.0];
+            let issue = st.now + delay;
+            let at = st.fifo(last, issue);
+            st.req_last[node.0] = at;
+            let seq = st.next_seq();
+            heap.push(Event {
+                time: at,
+                seq,
+                kind: EventKind::ReqArrive {
+                    index,
+                    node,
+                    req: req.clone(),
+                    deadline,
+                    duplicate: false,
+                },
+            });
+            let dup = st.model.duplicate;
+            if st.roll(dup) {
+                let delay = st.sample_delay(node.0);
+                let last = st.req_last[node.0];
+                let issue = st.now + delay;
+                let at = st.fifo(last, issue);
+                st.req_last[node.0] = at;
+                let seq = st.next_seq();
+                heap.push(Event {
+                    time: at,
+                    seq,
+                    kind: EventKind::ReqArrive {
+                        index,
+                        node,
+                        req,
+                        deadline,
+                        duplicate: true,
+                    },
+                });
+            }
+        }
+
+        while done < total {
+            let Some(ev) = heap.pop() else {
+                // Unreachable: every index owns a Timeout event. Kept as
+                // a graceful exit rather than a hang if it ever breaks.
+                break;
+            };
+            st.run_faults_until(&self.cluster, ev.time);
+            st.now = st.now.max(ev.time);
+            match ev.kind {
+                EventKind::ReqArrive {
+                    index,
+                    node,
+                    req,
+                    deadline,
+                    duplicate,
+                } => {
+                    // The node executes the request at arrival time even
+                    // if the caller has already given up on this index —
+                    // side effects of unawaited messages are the point.
+                    let result = self.cluster.node(node.0).handle(req);
+                    if duplicate {
+                        st.stats.duplicates += 1;
+                    }
+                    if completed[index] {
+                        continue;
+                    }
+                    let loss = st.model.loss;
+                    if st.reply_blocked[node.0] || st.roll(loss) {
+                        st.stats.replies_dropped += 1;
+                        continue; // the Timeout event will complete it
+                    }
+                    let delay = st.sample_delay(node.0);
+                    let last = st.reply_last[node.0];
+                    let issue = st.now + delay;
+                    let at = st.fifo(last, issue);
+                    st.reply_last[node.0] = at;
+                    if at > deadline {
+                        continue; // arrives after the caller stopped waiting
+                    }
+                    let seq = st.next_seq();
+                    heap.push(Event {
+                        time: at,
+                        seq,
+                        kind: EventKind::ReplyArrive {
+                            index,
+                            node,
+                            result,
+                        },
+                    });
+                }
+                EventKind::ReplyArrive {
+                    index,
+                    node,
+                    result,
+                } => {
+                    if completed[index] {
+                        continue;
+                    }
+                    completed[index] = true;
+                    done += 1;
+                    st.stats.delivered += 1;
+                    if !sink(RoundReply {
+                        index,
+                        node,
+                        result,
+                    }) {
+                        break;
+                    }
+                }
+                EventKind::Timeout { index, node } => {
+                    if completed[index] {
+                        continue;
+                    }
+                    completed[index] = true;
+                    done += 1;
+                    st.stats.timeouts += 1;
+                    if !sink(RoundReply {
+                        index,
+                        node,
+                        result: Err(NodeError::TimedOut),
+                    }) {
+                        break;
+                    }
+                }
+            }
+        }
+        // Remaining heap events (stragglers of an abandoned round, or
+        // late duplicates) are dropped with the round.
+    }
+}
+
+impl Transport for SimTransport {
+    fn node_count(&self) -> usize {
+        self.cluster.len()
+    }
+
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        let mut result = Err(NodeError::TimedOut);
+        self.run_round(vec![(node, req)], &mut |reply| {
+            result = reply.result;
+            false
+        });
+        result
+    }
+
+    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        self.run_round(calls, sink);
+    }
+}
+
+impl std::fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SimTransport")
+            .field("nodes", &self.cluster.len())
+            .field("now", &st.now)
+            .field("stats", &st.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pings(n: usize) -> Vec<(NodeId, Request)> {
+        (0..n).map(|i| (NodeId(i), Request::Ping)).collect()
+    }
+
+    fn collect(t: &SimTransport, calls: Vec<(NodeId, Request)>) -> Vec<RoundReply> {
+        let mut replies = Vec::new();
+        t.multicall(calls, &mut |r| {
+            replies.push(r);
+            true
+        });
+        replies
+    }
+
+    #[test]
+    fn reliable_model_delivers_everything() {
+        let t = SimTransport::new(Cluster::new(5), 1);
+        let replies = collect(&t, pings(5));
+        assert_eq!(replies.len(), 5);
+        assert!(replies.iter().all(|r| r.result == Ok(Response::Pong)));
+        assert!(t.now() > 0, "virtual time advanced");
+        assert_eq!(t.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed| {
+            let t =
+                SimTransport::with_model(Cluster::new(8), seed, NetworkModel::hostile(0.3, 0.2));
+            let mut order = Vec::new();
+            for _ in 0..10 {
+                let replies = collect(&t, pings(8));
+                order.extend(replies.into_iter().map(|r| (r.index, r.result.is_ok())));
+            }
+            (order, t.stats(), t.now())
+        };
+        assert_eq!(run(42), run(42), "replay must be bit-for-bit");
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+    }
+
+    #[test]
+    fn loss_produces_timeouts_not_hangs() {
+        let t = SimTransport::with_model(
+            Cluster::new(4),
+            7,
+            NetworkModel {
+                loss: 1.0,
+                ..NetworkModel::reliable()
+            },
+        );
+        let replies = collect(&t, pings(4));
+        assert_eq!(replies.len(), 4);
+        assert!(replies.iter().all(|r| r.result == Err(NodeError::TimedOut)));
+        assert_eq!(t.stats().timeouts, 4);
+    }
+
+    #[test]
+    fn lost_reply_still_executes_the_request() {
+        // Reply-partition node 0: its write lands, the ack does not.
+        let t = SimTransport::new(Cluster::new(2), 3);
+        for i in 0..2 {
+            t.call(
+                NodeId(i),
+                Request::InitData {
+                    id: 1,
+                    bytes: Bytes::from_static(b"old"),
+                },
+            )
+            .unwrap();
+        }
+        t.apply(SimFault::PartitionReplies { nodes: vec![0] });
+        let r = t.call(
+            NodeId(0),
+            Request::WriteData {
+                id: 1,
+                bytes: Bytes::from_static(b"new"),
+                version: 1,
+            },
+        );
+        assert_eq!(r, Err(NodeError::TimedOut));
+        t.apply(SimFault::HealPartitions);
+        match t.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
+            Response::Data { bytes, version } => {
+                assert_eq!(&bytes[..], b"new", "partial write landed");
+                assert_eq!(version, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_partition_prevents_execution() {
+        let t = SimTransport::new(Cluster::new(2), 5);
+        t.call(
+            NodeId(0),
+            Request::InitData {
+                id: 1,
+                bytes: Bytes::from_static(b"old"),
+            },
+        )
+        .unwrap();
+        t.apply(SimFault::PartitionRequests { nodes: vec![0] });
+        let r = t.call(
+            NodeId(0),
+            Request::WriteData {
+                id: 1,
+                bytes: Bytes::from_static(b"new"),
+                version: 1,
+            },
+        );
+        assert_eq!(r, Err(NodeError::TimedOut));
+        t.apply(SimFault::HealPartitions);
+        match t.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
+            Response::Data { bytes, .. } => assert_eq!(&bytes[..], b"old"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_lands_mid_round() {
+        // Nodes answer one after another under FIFO + fixed delay; a
+        // crash scheduled between the first and last arrival splits the
+        // round into successes and Down rejections.
+        let t = SimTransport::with_model(
+            Cluster::new(4),
+            9,
+            NetworkModel {
+                min_delay: 100,
+                max_delay: 100,
+                ..NetworkModel::reliable()
+            },
+        );
+        // Stagger the links so arrivals are 100, 300, 500, 700.
+        for i in 0..4 {
+            t.set_link_delay(i, Some((100 + 200 * i as u64, 100 + 200 * i as u64)));
+        }
+        t.schedule(
+            400,
+            SimFault::Crash {
+                node: 2,
+                durable: true,
+            },
+        );
+        t.schedule(
+            400,
+            SimFault::Crash {
+                node: 3,
+                durable: true,
+            },
+        );
+        let replies = collect(&t, pings(4));
+        let ok: Vec<usize> = replies
+            .iter()
+            .filter(|r| r.result.is_ok())
+            .map(|r| r.index)
+            .collect();
+        let down: Vec<usize> = replies
+            .iter()
+            .filter(|r| r.result == Err(NodeError::Down))
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(ok, vec![0, 1], "requests delivered before the crash");
+        assert_eq!(down, vec![2, 3], "requests delivered after the crash");
+    }
+
+    #[test]
+    fn volatile_crash_loses_state_durable_keeps_it() {
+        let t = SimTransport::new(Cluster::new(2), 11);
+        for i in 0..2 {
+            t.call(
+                NodeId(i),
+                Request::InitData {
+                    id: 1,
+                    bytes: Bytes::from_static(b"x"),
+                },
+            )
+            .unwrap();
+        }
+        t.apply(SimFault::Crash {
+            node: 0,
+            durable: true,
+        });
+        t.apply(SimFault::Crash {
+            node: 1,
+            durable: false,
+        });
+        t.apply(SimFault::Restart { node: 0 });
+        t.apply(SimFault::Restart { node: 1 });
+        assert!(t.call(NodeId(0), Request::ReadData { id: 1 }).is_ok());
+        assert_eq!(
+            t.call(NodeId(1), Request::ReadData { id: 1 }),
+            Err(NodeError::NotFound),
+            "volatile crash wiped the disk"
+        );
+    }
+
+    #[test]
+    fn duplicates_execute_but_complete_once() {
+        let t = SimTransport::with_model(
+            Cluster::new(1),
+            13,
+            NetworkModel {
+                duplicate: 1.0,
+                ..NetworkModel::reliable()
+            },
+        );
+        t.call(
+            NodeId(0),
+            Request::InitData {
+                id: 1,
+                bytes: Bytes::from(vec![0u8; 4]),
+            },
+        )
+        .unwrap();
+        let replies = collect(&t, vec![(NodeId(0), Request::ReadData { id: 1 })]);
+        assert_eq!(replies.len(), 1, "one completion per call");
+        assert!(t.stats().duplicates >= 1, "the duplicate executed");
+        // Both the original and the duplicate hit the node's read path.
+        assert_eq!(t.cluster().io_totals().reads, 2);
+    }
+
+    #[test]
+    fn abandoned_round_drops_stragglers() {
+        let t = SimTransport::new(Cluster::new(6), 17);
+        let mut first = None;
+        t.multicall(pings(6), &mut |reply| {
+            first = Some(reply.result.clone());
+            false
+        });
+        assert_eq!(first, Some(Ok(Response::Pong)));
+        let delivered_after_first = t.stats().delivered;
+        assert_eq!(delivered_after_first, 1);
+    }
+
+    #[test]
+    fn advance_fires_scheduled_faults() {
+        let t = SimTransport::new(Cluster::new(2), 19);
+        t.schedule(
+            1_000,
+            SimFault::Crash {
+                node: 1,
+                durable: true,
+            },
+        );
+        assert_eq!(t.next_planned_fault(), Some(1_000));
+        assert!(t.cluster().node(1).is_up());
+        t.advance_to(999);
+        assert!(t.cluster().node(1).is_up());
+        t.advance(1);
+        assert!(!t.cluster().node(1).is_up());
+        assert_eq!(t.next_planned_fault(), None);
+    }
+
+    #[test]
+    fn fifo_links_preserve_per_link_order() {
+        // With FIFO on and a huge jitter band, two requests to the same
+        // node must still execute in issue order.
+        let t = SimTransport::with_model(
+            Cluster::new(1),
+            23,
+            NetworkModel {
+                min_delay: 1,
+                max_delay: 100_000,
+                timeout: 1_000_000,
+                ..NetworkModel::reliable()
+            },
+        );
+        t.call(
+            NodeId(0),
+            Request::InitData {
+                id: 1,
+                bytes: Bytes::from(vec![0u8; 1]),
+            },
+        )
+        .unwrap();
+        for v in 1..=20u64 {
+            // Issue write then read in one round: the read must observe
+            // the write that was issued before it on the same link.
+            let calls = vec![
+                (
+                    NodeId(0),
+                    Request::WriteData {
+                        id: 1,
+                        bytes: Bytes::from(vec![v as u8]),
+                        version: v,
+                    },
+                ),
+                (NodeId(0), Request::ReadData { id: 1 }),
+            ];
+            let replies = collect(&t, calls);
+            let read = replies.iter().find(|r| r.index == 1).unwrap();
+            match &read.result {
+                Ok(Response::Data { version, .. }) => assert_eq!(*version, v),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -925,6 +925,127 @@ mod tests {
     }
 
     #[test]
+    fn builder_invalid_shape_yields_typed_shape_errors() {
+        use tq_quorum::trapezoid::ShapeError;
+        // b = 0: no level-0 members.
+        let err = Store::trap_erc(9, 6)
+            .shape(2, 0, 1)
+            .transport(transport(9))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Shape(ShapeError::EmptyBaseLevel)
+        ));
+        // Shape organises the wrong node count for the stripe.
+        let err = Store::trap_erc(9, 6)
+            .shape(2, 3, 2)
+            .transport(transport(15))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Shape(ShapeError::StripeMismatch {
+                node_count: 15,
+                expected: 4
+            })
+        ));
+        // Threshold above a level's size.
+        let err = Store::trap_fr(9, 6)
+            .shape(2, 1, 1)
+            .uniform_w(7)
+            .transport(transport(9))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Shape(ShapeError::ThresholdOutOfRange { .. })
+        ));
+        // Explicit w_0 below the level-0 majority.
+        let err = Store::trap_erc(15, 8)
+            .shape(0, 4, 1)
+            .thresholds(&[2])
+            .transport(transport(15));
+        assert!(err.build().is_ok(), "w_0 is prepended, not user-supplied");
+        let err = Store::trap_erc(15, 8)
+            .shape(0, 4, 1)
+            .thresholds(&[2, 9])
+            .transport(transport(15))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Shape(ShapeError::WrongThresholdCount { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_k_exceeding_n_yields_typed_param_errors() {
+        let err = Store::trap_erc(3, 5)
+            .transport(transport(5))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ProtocolError::Params(_)), "got {err:?}");
+        // TRAP-FR has no code parameters; k > n surfaces as the
+        // impossible n − k + 1 trapezoid instead.
+        let err = Store::trap_fr(3, 5)
+            .shape(0, 1, 0)
+            .transport(transport(5))
+            .build()
+            .err()
+            .unwrap();
+        assert!(
+            matches!(err, ProtocolError::Misconfigured(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_zero_height_trapezoid_is_typed_not_a_panic() {
+        // h = 0 is legal when the single level covers n − k + 1 nodes…
+        let ok = Store::trap_erc(9, 6)
+            .shape(0, 4, 0)
+            .transport(transport(9))
+            .build();
+        assert!(ok.is_ok(), "single-level trapezoid of matching width");
+        // …and a typed mismatch otherwise (never a panic).
+        let err = Store::trap_erc(9, 6)
+            .shape(0, 1, 0)
+            .transport(transport(9))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Shape(tq_quorum::trapezoid::ShapeError::StripeMismatch {
+                node_count: 1,
+                expected: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn builder_undersized_transport_is_a_typed_error() {
+        let err = Store::rowa(5)
+            .transport(transport(3))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ProtocolError::Node(_)));
+        let err = Store::majority(0)
+            .transport(transport(1))
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ProtocolError::Node(_)));
+    }
+
+    #[test]
     fn replicated_namespace_bounds_block_index() {
         assert!(replicated_object_id(BlockAddr::new(1, OBJECTS_PER_STRIPE as usize)).is_err());
         assert_eq!(

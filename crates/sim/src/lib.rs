@@ -16,15 +16,24 @@
 //! embedded READBLOCK. [`monte_carlo`] measures both gaps;
 //! EXPERIMENTS.md records them.
 //!
+//! Beyond the paper's evaluation, [`dst`] adds deterministic simulation
+//! testing: seeded adversarial network schedules (loss, duplication,
+//! reordering, partitions, crash-restart) driven through
+//! `tq_cluster::SimTransport`, with every operation checked online
+//! against regular-register semantics and failing seeds replayable
+//! bit-for-bit.
+//!
 //! The `figures` binary (`cargo run -p tq-sim --bin figures -- all`)
 //! renders every figure as markdown + CSV.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dst;
 pub mod experiments;
 pub mod monte_carlo;
 pub mod report;
 
+pub use dst::{CaseConfig, CaseReport, HistoryChecker, Scenario, Violation};
 pub use experiments::FigureData;
 pub use monte_carlo::{Estimate, MonteCarlo};

@@ -38,7 +38,9 @@ pub use tq_quorum as quorum;
 pub use tq_sim as sim;
 pub use tq_trapezoid as protocol;
 
-pub use tq_cluster::{Cluster, FaultInjector, LocalTransport};
+pub use tq_cluster::{
+    Cluster, FaultInjector, LocalTransport, NetworkModel, SimFault, SimTransport,
+};
 pub use tq_erasure::{CodeParams, ReedSolomon};
 pub use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 pub use tq_trapezoid::{

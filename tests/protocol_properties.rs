@@ -13,8 +13,14 @@
 //! visible but unrecoverable — by rolling it back to the newest
 //! recoverable value; the settled value must still be one of the above.
 
+use std::collections::BTreeSet;
+
 use proptest::prelude::*;
+use trapezoid_quorum::quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 use trapezoid_quorum::{Cluster, LocalTransport, ProtocolConfig, ProtocolError, TrapErcClient};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -102,6 +108,68 @@ fn audit_after_scrub(
         oracle.settled(block, out.bytes);
     }
     Ok(())
+}
+
+/// Strategy over valid trapezoid shapes `(a, b, h)` paired with a legal
+/// per-level write-threshold vector (level 0 at or above its majority,
+/// every other level in `1..=s_l`) and a seed for quorum sampling.
+fn shape_and_thresholds() -> impl Strategy<Value = (TrapezoidShape, Vec<usize>, u64)> {
+    (
+        0usize..=3,
+        1usize..=6,
+        0usize..=3,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_filter_map("valid trapezoid", |(a, b, h, wseed, qseed)| {
+            let shape = TrapezoidShape::new(a, b, h).ok()?;
+            let mut rng = StdRng::seed_from_u64(wseed);
+            let w: Vec<usize> = (0..=h)
+                .map(|l| {
+                    let s = shape.level_size(l);
+                    if l == 0 {
+                        rng.random_range(b / 2 + 1..=s)
+                    } else {
+                        rng.random_range(1..=s)
+                    }
+                })
+                .collect();
+            Some((shape, w, qseed))
+        })
+}
+
+/// Draws `count` distinct positions from level `l` of the shape.
+fn sample_level_members(
+    shape: &TrapezoidShape,
+    l: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> BTreeSet<usize> {
+    let mut pool: Vec<usize> = shape.level_range(l).collect();
+    for i in 0..count {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool.into_iter().collect()
+}
+
+/// One write quorum: `w_l` arbitrary members from *every* level.
+fn sample_write_quorum(
+    shape: &TrapezoidShape,
+    thresholds: &WriteThresholds,
+    rng: &mut StdRng,
+) -> BTreeSet<usize> {
+    let mut q = BTreeSet::new();
+    for l in 0..=shape.h() {
+        q.extend(sample_level_members(
+            shape,
+            l,
+            thresholds.write_threshold(l),
+            rng,
+        ));
+    }
+    q
 }
 
 proptest! {
@@ -210,5 +278,51 @@ proptest! {
         prop_assert!(report.salvaged.is_empty());
         let out = client.read_block(1, block).unwrap();
         prop_assert_eq!(&out.bytes, &payload);
+    }
+
+    /// Structure: on *every* generated shape and threshold vector, the
+    /// derived read thresholds satisfy `r_l + w_l = s_l + 1` per level —
+    /// the eq. 6/7 identity that forces read/write intersection.
+    #[test]
+    fn generated_shapes_satisfy_threshold_identities((shape, w, _qseed) in shape_and_thresholds()) {
+        let thresholds = WriteThresholds::new(&shape, w.clone());
+        prop_assert!(thresholds.is_ok(), "legal vector rejected: {w:?} on {shape}");
+        let thresholds = thresholds.unwrap();
+        prop_assert!(thresholds.write_threshold(0) > shape.level_size(0) / 2);
+        for l in 0..=shape.h() {
+            let (s, wl) = (shape.level_size(l), thresholds.write_threshold(l));
+            let rl = thresholds.read_threshold(&shape, l);
+            prop_assert_eq!(rl + wl, s + 1, "level {l} of {shape}");
+            prop_assert!((1..=s).contains(&wl));
+            prop_assert!((1..=s).contains(&rl));
+        }
+    }
+
+    /// Witness: sampled quorums on every generated shape really do
+    /// intersect — any two write quorums share a level-0 member, and a
+    /// read quorum of *any* level meets every write quorum on that
+    /// level. This is the property the version-check correctness of
+    /// Algorithms 1/2 rests on.
+    #[test]
+    fn generated_shapes_guarantee_quorum_intersection((shape, w, qseed) in shape_and_thresholds()) {
+        let thresholds = WriteThresholds::new(&shape, w).unwrap();
+        let mut rng = StdRng::seed_from_u64(qseed);
+        let wq1 = sample_write_quorum(&shape, &thresholds, &mut rng);
+        let wq2 = sample_write_quorum(&shape, &thresholds, &mut rng);
+        let level0: BTreeSet<usize> = shape.level_range(0).collect();
+        prop_assert!(
+            wq1.intersection(&wq2).any(|m| level0.contains(m)),
+            "write quorums missed each other on level 0 of {shape}"
+        );
+        for l in 0..=shape.h() {
+            let rl = thresholds.read_threshold(&shape, l);
+            let rq = sample_level_members(&shape, l, rl, &mut rng);
+            for wq in [&wq1, &wq2] {
+                prop_assert!(
+                    rq.intersection(wq).next().is_some(),
+                    "read level {l} missed a write quorum on {shape}"
+                );
+            }
+        }
     }
 }
