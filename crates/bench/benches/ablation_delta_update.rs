@@ -57,7 +57,7 @@ fn naive_reencode_update(
         transport
             .call(
                 NodeId(j),
-                Request::PutParity {
+                Request::WriteParity {
                     id,
                     bytes: Bytes::copy_from_slice(p),
                     versions: versions.clone(),

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tq_cluster::{
-    ChannelTransport, Cluster, NodeError, NodeId, QuorumRound, Request, Response, Transport,
+    ChannelTransport, Cluster, Envelope, NodeId, QuorumRound, Reply, Request, Transport,
 };
 use tq_trapezoid::{ProtocolConfig, TrapErcClient};
 
@@ -37,8 +37,8 @@ impl<T: Transport> Transport for SequentialDispatch<T> {
     fn node_count(&self) -> usize {
         self.0.node_count()
     }
-    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
-        self.0.call(node, req)
+    fn dispatch(&self, node: NodeId, env: Envelope) -> Reply {
+        self.0.dispatch(node, env)
     }
     // multicall: inherited sequential default.
 }

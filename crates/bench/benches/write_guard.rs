@@ -1,0 +1,238 @@
+//! Guarded-write overhead: the idempotent command path vs the old
+//! unconditional write.
+//!
+//! The node command API made every mutation conditional: `WriteData`
+//! compares-and-advances the stored version, and the enveloped
+//! [`NodeApi`] entry point additionally consults (and updates) the
+//! applied-op window keyed by [`OpId`]. This bench prices that guard
+//! against the seed's unconditional write path — reproduced here as a
+//! minimal baseline struct (version store + `copy_from_slice`, no guard,
+//! no window) — at two granularities:
+//!
+//! * raw node writes (per-call cost of guard + window bookkeeping);
+//! * a whole TRAP-ERC `write_block` over a [`ChannelTransport`] with
+//!   400µs injected per-node latency, where the guard must disappear
+//!   into the network budget (expected overhead well under 5%).
+//!
+//! A summary table is printed at start-up (the repo's bench style:
+//! artefact rows first, measurements after).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use tq_cluster::rpc::NodeApi;
+use tq_cluster::{ChannelTransport, Cluster, Envelope, NodeId, Request, StorageNode};
+use tq_trapezoid::{ProtocolConfig, TrapErcClient};
+
+const BLOCK: usize = 1024;
+const NODE_DELAY: Duration = Duration::from_micros(400);
+
+/// The seed's write path, reconstructed: versioned blocks overwritten
+/// unconditionally — no monotone guard, no envelope, no applied-op
+/// window. The reference the guarded path is priced against.
+struct UnguardedNode {
+    blocks: HashMap<u64, (u64, Vec<u8>)>,
+}
+
+impl UnguardedNode {
+    fn new() -> Self {
+        UnguardedNode {
+            blocks: HashMap::new(),
+        }
+    }
+    fn init(&mut self, id: u64, bytes: &[u8]) {
+        self.blocks.insert(id, (0, bytes.to_vec()));
+    }
+    fn write(&mut self, id: u64, bytes: &[u8], version: u64) {
+        let (stored_version, stored) = self.blocks.get_mut(&id).expect("initialised");
+        stored.copy_from_slice(bytes);
+        *stored_version = version;
+    }
+}
+
+fn time<R>(mut f: impl FnMut() -> R, reps: u32) -> Duration {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed() / reps
+}
+
+fn print_overhead_summary() {
+    let reps = 20_000u32;
+    let payload = Bytes::from(vec![0xA5u8; BLOCK]);
+
+    let mut raw = UnguardedNode::new();
+    raw.init(1, &payload);
+    let mut v = 0u64;
+    let unguarded = time(
+        || {
+            v += 1;
+            raw.write(1, &payload, v);
+        },
+        reps,
+    );
+
+    let node = StorageNode::new(NodeId(0));
+    node.handle(Request::InitData {
+        id: 1,
+        bytes: payload.clone(),
+    })
+    .unwrap();
+    let mut v = 0u64;
+    let guarded = time(
+        || {
+            v += 1;
+            let reply = node.execute(Envelope::new(Request::WriteData {
+                id: 1,
+                bytes: payload.clone(),
+                version: v,
+            }));
+            assert!(reply.result.is_ok());
+        },
+        reps,
+    );
+
+    let delta = guarded.saturating_sub(unguarded);
+    let vs_node = delta.as_secs_f64() / NODE_DELAY.as_secs_f64() * 100.0;
+    eprintln!("# write_guard — {BLOCK}-byte block, {reps} reps");
+    eprintln!("# path                per-write");
+    eprintln!("# unconditional (seed) {unguarded:>9.2?}");
+    eprintln!("# guarded envelope     {guarded:>9.2?}");
+    eprintln!(
+        "# guard cost           {delta:>9.2?}  = {vs_node:.3}% of a {NODE_DELAY:?} node budget"
+    );
+    assert!(
+        vs_node < 5.0,
+        "guard overhead {vs_node:.2}% exceeds the 5% budget at {NODE_DELAY:?}/node"
+    );
+}
+
+fn bench_node_write_paths(c: &mut Criterion) {
+    print_overhead_summary();
+
+    let payload = Bytes::from(vec![0x5Au8; BLOCK]);
+    let mut group = c.benchmark_group("write_guard/node");
+
+    group.bench_function("unconditional_baseline", |b| {
+        let mut raw = UnguardedNode::new();
+        raw.init(1, &payload);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            raw.write(1, &payload, v);
+        })
+    });
+
+    group.bench_function("guarded_handle", |b| {
+        let node = StorageNode::new(NodeId(0));
+        node.handle(Request::InitData {
+            id: 1,
+            bytes: payload.clone(),
+        })
+        .unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            node.handle(Request::WriteData {
+                id: 1,
+                bytes: payload.clone(),
+                version: v,
+            })
+            .unwrap()
+        })
+    });
+
+    group.bench_function("guarded_envelope", |b| {
+        let node = StorageNode::new(NodeId(0));
+        node.handle(Request::InitData {
+            id: 1,
+            bytes: payload.clone(),
+        })
+        .unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            node.execute(Envelope::new(Request::WriteData {
+                id: 1,
+                bytes: payload.clone(),
+                version: v,
+            }))
+        })
+    });
+
+    // The idempotent no-op paths redeliveries take: a stale version and
+    // an exact op-id replay. Both must be at least as cheap as a write.
+    group.bench_function("stale_version_ack", |b| {
+        let node = StorageNode::new(NodeId(0));
+        node.handle(Request::InitData {
+            id: 1,
+            bytes: payload.clone(),
+        })
+        .unwrap();
+        node.handle(Request::WriteData {
+            id: 1,
+            bytes: payload.clone(),
+            version: 1_000_000,
+        })
+        .unwrap();
+        b.iter(|| {
+            node.execute(Envelope::new(Request::WriteData {
+                id: 1,
+                bytes: payload.clone(),
+                version: 1,
+            }))
+        })
+    });
+
+    group.bench_function("replayed_op_ack", |b| {
+        let node = StorageNode::new(NodeId(0));
+        node.handle(Request::InitData {
+            id: 1,
+            bytes: payload.clone(),
+        })
+        .unwrap();
+        let env = Envelope::new(Request::WriteData {
+            id: 1,
+            bytes: payload.clone(),
+            version: 1,
+        });
+        node.execute(env.clone());
+        b.iter(|| node.execute(env.clone()))
+    });
+
+    group.finish();
+}
+
+fn bench_protocol_write(c: &mut Criterion) {
+    // Whole-operation scale: at 400µs per node the guard is noise — the
+    // write's cost is the two await-all levels of round trips.
+    let mut group = c.benchmark_group("write_guard/protocol");
+    group.sample_size(20);
+
+    let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).expect("static parameters");
+    let transport = ChannelTransport::with_latency(Cluster::new(15), &[NODE_DELAY; 15]);
+    let client = TrapErcClient::new(config, transport).expect("sized transport");
+    let blocks: Vec<Vec<u8>> = (0..8)
+        .map(|i| (0..BLOCK).map(|b| (i * 13 + b) as u8).collect())
+        .collect();
+    client.create_stripe(1, blocks).expect("all nodes up");
+
+    let old = vec![0u8; BLOCK];
+    let new = vec![0xA5u8; BLOCK];
+    let mut version = 0u64;
+    group.bench_function("write_block_400us_node", |b| {
+        b.iter(|| {
+            let out = client
+                .write_block_with_hint(1, 0, &new, if version == 0 { &old } else { &new }, version)
+                .expect("healthy cluster");
+            version = out.version;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_write_paths, bench_protocol_write);
+criterion_main!(benches);

@@ -10,8 +10,14 @@
 //!   `write(x)`, `read(id)`, `version(id)` (a version *vector* on parity
 //!   nodes — the columns of the paper's k×(n−k) matrix V) and
 //!   `add(buf)` (the parity fold `b_j ← b_j + buf`, applied under a
-//!   version guard).
-//! * [`rpc`] — the request/response vocabulary between protocol and node.
+//!   version guard). Every mutation is monotone conditional, so the node
+//!   is safe under at-least-once delivery.
+//! * [`rpc`] — the idempotent command vocabulary between protocol and
+//!   node: [`rpc::Request`]/[`rpc::Response`] payloads wrapped in
+//!   [`rpc::Envelope`]s (op identity + round epoch), answered by
+//!   [`rpc::Reply`]s echoing that identity, executed through the
+//!   [`rpc::NodeApi`] trait that decouples command handling from
+//!   transport dispatch.
 //! * [`cluster::Cluster`] — a set of nodes with fail-stop switches and
 //!   per-node IO accounting.
 //! * [`transport`] — how protocol code reaches nodes: [`transport::LocalTransport`]
@@ -29,7 +35,8 @@
 //!   ([`sim::SimTransport`]): a seeded virtual-time event scheduler that
 //!   drives the same fan-outs through an adversarial [`sim::NetworkModel`]
 //!   (delay, loss, duplication, asymmetric partitions, crash-restart with
-//!   durable or volatile state) — the substrate of the DST harness in
+//!   durable or volatile state, and an at-least-once mode with
+//!   cross-round redelivery) — the substrate of the DST harness in
 //!   `tq-sim`.
 //!
 //! Nothing here knows about trapezoids or erasure codes; `tq-trapezoid`
@@ -54,7 +61,7 @@ pub use node::{NodeId, StorageNode};
 pub use quorum_round::{
     Accepted, Completion, MultiRound, PlanOp, QuorumRound, Rejected, RoundOutcome,
 };
-pub use rpc::{BlockId, NodeError, Request, Response};
+pub use rpc::{BlockId, Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
 pub use sim::{NetworkModel, SimFault, SimStats, SimTransport};
 pub use stats::IoStats;
 pub use transport::{ChannelTransport, LocalTransport, RoundReply, Transport};

@@ -12,6 +12,15 @@
 //! transport, and bit-for-bit the old sequential behaviour on
 //! [`LocalTransport`](crate::transport::LocalTransport).
 //!
+//! Every call is wrapped in an [`Envelope`] stamped with a fresh
+//! [`OpId`] and this round's epoch, and replies are matched **by
+//! identity**: a reply whose op id the round never issued — a duplicate
+//! absorbed already, or a straggler redelivered from an *earlier* round
+//! by an at-least-once fabric — is ignored instead of miscounted
+//! against some batch position. That property is what lets
+//! [`SimTransport`](crate::sim::SimTransport) redeliver messages across
+//! rounds without corrupting quorum accounting.
+//!
 //! Two completion policies cover both algorithms:
 //!
 //! * [`QuorumRound::await_all`] — every reply is awaited; the quorum
@@ -23,8 +32,10 @@
 //!   and "first live replica" reads use this; outstanding members are
 //!   reported as [`RoundOutcome::abandoned`] stragglers.
 
+use std::collections::HashMap;
+
 use crate::node::NodeId;
-use crate::rpc::{NodeError, Request, Response};
+use crate::rpc::{next_round_epoch, Envelope, NodeError, OpId, Request, Response};
 use crate::transport::Transport;
 
 /// When a round stops gathering.
@@ -140,14 +151,28 @@ impl QuorumRound {
         self.completion
     }
 
-    /// Runs the round: scatters `calls` through the transport's fan-out
-    /// primitive and gathers according to the completion policy.
+    /// Runs the round: wraps `calls` into enveloped commands under one
+    /// fresh round epoch, scatters them through the transport's fan-out
+    /// primitive and gathers according to the completion policy,
+    /// matching every reply to its slot by op id.
     pub fn run<T: Transport + ?Sized>(
         &self,
         transport: &T,
         calls: Vec<(NodeId, Request)>,
     ) -> RoundOutcome {
-        let issued: Vec<NodeId> = calls.iter().map(|&(node, _)| node).collect();
+        let epoch = next_round_epoch();
+        let mut issued: Vec<NodeId> = Vec::with_capacity(calls.len());
+        let mut slot_of: HashMap<OpId, usize> = HashMap::with_capacity(calls.len());
+        let envelopes: Vec<(NodeId, Envelope)> = calls
+            .into_iter()
+            .enumerate()
+            .map(|(index, (node, req))| {
+                let env = Envelope::in_epoch(req, epoch);
+                slot_of.insert(env.op_id, index);
+                issued.push(node);
+                (node, env)
+            })
+            .collect();
         let mut outcome = RoundOutcome {
             needed: self.needed,
             accepted: Vec::new(),
@@ -158,33 +183,36 @@ impl QuorumRound {
         // A zero threshold under FirstQuorum is already satisfied; skip
         // dispatch entirely rather than special-casing inside the sink.
         if !(self.completion == Completion::FirstQuorum && self.needed == 0) {
-            transport.multicall(calls, &mut |reply| {
-                // At-least-once fabrics may deliver the same reply twice;
-                // only the first completion per batch position counts, or
-                // a duplicated ack could fake a quorum.
-                if reply.index >= seen.len() || seen[reply.index] {
-                    return match self.completion {
-                        Completion::AwaitAll => true,
-                        Completion::FirstQuorum => outcome.accepted.len() < self.needed,
-                    };
+            transport.multicall(envelopes, &mut |reply| {
+                let keep_going = |outcome: &RoundOutcome| match self.completion {
+                    Completion::AwaitAll => true,
+                    Completion::FirstQuorum => outcome.accepted.len() < self.needed,
+                };
+                // Identity matching: an at-least-once fabric may deliver
+                // the same reply twice, or a stale reply from an earlier
+                // round. Only the first completion of an op id this
+                // round issued counts — anything else would let a
+                // duplicated ack fake a quorum.
+                let Some(&index) = slot_of.get(&reply.op_id) else {
+                    return keep_going(&outcome);
+                };
+                if seen[index] {
+                    return keep_going(&outcome);
                 }
-                seen[reply.index] = true;
+                seen[index] = true;
                 match reply.result {
                     Ok(response) => outcome.accepted.push(Accepted {
-                        index: reply.index,
+                        index,
                         node: reply.node,
                         response,
                     }),
                     Err(error) => outcome.rejected.push(Rejected {
-                        index: reply.index,
+                        index,
                         node: reply.node,
                         error,
                     }),
                 }
-                match self.completion {
-                    Completion::AwaitAll => true,
-                    Completion::FirstQuorum => outcome.accepted.len() < self.needed,
-                }
+                keep_going(&outcome)
             });
         }
         for (i, node) in issued.into_iter().enumerate() {
@@ -217,6 +245,10 @@ pub struct PlanOp {
 /// roughly one round trip; on the sequential transport it degenerates to
 /// the same ordered walk a loop would make (determinism preserved).
 ///
+/// All the plan's envelopes share one round epoch; replies are matched
+/// to their (op, slot) origin by op id, so duplicates and cross-round
+/// strangers are ignored exactly as in [`QuorumRound::run`].
+///
 /// Semantic differences from running the ops separately, both inherent
 /// to fusion and documented here because accounting depends on them:
 ///
@@ -246,14 +278,18 @@ impl MultiRound {
         let completions: Vec<Completion> = ops.iter().map(|op| op.round.completion()).collect();
         let mut remaining: Vec<usize> = ops.iter().map(|op| op.calls.len()).collect();
 
-        // Flatten op calls into one batch, remembering each flat index's
-        // (op, local-index) origin.
-        let mut flat: Vec<(NodeId, Request)> = Vec::new();
+        // Flatten op calls into one enveloped batch under one epoch,
+        // remembering each op id's (op, local-index, node) origin.
+        let epoch = next_round_epoch();
+        let mut flat: Vec<(NodeId, Envelope)> = Vec::new();
         let mut origin: Vec<(usize, usize)> = Vec::new();
+        let mut slot_of: HashMap<OpId, usize> = HashMap::new();
         for (op_idx, op) in ops.into_iter().enumerate() {
-            for (local, call) in op.calls.into_iter().enumerate() {
+            for (local, (node, req)) in op.calls.into_iter().enumerate() {
+                let env = Envelope::in_epoch(req, epoch);
+                slot_of.insert(env.op_id, flat.len());
                 origin.push((op_idx, local));
-                flat.push(call);
+                flat.push((node, env));
             }
         }
 
@@ -271,13 +307,17 @@ impl MultiRound {
         let mut seen = vec![false; flat.len()];
         if incomplete > 0 {
             transport.multicall(flat, &mut |reply| {
-                // Duplicate delivery guard — see `QuorumRound::run`. Vital
-                // here: a duplicate would also underflow `remaining`.
-                if reply.index >= seen.len() || seen[reply.index] {
+                // Identity matching — see `QuorumRound::run`. Vital
+                // here: a duplicate or stale stranger would also
+                // underflow `remaining`.
+                let Some(&flat_idx) = slot_of.get(&reply.op_id) else {
+                    return incomplete > 0;
+                };
+                if seen[flat_idx] {
                     return incomplete > 0;
                 }
-                let (op_idx, local) = origin[reply.index];
-                seen[reply.index] = true;
+                let (op_idx, local) = origin[flat_idx];
+                seen[flat_idx] = true;
                 remaining[op_idx] -= 1;
                 let outcome = &mut outcomes[op_idx];
                 match reply.result {
@@ -324,7 +364,7 @@ impl MultiRound {
 mod tests {
     use super::*;
     use crate::cluster::Cluster;
-    use crate::transport::{ChannelTransport, LocalTransport};
+    use crate::transport::{ChannelTransport, LocalTransport, RoundReply};
 
     fn pings(n: usize) -> Vec<(NodeId, Request)> {
         (0..n).map(|i| (NodeId(i), Request::Ping)).collect()
@@ -515,7 +555,7 @@ mod tests {
     }
 
     /// Delivers every reply twice — an at-least-once fabric in the
-    /// worst case. The engines must count each batch position once.
+    /// worst case. The engines must count each op id once.
     struct DuplicatingTransport {
         inner: LocalTransport,
     }
@@ -524,13 +564,13 @@ mod tests {
         fn node_count(&self) -> usize {
             self.inner.node_count()
         }
-        fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
-            self.inner.call(node, req)
+        fn dispatch(&self, node: NodeId, env: Envelope) -> crate::rpc::Reply {
+            self.inner.dispatch(node, env)
         }
         fn multicall(
             &self,
-            calls: Vec<(NodeId, Request)>,
-            sink: &mut dyn FnMut(crate::transport::RoundReply) -> bool,
+            calls: Vec<(NodeId, Envelope)>,
+            sink: &mut dyn FnMut(RoundReply) -> bool,
         ) {
             let mut buffered = Vec::new();
             self.inner.multicall(calls, &mut |reply| {
@@ -542,6 +582,36 @@ mod tests {
                     return;
                 }
             }
+        }
+    }
+
+    /// Injects a reply with an op id the round never issued before every
+    /// real reply — the cross-round stale-straggler shape.
+    struct StrangerTransport {
+        inner: LocalTransport,
+    }
+
+    impl Transport for StrangerTransport {
+        fn node_count(&self) -> usize {
+            self.inner.node_count()
+        }
+        fn dispatch(&self, node: NodeId, env: Envelope) -> crate::rpc::Reply {
+            self.inner.dispatch(node, env)
+        }
+        fn multicall(
+            &self,
+            calls: Vec<(NodeId, Envelope)>,
+            sink: &mut dyn FnMut(RoundReply) -> bool,
+        ) {
+            self.inner.multicall(calls, &mut |reply| {
+                let stranger = RoundReply {
+                    op_id: OpId::fresh(), // unknown to the round
+                    round_epoch: 0,
+                    node: reply.node,
+                    result: Ok(Response::Ack),
+                };
+                sink(stranger) && sink(reply)
+            });
         }
     }
 
@@ -594,14 +664,50 @@ mod tests {
         let t = DuplicatingTransport {
             inner: LocalTransport::new(Cluster::new(4)),
         };
-        // Without the dedup guard, node 0's duplicated ack would satisfy
-        // threshold 2 on its own.
+        // Without identity matching, node 0's duplicated ack would
+        // satisfy threshold 2 on its own.
         let out = QuorumRound::first_quorum(2).run(&t, pings(4));
         assert!(out.quorum_met());
         assert_eq!(out.validations(), 2);
         let mut nodes: Vec<usize> = out.accepted.iter().map(|a| a.node.0).collect();
         nodes.dedup();
         assert_eq!(nodes, vec![0, 1], "two *distinct* members validated");
+    }
+
+    #[test]
+    fn foreign_replies_are_ignored_by_identity() {
+        let t = StrangerTransport {
+            inner: LocalTransport::new(Cluster::new(4)),
+        };
+        // Every stranger ack is discarded: the quorum is still built
+        // from the round's own op ids only.
+        let out = QuorumRound::first_quorum(2).run(&t, pings(4));
+        assert!(out.quorum_met());
+        assert_eq!(out.validations(), 2);
+        let nodes: Vec<usize> = out
+            .accepted_in_issue_order()
+            .iter()
+            .map(|a| a.node.0)
+            .collect();
+        assert_eq!(nodes, vec![0, 1]);
+
+        let ops = vec![
+            PlanOp {
+                round: QuorumRound::await_all(2),
+                calls: pings(2),
+            },
+            PlanOp {
+                round: QuorumRound::first_quorum(1),
+                calls: (2..4).map(|i| (NodeId(i), Request::Ping)).collect(),
+            },
+        ];
+        let t = StrangerTransport {
+            inner: LocalTransport::new(Cluster::new(4)),
+        };
+        let outcomes = MultiRound::run(&t, ops);
+        assert!(outcomes[0].quorum_met());
+        assert_eq!(outcomes[0].validations(), 2);
+        assert!(outcomes[1].quorum_met());
     }
 
     #[test]
@@ -620,7 +726,8 @@ mod tests {
                 calls: (3..6).map(|i| (NodeId(i), Request::Ping)).collect(),
             },
         ];
-        // Without the dedup guard this underflows `remaining` and panics.
+        // Without identity matching this underflows `remaining` and
+        // panics.
         let outcomes = MultiRound::run(&t, ops);
         assert!(outcomes[0].quorum_met());
         assert_eq!(outcomes[0].validations(), 3);

@@ -14,10 +14,15 @@
 //!   dispatch strategies measurable: a level fanned out over slow nodes
 //!   costs one round trip, a sequential walk costs their sum.
 //!
-//! Besides the single-node [`Transport::call`], the trait exposes the
+//! Everything a transport carries is an [`Envelope`] (command identity +
+//! payload) answered by a [`Reply`] echoing that identity; transports
+//! route envelopes to the [`NodeApi`] surface and never interpret
+//! payloads. Besides the single-command [`Transport::dispatch`] (and its
+//! payload-level convenience [`Transport::call`]), the trait exposes the
 //! fan-out primitive [`Transport::multicall`] that the quorum round
 //! engine ([`crate::quorum_round`]) builds on: issue a batch, observe
-//! completions in arrival order, stop early once a quorum is satisfied.
+//! completions in arrival order, match them by [`OpId`], stop early once
+//! a quorum is satisfied.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,31 +33,57 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 
 use crate::cluster::Cluster;
 use crate::node::NodeId;
-use crate::rpc::{NodeError, Request, Response};
+use crate::rpc::{Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
 
-/// One completed call of a [`Transport::multicall`] batch.
+/// One completed call of a [`Transport::multicall`] batch, identified by
+/// the op id its envelope carried (never by arrival position — an
+/// at-least-once fabric may interleave stale replies from earlier
+/// rounds, and only identity tells them apart).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundReply {
-    /// Position of this call within the issued batch.
-    pub index: usize,
+    /// Identity of the command this reply answers.
+    pub op_id: OpId,
+    /// The round epoch the command carried.
+    pub round_epoch: u64,
     /// The node that was addressed.
     pub node: NodeId,
     /// What came back.
     pub result: Result<Response, NodeError>,
 }
 
-/// A way to issue requests to nodes and wait for their answers.
+impl RoundReply {
+    /// Builds the round reply for `node` from a node-level [`Reply`].
+    pub fn from_reply(node: NodeId, reply: Reply) -> Self {
+        RoundReply {
+            op_id: reply.op_id,
+            round_epoch: reply.round_epoch,
+            node,
+            result: reply.result,
+        }
+    }
+}
+
+/// A way to issue enveloped commands to nodes and wait for their
+/// answers.
 pub trait Transport: Send + Sync {
     /// Number of reachable nodes.
     fn node_count(&self) -> usize;
 
-    /// Sends `req` to node `node` and waits for the outcome.
-    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError>;
+    /// Sends one enveloped command to `node` and waits for the outcome.
+    /// The reply echoes the envelope's identity even when synthesised by
+    /// the transport (timeout, closed channel).
+    fn dispatch(&self, node: NodeId, env: Envelope) -> Reply;
 
-    /// Fans out a batch of calls, delivering each completion to `sink`
-    /// in *arrival order*. The sink returning `false` abandons the rest
-    /// of the round (a quorum was satisfied; the stragglers' answers are
-    /// no longer needed).
+    /// Payload-level convenience: wraps `req` in a fresh single-shot
+    /// [`Envelope`] and unwraps the reply.
+    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+        self.dispatch(node, Envelope::new(req)).result
+    }
+
+    /// Fans out a batch of enveloped calls, delivering each completion
+    /// to `sink` in *arrival order*. The sink returning `false` abandons
+    /// the rest of the round (a quorum was satisfied; the stragglers'
+    /// answers are no longer needed).
     ///
     /// Dispatch semantics differ by transport and both are load-bearing:
     ///
@@ -67,22 +98,23 @@ pub trait Transport: Send + Sync {
     ///   request has already been delivered and will still execute on
     ///   its node (exactly how a real fabric behaves — a write you stop
     ///   waiting for may still land).
-    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
-        for (index, (node, req)) in calls.into_iter().enumerate() {
-            let result = self.call(node, req);
-            if !sink(RoundReply {
-                index,
-                node,
-                result,
-            }) {
+    ///
+    /// At-least-once transports may additionally deliver **duplicate or
+    /// foreign** replies (op ids the caller never issued in this batch);
+    /// sinks must match by [`RoundReply::op_id`] and ignore strangers.
+    fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        for (node, env) in calls {
+            let reply = self.dispatch(node, env);
+            if !sink(RoundReply::from_reply(node, reply)) {
                 break;
             }
         }
     }
 }
 
-/// Synchronous in-process transport: `call` runs the node handler on the
-/// caller's thread, and `multicall` is the lazy sequential default.
+/// Synchronous in-process transport: `dispatch` runs the node's
+/// [`NodeApi`] on the caller's thread, and `multicall` is the lazy
+/// sequential default.
 #[derive(Debug, Clone)]
 pub struct LocalTransport {
     cluster: Cluster,
@@ -105,28 +137,27 @@ impl Transport for LocalTransport {
         self.cluster.len()
     }
 
-    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+    fn dispatch(&self, node: NodeId, env: Envelope) -> Reply {
         assert!(node.0 < self.cluster.len(), "node {node} out of range");
-        self.cluster.node(node.0).handle(req)
+        self.cluster.node(node.0).execute(env)
     }
 }
 
 /// Where a node worker routes its answer.
 enum ReplyTo {
-    /// A lone [`Transport::call`]: one rendezvous channel.
-    Single(Sender<Result<Response, NodeError>>),
+    /// A lone [`Transport::dispatch`]: one rendezvous channel.
+    Single(Sender<Reply>),
     /// Part of a [`Transport::multicall`] round: answers from the whole
-    /// batch funnel into one channel, tagged with their batch position.
+    /// batch funnel into one channel, tagged with the serving node.
     Round {
-        index: usize,
         node: NodeId,
         tx: Sender<RoundReply>,
     },
 }
 
-/// One in-flight request envelope.
-struct Envelope {
-    req: Request,
+/// One in-flight request parcel on a node's mailbox.
+struct Parcel {
+    env: Envelope,
     reply: ReplyTo,
 }
 
@@ -135,7 +166,7 @@ struct Envelope {
 /// Dropping the transport closes every mailbox and joins the workers.
 pub struct ChannelTransport {
     cluster: Cluster,
-    mailboxes: Vec<Sender<Envelope>>,
+    mailboxes: Vec<Sender<Parcel>>,
     /// Injected service delay per node, in nanoseconds (0 = none).
     latencies: Vec<Arc<AtomicU64>>,
     workers: Vec<JoinHandle<()>>,
@@ -158,7 +189,7 @@ impl ChannelTransport {
         let mut latencies = Vec::with_capacity(cluster.len());
         let mut workers = Vec::with_capacity(cluster.len());
         for i in 0..cluster.len() {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = unbounded::<Parcel>();
             let node = Arc::clone(cluster.node(i));
             let initial = latency.get(i).map_or(0, |d| d.as_nanos() as u64);
             let delay = Arc::new(AtomicU64::new(initial));
@@ -169,22 +200,18 @@ impl ChannelTransport {
                     // Serve until the mailbox closes. A reply failing to
                     // send means the caller gave up; that is its problem,
                     // not the node's.
-                    while let Ok(Envelope { req, reply }) = rx.recv() {
+                    while let Ok(Parcel { env, reply }) = rx.recv() {
                         let nanos = worker_delay.load(Ordering::Relaxed);
                         if nanos > 0 {
                             std::thread::sleep(Duration::from_nanos(nanos));
                         }
-                        let result = node.handle(req);
+                        let answer = node.execute(env);
                         match reply {
                             ReplyTo::Single(tx) => {
-                                let _ = tx.send(result);
+                                let _ = tx.send(answer);
                             }
-                            ReplyTo::Round { index, node, tx } => {
-                                let _ = tx.send(RoundReply {
-                                    index,
-                                    node,
-                                    result,
-                                });
+                            ReplyTo::Round { node, tx } => {
+                                let _ = tx.send(RoundReply::from_reply(node, answer));
                             }
                         }
                     }
@@ -230,36 +257,42 @@ impl Transport for ChannelTransport {
         self.cluster.len()
     }
 
-    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
+    fn dispatch(&self, node: NodeId, env: Envelope) -> Reply {
         let mailbox = self
             .mailboxes
             .get(node.0)
             .expect("node index within cluster");
+        let (op_id, round_epoch) = (env.op_id, env.round_epoch);
+        let closed = || Reply {
+            op_id,
+            round_epoch,
+            result: Err(NodeError::TransportClosed),
+        };
         let (reply_tx, reply_rx) = bounded(1);
-        mailbox
-            .send(Envelope {
-                req,
-                reply: ReplyTo::Single(reply_tx),
-            })
-            .map_err(|_| NodeError::TransportClosed)?;
-        reply_rx.recv().map_err(|_| NodeError::TransportClosed)?
+        match mailbox.send(Parcel {
+            env,
+            reply: ReplyTo::Single(reply_tx),
+        }) {
+            Ok(()) => reply_rx.recv().unwrap_or_else(|_| closed()),
+            Err(_) => closed(),
+        }
     }
 
-    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+    fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
         let total = calls.len();
         if total == 0 {
             return;
         }
         let (tx, rx) = unbounded::<RoundReply>();
-        for (index, (node, req)) in calls.into_iter().enumerate() {
+        for (node, env) in calls {
             let mailbox = self
                 .mailboxes
                 .get(node.0)
                 .expect("node index within cluster");
-            let sent = mailbox.send(Envelope {
-                req,
+            let (op_id, round_epoch) = (env.op_id, env.round_epoch);
+            let sent = mailbox.send(Parcel {
+                env,
                 reply: ReplyTo::Round {
-                    index,
                     node,
                     tx: tx.clone(),
                 },
@@ -268,7 +301,8 @@ impl Transport for ChannelTransport {
                 // The worker is gone; synthesise the failure in-band so
                 // the round still sees `total` completions.
                 let _ = tx.send(RoundReply {
-                    index,
+                    op_id,
+                    round_epoch,
                     node,
                     result: Err(NodeError::TransportClosed),
                 });
@@ -310,10 +344,10 @@ impl<T: Transport + ?Sized> Transport for Arc<T> {
     fn node_count(&self) -> usize {
         (**self).node_count()
     }
-    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
-        (**self).call(node, req)
+    fn dispatch(&self, node: NodeId, env: Envelope) -> Reply {
+        (**self).dispatch(node, env)
     }
-    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+    fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
         (**self).multicall(calls, sink)
     }
 }
@@ -322,10 +356,10 @@ impl<T: Transport + ?Sized> Transport for &T {
     fn node_count(&self) -> usize {
         (**self).node_count()
     }
-    fn call(&self, node: NodeId, req: Request) -> Result<Response, NodeError> {
-        (**self).call(node, req)
+    fn dispatch(&self, node: NodeId, env: Envelope) -> Reply {
+        (**self).dispatch(node, env)
     }
-    fn multicall(&self, calls: Vec<(NodeId, Request)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+    fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
         (**self).multicall(calls, sink)
     }
 }
@@ -373,6 +407,25 @@ mod tests {
     fn channel_transport_basics() {
         let t = ChannelTransport::new(Cluster::new(3));
         exercise(&t);
+    }
+
+    #[test]
+    fn dispatch_echoes_envelope_identity() {
+        let t = LocalTransport::new(Cluster::new(1));
+        let env = Envelope::in_epoch(Request::Ping, 7);
+        let (op_id, epoch) = (env.op_id, env.round_epoch);
+        let reply = t.dispatch(NodeId(0), env);
+        assert_eq!(reply.op_id, op_id);
+        assert_eq!(reply.round_epoch, epoch);
+        assert_eq!(reply.result, Ok(Response::Pong));
+
+        let t = ChannelTransport::new(Cluster::new(1));
+        let env = Envelope::in_epoch(Request::Ping, 9);
+        let (op_id, epoch) = (env.op_id, env.round_epoch);
+        let reply = t.dispatch(NodeId(0), env);
+        assert_eq!(reply.op_id, op_id);
+        assert_eq!(reply.round_epoch, epoch);
+        assert_eq!(reply.result, Ok(Response::Pong));
     }
 
     #[test]
@@ -445,30 +498,39 @@ mod tests {
         }
     }
 
-    fn ping_batch(n: usize) -> Vec<(NodeId, Request)> {
-        (0..n).map(|i| (NodeId(i), Request::Ping)).collect()
+    fn ping_batch(n: usize) -> Vec<(NodeId, Envelope)> {
+        (0..n)
+            .map(|i| (NodeId(i), Envelope::new(Request::Ping)))
+            .collect()
     }
 
     #[test]
     fn sequential_multicall_is_lazy_and_ordered() {
         let t = LocalTransport::new(Cluster::new(4));
+        let batch = ping_batch(4);
+        let ids: Vec<OpId> = batch.iter().map(|(_, env)| env.op_id).collect();
         let mut seen = Vec::new();
-        t.multicall(ping_batch(4), &mut |reply| {
-            seen.push(reply.index);
+        t.multicall(batch, &mut |reply| {
+            seen.push(reply.op_id);
             seen.len() < 2 // abandon after two completions
         });
-        assert_eq!(seen, vec![0, 1], "issue order, early exit");
+        assert_eq!(seen, ids[..2], "issue order, early exit");
         // Lazy: abandoned pings were never issued, so no rejects either.
         let t = LocalTransport::new(Cluster::new(4));
         t.cluster().kill(3);
         let mut results = Vec::new();
         t.multicall(ping_batch(4), &mut |reply| {
-            results.push((reply.index, reply.result.is_ok()));
+            results.push((reply.node, reply.result.is_ok()));
             true
         });
         assert_eq!(
             results,
-            vec![(0, true), (1, true), (2, true), (3, false)],
+            vec![
+                (NodeId(0), true),
+                (NodeId(1), true),
+                (NodeId(2), true),
+                (NodeId(3), false)
+            ],
             "full batch delivered in order with failures in-band"
         );
     }
@@ -527,15 +589,15 @@ mod tests {
             )
             .unwrap();
         }
-        let calls: Vec<(NodeId, Request)> = (0..3)
+        let calls: Vec<(NodeId, Envelope)> = (0..3)
             .map(|i| {
                 (
                     NodeId(i),
-                    Request::WriteData {
+                    Envelope::new(Request::WriteData {
                         id: 9,
                         bytes: Bytes::from_static(b"new"),
                         version: 1,
-                    },
+                    }),
                 )
             })
             .collect();

@@ -125,10 +125,12 @@ pub(crate) fn repair_contiguous_objects<T: Transport>(
         };
         // Residue guard: a failed write may have stamped a *higher*
         // version on some replicas than the quorum read served, and a
-        // client may have observed it. Versions must never regress, so
-        // poll every live replica and — like the TRAP-ERC salvage —
-        // install the settled value at a version superseding any
-        // residue rather than rolling the counter back.
+        // client may have observed it. Versions must never regress —
+        // and the node-side `WriteData` guard enforces that, acking a
+        // stale push without applying it — so poll every live replica
+        // and, like the TRAP-ERC scrub, install the settled value at a
+        // version superseding any residue: that is what makes the push
+        // dominate (and therefore actually land on) every live replica.
         let calls: Vec<(NodeId, Request)> = (0..n)
             .map(|node| (NodeId(node), Request::VersionData { id }))
             .collect();

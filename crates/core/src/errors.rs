@@ -89,11 +89,42 @@ impl fmt::Display for ProtocolError {
     }
 }
 
-impl std::error::Error for ProtocolError {}
+impl std::error::Error for ProtocolError {
+    /// Chains to the wrapped failure so `anyhow`-style error walks (and
+    /// the DST failure minimization output) surface the root cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::OldValueUnreadable(inner) => Some(inner.as_ref()),
+            ProtocolError::Params(e) => Some(e),
+            ProtocolError::Shape(e) => Some(e),
+            ProtocolError::Code(e) => Some(e),
+            ProtocolError::Node(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CodeError> for ProtocolError {
     fn from(e: CodeError) -> Self {
         ProtocolError::Code(e)
+    }
+}
+
+impl From<ParamError> for ProtocolError {
+    fn from(e: ParamError) -> Self {
+        ProtocolError::Params(e)
+    }
+}
+
+impl From<ShapeError> for ProtocolError {
+    fn from(e: ShapeError) -> Self {
+        ProtocolError::Shape(e)
+    }
+}
+
+impl From<NodeError> for ProtocolError {
+    fn from(e: NodeError) -> Self {
+        ProtocolError::Node(e)
     }
 }
 
@@ -126,5 +157,21 @@ mod tests {
             e,
             ProtocolError::Code(CodeError::ShardSizeMismatch)
         ));
+        let e: ProtocolError = NodeError::NotFound.into();
+        assert!(matches!(e, ProtocolError::Node(NodeError::NotFound)));
+    }
+
+    #[test]
+    fn sources_chain_to_the_root_cause() {
+        use std::error::Error as _;
+        let leaf = ProtocolError::Node(NodeError::TimedOut);
+        let wrapped = ProtocolError::OldValueUnreadable(Box::new(leaf));
+        let inner = wrapped.source().expect("wrapped error has a source");
+        assert!(inner.to_string().contains("node error"));
+        let root = inner
+            .source()
+            .expect("protocol error chains to the node error");
+        assert_eq!(root.to_string(), NodeError::TimedOut.to_string());
+        assert!(ProtocolError::VersionCheckFailed.source().is_none());
     }
 }

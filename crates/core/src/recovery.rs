@@ -109,7 +109,7 @@ impl<T: Transport> TrapErcClient<T> {
             .map_err(ProtocolError::Node)?;
             self.raw_call(
                 node,
-                Request::PutParity {
+                Request::WriteParity {
                     id,
                     bytes: Bytes::copy_from_slice(&block),
                     versions,

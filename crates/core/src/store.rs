@@ -326,6 +326,13 @@ pub trait QuorumStore: Send + Sync {
     /// Backends with a fixed [`StoreInfo::stripe_width`] require exactly
     /// that many blocks; replication backends accept any number.
     ///
+    /// Creation is **first-wins / idempotent**: the node-level installs
+    /// are at-least-once safe, so re-creating a stripe id that already
+    /// exists acknowledges without resetting it — the existing blocks
+    /// and versions are kept, and `Ok` means "provisioned", not
+    /// "reinstalled". Use a fresh stripe id for genuinely new content;
+    /// there is no destructive re-create.
+    ///
     /// # Errors
     /// [`ProtocolError::SizeMismatch`] on ragged or mis-sized input;
     /// node errors if provisioning could not reach every node.

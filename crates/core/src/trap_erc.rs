@@ -92,9 +92,11 @@ impl ReadOutcome {
 pub struct ScrubReport {
     /// Stripe indices whose state was rewritten (live nodes).
     pub refreshed: Vec<usize>,
-    /// Data block indices that were *salvaged*: their newest version was
-    /// unrecoverable residue, so an older recoverable value was installed
-    /// at a superseding version.
+    /// Data block indices whose settle had to *supersede* residue: a
+    /// failed write's version stamp was visible above the settled value
+    /// (or the newest version was outright unrecoverable), so the
+    /// recovered value was installed at a version above every observed
+    /// stamp rather than rolling any node's counter back.
     pub salvaged: Vec<usize>,
     /// Round/message accounting for the whole pass.
     pub report: OpReport,
@@ -166,7 +168,9 @@ impl<T: Transport> TrapErcClient<T> {
     /// Provisions a stripe: installs the `k` data blocks and `n − k`
     /// encoded parity blocks, all at version 0, in one fan-out round over
     /// all `n` nodes. Requires every node live (provisioning is out of
-    /// scope of the paper's availability model).
+    /// scope of the paper's availability model). First-wins: a stripe id
+    /// that already exists is acknowledged without being reset (see
+    /// [`QuorumStore::create`](crate::QuorumStore::create)).
     ///
     /// # Errors
     /// [`ProtocolError::Node`] with the lowest-indexed failing node's
@@ -586,7 +590,7 @@ impl<T: Transport> TrapErcClient<T> {
     /// 2. re-encode the parity blocks from that state;
     /// 3. push the reconstructed state to every *live* node — data nodes
     ///    get `write(x)`, parity nodes get the repair primitive
-    ///    `PutParity` with the matching version vector.
+    ///    `WriteParity` with the matching version vector.
     ///
     /// Must run quiesced (no concurrent writers to this stripe), like an
     /// offline fsck; concurrent writes could be clobbered.
@@ -622,6 +626,50 @@ impl<T: Transport> TrapErcClient<T> {
                 Err(e) => return Err(e),
             }
         }
+        // Residue poll: every live node's version state. `WriteData` /
+        // `WriteParity` are monotone (a push never regresses a node), so
+        // a node holding a failed write's residue *above* the settled
+        // version would reject an incomparable push and stay inconsistent
+        // forever. Instead, supersede: any block whose settled version is
+        // exceeded somewhere gets re-installed above the residue — the
+        // same rule the replication repair and the salvage path apply.
+        let mut poll_calls: Vec<(NodeId, Request)> = Vec::with_capacity(self.config.params().n());
+        for t in 0..k {
+            poll_calls.push((NodeId(t), Request::VersionData { id }));
+        }
+        for j in self.config.params().parity_indices() {
+            poll_calls.push((NodeId(j), Request::VersionVector { id }));
+        }
+        let poll = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(0),
+            None,
+            poll_calls,
+            &mut report,
+        );
+        let mut vmax = versions.clone();
+        for accepted in &poll.accepted {
+            match &accepted.response {
+                Response::Version(v) => {
+                    let i = accepted.node.0;
+                    vmax[i] = vmax[i].max(*v);
+                }
+                Response::Versions(col) => {
+                    for (entry, seen) in vmax.iter_mut().zip(col) {
+                        *entry = (*entry).max(*seen);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (i, version) in versions.iter_mut().enumerate() {
+            if vmax[i] > *version {
+                *version = vmax[i] + 1;
+                if !salvaged.contains(&i) {
+                    salvaged.push(i);
+                }
+            }
+        }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = self.rs.encode(&refs);
         // Push the reconstructed state to every node in one round; only
@@ -640,7 +688,7 @@ impl<T: Transport> TrapErcClient<T> {
         for (j, block) in self.config.params().parity_indices().zip(&parity) {
             calls.push((
                 NodeId(j),
-                Request::PutParity {
+                Request::WriteParity {
                     id,
                     bytes: Bytes::copy_from_slice(block),
                     versions: versions.clone(),

@@ -227,6 +227,12 @@ impl<T: Transport> TrapFrClient<T> {
     /// path's version check, then installs `version + 1` on at least
     /// `w_l` members of *every* level.
     ///
+    /// The per-replica `WriteData` is monotone (compare-and-advance on
+    /// version), so this write is safe under at-least-once delivery: a
+    /// duplicated or cross-round-stale copy of any level's install acks
+    /// idempotently on a replica that has since moved on, instead of
+    /// rolling it back.
+    ///
     /// # Errors
     /// [`ProtocolError::OldValueUnreadable`] if the version discovery
     /// fails; [`ProtocolError::WriteQuorumNotMet`] if a level validates

@@ -3,8 +3,9 @@
 //! The Monte-Carlo layers of this crate measure *availability* under the
 //! paper's i.i.d. fail-stop model. This module attacks *consistency*
 //! under schedules that model never produces: message loss, duplication
-//! and reordering, asymmetric partitions, and crash-restart with
-//! durable or volatile disks — all driven through
+//! and reordering, asymmetric partitions, crash-restart with durable or
+//! volatile disks, and at-least-once fabrics that redeliver stale
+//! messages across rounds — all driven through
 //! [`tq_cluster::SimTransport`]'s seeded virtual-time scheduler, so any
 //! failure replays bit-for-bit from its seed.
 //!
@@ -196,6 +197,23 @@ impl Scenario {
         }
     }
 
+    /// An at-least-once fabric: cross-round redelivery plus heavy
+    /// duplication over lossy, reordering links, with crash-restart
+    /// churn — stale writes land rounds after their caller gave up, and
+    /// stale acks surface in rounds that never issued them. The
+    /// idempotent command API (monotone node mutations, identity-matched
+    /// gathering) is what keeps this history checker-clean.
+    pub fn at_least_once() -> Self {
+        Scenario {
+            name: "at-least-once",
+            model: NetworkModel::at_least_once(0.05, 0.25),
+            weights: [10, 10, 3, 3, 2, 2, 3, 4],
+            wipe_prob: 0.2,
+            max_down: 2,
+            max_wiped: 1,
+        }
+    }
+
     /// The standing scenario matrix.
     pub fn all() -> Vec<Scenario> {
         vec![
@@ -203,6 +221,7 @@ impl Scenario {
             Scenario::partitions(),
             Scenario::crash_restart(),
             Scenario::chaos(),
+            Scenario::at_least_once(),
         ]
     }
 }
@@ -381,6 +400,8 @@ impl fmt::Display for Violation {
         )
     }
 }
+
+impl std::error::Error for Violation {}
 
 /// Per-block shadow state.
 #[derive(Debug, Clone)]
@@ -832,8 +853,11 @@ impl Runner<'_> {
     }
 
     /// Quiesce and scrub: fire outstanding scheduled faults, restart
-    /// every node, heal partitions, run the scrub over reliable links,
-    /// settle the checker from a read-back, then restore the scenario.
+    /// every node, heal partitions, wait out every in-flight cross-round
+    /// message (anti-entropy runs behind a quiet network — a stale write
+    /// landing *after* the scrub settled would undo the settle), run the
+    /// scrub over reliable links, settle the checker from a read-back,
+    /// then restore the scenario.
     fn scrub(
         &mut self,
         op_index: usize,
@@ -849,6 +873,7 @@ impl Runner<'_> {
             }
         }
         self.sim.apply(SimFault::HealPartitions);
+        self.sim.flush_inflight();
         let saved = self.sim.model();
         self.sim.set_model(NetworkModel::reliable());
 
