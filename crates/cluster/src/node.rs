@@ -35,14 +35,20 @@ impl fmt::Display for NodeId {
 const APPLIED_WINDOW: usize = 4096;
 
 /// What one node stores for one object.
+///
+/// Blocks are held as refcounted [`Bytes`]: an install *moves* the
+/// request's payload into the store (no copy), and a read hands out a
+/// clone of the stored allocation (an `Arc` bump). The only place block
+/// bytes are materialised anew is the parity fold, which must produce a
+/// different value anyway.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum StoredBlock {
     /// A full data block `b_i` with its version (the paper's data nodes).
-    Data { version: u64, bytes: Vec<u8> },
+    Data { version: u64, bytes: Bytes },
     /// A parity block `b_j = Σ α_{j,i}·b_i` with its column of the
     /// version matrix V: `versions[i]` is the version of block `i`'s
     /// contribution currently folded into `bytes`.
-    Parity { versions: Vec<u64>, bytes: Vec<u8> },
+    Parity { versions: Vec<u64>, bytes: Bytes },
 }
 
 /// Bounded FIFO set of recently applied mutation op ids.
@@ -173,13 +179,9 @@ impl StorageNode {
                     }
                     None => {
                         self.stats.record_write(bytes.len());
-                        blocks.insert(
-                            id,
-                            StoredBlock::Data {
-                                version: 0,
-                                bytes: bytes.to_vec(),
-                            },
-                        );
+                        // Zero-copy install: the request payload becomes
+                        // the stored block.
+                        blocks.insert(id, StoredBlock::Data { version: 0, bytes });
                         Ok(Response::Ack)
                     }
                 }
@@ -198,7 +200,7 @@ impl StorageNode {
                             id,
                             StoredBlock::Parity {
                                 versions: vec![0; k],
-                                bytes: bytes.to_vec(),
+                                bytes,
                             },
                         );
                         Ok(Response::Ack)
@@ -210,8 +212,10 @@ impl StorageNode {
                 match blocks.get(&id) {
                     Some(StoredBlock::Data { version, bytes }) => {
                         self.stats.record_read(bytes.len());
+                        // Refcounted clone of the stored allocation; the
+                        // reply shares the block instead of copying it.
                         Ok(Response::Data {
-                            bytes: Bytes::copy_from_slice(bytes),
+                            bytes: bytes.clone(),
                             version: *version,
                         })
                     }
@@ -247,7 +251,9 @@ impl StorageNode {
                             return Ok(Response::Ack);
                         }
                         self.stats.record_write(bytes.len());
-                        stored.copy_from_slice(&bytes);
+                        // Zero-copy: the request payload replaces the
+                        // stored allocation outright.
+                        *stored = bytes;
                         *stored_version = version;
                         Ok(Response::Ack)
                     }
@@ -301,7 +307,7 @@ impl StorageNode {
                     Some(StoredBlock::Parity { versions, bytes }) => {
                         self.stats.record_read(bytes.len());
                         Ok(Response::Parity {
-                            bytes: Bytes::copy_from_slice(bytes),
+                            bytes: bytes.clone(),
                             versions: versions.clone(),
                         })
                     }
@@ -370,7 +376,7 @@ impl StorageNode {
                             _ => {}
                         }
                         self.stats.record_write(bytes.len());
-                        stored.copy_from_slice(&bytes);
+                        *stored = bytes;
                         stored_versions.copy_from_slice(&versions);
                         Ok(Response::Ack)
                     }
@@ -423,9 +429,13 @@ impl StorageNode {
                             });
                         }
                         self.stats.record_parity_add(delta.len());
-                        for (b, d) in bytes.iter_mut().zip(delta.iter()) {
-                            *b ^= d;
-                        }
+                        // The fold produces a new value, so this is the
+                        // one mutation that materialises a fresh block:
+                        // one pass through the dispatched XOR kernel,
+                        // then the result becomes the stored allocation.
+                        let mut folded = bytes.to_vec();
+                        tq_gf256::slice_ops::add_assign(&mut folded, &delta);
+                        *bytes = Bytes::from(folded);
                         versions[block_index] = new_version;
                         Ok(Response::Ack)
                     }

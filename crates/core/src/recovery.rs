@@ -57,11 +57,15 @@ impl<T: Transport> TrapErcClient<T> {
                 // (re-running a rebuild); treat its own copy as source.
                 crate::trap_erc::ReadPath::Direct => vec![node],
             };
+            // One shared allocation: the decoded block becomes the wire
+            // payload of both the install and the version stamp.
+            let bytes_written = out.bytes.len();
+            let payload = Bytes::from(out.bytes);
             self.raw_call(
                 node,
                 Request::InitData {
                     id,
-                    bytes: Bytes::copy_from_slice(&out.bytes),
+                    bytes: payload.clone(),
                 },
             )
             .map_err(ProtocolError::Node)?;
@@ -69,7 +73,7 @@ impl<T: Transport> TrapErcClient<T> {
                 node,
                 Request::WriteData {
                     id,
-                    bytes: Bytes::copy_from_slice(&out.bytes),
+                    bytes: payload,
                     version: out.version,
                 },
             )
@@ -77,7 +81,7 @@ impl<T: Transport> TrapErcClient<T> {
             Ok(RebuildReport {
                 node,
                 sources,
-                bytes_written: out.bytes.len(),
+                bytes_written,
             })
         } else {
             // Parity node: source all k data blocks (with versions), then
@@ -93,16 +97,19 @@ impl<T: Transport> TrapErcClient<T> {
             }
             let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
             let mut block = vec![0u8; refs[0].len()];
+            // One fused register-blocked pass over all k source blocks.
             tq_gf256::slice_ops::linear_combination(
                 self.codec().generator_row(node),
                 &refs,
                 &mut block,
             );
+            let bytes_written = block.len();
+            let payload = Bytes::from(block);
             self.raw_call(
                 node,
                 Request::InitParity {
                     id,
-                    bytes: Bytes::copy_from_slice(&block),
+                    bytes: payload.clone(),
                     k,
                 },
             )
@@ -111,7 +118,7 @@ impl<T: Transport> TrapErcClient<T> {
                 node,
                 Request::WriteParity {
                     id,
-                    bytes: Bytes::copy_from_slice(&block),
+                    bytes: payload,
                     versions,
                 },
             )
@@ -119,7 +126,7 @@ impl<T: Transport> TrapErcClient<T> {
             Ok(RebuildReport {
                 node,
                 sources,
-                bytes_written: block.len(),
+                bytes_written,
             })
         }
     }

@@ -126,7 +126,16 @@ pub struct TrapErcClient<T: Transport> {
     /// Per-block trapezoid membership views, indexed by block.
     systems: Vec<TrapErcSystem>,
     transport: T,
+    /// Pooled parity scratch sets for the re-encode paths (provisioning
+    /// and scrub): each entry is one `parity_count`-buffer set handed to
+    /// [`ReedSolomon::encode_into`], recycled instead of reallocated per
+    /// stripe. A stack so concurrent scrubs each get their own set.
+    scratch: parking_lot::Mutex<Vec<Vec<Vec<u8>>>>,
 }
+
+/// How many parity scratch sets the client keeps around; beyond this,
+/// returned sets are dropped (bounds memory under a concurrency burst).
+const SCRATCH_POOL_CAP: usize = 4;
 
 impl<T: Transport> TrapErcClient<T> {
     /// Binds a configuration to a transport.
@@ -147,7 +156,54 @@ impl<T: Transport> TrapErcClient<T> {
             systems,
             config,
             transport,
+            scratch: parking_lot::Mutex::new(Vec::new()),
         })
+    }
+
+    /// Takes a pooled parity scratch set, sized to `block_len` bytes per
+    /// buffer. Pair with [`TrapErcClient::put_scratch`].
+    fn take_scratch(&self, block_len: usize) -> Vec<Vec<u8>> {
+        let mut bufs = self.scratch.lock().pop().unwrap_or_default();
+        bufs.resize_with(self.config.params().parity_count(), Vec::new);
+        for buf in &mut bufs {
+            // Length is all that matters: encode_into overwrites every
+            // byte (linear_combination clears first), so stale pooled
+            // contents are never observable and a full re-zero here
+            // would just double-memset the hot path.
+            buf.resize(block_len, 0);
+        }
+        bufs
+    }
+
+    /// Returns a scratch set to the pool (dropped when the pool is full).
+    fn put_scratch(&self, bufs: Vec<Vec<u8>>) {
+        let mut pool = self.scratch.lock();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(bufs);
+        }
+    }
+
+    /// Re-encodes the stripe's parity into pooled scratch and builds the
+    /// per-node install/repair payloads via `make_req`. The scratch set
+    /// goes back to the pool before returning; payload `Bytes` are the
+    /// only allocations that leave this function (the nodes adopt them
+    /// refcounted, so the scratch itself cannot be moved in).
+    fn encode_parity_calls(
+        &self,
+        data: &[&[u8]],
+        mut make_req: impl FnMut(usize, Bytes) -> Request,
+    ) -> Vec<(NodeId, Request)> {
+        let mut parity = self.take_scratch(data[0].len());
+        self.rs.encode_into(data, &mut parity);
+        let calls = self
+            .config
+            .params()
+            .parity_indices()
+            .zip(&parity)
+            .map(|(j, block)| (NodeId(j), make_req(j, Bytes::copy_from_slice(block))))
+            .collect();
+        self.put_scratch(parity);
+        calls
     }
 
     /// The configuration.
@@ -185,27 +241,22 @@ impl<T: Transport> TrapErcClient<T> {
             return Err(ProtocolError::SizeMismatch);
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let parity = self.rs.encode(&refs);
+        // Parity into pooled scratch (one fused pass per parity block).
+        let parity_calls =
+            self.encode_parity_calls(&refs, |_, bytes| Request::InitParity { id, bytes, k });
         let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(self.config.params().n());
-        for (i, block) in data.iter().enumerate() {
+        for (i, block) in data.into_iter().enumerate() {
+            // The caller's block becomes the wire payload (and, on the
+            // node, the stored allocation) without a copy.
             calls.push((
                 NodeId(i),
                 Request::InitData {
                     id,
-                    bytes: Bytes::copy_from_slice(block),
+                    bytes: Bytes::from(block),
                 },
             ));
         }
-        for (j, block) in self.config.params().parity_indices().zip(&parity) {
-            calls.push((
-                NodeId(j),
-                Request::InitParity {
-                    id,
-                    bytes: Bytes::copy_from_slice(block),
-                    k,
-                },
-            ));
-        }
+        calls.extend(parity_calls);
         let needed = calls.len();
         let mut report = OpReport::default();
         let outcome = run_recorded(
@@ -270,6 +321,10 @@ impl<T: Transport> TrapErcClient<T> {
         let sys = &self.systems[i];
         let new_version = old_version + 1;
         let raw_delta = block_delta(old_chunk, new)?;
+        // One payload allocation for the whole write; every level's
+        // `WriteData` shares it by refcount (and the accepting node
+        // adopts it as the stored block without copying).
+        let payload = Bytes::copy_from_slice(new);
         let mut validated = Vec::new();
         let mut report = OpReport::default();
 
@@ -280,7 +335,7 @@ impl<T: Transport> TrapErcClient<T> {
         for l in 0..sys.shape().num_levels() {
             let needed = sys.thresholds().write_threshold(l);
             let calls =
-                self.write_level_calls(id, i, l, new, &raw_delta, (old_version, new_version));
+                self.write_level_calls(id, i, l, &payload, &raw_delta, (old_version, new_version));
             // Lines 35–37 live in the shared grading: fewer than w_l
             // validations fail the write at this level.
             crate::rounds::graded_write_level(
@@ -307,7 +362,7 @@ impl<T: Transport> TrapErcClient<T> {
         id: u64,
         i: usize,
         l: usize,
-        new: &[u8],
+        new: &Bytes,
         raw_delta: &[u8],
         (old_version, new_version): (u64, u64),
     ) -> Vec<(NodeId, Request)> {
@@ -316,10 +371,11 @@ impl<T: Transport> TrapErcClient<T> {
             .iter()
             .map(|&member| {
                 let req = if member == i {
-                    // Line 20: write x into N_i.
+                    // Line 20: write x into N_i (refcounted clone of the
+                    // write's single payload allocation).
                     Request::WriteData {
                         id,
-                        bytes: Bytes::copy_from_slice(new),
+                        bytes: new.clone(),
                         version: new_version,
                     }
                 } else {
@@ -671,30 +727,27 @@ impl<T: Transport> TrapErcClient<T> {
             }
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let parity = self.rs.encode(&refs);
+        // Re-encode into the pooled scratch set — scrubbing a volume is
+        // one of these per stripe, and the pool keeps it allocation-flat.
+        let parity_calls = self.encode_parity_calls(&refs, |_, bytes| Request::WriteParity {
+            id,
+            bytes,
+            versions: versions.clone(),
+        });
         // Push the reconstructed state to every node in one round; only
         // live nodes ack and are reported refreshed.
         let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(self.config.params().n());
-        for (i, block) in data.iter().enumerate() {
+        for (i, block) in data.into_iter().enumerate() {
             calls.push((
                 NodeId(i),
                 Request::WriteData {
                     id,
-                    bytes: Bytes::copy_from_slice(block),
+                    bytes: Bytes::from(block),
                     version: versions[i],
                 },
             ));
         }
-        for (j, block) in self.config.params().parity_indices().zip(&parity) {
-            calls.push((
-                NodeId(j),
-                Request::WriteParity {
-                    id,
-                    bytes: Bytes::copy_from_slice(block),
-                    versions: versions.clone(),
-                },
-            ));
-        }
+        calls.extend(parity_calls);
         let outcome = run_recorded(
             &self.transport,
             QuorumRound::await_all(0),
@@ -978,6 +1031,9 @@ impl<T: Transport> TrapErcClient<T> {
 
         struct Alive {
             idx: usize,
+            /// The item's single payload allocation, shared by every
+            /// level's `WriteData` clone.
+            payload: Bytes,
             raw_delta: Vec<u8>,
             old_version: u64,
             new_version: u64,
@@ -994,6 +1050,7 @@ impl<T: Transport> TrapErcClient<T> {
                     match block_delta(&old.bytes, items[idx].bytes) {
                         Ok(raw_delta) => alive.push(Alive {
                             idx,
+                            payload: Bytes::copy_from_slice(items[idx].bytes),
                             raw_delta,
                             old_version: old.version,
                             new_version: old.version + 1,
@@ -1027,7 +1084,7 @@ impl<T: Transport> TrapErcClient<T> {
                             items[w.idx].addr.stripe,
                             i,
                             l,
-                            items[w.idx].bytes,
+                            &w.payload,
                             &w.raw_delta,
                             (w.old_version, w.new_version),
                         ),

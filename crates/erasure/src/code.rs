@@ -177,7 +177,12 @@ impl ReedSolomon {
     }
 
     /// Encodes into caller-provided parity buffers (avoids allocation on
-    /// re-encode paths).
+    /// re-encode paths — the scrub/repair workflows pool these).
+    ///
+    /// Each parity block is one fused
+    /// [`mul_add_multi`](tq_gf256::slice_ops::mul_add_multi) pass over
+    /// all `k` data blocks: the dispatched SIMD backend keeps the
+    /// accumulator strip in registers, writing every output byte once.
     ///
     /// # Panics
     /// Panics on any shape mismatch.

@@ -8,6 +8,11 @@
 //! so a single-block update costs `1 + (n−k)` block writes instead of a
 //! full re-encode — this is the "(9,6)-MDS needs 8 read+write operations"
 //! arithmetic of the paper's introduction.
+//!
+//! The diff and the per-parity scaling both run on the dispatched
+//! [`tq_gf256::slice_ops`] kernels, so a delta update moves at the same
+//! SIMD throughput as a full encode — just over `1 + (n−k)` blocks
+//! instead of `n` of them.
 
 use tq_gf256::slice_ops;
 use tq_gf256::Gf256;

@@ -15,8 +15,13 @@
 //! * [`Gf256`] — a field element with full operator overloading. Addition is
 //!   XOR (characteristic 2, so subtraction ≡ addition), multiplication uses
 //!   compile-time exp/log tables over the AES-adjacent polynomial `0x11D`.
-//! * [`slice_ops`] — bulk kernels (`mul_slice`, `mul_add_slice`, …) used on
-//!   whole storage blocks; these are the hot path of encode and delta-update.
+//! * [`slice_ops`] — bulk kernels (`mul_slice`, `mul_add_slice`,
+//!   `mul_add_multi`, …) used on whole storage blocks; these are the hot
+//!   path of encode and delta-update.
+//! * [`simd`] — the dispatching backend suite under `slice_ops`:
+//!   split-nibble `pshufb` (SSSE3/AVX2) and `vqtbl1q_u8` (NEON) kernels, a
+//!   portable u64 SWAR fallback, and the scalar reference, selected once
+//!   per process by runtime feature detection (`TQ_GF256_FORCE` overrides).
 //! * [`matrix`] — dense matrices over GF(2⁸) with Gauss–Jordan inversion and
 //!   Vandermonde / Cauchy constructors, from which the systematic MDS
 //!   generator of `tq-erasure` is derived.
@@ -40,12 +45,16 @@
 //! assert_eq!(a + a, Gf256::ZERO);    // characteristic 2
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place: the
+// `#[target_feature]` SIMD kernels in `simd`, which are guarded by
+// runtime feature detection (see that module's Safety section).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod field;
 pub mod matrix;
 pub mod poly;
+pub mod simd;
 pub mod slice_ops;
 pub mod tables;
 

@@ -9,15 +9,18 @@
 //! * [`mul_assign_scalar`] / [`mul_slice`] — multiply a block by a constant;
 //! * [`mul_add_slice`] — fused `dst ^= c · src`, the single hottest kernel:
 //!   one call per (parity block × data block) pair during encode and one
-//!   call per parity block during a delta update.
+//!   call per parity block during a delta update;
+//! * [`mul_add_multi`] / [`linear_combination`] — a whole parity block's
+//!   linear combination in one fused, register-blocked pass.
 //!
-//! All kernels use the 256-byte row `MUL[c]` of the compile-time product
-//! table, which stays resident in L1 for the duration of a call. The loops
-//! are written on plain indexed slices so LLVM unrolls and vectorises the
-//! table-free cases (`c == 0`, `c == 1`) and pipelines the general case.
+//! Every kernel dispatches through [`crate::simd`]: split-nibble
+//! `pshufb`/`vqtbl1q_u8` SIMD where the CPU has it, a portable u64 SWAR
+//! ladder otherwise, with the scalar `MUL[c]` table walk kept as the
+//! differential reference (and forcible via `TQ_GF256_FORCE=scalar`).
+//! The backend is detected once per process; see [`crate::simd::active`].
 
 use crate::field::Gf256;
-use crate::tables::MUL;
+use crate::simd;
 
 /// `dst[i] ^= src[i]` for all `i` — field addition of two blocks.
 ///
@@ -32,9 +35,7 @@ pub fn add_assign(dst: &mut [u8], src: &[u8]) {
         dst.len(),
         src.len()
     );
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= *s;
-    }
+    simd::active().add_assign(dst, src);
 }
 
 /// Element-wise field subtraction; identical to [`add_assign`] in
@@ -48,16 +49,7 @@ pub fn sub_assign(dst: &mut [u8], src: &[u8]) {
 /// Multiply every byte of `data` by the constant `c`, in place.
 #[inline]
 pub fn mul_assign_scalar(data: &mut [u8], c: Gf256) {
-    match c.value() {
-        0 => data.fill(0),
-        1 => {}
-        cv => {
-            let row = &MUL[cv as usize];
-            for d in data.iter_mut() {
-                *d = row[*d as usize];
-            }
-        }
-    }
+    simd::active().mul_assign_scalar(data, c);
 }
 
 /// `dst[i] = c · src[i]` — out-of-place constant multiply.
@@ -73,16 +65,7 @@ pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
         dst.len(),
         src.len()
     );
-    match c.value() {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        cv => {
-            let row = &MUL[cv as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = row[*s as usize];
-            }
-        }
-    }
+    simd::active().mul_slice(c, src, dst);
 }
 
 /// Fused multiply-add: `dst[i] ^= c · src[i]`.
@@ -102,16 +85,39 @@ pub fn mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
         dst.len(),
         src.len()
     );
-    match c.value() {
-        0 => {}
-        1 => add_assign(dst, src),
-        cv => {
-            let row = &MUL[cv as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
+    simd::active().mul_add_slice(c, src, dst);
+}
+
+/// Fused multi-block multiply-add:
+/// `dst[i] ^= Σ_j coeffs[j] · blocks[j][i]`.
+///
+/// One parity block's entire linear combination in a single pass — the
+/// SIMD backends keep the accumulator strip in registers across every
+/// coefficient, so each output byte is loaded and stored exactly once
+/// however many blocks feed it. This is the kernel under
+/// `ReedSolomon::encode_into`, `reconstruct` and `decode_block`.
+///
+/// # Panics
+/// Panics if `coeffs.len() != blocks.len()` or any block length differs
+/// from `dst`.
+pub fn mul_add_multi(coeffs: &[Gf256], blocks: &[&[u8]], dst: &mut [u8]) {
+    assert_eq!(
+        coeffs.len(),
+        blocks.len(),
+        "mul_add_multi: {} coefficients for {} blocks",
+        coeffs.len(),
+        blocks.len()
+    );
+    for block in blocks {
+        assert_eq!(
+            block.len(),
+            dst.len(),
+            "mul_add_multi: block length mismatch ({} vs {})",
+            block.len(),
+            dst.len()
+        );
     }
+    simd::active().mul_add_multi(coeffs, blocks, dst);
 }
 
 /// Computes `out[i] = Σ_j coeffs[j] · blocks[j][i]` — a full linear
@@ -131,9 +137,7 @@ pub fn linear_combination(coeffs: &[Gf256], blocks: &[&[u8]], out: &mut [u8]) {
         blocks.len()
     );
     out.fill(0);
-    for (&c, &block) in coeffs.iter().zip(blocks) {
-        mul_add_slice(c, block, out);
-    }
+    mul_add_multi(coeffs, blocks, out);
 }
 
 /// Dot product of two coefficient vectors: `Σ_i a[i]·b[i]`.

@@ -81,6 +81,37 @@ const fn build_mul() -> [[u8; 256]; 256] {
 /// `c` (one L1-resident load per byte, no branches).
 pub static MUL: [[u8; 256]; 256] = build_mul();
 
+const fn build_nibble_tables() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            lo[c][x] = mul(c as u8, x as u8);
+            hi[c][x] = mul(c as u8, (x << 4) as u8);
+            x += 1;
+        }
+        c += 1;
+    }
+    (lo, hi)
+}
+
+const NIBBLE_TABLES: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_nibble_tables();
+
+/// Split-nibble product tables: `MUL_LO[c][x] = c · x` for `x < 16`.
+///
+/// Multiplication by a constant is GF(2)-linear, so
+/// `c·b = MUL_LO[c][b & 0xF] ⊕ MUL_HI[c][b >> 4]` — exactly the shape a
+/// 16-lane byte shuffle (`pshufb` / `vqtbl1q_u8`) evaluates in one
+/// instruction per nibble. The SIMD kernels in [`crate::simd`] load row
+/// `c` of each table once per call and stream the block through it.
+pub static MUL_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
+
+/// Split-nibble product tables: `MUL_HI[c][x] = c · (x << 4)` for `x < 16`.
+/// See [`MUL_LO`].
+pub static MUL_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
+
 /// Multiply two field elements using the exp/log tables.
 ///
 /// Scalar building block; prefer [`crate::slice_ops`] for bulk data.

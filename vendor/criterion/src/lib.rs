@@ -12,10 +12,19 @@
 //! no HTML report. Like upstream, bench bodies only execute when the
 //! binary is run in `--bench` mode, so `cargo test` merely type-checks
 //! bench targets.
+//!
+//! # Machine-readable output (extension)
+//!
+//! When the `TQ_BENCH_JSON` environment variable names a file path,
+//! [`criterion_main!`] finishes by writing every measurement of the run
+//! as a JSON array of `{id, mean_ns, best_ns, bytes?, bytes_per_sec?,
+//! elements?, elements_per_sec?}` records to that path — the hook the
+//! repo's `BENCH_*.json` perf-trajectory artefacts are produced through.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimiser from deleting work.
@@ -143,6 +152,53 @@ fn fmt_duration(nanos: f64) -> String {
     }
 }
 
+/// One finished measurement, kept for the JSON report.
+struct Record {
+    id: String,
+    mean_ns: f64,
+    best_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+/// Every measurement of the process, in execution order.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Writes the run's records as a JSON array to `$TQ_BENCH_JSON`, if set.
+/// Called by [`criterion_main!`] after all groups have run; public so
+/// custom `main`s can invoke it too.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("TQ_BENCH_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("bench record registry");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"best_ns\": {:.1}",
+            r.id.replace('"', "\\\""),
+            r.mean_ns,
+            r.best_ns
+        ));
+        match r.throughput {
+            Some(Throughput::Bytes(b)) => out.push_str(&format!(
+                ", \"bytes\": {b}, \"bytes_per_sec\": {:.0}",
+                b as f64 / r.mean_ns * 1e9
+            )),
+            Some(Throughput::Elements(e)) => out.push_str(&format!(
+                ", \"elements\": {e}, \"elements_per_sec\": {:.0}",
+                e as f64 / r.mean_ns * 1e9
+            )),
+            None => {}
+        }
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("]\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("TQ_BENCH_JSON: cannot write {path}: {err}");
+    }
+}
+
 fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     if bencher.samples.is_empty() {
         println!("{id:<48} (no samples)");
@@ -155,6 +211,12 @@ fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         .map(per_iter)
         .fold(f64::INFINITY, f64::min);
     let mean = bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
+    RECORDS.lock().expect("bench record registry").push(Record {
+        id: id.to_string(),
+        mean_ns: mean,
+        best_ns: best,
+        throughput,
+    });
     let thr = match throughput {
         Some(Throughput::Bytes(b)) => {
             let gib = b as f64 / mean * 1e9 / (1024.0 * 1024.0 * 1024.0);
@@ -299,12 +361,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the given groups.
+/// Declares `main` running the given groups, then flushing the JSON
+/// report if `TQ_BENCH_JSON` requests one.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
