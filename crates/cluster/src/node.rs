@@ -75,18 +75,83 @@ impl AppliedWindow {
     }
 }
 
+/// How many independent mutex-guarded slices the block map is split
+/// into. A hot block serialises only its own slice; requests for blocks
+/// on other slices proceed in parallel. Power of two so the hash
+/// reduction is a mask.
+const BLOCK_MAP_STRIPES: usize = 16;
+
+/// The node's block map, striped N ways by [`BlockId`] hash.
+///
+/// Each request touches exactly one block, so every [`StorageNode`]
+/// request arm locks exactly one stripe — the per-request semantics are
+/// bit-identical to the former single-mutex map (each block's state
+/// still has one serialisation point), but a hot block no longer stalls
+/// the whole node.
+#[derive(Debug)]
+struct BlockMap {
+    stripes: Vec<Mutex<HashMap<BlockId, StoredBlock>>>,
+}
+
+impl BlockMap {
+    fn new() -> Self {
+        BlockMap {
+            stripes: (0..BLOCK_MAP_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// SplitMix64 finalizer, masked onto a stripe: neighbouring block
+    /// ids (one stripe's data + parity objects) spread over slices.
+    fn lock_for(&self, id: BlockId) -> parking_lot::MutexGuard<'_, HashMap<BlockId, StoredBlock>> {
+        let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        self.stripes[(z as usize) & (BLOCK_MAP_STRIPES - 1)].lock()
+    }
+
+    fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .map(|b| match b {
+                        StoredBlock::Data { bytes, .. } => bytes.len(),
+                        StoredBlock::Parity { bytes, .. } => bytes.len(),
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
 /// One storage server.
 ///
-/// Thread-safe: the block map sits behind a [`parking_lot::Mutex`] and the
-/// fail-stop switch is an atomic, so the same node can serve the direct
-/// transport and the channel transport interchangeably. Locking is
-/// per-node, which matches the model (a node is a single failure and
-/// serialisation domain).
+/// Thread-safe: the block map is striped over independent
+/// [`parking_lot::Mutex`] slices keyed by block-id hash (the internal
+/// `BlockMap`) and the fail-stop switch is an atomic, so the same node
+/// can serve the direct transport and the channel transport
+/// interchangeably. Each block still has exactly one serialisation
+/// point, which matches the model (a node is a single failure domain;
+/// per-block ordering is what the monotone guards need).
 #[derive(Debug)]
 pub struct StorageNode {
     id: NodeId,
     up: AtomicBool,
-    blocks: Mutex<HashMap<BlockId, StoredBlock>>,
+    blocks: BlockMap,
     applied: Mutex<AppliedWindow>,
     stats: IoStats,
 }
@@ -97,7 +162,7 @@ impl StorageNode {
         StorageNode {
             id,
             up: AtomicBool::new(true),
-            blocks: Mutex::new(HashMap::new()),
+            blocks: BlockMap::new(),
             applied: Mutex::new(AppliedWindow::default()),
             stats: IoStats::new(),
         }
@@ -127,7 +192,7 @@ impl StorageNode {
     /// durability domain). The recovery workflows in `tq-trapezoid`
     /// rebuild wiped nodes from the surviving stripe.
     pub fn wipe(&self) {
-        self.blocks.lock().clear();
+        self.blocks.clear();
         *self.applied.lock() = AppliedWindow::default();
     }
 
@@ -138,20 +203,13 @@ impl StorageNode {
 
     /// Number of objects stored (diagnostics).
     pub fn object_count(&self) -> usize {
-        self.blocks.lock().len()
+        self.blocks.len()
     }
 
     /// Total payload bytes currently stored — the `D_used` of eqs. 14/15
     /// measured rather than predicted.
     pub fn stored_bytes(&self) -> usize {
-        self.blocks
-            .lock()
-            .values()
-            .map(|b| match b {
-                StoredBlock::Data { bytes, .. } => bytes.len(),
-                StoredBlock::Parity { bytes, .. } => bytes.len(),
-            })
-            .sum()
+        self.blocks.stored_bytes()
     }
 
     /// Handles one bare request, honouring the fail-stop switch.
@@ -168,7 +226,7 @@ impl StorageNode {
         match req {
             Request::Ping => Ok(Response::Pong),
             Request::InitData { id, bytes } => {
-                let mut blocks = self.blocks.lock();
+                let mut blocks = self.blocks.lock_for(id);
                 match blocks.get(&id) {
                     // First-wins: a redelivered create must not reset a
                     // block that has been written since.
@@ -187,7 +245,7 @@ impl StorageNode {
                 }
             }
             Request::InitParity { id, bytes, k } => {
-                let mut blocks = self.blocks.lock();
+                let mut blocks = self.blocks.lock_for(id);
                 match blocks.get(&id) {
                     Some(StoredBlock::Parity { .. }) => Ok(Response::Ack),
                     Some(StoredBlock::Data { .. }) => {
@@ -208,7 +266,7 @@ impl StorageNode {
                 }
             }
             Request::ReadData { id } => {
-                let blocks = self.blocks.lock();
+                let blocks = self.blocks.lock_for(id);
                 match blocks.get(&id) {
                     Some(StoredBlock::Data { version, bytes }) => {
                         self.stats.record_read(bytes.len());
@@ -230,7 +288,7 @@ impl StorageNode {
                 }
             }
             Request::WriteData { id, bytes, version } => {
-                let mut blocks = self.blocks.lock();
+                let mut blocks = self.blocks.lock_for(id);
                 match blocks.get_mut(&id) {
                     Some(StoredBlock::Data {
                         version: stored_version,
@@ -268,7 +326,7 @@ impl StorageNode {
                 }
             }
             Request::VersionData { id } => {
-                let blocks = self.blocks.lock();
+                let blocks = self.blocks.lock_for(id);
                 match blocks.get(&id) {
                     Some(StoredBlock::Data { version, .. }) => {
                         self.stats.record_version_query();
@@ -285,7 +343,7 @@ impl StorageNode {
                 }
             }
             Request::VersionVector { id } => {
-                let blocks = self.blocks.lock();
+                let blocks = self.blocks.lock_for(id);
                 match blocks.get(&id) {
                     Some(StoredBlock::Parity { versions, .. }) => {
                         self.stats.record_version_query();
@@ -302,7 +360,7 @@ impl StorageNode {
                 }
             }
             Request::ReadParity { id } => {
-                let blocks = self.blocks.lock();
+                let blocks = self.blocks.lock_for(id);
                 match blocks.get(&id) {
                     Some(StoredBlock::Parity { versions, bytes }) => {
                         self.stats.record_read(bytes.len());
@@ -326,7 +384,7 @@ impl StorageNode {
                 bytes,
                 versions,
             } => {
-                let mut blocks = self.blocks.lock();
+                let mut blocks = self.blocks.lock_for(id);
                 match blocks.get_mut(&id) {
                     Some(StoredBlock::Parity {
                         versions: stored_versions,
@@ -397,7 +455,7 @@ impl StorageNode {
                 expected_version,
                 new_version,
             } => {
-                let mut blocks = self.blocks.lock();
+                let mut blocks = self.blocks.lock_for(id);
                 match blocks.get_mut(&id) {
                     Some(StoredBlock::Parity { versions, bytes }) => {
                         if block_index >= versions.len() {

@@ -55,6 +55,72 @@ pub enum ProtocolError {
     /// The store API was used inconsistently (builder protocol mismatch,
     /// duplicate batch addresses, out-of-range block index).
     Misconfigured(&'static str),
+    /// Volume geometry validation failure (construction time).
+    Volume(VolumeError),
+}
+
+/// Invalid [`crate::volume::VolumeConfig`] geometry, caught before any
+/// stripe is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolumeError {
+    /// `block_size` was zero.
+    ZeroBlockSize,
+    /// `logical_blocks` was zero.
+    ZeroBlocks,
+    /// `blocks_per_stripe` was zero.
+    ZeroStripeWidth,
+    /// The backend stripes data at a fixed width and the configured
+    /// `blocks_per_stripe` differs from it.
+    WidthMismatch {
+        /// The configured `blocks_per_stripe`.
+        configured: usize,
+        /// The backend's fixed stripe width.
+        backend: usize,
+    },
+    /// The backend is width-free (replication) and no explicit
+    /// `blocks_per_stripe` was supplied — there is no width to derive.
+    WidthUnknown,
+    /// `blocks_per_stripe` exceeds the replicated object namespace
+    /// ([`crate::store::OBJECTS_PER_STRIPE`] slots per stripe id).
+    WidthOutOfRange {
+        /// The configured `blocks_per_stripe`.
+        configured: usize,
+        /// The largest representable width.
+        max: usize,
+    },
+}
+
+impl fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VolumeError::ZeroBlockSize => write!(f, "block_size must be positive"),
+            VolumeError::ZeroBlocks => write!(f, "volume needs at least one logical block"),
+            VolumeError::ZeroStripeWidth => write!(f, "blocks_per_stripe must be positive"),
+            VolumeError::WidthMismatch {
+                configured,
+                backend,
+            } => write!(
+                f,
+                "blocks_per_stripe {configured} differs from the backend's fixed stripe width {backend}"
+            ),
+            VolumeError::WidthUnknown => write!(
+                f,
+                "backend has no fixed stripe width; blocks_per_stripe must be configured explicitly"
+            ),
+            VolumeError::WidthOutOfRange { configured, max } => write!(
+                f,
+                "blocks_per_stripe {configured} exceeds the {max}-slot object namespace"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
+impl From<VolumeError> for ProtocolError {
+    fn from(e: VolumeError) -> Self {
+        ProtocolError::Volume(e)
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -85,6 +151,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Code(e) => write!(f, "codec error: {e}"),
             ProtocolError::Node(e) => write!(f, "node error: {e}"),
             ProtocolError::Misconfigured(what) => write!(f, "store misuse: {what}"),
+            ProtocolError::Volume(e) => write!(f, "invalid volume geometry: {e}"),
         }
     }
 }
@@ -99,6 +166,7 @@ impl std::error::Error for ProtocolError {
             ProtocolError::Shape(e) => Some(e),
             ProtocolError::Code(e) => Some(e),
             ProtocolError::Node(e) => Some(e),
+            ProtocolError::Volume(e) => Some(e),
             _ => None,
         }
     }

@@ -66,6 +66,7 @@ pub mod errors;
 pub mod locking;
 pub mod recovery;
 mod rounds;
+pub mod shard;
 pub mod store;
 pub mod trap_erc;
 pub mod trap_fr;
@@ -74,9 +75,10 @@ pub mod volume;
 
 pub use baselines::{MajorityClient, RowaClient};
 pub use config::ProtocolConfig;
-pub use errors::ProtocolError;
+pub use errors::{ProtocolError, VolumeError};
 pub use locking::StripeLockManager;
 pub use recovery::RebuildReport;
+pub use shard::{ShardMap, ShardedStore};
 pub use store::{
     BatchReads, BatchWrite, BatchWrites, BlockAddr, OpReport, QuorumStore, RoundStats, Store,
     StoreBuilder, StoreInfo,
@@ -84,4 +86,4 @@ pub use store::{
 pub use trap_erc::{ReadOutcome, ReadPath, ScrubReport, TrapErcClient, WriteOutcome};
 pub use trap_fr::TrapFrClient;
 pub use version_matrix::VersionMatrix;
-pub use volume::Volume;
+pub use volume::{Volume, VolumeConfig};

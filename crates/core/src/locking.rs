@@ -13,8 +13,18 @@
 //! per (stripe, block). [`TrapErcClient::write_block_locked`] wraps
 //! Algorithm 1 in that lock, restoring write-write safety without
 //! touching the protocol itself.
+//!
+//! The table is **sharded**: keys hash onto independent shards, each
+//! with its own mutex and its own condvar. Writers contending on
+//! different shards never touch the same mutex, and a release notifies
+//! only its shard's waiters — releasing block A cannot thundering-herd
+//! writers queued on unrelated blocks, as one global broadcast condvar
+//! would. [`StripeLockManager::contended_wakeups`] counts wakeups that
+//! found their key still held; the regression test pins it at zero for
+//! cross-shard churn.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -23,66 +33,134 @@ use tq_cluster::Transport;
 use crate::errors::ProtocolError;
 use crate::trap_erc::{TrapErcClient, WriteOutcome};
 
+/// Default shard count: comfortably above any plausible writer count so
+/// distinct hot blocks almost never share a condvar.
+const DEFAULT_LOCK_SHARDS: usize = 64;
+
+/// One independent slice of the lock table.
+#[derive(Debug, Default)]
+struct LockShard {
+    held: Mutex<HashSet<(u64, usize)>>,
+    released: Condvar,
+}
+
 /// An in-process exclusive lock table keyed by (stripe id, block index).
 ///
 /// Models a lock service co-located with the writers (one VM host, one
 /// gateway): mutual exclusion among the writers that share it. Fairness
 /// is parking-lot's; locks are released on guard drop, so a panicking
-/// writer cannot leak a lock.
-#[derive(Debug, Default)]
+/// writer cannot leak a lock. Keys hash onto independent shards (see the
+/// [module docs](self)), so disjoint writers neither serialise on one
+/// mutex nor wake on each other's releases.
+#[derive(Debug)]
 pub struct StripeLockManager {
-    inner: Mutex<HashSet<(u64, usize)>>,
-    released: Condvar,
+    shards: Box<[LockShard]>,
+    contended_wakeups: AtomicU64,
+}
+
+impl Default for StripeLockManager {
+    fn default() -> Self {
+        StripeLockManager::with_shard_count(DEFAULT_LOCK_SHARDS)
+    }
 }
 
 /// RAII guard for one (stripe, block) lock.
 #[derive(Debug)]
 pub struct BlockLockGuard<'a> {
-    manager: &'a StripeLockManager,
+    shard: &'a LockShard,
     key: (u64, usize),
 }
 
+/// SplitMix64 finalizer over the packed key, so neighbouring blocks of
+/// one stripe land on unrelated shards.
+fn mix_key(id: u64, block: usize) -> u64 {
+    let mut z = id ^ (block as u64).rotate_left(32);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl StripeLockManager {
-    /// Creates an empty lock table.
+    /// Creates an empty lock table with the default shard count.
     pub fn new() -> Arc<Self> {
         Arc::new(StripeLockManager::default())
+    }
+
+    /// Creates an empty lock table with `shards` independent shards
+    /// (clamped to at least one).
+    pub fn with_shards(shards: usize) -> Arc<Self> {
+        Arc::new(StripeLockManager::with_shard_count(shards))
+    }
+
+    fn with_shard_count(shards: usize) -> Self {
+        let shards = shards.max(1);
+        StripeLockManager {
+            shards: (0..shards).map(|_| LockShard::default()).collect(),
+            contended_wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of independent lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a (stripe, block) key routes to — diagnostics and
+    /// contention tests.
+    pub fn shard_of(&self, id: u64, block: usize) -> usize {
+        ((mix_key(id, block) as u128 * self.shards.len() as u128) >> 64) as usize
     }
 
     /// Blocks until the (stripe, block) lock is acquired.
     pub fn lock(&self, id: u64, block: usize) -> BlockLockGuard<'_> {
         let key = (id, block);
-        let mut held = self.inner.lock();
+        let shard = &self.shards[self.shard_of(id, block)];
+        let mut held = shard.held.lock();
         while held.contains(&key) {
-            self.released.wait(&mut held);
+            shard.released.wait(&mut held);
+            // Still held after a wakeup: we were woken for somebody
+            // else's release (or lost the race) and must wait again.
+            if held.contains(&key) {
+                self.contended_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
         }
         held.insert(key);
-        BlockLockGuard { manager: self, key }
+        BlockLockGuard { shard, key }
     }
 
     /// Non-blocking acquisition attempt.
     pub fn try_lock(&self, id: u64, block: usize) -> Option<BlockLockGuard<'_>> {
         let key = (id, block);
-        let mut held = self.inner.lock();
+        let shard = &self.shards[self.shard_of(id, block)];
+        let mut held = shard.held.lock();
         if held.contains(&key) {
             None
         } else {
             held.insert(key);
-            Some(BlockLockGuard { manager: self, key })
+            Some(BlockLockGuard { shard, key })
         }
     }
 
     /// Number of locks currently held (diagnostics).
     pub fn held_count(&self) -> usize {
-        self.inner.lock().len()
+        self.shards.iter().map(|s| s.held.lock().len()).sum()
+    }
+
+    /// Wakeups that found their key still held — the thundering-herd
+    /// figure of merit. Releases on other shards contribute nothing;
+    /// within a shard, only genuine same-shard contention counts.
+    pub fn contended_wakeups(&self) -> u64 {
+        self.contended_wakeups.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for BlockLockGuard<'_> {
     fn drop(&mut self) {
-        let mut held = self.manager.inner.lock();
+        let mut held = self.shard.held.lock();
         held.remove(&self.key);
-        // Wake every waiter; contenders re-check their own key.
-        self.manager.released.notify_all();
+        // Wake this shard's waiters only; contenders re-check their key.
+        self.shard.released.notify_all();
     }
 }
 
@@ -141,6 +219,55 @@ mod tests {
             acquired_at >= before_release,
             "waiter ran only after release"
         );
+    }
+
+    #[test]
+    fn single_shard_still_excludes() {
+        // Degenerate shard count: everything shares one shard, and the
+        // table must still be a correct lock.
+        let lm = StripeLockManager::with_shards(1);
+        assert_eq!(lm.shard_count(), 1);
+        let g = lm.lock(1, 0);
+        assert!(lm.try_lock(1, 0).is_none());
+        assert!(lm.try_lock(9, 9).is_some(), "different key, same shard");
+        drop(g);
+        assert_eq!(lm.held_count(), 0);
+    }
+
+    /// The thundering-herd regression: a waiter parked on one key must
+    /// not be woken by lock/unlock churn on keys of *other* shards. With
+    /// the old single broadcast condvar every release woke every waiter
+    /// (hundreds of contended wakeups here); per-shard condvars keep the
+    /// count at zero.
+    #[test]
+    fn cross_shard_churn_does_not_wake_foreign_waiters() {
+        let lm = StripeLockManager::new();
+        // Find a churn key on a different shard than the contended key.
+        let contended = (1u64, 0usize);
+        let home = lm.shard_of(contended.0, contended.1);
+        let churn = (0u64..)
+            .map(|id| (id, 1usize))
+            .find(|&(id, b)| lm.shard_of(id, b) != home)
+            .expect("some key lands on another shard");
+
+        let guard = lm.lock(contended.0, contended.1);
+        let lm_waiter = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            let _g = lm_waiter.lock(contended.0, contended.1);
+        });
+        // Let the waiter park, then churn the foreign shard hard.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for _ in 0..200 {
+            drop(lm.lock(churn.0, churn.1));
+        }
+        assert_eq!(
+            lm.contended_wakeups(),
+            0,
+            "foreign releases must not wake the parked waiter"
+        );
+        drop(guard);
+        waiter.join().unwrap();
+        assert_eq!(lm.held_count(), 0);
     }
 
     /// The race the paper leaves open, fixed by the lock: contending

@@ -368,6 +368,16 @@ pub trait QuorumStore: Send + Sync {
     /// # Errors
     /// Propagates blocks whose current state cannot be read back.
     fn scrub(&self, stripe: u64) -> Result<ScrubReport, ProtocolError>;
+
+    /// Number of nodes that serve `stripe`. For single-group backends
+    /// this is just [`StoreInfo::nodes`]; a sharded store overrides it to
+    /// the size of the one shard the stripe routes to, so callers sizing
+    /// a per-stripe operation (a scrub's "did every node refresh?" check)
+    /// do not mistake the whole federation for one group.
+    fn stripe_nodes(&self, stripe: u64) -> usize {
+        let _ = stripe;
+        self.info().nodes
+    }
 }
 
 impl<S: QuorumStore + ?Sized> QuorumStore for Box<S> {
@@ -392,6 +402,9 @@ impl<S: QuorumStore + ?Sized> QuorumStore for Box<S> {
     fn scrub(&self, stripe: u64) -> Result<ScrubReport, ProtocolError> {
         (**self).scrub(stripe)
     }
+    fn stripe_nodes(&self, stripe: u64) -> usize {
+        (**self).stripe_nodes(stripe)
+    }
 }
 
 impl<S: QuorumStore + ?Sized> QuorumStore for std::sync::Arc<S> {
@@ -415,6 +428,9 @@ impl<S: QuorumStore + ?Sized> QuorumStore for std::sync::Arc<S> {
     }
     fn scrub(&self, stripe: u64) -> Result<ScrubReport, ProtocolError> {
         (**self).scrub(stripe)
+    }
+    fn stripe_nodes(&self, stripe: u64) -> usize {
+        (**self).stripe_nodes(stripe)
     }
 }
 

@@ -5,28 +5,108 @@
 //! consistent. [`Volume`] packages a store into that shape:
 //!
 //! * logical blocks of `block_size` bytes, striped round-robin over
-//!   stripes of the backend's width (`lba → (stripe id, block index)`);
+//!   stripes of a validated [`VolumeConfig`] width (`lba → (stripe id,
+//!   block index)`);
 //! * byte-granular `read_at` / `write_at` with read-modify-write at
 //!   unaligned edges — what a virtio/iSCSI head would do;
-//! * writes serialised per block through a [`StripeLockManager`];
-//! * maintenance entry points (`scrub`, and `rebuild_node` on TRAP-ERC
-//!   backends) wrapping the recovery workflows.
+//! * writes serialised per block through a sharded
+//!   [`StripeLockManager`], so writers on different lock shards never
+//!   touch the same mutex;
+//! * maintenance entry points (`scrub`; `rebuild_node` on TRAP-ERC
+//!   backends; shard-parallel `scrub_sharded` / per-shard
+//!   `rebuild_shard_node` on [`ShardedStore`] backends) wrapping the
+//!   recovery workflows.
 //!
 //! The volume is generic over `S: QuorumStore`, so the same virtual disk
 //! runs on TRAP-ERC, TRAP-FR, ROWA or Majority — including over
-//! `Box<dyn QuorumStore>` when the backend is chosen at runtime.
+//! `Box<dyn QuorumStore>` when the backend is chosen at runtime, and
+//! over [`ShardedStore`] when one group is not enough.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tq_cluster::Transport;
 
-use crate::errors::ProtocolError;
+use crate::errors::{ProtocolError, VolumeError};
 use crate::locking::StripeLockManager;
 use crate::recovery::RebuildReport;
-use crate::store::{BlockAddr, QuorumStore};
+use crate::shard::ShardedStore;
+use crate::store::{BlockAddr, QuorumStore, OBJECTS_PER_STRIPE};
 use crate::trap_erc::TrapErcClient;
 
-/// A fixed-size logical volume on one cluster.
+/// Validated geometry for a [`Volume`].
+///
+/// `blocks_per_stripe` is explicit: leave it `None` only when the
+/// backend stripes data at a fixed width (TRAP-ERC's `k`), in which
+/// case that width is adopted. Width-free (replication) backends have
+/// nothing to derive from and reject `None` with
+/// [`VolumeError::WidthUnknown`] — the old silent `unwrap_or(8)` is
+/// gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeConfig {
+    /// First stripe id; the volume occupies `base_id..base_id +
+    /// stripe_count`.
+    pub base_id: u64,
+    /// Logical block size in bytes.
+    pub block_size: usize,
+    /// Number of logical blocks.
+    pub logical_blocks: usize,
+    /// Blocks per stripe; `None` adopts the backend's fixed width.
+    pub blocks_per_stripe: Option<usize>,
+}
+
+impl VolumeConfig {
+    /// Geometry with the stripe width left to the backend (only valid on
+    /// backends with a fixed width).
+    pub fn new(base_id: u64, block_size: usize, logical_blocks: usize) -> Self {
+        VolumeConfig {
+            base_id,
+            block_size,
+            logical_blocks,
+            blocks_per_stripe: None,
+        }
+    }
+
+    /// Sets an explicit stripe width.
+    #[must_use]
+    pub fn blocks_per_stripe(mut self, width: usize) -> Self {
+        self.blocks_per_stripe = Some(width);
+        self
+    }
+
+    /// Validates the geometry against a backend's descriptor and
+    /// resolves the effective stripe width.
+    ///
+    /// # Errors
+    /// A typed [`VolumeError`] on zero fields, a width conflicting with
+    /// the backend's fixed stripe width, a width outside the replicated
+    /// object namespace, or a missing width on a width-free backend.
+    fn resolve_width(&self, backend_width: Option<usize>) -> Result<usize, VolumeError> {
+        if self.block_size == 0 {
+            return Err(VolumeError::ZeroBlockSize);
+        }
+        if self.logical_blocks == 0 {
+            return Err(VolumeError::ZeroBlocks);
+        }
+        match (self.blocks_per_stripe, backend_width) {
+            (Some(0), _) => Err(VolumeError::ZeroStripeWidth),
+            (Some(w), Some(fixed)) if w != fixed => Err(VolumeError::WidthMismatch {
+                configured: w,
+                backend: fixed,
+            }),
+            (Some(w), None) if w as u64 > OBJECTS_PER_STRIPE => Err(VolumeError::WidthOutOfRange {
+                configured: w,
+                max: OBJECTS_PER_STRIPE as usize,
+            }),
+            (Some(w), _) => Ok(w),
+            (None, Some(fixed)) => Ok(fixed),
+            (None, None) => Err(VolumeError::WidthUnknown),
+        }
+    }
+}
+
+/// A fixed-size logical volume on one cluster (or, over a
+/// [`ShardedStore`], one federation of clusters).
 #[derive(Debug)]
 pub struct Volume<S: QuorumStore> {
     store: S,
@@ -40,39 +120,67 @@ pub struct Volume<S: QuorumStore> {
 }
 
 impl<S: QuorumStore> Volume<S> {
-    /// Provisions a zero-filled volume of `logical_blocks` blocks of
-    /// `block_size` bytes, using stripe ids starting at `base_id`.
-    /// Requires every node live (provisioning). Stripes carry the
-    /// backend's fixed width, or `k = 8` blocks on width-free
-    /// (replication) backends.
+    /// Provisions a zero-filled volume with the given geometry.
+    /// Requires every node live (provisioning).
     ///
     /// # Errors
-    /// Propagates stripe-creation failures.
+    /// A typed [`VolumeError`] (wrapped in [`ProtocolError::Volume`]) on
+    /// invalid geometry; otherwise propagates stripe-creation failures.
+    pub fn with_config(store: S, config: VolumeConfig) -> Result<Self, ProtocolError> {
+        let vol = Volume::attach(store, config)?;
+        for s in 0..vol.stripe_count {
+            vol.store.create(
+                vol.base_id + s,
+                vec![vec![0u8; vol.block_size]; vol.blocks_per_stripe],
+            )?;
+        }
+        Ok(vol)
+    }
+
+    /// Binds a volume to already-provisioned stripes without issuing any
+    /// creates — for stores laid down in bulk (e.g.
+    /// [`ShardedStore::provision_striped`]) or reopened across client
+    /// restarts. The geometry must match what was provisioned; nothing
+    /// is verified against the nodes here.
     ///
-    /// # Panics
-    /// Panics on zero `block_size` / `logical_blocks` (programmer error).
+    /// # Errors
+    /// A typed [`VolumeError`] on invalid geometry.
+    pub fn open(store: S, config: VolumeConfig) -> Result<Self, ProtocolError> {
+        Volume::attach(store, config)
+    }
+
+    fn attach(store: S, config: VolumeConfig) -> Result<Self, ProtocolError> {
+        let blocks_per_stripe = config.resolve_width(store.info().stripe_width)?;
+        let stripe_count = config.logical_blocks.div_ceil(blocks_per_stripe) as u64;
+        Ok(Volume {
+            store,
+            locks: StripeLockManager::new(),
+            block_size: config.block_size,
+            logical_blocks: config.logical_blocks,
+            base_id: config.base_id,
+            stripe_count,
+            blocks_per_stripe,
+        })
+    }
+
+    /// Provisions a zero-filled volume of `logical_blocks` blocks of
+    /// `block_size` bytes, using stripe ids starting at `base_id` and
+    /// the backend's fixed stripe width.
+    ///
+    /// # Errors
+    /// [`VolumeError::WidthUnknown`] (typed, not a silent default) on
+    /// width-free backends — configure those through
+    /// [`Volume::with_config`]. Otherwise as [`Volume::with_config`].
     pub fn create(
         store: S,
         base_id: u64,
         block_size: usize,
         logical_blocks: usize,
     ) -> Result<Self, ProtocolError> {
-        assert!(block_size > 0, "block_size must be positive");
-        assert!(logical_blocks > 0, "volume needs at least one block");
-        let blocks_per_stripe = store.info().stripe_width.unwrap_or(8);
-        let stripe_count = logical_blocks.div_ceil(blocks_per_stripe) as u64;
-        for s in 0..stripe_count {
-            store.create(base_id + s, vec![vec![0u8; block_size]; blocks_per_stripe])?;
-        }
-        Ok(Volume {
+        Volume::with_config(
             store,
-            locks: StripeLockManager::new(),
-            block_size,
-            logical_blocks,
-            base_id,
-            stripe_count,
-            blocks_per_stripe,
-        })
+            VolumeConfig::new(base_id, block_size, logical_blocks),
+        )
     }
 
     /// The backing store (for fault-injection handles in tests and the
@@ -94,6 +202,11 @@ impl<S: QuorumStore> Volume<S> {
     /// Volume capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.logical_blocks * self.block_size
+    }
+
+    /// Blocks per stripe after validation.
+    pub fn blocks_per_stripe(&self) -> usize {
+        self.blocks_per_stripe
     }
 
     fn locate(&self, lba: usize) -> Result<BlockAddr, ProtocolError> {
@@ -216,10 +329,95 @@ impl<T: Transport> Volume<TrapErcClient<T>> {
     }
 }
 
+impl<S: QuorumStore> Volume<ShardedStore<S>> {
+    /// This volume's stripe ids grouped by the shard they route to,
+    /// ascending by shard index.
+    fn stripes_by_shard(&self) -> Vec<(usize, Vec<u64>)> {
+        let mut groups: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for s in 0..self.stripe_count {
+            let id = self.base_id + s;
+            groups
+                .entry(self.store.map().shard_of(id))
+                .or_default()
+                .push(id);
+        }
+        groups.into_iter().collect()
+    }
+
+    /// Shard-parallel scrub: each shard's stripes are scrubbed on their
+    /// own scoped thread (sequentially when the store runs
+    /// [`ShardedStore::sequential_batches`]); shards never wait on each
+    /// other's anti-entropy. Returns total node-states refreshed.
+    ///
+    /// # Errors
+    /// Propagates the first stripe per shard that cannot be read back.
+    pub fn scrub_sharded(&self) -> Result<usize, ProtocolError> {
+        let groups = self.stripes_by_shard();
+        let scrub_group = |shard: usize, ids: &[u64]| -> Result<usize, ProtocolError> {
+            let mut refreshed = 0;
+            for &id in ids {
+                refreshed += self.store.shard_store(shard).scrub(id)?.refreshed.len();
+            }
+            Ok(refreshed)
+        };
+        if self.store.is_parallel() && groups.len() > 1 {
+            let scrub_group = &scrub_group;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|(shard, ids)| {
+                        let (shard, ids) = (*shard, ids.as_slice());
+                        scope.spawn(move || scrub_group(shard, ids))
+                    })
+                    .collect();
+                let mut refreshed = 0;
+                for h in handles {
+                    refreshed += h.join().expect("shard scrub worker")?;
+                }
+                Ok(refreshed)
+            })
+        } else {
+            let mut refreshed = 0;
+            for (shard, ids) in &groups {
+                refreshed += scrub_group(*shard, ids)?;
+            }
+            Ok(refreshed)
+        }
+    }
+}
+
+impl<T: Transport> Volume<ShardedStore<TrapErcClient<T>>> {
+    /// Rebuilds a replaced node of **one shard's** group across this
+    /// volume's stripes on that shard — per-shard maintenance; the other
+    /// shards keep serving untouched.
+    ///
+    /// # Errors
+    /// Stops at the first stripe that cannot be rebuilt.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn rebuild_shard_node(
+        &self,
+        shard: usize,
+        node: usize,
+    ) -> Result<Vec<RebuildReport>, ProtocolError> {
+        let ids: Vec<u64> = self
+            .stripes_by_shard()
+            .into_iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, ids)| ids)
+            .unwrap_or_default();
+        self.store
+            .shard_store(shard)
+            .rebuild_node_stripes(&ids, node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ProtocolConfig;
+    use crate::shard::ShardMap;
     use crate::store::Store;
     use tq_cluster::{Cluster, LocalTransport};
 
@@ -242,6 +440,7 @@ mod tests {
         assert_eq!(vol.capacity(), 20 * 512);
         // 20 blocks over k = 8 ⇒ 3 stripes.
         assert_eq!(vol.stripe_count, 3);
+        assert_eq!(vol.blocks_per_stripe(), 8);
     }
 
     #[test]
@@ -301,13 +500,15 @@ mod tests {
     #[test]
     fn volume_runs_on_any_backend() {
         // The same virtual-disk shape on a replication backend, through
-        // a trait object — the store choice is a runtime decision.
+        // a trait object — the store choice is a runtime decision. The
+        // width-free backend needs an explicit stripe width.
         let cluster = Cluster::new(5);
         let store = Store::majority(5)
             .transport(LocalTransport::new(cluster.clone()))
             .build()
             .unwrap();
-        let vol = Volume::create(store, 0, 64, 16).unwrap();
+        let vol =
+            Volume::with_config(store, VolumeConfig::new(0, 64, 16).blocks_per_stripe(8)).unwrap();
         for lba in [0usize, 7, 15] {
             vol.write_block(lba, &[lba as u8 | 0x80; 64]).unwrap();
         }
@@ -320,6 +521,130 @@ mod tests {
             cluster.revive(n);
         }
         assert!(vol.scrub().unwrap() > 0, "stale replicas refreshed");
+    }
+
+    #[test]
+    fn geometry_errors_are_typed() {
+        let make_majority = || {
+            Store::majority(3)
+                .transport(LocalTransport::new(Cluster::new(3)))
+                .build()
+                .unwrap()
+        };
+        // No width on a width-free backend: the old silent `8` is gone.
+        let err = Volume::create(make_majority(), 0, 64, 16).err().unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::WidthUnknown)
+        ));
+        // Zero fields.
+        let err = Volume::with_config(make_majority(), VolumeConfig::new(0, 0, 16))
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::ZeroBlockSize)
+        ));
+        let err = Volume::with_config(make_majority(), VolumeConfig::new(0, 64, 0))
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::ZeroBlocks)
+        ));
+        let err = Volume::with_config(
+            make_majority(),
+            VolumeConfig::new(0, 64, 16).blocks_per_stripe(0),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::ZeroStripeWidth)
+        ));
+        // Width beyond the replicated object namespace.
+        let err = Volume::with_config(
+            make_majority(),
+            VolumeConfig::new(0, 64, 16).blocks_per_stripe(5000),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::WidthOutOfRange {
+                configured: 5000,
+                ..
+            })
+        ));
+        // Width conflicting with a fixed-width backend.
+        let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
+        let client = TrapErcClient::new(config, LocalTransport::new(Cluster::new(15))).unwrap();
+        let err = Volume::with_config(client, VolumeConfig::new(0, 64, 16).blocks_per_stripe(4))
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::WidthMismatch {
+                configured: 4,
+                backend: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn open_attaches_without_reprovisioning() {
+        let config = ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap();
+        let cluster = Cluster::new(15);
+        let client =
+            TrapErcClient::new(config.clone(), LocalTransport::new(cluster.clone())).unwrap();
+        let vol = Volume::create(client, 50, 64, 16).unwrap();
+        vol.write_block(3, &[0xEE; 64]).unwrap();
+
+        // A second client over the same nodes opens the volume and sees
+        // the committed state; first-wins creation makes with_config
+        // idempotent but `open` issues no creates at all.
+        let before = cluster.io_totals().writes;
+        let client2 = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
+        let vol2 = Volume::open(client2, VolumeConfig::new(50, 64, 16)).unwrap();
+        assert_eq!(cluster.io_totals().writes, before, "open wrote nothing");
+        assert_eq!(vol2.read_block(3).unwrap(), vec![0xEE; 64]);
+    }
+
+    #[test]
+    fn sharded_volume_scrubs_and_rebuilds_per_shard() {
+        let clusters: Vec<Cluster> = (0..2).map(|_| Cluster::new(15)).collect();
+        let shards: Vec<TrapErcClient<LocalTransport>> = clusters
+            .iter()
+            .map(|c| {
+                TrapErcClient::new(
+                    ProtocolConfig::with_uniform_w(15, 8, 0, 4, 1, 2).unwrap(),
+                    LocalTransport::new(c.clone()),
+                )
+                .unwrap()
+            })
+            .collect();
+        let store = ShardedStore::new(shards, ShardMap::hashed(2).unwrap()).unwrap();
+        let vol = Volume::with_config(store, VolumeConfig::new(300, 64, 32)).unwrap();
+        for lba in 0..32 {
+            vol.write_block(lba, &[lba as u8 ^ 0x3C; 64]).unwrap();
+        }
+
+        // Replace node 3 of shard 1's cluster only, rebuild just there.
+        clusters[1].replace(3);
+        let stripes_on_1 = vol
+            .stripes_by_shard()
+            .iter()
+            .find(|(s, _)| *s == 1)
+            .map_or(0, |(_, ids)| ids.len());
+        let reports = vol.rebuild_shard_node(1, 3).unwrap();
+        assert_eq!(reports.len(), stripes_on_1);
+
+        // Shard-parallel scrub covers all stripes of both shards.
+        let refreshed = vol.scrub_sharded().unwrap();
+        assert_eq!(refreshed, vol.stripe_count as usize * 15);
+        for lba in 0..32 {
+            assert_eq!(vol.read_block(lba).unwrap(), vec![lba as u8 ^ 0x3C; 64]);
+        }
     }
 
     #[test]

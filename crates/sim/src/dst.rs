@@ -50,9 +50,11 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tq_cluster::{Cluster, NetworkModel, SimFault, SimStats, SimTransport};
-use tq_trapezoid::{BlockAddr, ProtocolError, QuorumStore, Store};
+use tq_trapezoid::{
+    BatchWrite, BlockAddr, ProtocolError, QuorumStore, ShardMap, ShardedStore, Store,
+};
 
-/// The stripe id every DST workload uses.
+/// The first stripe id; stripe group `g` lives on `STRIPE + g`.
 pub const STRIPE: u64 = 1;
 /// Blocks per stripe (the TRAP-ERC `k`; replication backends emulate).
 pub const BLOCKS: usize = 6;
@@ -60,6 +62,17 @@ pub const BLOCKS: usize = 6;
 pub const BLOCK_LEN: usize = 32;
 /// Cluster width every backend runs on (the TRAP-ERC `n`).
 pub const CLUSTER_NODES: usize = 9;
+/// Stripe groups (shards) the sharded DST data plane spans.
+pub const SHARDS: usize = 2;
+/// Logical blocks across all stripe groups: [`run_case`] drives a
+/// [`ShardedStore`] whose address space is `SHARDS` stripes wide.
+pub const TOTAL_BLOCKS: usize = BLOCKS * SHARDS;
+
+/// Address of a logical DST block: group `block / BLOCKS` lives on
+/// stripe `STRIPE + group` at in-stripe index `block % BLOCKS`.
+pub fn addr_of(block: usize) -> BlockAddr {
+    BlockAddr::new(STRIPE + (block / BLOCKS) as u64, block % BLOCKS)
+}
 
 // ---------------------------------------------------------------------
 // Backends.
@@ -119,6 +132,28 @@ impl Backend {
         };
         built.expect("DST backend configuration is valid")
     }
+
+    /// Builds the backend as a [`SHARDS`]-way [`ShardedStore`]: one
+    /// instance per stripe group, all over the same simulated cluster,
+    /// with batch fan-out walked sequentially so the single-threaded
+    /// virtual-time scheduler stays deterministic. Stripe `STRIPE + g`
+    /// routes to its own shard (the ranged map with one stripe per
+    /// range), so every workload batch that spans groups crosses the
+    /// router's shard boundary.
+    ///
+    /// # Panics
+    /// Panics if the fixed shard configuration stops validating — a bug
+    /// in this module, not an input error.
+    pub fn build_sharded(&self, transport: Arc<SimTransport>) -> Box<dyn QuorumStore> {
+        let shards: Vec<Box<dyn QuorumStore>> = (0..SHARDS)
+            .map(|_| self.build(Arc::clone(&transport)))
+            .collect();
+        let map = ShardMap::ranged(SHARDS, 1).expect("shard count is positive");
+        let sharded = ShardedStore::new(shards, map)
+            .expect("shard vector matches the map")
+            .sequential_batches();
+        Box::new(sharded)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -133,8 +168,8 @@ pub struct Scenario {
     /// Network model outside quiesced (create/scrub) windows.
     pub model: NetworkModel,
     /// Op-mix weights: write, read, crash, restart, partition, heal,
-    /// scrub, advance.
-    pub weights: [u32; 8],
+    /// scrub, advance, write-batch, read-batch, scrub-shard.
+    pub weights: [u32; 11],
     /// Probability a crash is volatile (loses the disk).
     pub wipe_prob: f64,
     /// Max nodes simultaneously crashed or partitioned — stays within
@@ -151,7 +186,7 @@ impl Scenario {
         Scenario {
             name: "loss-reorder",
             model: NetworkModel::hostile(0.08, 0.06),
-            weights: [10, 10, 0, 0, 0, 0, 2, 4],
+            weights: [10, 10, 0, 0, 0, 0, 2, 4, 5, 5, 1],
             wipe_prob: 0.0,
             max_down: 0,
             max_wiped: 0,
@@ -163,7 +198,7 @@ impl Scenario {
         Scenario {
             name: "partitions",
             model: NetworkModel::hostile(0.02, 0.0),
-            weights: [10, 10, 0, 0, 4, 3, 2, 4],
+            weights: [10, 10, 0, 0, 4, 3, 2, 4, 5, 5, 1],
             wipe_prob: 0.0,
             max_down: 2,
             max_wiped: 0,
@@ -178,7 +213,7 @@ impl Scenario {
                 loss: 0.01,
                 ..NetworkModel::reliable()
             },
-            weights: [10, 10, 5, 5, 0, 0, 3, 4],
+            weights: [10, 10, 5, 5, 0, 0, 3, 4, 5, 5, 1],
             wipe_prob: 0.3,
             max_down: 2,
             max_wiped: 1,
@@ -190,7 +225,7 @@ impl Scenario {
         Scenario {
             name: "chaos",
             model: NetworkModel::hostile(0.05, 0.04),
-            weights: [10, 10, 4, 4, 3, 2, 3, 4],
+            weights: [10, 10, 4, 4, 3, 2, 3, 4, 5, 5, 2],
             wipe_prob: 0.25,
             max_down: 2,
             max_wiped: 1,
@@ -207,7 +242,7 @@ impl Scenario {
         Scenario {
             name: "at-least-once",
             model: NetworkModel::at_least_once(0.05, 0.25),
-            weights: [10, 10, 3, 3, 2, 2, 3, 4],
+            weights: [10, 10, 3, 3, 2, 2, 3, 4, 5, 5, 1],
             wipe_prob: 0.2,
             max_down: 2,
             max_wiped: 1,
@@ -270,12 +305,30 @@ pub enum WorkloadOp {
     },
     /// Heal all partitions.
     Heal,
-    /// Quiesce (restart everything, heal, reliable links) and scrub.
+    /// Quiesce (restart everything, heal, reliable links) and scrub
+    /// every stripe group.
     Scrub,
     /// Jump virtual time forward.
     Advance {
         /// Virtual nanoseconds to skip.
         dt: u64,
+    },
+    /// Write several blocks in one batched call — on a sharded store
+    /// the batch fans out across stripe groups through the router.
+    WriteBatch {
+        /// Distinct target blocks with their pattern seeds.
+        blocks: Vec<(usize, u8)>,
+    },
+    /// Read several blocks in one batched call.
+    ReadBatch {
+        /// Distinct target blocks.
+        blocks: Vec<usize>,
+    },
+    /// Quiesce, then scrub a single stripe group (shard-targeted
+    /// anti-entropy); the other groups' stale replicas stay stale.
+    ScrubShard {
+        /// Stripe group selector (taken modulo the groups in play).
+        shard: usize,
     },
 }
 
@@ -298,11 +351,11 @@ pub fn generate_ops(seed: u64, scenario: &Scenario, count: usize) -> Vec<Workloa
         }
         ops.push(match kind {
             0 => WorkloadOp::Write {
-                block: rng.random_range(0..BLOCKS),
+                block: rng.random_range(0..TOTAL_BLOCKS),
                 fill: rng.random_range(0..=u8::MAX),
             },
             1 => WorkloadOp::Read {
-                block: rng.random_range(0..BLOCKS),
+                block: rng.random_range(0..TOTAL_BLOCKS),
             },
             2 => WorkloadOp::Crash {
                 node: rng.random_range(0..CLUSTER_NODES),
@@ -326,8 +379,34 @@ pub fn generate_ops(seed: u64, scenario: &Scenario, count: usize) -> Vec<Workloa
             }
             5 => WorkloadOp::Heal,
             6 => WorkloadOp::Scrub,
-            _ => WorkloadOp::Advance {
+            7 => WorkloadOp::Advance {
                 dt: rng.random_range(1_000..200_000u64),
+            },
+            8 => {
+                let count = rng.random_range(2..=4usize);
+                let mut picked = BTreeSet::new();
+                while picked.len() < count {
+                    picked.insert(rng.random_range(0..TOTAL_BLOCKS));
+                }
+                WorkloadOp::WriteBatch {
+                    blocks: picked
+                        .into_iter()
+                        .map(|b| (b, rng.random_range(0..=u8::MAX)))
+                        .collect(),
+                }
+            }
+            9 => {
+                let count = rng.random_range(2..=4usize);
+                let mut picked = BTreeSet::new();
+                while picked.len() < count {
+                    picked.insert(rng.random_range(0..TOTAL_BLOCKS));
+                }
+                WorkloadOp::ReadBatch {
+                    blocks: picked.into_iter().collect(),
+                }
+            }
+            _ => WorkloadOp::ScrubShard {
+                shard: rng.random_range(0..SHARDS),
             },
         });
     }
@@ -457,6 +536,12 @@ impl HistoryChecker {
     /// The latest completed-write version of a block.
     pub fn floor(&self, block: usize) -> u64 {
         self.blocks[block].floor
+    }
+
+    /// Number of blocks this history tracks — the workload driver
+    /// derives the stripe-group count from it.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
     }
 
     /// Records a *completed* write. Completed versions must strictly
@@ -660,9 +745,10 @@ pub struct CaseReport {
     pub violation: Option<Violation>,
 }
 
-/// Runs one case end to end: provision under reliable links, drive the
-/// workload under the scenario's model, settle with a final quiesced
-/// scrub, and report.
+/// Runs one case end to end: provision a [`SHARDS`]-group
+/// [`ShardedStore`] under reliable links, drive the workload (including
+/// cross-shard batches and shard-targeted scrubs) under the scenario's
+/// model, settle with a final quiesced scrub of every group, and report.
 pub fn run_case(cfg: &CaseConfig) -> CaseReport {
     let ops = generate_ops(cfg.seed, &cfg.scenario, cfg.ops);
     let cluster = Cluster::new(CLUSTER_NODES);
@@ -671,11 +757,16 @@ pub fn run_case(cfg: &CaseConfig) -> CaseReport {
         cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
         NetworkModel::reliable(),
     ));
-    let store = cfg.backend.build(Arc::clone(&sim));
-    let initial: Vec<Vec<u8>> = (0..BLOCKS).map(|i| payload(i as u8)).collect();
-    store
-        .create(STRIPE, initial.clone())
-        .expect("provisioning under reliable links succeeds");
+    let store = cfg.backend.build_sharded(Arc::clone(&sim));
+    let initial: Vec<Vec<u8>> = (0..TOTAL_BLOCKS).map(|i| payload(i as u8)).collect();
+    for group in 0..SHARDS {
+        store
+            .create(
+                STRIPE + group as u64,
+                initial[group * BLOCKS..(group + 1) * BLOCKS].to_vec(),
+            )
+            .expect("provisioning under reliable links succeeds");
+    }
     sim.set_model(cfg.scenario.model.clone());
 
     let mut checker = HistoryChecker::new(&initial);
@@ -740,8 +831,15 @@ pub fn run_workload(
             violation = Some(v);
         }
     }
-    stats.final_floors = (0..BLOCKS).map(|b| checker.floor(b)).collect();
+    stats.final_floors = (0..checker.block_count())
+        .map(|b| checker.floor(b))
+        .collect();
     (stats, violation)
+}
+
+/// Stripe groups a checker's address space spans.
+fn group_count(checker: &HistoryChecker) -> usize {
+    checker.block_count().div_ceil(BLOCKS).max(1)
 }
 
 /// Workload-driver state: which faults are outstanding, so fault
@@ -771,7 +869,7 @@ impl Runner<'_> {
         match op {
             WorkloadOp::Write { block, fill } => {
                 let bytes = payload(*fill);
-                match self.store.write(BlockAddr::new(STRIPE, *block), &bytes) {
+                match self.store.write(addr_of(*block), &bytes) {
                     Ok(out) => {
                         stats.commits += 1;
                         checker.commit(*block, &bytes, out.version, op_index)?;
@@ -785,13 +883,54 @@ impl Runner<'_> {
                     }
                 }
             }
-            WorkloadOp::Read { block } => match self.store.read(BlockAddr::new(STRIPE, *block)) {
+            WorkloadOp::Read { block } => match self.store.read(addr_of(*block)) {
                 Ok(out) => {
                     stats.reads_ok += 1;
                     checker.observe_read(*block, &out.bytes, out.version, op_index)?;
                 }
                 Err(_) => stats.reads_failed += 1,
             },
+            WorkloadOp::WriteBatch { blocks } => {
+                let payloads: Vec<Vec<u8>> =
+                    blocks.iter().map(|&(_, fill)| payload(fill)).collect();
+                let items: Vec<BatchWrite<'_>> = blocks
+                    .iter()
+                    .zip(&payloads)
+                    .map(|(&(block, _), bytes)| BatchWrite {
+                        addr: addr_of(block),
+                        bytes,
+                    })
+                    .collect();
+                let batch = self.store.write_batch(&items);
+                for ((&(block, _), bytes), outcome) in
+                    blocks.iter().zip(&payloads).zip(&batch.outcomes)
+                {
+                    match outcome {
+                        Ok(out) => {
+                            stats.commits += 1;
+                            checker.commit(block, bytes, out.version, op_index)?;
+                        }
+                        Err(ProtocolError::OldValueUnreadable(_)) => {}
+                        Err(_) => {
+                            stats.residues += 1;
+                            checker.residue(block, bytes);
+                        }
+                    }
+                }
+            }
+            WorkloadOp::ReadBatch { blocks } => {
+                let addrs: Vec<BlockAddr> = blocks.iter().map(|&b| addr_of(b)).collect();
+                let batch = self.store.read_batch(&addrs);
+                for (&block, outcome) in blocks.iter().zip(&batch.outcomes) {
+                    match outcome {
+                        Ok(out) => {
+                            stats.reads_ok += 1;
+                            checker.observe_read(block, &out.bytes, out.version, op_index)?;
+                        }
+                        Err(_) => stats.reads_failed += 1,
+                    }
+                }
+            }
             WorkloadOp::Crash {
                 node,
                 durable,
@@ -847,19 +986,39 @@ impl Runner<'_> {
                 self.partitioned.clear();
             }
             WorkloadOp::Scrub => self.scrub(op_index, checker, stats)?,
+            WorkloadOp::ScrubShard { shard } => {
+                let group = shard % group_count(checker);
+                self.scrub_groups(&[group], op_index, checker, stats)?;
+            }
             WorkloadOp::Advance { dt } => self.sim.advance(*dt),
         }
         Ok(())
     }
 
-    /// Quiesce and scrub: fire outstanding scheduled faults, restart
-    /// every node, heal partitions, wait out every in-flight cross-round
-    /// message (anti-entropy runs behind a quiet network — a stale write
-    /// landing *after* the scrub settled would undo the settle), run the
-    /// scrub over reliable links, settle the checker from a read-back,
-    /// then restore the scenario.
+    /// Quiesce and scrub every stripe group.
     fn scrub(
         &mut self,
+        op_index: usize,
+        checker: &mut HistoryChecker,
+        stats: &mut CaseStats,
+    ) -> Result<(), Violation> {
+        let groups: Vec<usize> = (0..group_count(checker)).collect();
+        self.scrub_groups(&groups, op_index, checker, stats)
+    }
+
+    /// Quiesce and scrub the given stripe groups: fire outstanding
+    /// scheduled faults, restart every node, heal partitions, wait out
+    /// every in-flight cross-round message (anti-entropy runs behind a
+    /// quiet network — a stale write landing *after* the scrub settled
+    /// would undo the settle), run each group's scrub over reliable
+    /// links, settle the checker from a read-back, then restore the
+    /// scenario. A group's blocks settle only when *its* scrub refreshed
+    /// every node the stripe spans ([`QuorumStore::stripe_nodes`] — on a
+    /// sharded store that is the owning shard's node count, not the
+    /// router-wide sum).
+    fn scrub_groups(
+        &mut self,
+        groups: &[usize],
         op_index: usize,
         checker: &mut HistoryChecker,
         stats: &mut CaseStats,
@@ -877,25 +1036,37 @@ impl Runner<'_> {
         let saved = self.sim.model();
         self.sim.set_model(NetworkModel::reliable());
 
-        match self.store.scrub(STRIPE) {
-            Ok(report) => {
-                stats.scrubs_ok += 1;
-                checker.note_salvaged(&report.salvaged);
-                let full = report.refreshed.len() == self.store.info().nodes;
-                for block in 0..BLOCKS {
-                    match self.store.read(BlockAddr::new(STRIPE, block)) {
-                        Ok(out) => {
-                            stats.reads_ok += 1;
-                            checker.observe_read(block, &out.bytes, out.version, op_index)?;
-                            if full {
-                                checker.settle(block, &out.bytes, out.version, op_index)?;
-                            }
+        for &group in groups {
+            let stripe = STRIPE + group as u64;
+            match self.store.scrub(stripe) {
+                Ok(report) => {
+                    stats.scrubs_ok += 1;
+                    let salvaged: Vec<usize> = report
+                        .salvaged
+                        .iter()
+                        .map(|&b| group * BLOCKS + b)
+                        .collect();
+                    checker.note_salvaged(&salvaged);
+                    let full = report.refreshed.len() == self.store.stripe_nodes(stripe);
+                    for index in 0..BLOCKS {
+                        let block = group * BLOCKS + index;
+                        if block >= checker.block_count() {
+                            break;
                         }
-                        Err(_) => stats.reads_failed += 1,
+                        match self.store.read(BlockAddr::new(stripe, index)) {
+                            Ok(out) => {
+                                stats.reads_ok += 1;
+                                checker.observe_read(block, &out.bytes, out.version, op_index)?;
+                                if full {
+                                    checker.settle(block, &out.bytes, out.version, op_index)?;
+                                }
+                            }
+                            Err(_) => stats.reads_failed += 1,
+                        }
                     }
                 }
+                Err(_) => stats.scrubs_failed += 1,
             }
-            Err(_) => stats.scrubs_failed += 1,
         }
 
         self.sim.set_model(saved);
@@ -990,7 +1161,7 @@ mod tests {
                 scenario: Scenario {
                     name: "calm",
                     model: NetworkModel::reliable(),
-                    weights: [10, 10, 0, 0, 0, 0, 1, 2],
+                    weights: [10, 10, 0, 0, 0, 0, 1, 2, 5, 5, 1],
                     wipe_prob: 0.0,
                     max_down: 0,
                     max_wiped: 0,

@@ -45,5 +45,6 @@ pub use tq_erasure::{CodeParams, ReedSolomon};
 pub use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 pub use tq_trapezoid::{
     BatchReads, BatchWrite, BatchWrites, BlockAddr, OpReport, ProtocolConfig, ProtocolError,
-    QuorumStore, Store, StoreBuilder, StoreInfo, TrapErcClient, TrapFrClient, Volume,
+    QuorumStore, ShardMap, ShardedStore, Store, StoreBuilder, StoreInfo, StripeLockManager,
+    TrapErcClient, TrapFrClient, Volume, VolumeConfig, VolumeError,
 };

@@ -240,7 +240,7 @@ fn injected_version_regression_is_caught_by_the_checker() {
     let calm = Scenario {
         name: "calm",
         model: NetworkModel::reliable(),
-        weights: [1, 1, 0, 0, 0, 0, 0, 0],
+        weights: [1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0],
         wipe_prob: 0.0,
         max_down: 0,
         max_wiped: 0,

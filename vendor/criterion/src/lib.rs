@@ -199,6 +199,36 @@ pub fn write_json_report() {
     }
 }
 
+/// Records an externally-measured result so it joins the run's stdout
+/// listing and the `$TQ_BENCH_JSON` report. Open-loop load harnesses
+/// measure latency distributions themselves instead of timing a closure
+/// through [`Bencher::iter`]; this is their entry into the same
+/// reporting pipeline (extension, not upstream API).
+pub fn record_measurement(id: &str, mean_ns: f64, best_ns: f64, throughput: Option<Throughput>) {
+    RECORDS.lock().expect("bench record registry").push(Record {
+        id: id.to_string(),
+        mean_ns,
+        best_ns,
+        throughput,
+    });
+    let thr = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib = b as f64 / mean_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  {gib:>8.3} GiB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 / mean_ns * 1e9 / 1e6;
+            format!("  {meps:>8.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} mean {:>10}  best {:>10}{thr}",
+        fmt_duration(mean_ns),
+        fmt_duration(best_ns)
+    );
+}
+
 fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     if bencher.samples.is_empty() {
         println!("{id:<48} (no samples)");
