@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::node::{NodeId, StorageNode};
 use crate::stats::IoSnapshot;
+use crate::storage::StorageBackend;
 
 /// A fixed-size set of storage nodes with fail-stop switches.
 ///
@@ -26,6 +27,26 @@ impl Cluster {
         Cluster {
             nodes: (0..n)
                 .map(|i| Arc::new(StorageNode::new(NodeId(i))))
+                .collect(),
+        }
+    }
+
+    /// Builds a cluster of `n` live nodes whose persistence is supplied
+    /// per node by `backend` (index → backend) — the hook the DST uses
+    /// to wrap every node's storage in a seeded faulting backend, and
+    /// tests use to pin a specific backend regardless of
+    /// `TQ_NODE_BACKEND`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_backends(
+        n: usize,
+        mut backend: impl FnMut(usize) -> Arc<dyn StorageBackend>,
+    ) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        Cluster {
+            nodes: (0..n)
+                .map(|i| Arc::new(StorageNode::builder(NodeId(i)).backend(backend(i)).build()))
                 .collect(),
         }
     }

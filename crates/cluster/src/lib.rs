@@ -38,6 +38,19 @@
 //!   durable or volatile state, and an at-least-once mode with
 //!   cross-round redelivery) — the substrate of the DST harness in
 //!   `tq-sim`.
+//! * [`wire`] — the versioned, length-prefixed binary frame format for
+//!   [`rpc::Envelope`]/[`rpc::Reply`]: self-checking 32-byte header,
+//!   zero-copy payload decode, typed [`wire::DecodeError`]s — never a
+//!   panic, whatever the bytes.
+//! * [`tcp`] — the same [`transport::Transport`] seam over real
+//!   loopback/network sockets: [`tcp::TcpNodeServer`] hosts any
+//!   [`rpc::NodeApi`], [`tcp::TcpTransport`] pools connections per node
+//!   with inflight backpressure, reconnect-with-backoff, and timeouts.
+//! * [`storage`] — the pluggable persistence seam *under* the node:
+//!   [`storage::StorageBackend`] with a striped in-memory map, a
+//!   crash-safe append-only log (checksummed records, fsync policy,
+//!   torn-tail recovery, compaction), and a deterministic faulting
+//!   wrapper for the DST's storage fault axis.
 //!
 //! Nothing here knows about trapezoids or erasure codes; `tq-trapezoid`
 //! composes this substrate with `tq-erasure` and `tq-quorum` into the
@@ -53,7 +66,10 @@ pub mod quorum_round;
 pub mod rpc;
 pub mod sim;
 pub mod stats;
+pub mod storage;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
@@ -64,4 +80,10 @@ pub use quorum_round::{
 pub use rpc::{BlockId, Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
 pub use sim::{NetworkModel, SimFault, SimStats, SimTransport};
 pub use stats::IoStats;
+pub use storage::{
+    AppendLogBackend, FaultingBackend, FsyncPolicy, MemoryBackend, StorageBackend, StorageError,
+    StorageFaults, StoredBlock,
+};
+pub use tcp::{TcpConfig, TcpNodeServer, TcpTransport};
 pub use transport::{ChannelTransport, LocalTransport, RoundReply, Transport};
+pub use wire::{DecodeError, Frame, FrameKind, Header};

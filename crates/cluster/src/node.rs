@@ -7,16 +7,25 @@
 //! applied-op window. Together these make the node safe under
 //! at-least-once delivery — the property the cross-round redelivery mode
 //! of [`crate::sim::SimTransport`] exercises adversarially.
+//!
+//! The node's *state* lives behind the [`StorageBackend`] seam: the same
+//! command semantics run over the striped in-memory map (default), the
+//! crash-safe append-only log, or the DST fault-injection wrapper. Pick
+//! a backend with [`StorageNode::builder`]; plain [`StorageNode::new`]
+//! uses the process default (the `TQ_NODE_BACKEND` environment
+//! variable, memory if unset).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::rpc::{BlockId, Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
 use crate::stats::{IoSnapshot, IoStats};
+use crate::storage::{self, StorageBackend, StorageError, StoredBlock};
 
 /// Index of a node within its cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,23 +42,6 @@ impl fmt::Display for NodeId {
 /// simulation (or a sane fabric) produces; beyond the window, the
 /// monotone version guards still keep redeliveries harmless.
 const APPLIED_WINDOW: usize = 4096;
-
-/// What one node stores for one object.
-///
-/// Blocks are held as refcounted [`Bytes`]: an install *moves* the
-/// request's payload into the store (no copy), and a read hands out a
-/// clone of the stored allocation (an `Arc` bump). The only place block
-/// bytes are materialised anew is the parity fold, which must produce a
-/// different value anyway.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum StoredBlock {
-    /// A full data block `b_i` with its version (the paper's data nodes).
-    Data { version: u64, bytes: Bytes },
-    /// A parity block `b_j = Σ α_{j,i}·b_i` with its column of the
-    /// version matrix V: `versions[i]` is the version of block `i`'s
-    /// contribution currently folded into `bytes`.
-    Parity { versions: Vec<u64>, bytes: Bytes },
-}
 
 /// Bounded FIFO set of recently applied mutation op ids.
 #[derive(Debug, Default)]
@@ -75,96 +67,103 @@ impl AppliedWindow {
     }
 }
 
-/// How many independent mutex-guarded slices the block map is split
-/// into. A hot block serialises only its own slice; requests for blocks
-/// on other slices proceed in parallel. Power of two so the hash
-/// reduction is a mask.
-const BLOCK_MAP_STRIPES: usize = 16;
+/// How many independent per-block serialisation locks the node stripes
+/// its request handling over. Each request touches exactly one block, so
+/// a request locks exactly one stripe; a hot block never stalls the
+/// whole node. Power of two so the hash reduction is a mask.
+const OP_LOCK_STRIPES: usize = 16;
 
-/// The node's block map, striped N ways by [`BlockId`] hash.
+/// Builder for a [`StorageNode`] with an explicit storage backend.
 ///
-/// Each request touches exactly one block, so every [`StorageNode`]
-/// request arm locks exactly one stripe — the per-request semantics are
-/// bit-identical to the former single-mutex map (each block's state
-/// still has one serialisation point), but a hot block no longer stalls
-/// the whole node.
+/// ```
+/// use std::sync::Arc;
+/// use tq_cluster::storage::MemoryBackend;
+/// use tq_cluster::{NodeId, StorageNode};
+///
+/// let node = StorageNode::builder(NodeId(3))
+///     .backend(Arc::new(MemoryBackend::new()))
+///     .build();
+/// assert_eq!(node.id(), NodeId(3));
+/// ```
 #[derive(Debug)]
-struct BlockMap {
-    stripes: Vec<Mutex<HashMap<BlockId, StoredBlock>>>,
+pub struct NodeBuilder {
+    id: NodeId,
+    backend: Option<Arc<dyn StorageBackend>>,
+    durable_acks: bool,
 }
 
-impl BlockMap {
-    fn new() -> Self {
-        BlockMap {
-            stripes: (0..BLOCK_MAP_STRIPES)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+impl NodeBuilder {
+    /// Selects the storage backend (default: the process default per
+    /// `TQ_NODE_BACKEND`).
+    pub fn backend(mut self, backend: Arc<dyn StorageBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Whether an acknowledged mutation must be durable (default:
+    /// `true`). With durable acks the node forces the backend's
+    /// durability barrier before replying to any mutation, so a crash
+    /// can only lose state the caller was never told about — the
+    /// fsync-before-ack discipline every quorum-intersection argument
+    /// silently assumes. Turning it off trades that guarantee for
+    /// per-mutation fsync cost; the DST storage-fault axis demonstrates
+    /// the loss is real (a lazy-ack node that crash-reverts serves
+    /// stale versions and breaks read-one protocols outright).
+    pub fn durable_acks(mut self, durable: bool) -> Self {
+        self.durable_acks = durable;
+        self
+    }
+
+    /// Builds the node.
+    pub fn build(self) -> StorageNode {
+        let backend = self
+            .backend
+            .unwrap_or_else(|| storage::default_backend(self.id.0));
+        StorageNode {
+            id: self.id,
+            up: AtomicBool::new(true),
+            backend,
+            durable_acks: self.durable_acks,
+            op_locks: (0..OP_LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            applied: Mutex::new(AppliedWindow::default()),
+            stats: IoStats::new(),
         }
-    }
-
-    /// SplitMix64 finalizer, masked onto a stripe: neighbouring block
-    /// ids (one stripe's data + parity objects) spread over slices.
-    fn lock_for(&self, id: BlockId) -> parking_lot::MutexGuard<'_, HashMap<BlockId, StoredBlock>> {
-        let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        self.stripes[(z as usize) & (BLOCK_MAP_STRIPES - 1)].lock()
-    }
-
-    fn clear(&self) {
-        for stripe in &self.stripes {
-            stripe.lock().clear();
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.stripes.iter().map(|s| s.lock().len()).sum()
-    }
-
-    fn stored_bytes(&self) -> usize {
-        self.stripes
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .values()
-                    .map(|b| match b {
-                        StoredBlock::Data { bytes, .. } => bytes.len(),
-                        StoredBlock::Parity { bytes, .. } => bytes.len(),
-                    })
-                    .sum::<usize>()
-            })
-            .sum()
     }
 }
 
 /// One storage server.
 ///
-/// Thread-safe: the block map is striped over independent
-/// [`parking_lot::Mutex`] slices keyed by block-id hash (the internal
-/// `BlockMap`) and the fail-stop switch is an atomic, so the same node
-/// can serve the direct transport and the channel transport
-/// interchangeably. Each block still has exactly one serialisation
-/// point, which matches the model (a node is a single failure domain;
+/// Thread-safe: request handling is serialised *per block* over striped
+/// [`parking_lot::Mutex`] locks keyed by block-id hash, the fail-stop
+/// switch is an atomic, and the backend is `Sync` — so the same node can
+/// serve the direct transport, the channel transport and a TCP listener
+/// interchangeably. Each block has exactly one serialisation point,
+/// which matches the model (a node is a single failure domain;
 /// per-block ordering is what the monotone guards need).
 #[derive(Debug)]
 pub struct StorageNode {
     id: NodeId,
     up: AtomicBool,
-    blocks: BlockMap,
+    backend: Arc<dyn StorageBackend>,
+    durable_acks: bool,
+    op_locks: Vec<Mutex<()>>,
     applied: Mutex<AppliedWindow>,
     stats: IoStats,
 }
 
 impl StorageNode {
-    /// Creates an empty, live node.
+    /// Creates an empty, live node on the process-default backend
+    /// (`TQ_NODE_BACKEND`; memory if unset).
     pub fn new(id: NodeId) -> Self {
-        StorageNode {
+        StorageNode::builder(id).build()
+    }
+
+    /// Starts building a node with an explicit backend choice.
+    pub fn builder(id: NodeId) -> NodeBuilder {
+        NodeBuilder {
             id,
-            up: AtomicBool::new(true),
-            blocks: BlockMap::new(),
-            applied: Mutex::new(AppliedWindow::default()),
-            stats: IoStats::new(),
+            backend: None,
+            durable_acks: true,
         }
     }
 
@@ -192,8 +191,35 @@ impl StorageNode {
     /// durability domain). The recovery workflows in `tq-trapezoid`
     /// rebuild wiped nodes from the surviving stripe.
     pub fn wipe(&self) {
-        self.blocks.clear();
+        // A backend that cannot even clear is a dead disk; the node
+        // keeps running empty either way (fail-stop comes from `up`).
+        let _ = self.backend.clear();
         *self.applied.lock() = AppliedWindow::default();
+    }
+
+    /// Simulates a crash-restart of the node *process*: the backend
+    /// recovers whatever its durability contract preserves (everything
+    /// for the memory backend; the last-barrier prefix under the DST
+    /// faulting wrapper; the fsync'd log prefix for a real reopened
+    /// log), and the volatile applied-op window is lost. Losing the
+    /// window is safe: redeliveries after a restart fall through to the
+    /// monotone version guards (an already-applied parity fold carries
+    /// a stale `expected_version` and is rejected, not re-applied).
+    pub fn crash_restart(&self) {
+        self.backend.crash_restart();
+        *self.applied.lock() = AppliedWindow::default();
+    }
+
+    /// Forces the backend's durability barrier (fsync for the log
+    /// backend). After `Ok(())`, every acknowledged mutation survives a
+    /// crash.
+    pub fn flush(&self) -> Result<(), StorageError> {
+        self.backend.flush()
+    }
+
+    /// The storage backend this node runs on.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 
     /// IO counters snapshot.
@@ -203,13 +229,45 @@ impl StorageNode {
 
     /// Number of objects stored (diagnostics).
     pub fn object_count(&self) -> usize {
-        self.blocks.len()
+        let mut n = 0;
+        let _ = self.backend.scan(&mut |_, _| n += 1);
+        n
     }
 
     /// Total payload bytes currently stored — the `D_used` of eqs. 14/15
     /// measured rather than predicted.
     pub fn stored_bytes(&self) -> usize {
-        self.blocks.stored_bytes()
+        let mut total = 0;
+        let _ = self.backend.scan(&mut |_, b| total += b.payload_len());
+        total
+    }
+
+    fn op_lock(&self, id: BlockId) -> parking_lot::MutexGuard<'_, ()> {
+        self.op_locks[storage::stripe_of(id) % OP_LOCK_STRIPES].lock()
+    }
+
+    /// A node whose disk errors is indistinguishable from a crashed
+    /// node under the paper's fail-stop model.
+    fn storage_fail(&self, _e: StorageError) -> NodeError {
+        self.stats.record_rejected();
+        NodeError::Down
+    }
+
+    /// Installs a mutation and, under durable acks (the default), forces
+    /// the durability barrier before the caller sees the acknowledgement
+    /// — so a crash-restart can only ever lose mutations whose acks were
+    /// never sent. The quorum layers count a write committed once a
+    /// quorum acked it; without this barrier a lazy backend could revert
+    /// an acked version and hand a read-one protocol a stale version to
+    /// build on (the exact violation the DST storage-fault axis finds).
+    fn put_acked(&self, id: BlockId, block: StoredBlock) -> Result<(), NodeError> {
+        self.backend
+            .put(id, block)
+            .map_err(|e| self.storage_fail(e))?;
+        if self.durable_acks {
+            self.backend.flush().map_err(|e| self.storage_fail(e))?;
+        }
+        Ok(())
     }
 
     /// Handles one bare request, honouring the fail-stop switch.
@@ -226,8 +284,8 @@ impl StorageNode {
         match req {
             Request::Ping => Ok(Response::Pong),
             Request::InitData { id, bytes } => {
-                let mut blocks = self.blocks.lock_for(id);
-                match blocks.get(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     // First-wins: a redelivered create must not reset a
                     // block that has been written since.
                     Some(StoredBlock::Data { .. }) => Ok(Response::Ack),
@@ -239,14 +297,14 @@ impl StorageNode {
                         self.stats.record_write(bytes.len());
                         // Zero-copy install: the request payload becomes
                         // the stored block.
-                        blocks.insert(id, StoredBlock::Data { version: 0, bytes });
+                        self.put_acked(id, StoredBlock::Data { version: 0, bytes })?;
                         Ok(Response::Ack)
                     }
                 }
             }
             Request::InitParity { id, bytes, k } => {
-                let mut blocks = self.blocks.lock_for(id);
-                match blocks.get(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Parity { .. }) => Ok(Response::Ack),
                     Some(StoredBlock::Data { .. }) => {
                         self.stats.record_rejected();
@@ -254,28 +312,25 @@ impl StorageNode {
                     }
                     None => {
                         self.stats.record_write(bytes.len());
-                        blocks.insert(
+                        self.put_acked(
                             id,
                             StoredBlock::Parity {
                                 versions: vec![0; k],
                                 bytes,
                             },
-                        );
+                        )?;
                         Ok(Response::Ack)
                     }
                 }
             }
             Request::ReadData { id } => {
-                let blocks = self.blocks.lock_for(id);
-                match blocks.get(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Data { version, bytes }) => {
                         self.stats.record_read(bytes.len());
                         // Refcounted clone of the stored allocation; the
                         // reply shares the block instead of copying it.
-                        Ok(Response::Data {
-                            bytes: bytes.clone(),
-                            version: *version,
-                        })
+                        Ok(Response::Data { bytes, version })
                     }
                     Some(StoredBlock::Parity { .. }) => {
                         self.stats.record_rejected();
@@ -288,8 +343,8 @@ impl StorageNode {
                 }
             }
             Request::WriteData { id, bytes, version } => {
-                let mut blocks = self.blocks.lock_for(id);
-                match blocks.get_mut(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Data {
                         version: stored_version,
                         bytes: stored,
@@ -305,14 +360,13 @@ impl StorageNode {
                         // regresses. A stale delivery acks idempotently —
                         // its write is durably superseded by what the
                         // node already holds.
-                        if version < *stored_version {
+                        if version < stored_version {
                             return Ok(Response::Ack);
                         }
                         self.stats.record_write(bytes.len());
                         // Zero-copy: the request payload replaces the
                         // stored allocation outright.
-                        *stored = bytes;
-                        *stored_version = version;
+                        self.put_acked(id, StoredBlock::Data { version, bytes })?;
                         Ok(Response::Ack)
                     }
                     Some(StoredBlock::Parity { .. }) => {
@@ -326,11 +380,11 @@ impl StorageNode {
                 }
             }
             Request::VersionData { id } => {
-                let blocks = self.blocks.lock_for(id);
-                match blocks.get(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Data { version, .. }) => {
                         self.stats.record_version_query();
-                        Ok(Response::Version(*version))
+                        Ok(Response::Version(version))
                     }
                     Some(StoredBlock::Parity { .. }) => {
                         self.stats.record_rejected();
@@ -343,11 +397,11 @@ impl StorageNode {
                 }
             }
             Request::VersionVector { id } => {
-                let blocks = self.blocks.lock_for(id);
-                match blocks.get(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Parity { versions, .. }) => {
                         self.stats.record_version_query();
-                        Ok(Response::Versions(versions.clone()))
+                        Ok(Response::Versions(versions))
                     }
                     Some(StoredBlock::Data { .. }) => {
                         self.stats.record_rejected();
@@ -360,14 +414,11 @@ impl StorageNode {
                 }
             }
             Request::ReadParity { id } => {
-                let blocks = self.blocks.lock_for(id);
-                match blocks.get(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Parity { versions, bytes }) => {
                         self.stats.record_read(bytes.len());
-                        Ok(Response::Parity {
-                            bytes: bytes.clone(),
-                            versions: versions.clone(),
-                        })
+                        Ok(Response::Parity { bytes, versions })
                     }
                     Some(StoredBlock::Data { .. }) => {
                         self.stats.record_rejected();
@@ -384,8 +435,8 @@ impl StorageNode {
                 bytes,
                 versions,
             } => {
-                let mut blocks = self.blocks.lock_for(id);
-                match blocks.get_mut(&id) {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Parity {
                         versions: stored_versions,
                         bytes: stored,
@@ -434,8 +485,7 @@ impl StorageNode {
                             _ => {}
                         }
                         self.stats.record_write(bytes.len());
-                        *stored = bytes;
-                        stored_versions.copy_from_slice(&versions);
+                        self.put_acked(id, StoredBlock::Parity { versions, bytes })?;
                         Ok(Response::Ack)
                     }
                     Some(StoredBlock::Data { .. }) => {
@@ -455,9 +505,12 @@ impl StorageNode {
                 expected_version,
                 new_version,
             } => {
-                let mut blocks = self.blocks.lock_for(id);
-                match blocks.get_mut(&id) {
-                    Some(StoredBlock::Parity { versions, bytes }) => {
+                let _guard = self.op_lock(id);
+                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
+                    Some(StoredBlock::Parity {
+                        mut versions,
+                        bytes,
+                    }) => {
                         if block_index >= versions.len() {
                             self.stats.record_rejected();
                             return Err(NodeError::BadBlockIndex {
@@ -493,8 +546,14 @@ impl StorageNode {
                         // then the result becomes the stored allocation.
                         let mut folded = bytes.to_vec();
                         tq_gf256::slice_ops::add_assign(&mut folded, &delta);
-                        *bytes = Bytes::from(folded);
                         versions[block_index] = new_version;
+                        self.put_acked(
+                            id,
+                            StoredBlock::Parity {
+                                versions,
+                                bytes: Bytes::from(folded),
+                            },
+                        )?;
                         Ok(Response::Ack)
                     }
                     Some(StoredBlock::Data { .. }) => {
@@ -546,9 +605,14 @@ impl NodeApi for StorageNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::MemoryBackend;
 
     fn node() -> StorageNode {
-        StorageNode::new(NodeId(0))
+        // Pin the memory backend: these tests assert exact IO counters
+        // and must not vary under TQ_NODE_BACKEND.
+        StorageNode::builder(NodeId(0))
+            .backend(Arc::new(MemoryBackend::new()))
+            .build()
     }
 
     #[test]
@@ -1056,5 +1120,91 @@ mod tests {
         assert_eq!(snap.reads, 1);
         assert_eq!(snap.writes, 2);
         assert_eq!(snap.bytes_out, 100);
+    }
+
+    #[test]
+    fn durable_acks_survive_crash_reverts_and_lazy_acks_do_not() {
+        use crate::storage::{FaultingBackend, StorageFaults};
+        // A disk that never reaches an automatic fsync barrier: only the
+        // node's own flush-before-ack can make anything durable.
+        let lazy_disk = StorageFaults {
+            sync_every: u64::MAX,
+            fsync_fail_p: 0,
+            slow_read_p: 0,
+            slow_read_max_ticks: 0,
+        };
+        let build = |durable| {
+            StorageNode::builder(NodeId(0))
+                .backend(Arc::new(FaultingBackend::new(
+                    Arc::new(MemoryBackend::new()),
+                    lazy_disk,
+                    11,
+                )))
+                .durable_acks(durable)
+                .build()
+        };
+        let write = |n: &StorageNode| {
+            n.handle(Request::InitData {
+                id: 1,
+                bytes: Bytes::from_static(b"acked"),
+            })
+            .unwrap();
+        };
+
+        // Default discipline: the ack implies durability, so the
+        // crash-revert recovers exactly what was acknowledged.
+        let durable = build(true);
+        write(&durable);
+        durable.crash_restart();
+        assert!(
+            matches!(
+                durable.handle(Request::ReadData { id: 1 }),
+                Ok(Response::Data { .. })
+            ),
+            "a durable-ack node must not lose an acknowledged write"
+        );
+
+        // Lazy acks: the same acknowledged write silently vanishes — the
+        // failure mode the DST storage-fault axis exists to catch (a
+        // reverted replica serves stale state and read-one protocols
+        // build on it).
+        let lazy = build(false);
+        write(&lazy);
+        lazy.crash_restart();
+        assert_eq!(
+            lazy.handle(Request::ReadData { id: 1 }),
+            Err(NodeError::NotFound),
+            "without durable acks the acked write is lost to the revert"
+        );
+    }
+
+    #[test]
+    fn crash_restart_on_memory_backend_keeps_state_but_drops_window() {
+        let n = node();
+        let fold_setup = Envelope::new(Request::InitParity {
+            id: 1,
+            bytes: Bytes::from(vec![0u8; 4]),
+            k: 1,
+        });
+        n.execute(fold_setup);
+        let fold = Envelope::new(Request::AddParity {
+            id: 1,
+            block_index: 0,
+            delta: Bytes::from(vec![0xFFu8; 4]),
+            expected_version: 0,
+            new_version: 1,
+        });
+        assert_eq!(n.execute(fold.clone()).result, Ok(Response::Ack));
+        n.crash_restart();
+        // The memory backend "recovers" everything; the volatile applied
+        // window is gone, so the redelivered fold falls through to the
+        // version guard — rejected, not double-applied.
+        assert_eq!(
+            n.execute(fold).result,
+            Err(NodeError::VersionConflict {
+                expected: 0,
+                actual: 1
+            })
+        );
     }
 }

@@ -60,6 +60,11 @@ const REDELIVERY_TTL: u8 = 3;
 /// unbounded backlog.
 const LIMBO_CAP: usize = 64;
 
+/// Virtual nanoseconds one storage stall tick costs: slow-read faults
+/// reported by [`crate::storage::StorageBackend::take_stall_ticks`] are
+/// folded into the reply's delivery delay at this rate.
+const STALL_TICK_NS: u64 = 1_000;
+
 /// Link behaviour knobs, all per-message and independently sampled.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
@@ -359,9 +364,11 @@ impl SimState {
     }
 
     /// Reply-direction counterpart of
-    /// [`next_req_arrival`](Self::next_req_arrival).
-    fn next_reply_arrival(&mut self, node: usize) -> u64 {
-        let delay = self.sample_delay(node);
+    /// [`next_req_arrival`](Self::next_req_arrival). `extra` is added to
+    /// the sampled delay — node-side processing stalls (the storage
+    /// fault axis's slow reads) delay the ack like extra wire time.
+    fn next_reply_arrival(&mut self, node: usize, extra: u64) -> u64 {
+        let delay = self.sample_delay(node).saturating_add(extra);
         let last = self.reply_last[node];
         let issue = self.now + delay;
         let at = self.fifo(last, issue);
@@ -427,6 +434,7 @@ impl SimState {
     /// arriving past it is stale — parked for a later round in
     /// at-least-once mode, dropped otherwise. Limbo re-injections pass
     /// `None` (their original caller is long gone).
+    #[allow(clippy::too_many_arguments)] // internal: one slot per delivery knob
     fn schedule_reply(
         &mut self,
         heap: &mut BinaryHeap<Event>,
@@ -435,13 +443,14 @@ impl SimState {
         deadline: Option<u64>,
         foreign: bool,
         hops: u8,
+        stall: u64,
     ) {
         let loss = self.model.loss;
         if self.reply_blocked[node.0] || self.roll(loss) {
             self.stats.replies_dropped += 1;
             return;
         }
-        let at = self.next_reply_arrival(node.0);
+        let at = self.next_reply_arrival(node.0, stall);
         let dup_p = self.model.duplicate;
         let dup = self.roll(dup_p);
         if deadline.is_some_and(|d| at > d) {
@@ -464,7 +473,7 @@ impl SimState {
             },
         });
         if dup {
-            let at = self.next_reply_arrival(node.0);
+            let at = self.next_reply_arrival(node.0, 0);
             if deadline.is_some_and(|d| at > d) {
                 return; // only the duplicate is late: the original made it
             }
@@ -503,7 +512,14 @@ impl SimState {
         self.stats.faults += 1;
         match fault {
             SimFault::Crash { node, durable } => {
-                if !durable {
+                if *durable {
+                    // The process dies and restarts with its disk: the
+                    // backend recovers what it durably holds (everything
+                    // on an in-memory backend; the last fsync barrier on
+                    // a faulting one) and volatile node state — the
+                    // applied-op window — is gone either way.
+                    cluster.node(*node).crash_restart();
+                } else {
                     cluster.node(*node).wipe();
                 }
                 cluster.kill(*node);
@@ -732,7 +748,7 @@ impl SimTransport {
                         st.schedule_request(&mut heap, node, env, u64::MAX, true, hops + 1);
                     }
                     LimboMsg::Reply { node, reply, hops } => {
-                        st.schedule_reply(&mut heap, node, reply, None, true, hops + 1);
+                        st.schedule_reply(&mut heap, node, reply, None, true, hops + 1, 0);
                     }
                 }
             }
@@ -772,7 +788,11 @@ impl SimTransport {
                     // past-deadline replies; without redelivery they
                     // drop here as before).
                     let reply = self.cluster.node(node.0).execute(env);
-                    st.schedule_reply(&mut heap, node, reply, Some(deadline), foreign, hops);
+                    // Storage-fault axis: slow reads charged by the
+                    // node's backend surface as reply latency.
+                    let stall =
+                        self.cluster.node(node.0).backend().take_stall_ticks() * STALL_TICK_NS;
+                    st.schedule_reply(&mut heap, node, reply, Some(deadline), foreign, hops, stall);
                 }
                 EventKind::ReplyArrive {
                     node,

@@ -1,0 +1,1046 @@
+//! Versioned, length-prefixed binary wire format for node commands.
+//!
+//! Every [`Envelope`] and [`Reply`] travels as one *frame*: a fixed
+//! 32-byte header followed by a variable-length body. The header is
+//! self-checking (magic, version, and a CRC-32 over its own bytes), so a
+//! desynchronised or corrupted stream is detected before any body byte
+//! is trusted; the body is a flat tag-plus-fields encoding — compact and
+//! non-self-describing, per the Carnot-bound bandwidth accounting that
+//! motivates counting every wire byte.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        "TQWF"
+//!      4     1  version      WIRE_VERSION (1)
+//!      5     1  kind         0x01 request frame / 0x02 reply frame
+//!      6     2  flags        reserved, little-endian (must decode, may be 0)
+//!      8     8  op id        Envelope/Reply op identity, little-endian
+//!     16     8  round epoch  issuing round's epoch, little-endian
+//!     24     4  body len     bytes following the header, little-endian
+//!     28     4  header CRC   CRC-32 (IEEE) over bytes 0..28
+//! ```
+//!
+//! # Zero-copy bodies
+//!
+//! Decoding borrows block payloads straight out of the receive buffer:
+//! [`decode_frame`] takes the buffer as a [`Bytes`] and every payload
+//! field in the returned [`Request`]/[`Response`] is a
+//! [`Bytes::slice`] sharing that allocation. The PR 5 zero-copy
+//! contract — one allocation per block payload, refcounted everywhere —
+//! survives serialization.
+//!
+//! # Robustness
+//!
+//! [`decode_frame`] and [`Header::decode`] never panic and never read
+//! past the supplied buffer, whatever the input: every failure is a
+//! typed [`DecodeError`]. Length fields are validated against the bytes
+//! actually present *before* any allocation, so an adversarial frame
+//! cannot force an oversized allocation either.
+
+use bytes::Bytes;
+use core::fmt;
+
+use crate::rpc::{Envelope, NodeError, OpId, Reply, Request, Response};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"TQWF";
+
+/// Current wire protocol version. Bump on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed frame header length in bytes.
+pub const HEADER_LEN: usize = 32;
+
+/// Upper bound on a frame body (64 MiB). Far above any real block, and
+/// low enough that a corrupted length field cannot stall a reader on a
+/// multi-gigabyte read.
+pub const MAX_BODY_LEN: u32 = 64 << 20;
+
+/// What a frame carries: the direction of the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// The frame body is a [`Request`] (an [`Envelope`] on the wire).
+    Request,
+    /// The frame body is a `Result<Response, NodeError>` (a [`Reply`]).
+    Reply,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Request => 0x01,
+            FrameKind::Reply => 0x02,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, DecodeError> {
+        match code {
+            0x01 => Ok(FrameKind::Request),
+            0x02 => Ok(FrameKind::Reply),
+            other => Err(DecodeError::UnknownKind(other)),
+        }
+    }
+}
+
+/// The decoded fixed header of one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Direction of the message in the body.
+    pub kind: FrameKind,
+    /// Reserved flag bits (zero today; decoders must tolerate any value
+    /// so future versions can set bits without breaking old peers).
+    pub flags: u16,
+    /// Identity of the logical command (echoed by replies).
+    pub op_id: OpId,
+    /// Epoch of the issuing round (0 = no round).
+    pub round_epoch: u64,
+    /// Length of the body following the header.
+    pub body_len: u32,
+}
+
+impl Header {
+    /// Encodes the header into its fixed 32-byte layout.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4] = WIRE_VERSION;
+        buf[5] = self.kind.code();
+        buf[6..8].copy_from_slice(&self.flags.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.op_id.0.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.round_epoch.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.body_len.to_le_bytes());
+        let crc = crc32(&buf[0..28]);
+        buf[28..32].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and validates a header from the front of `buf`.
+    ///
+    /// Checks, in order: enough bytes, magic, header checksum, version,
+    /// kind, body length bound. Never panics, never reads past `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Header, DecodeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&buf[0..4]);
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        // Checksum before semantic fields: a corrupt header must not be
+        // interpreted, even partially.
+        let stored_crc = u32::from_le_bytes(buf[28..32].try_into().expect("4 bytes"));
+        let actual_crc = crc32(&buf[0..28]);
+        if stored_crc != actual_crc {
+            return Err(DecodeError::HeaderChecksum {
+                stored: stored_crc,
+                computed: actual_crc,
+            });
+        }
+        let version = buf[4];
+        if version != WIRE_VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let kind = FrameKind::from_code(buf[5])?;
+        let flags = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes"));
+        let op_id = OpId(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
+        let round_epoch = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let body_len = u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes"));
+        if body_len > MAX_BODY_LEN {
+            return Err(DecodeError::BodyTooLarge {
+                len: body_len,
+                max: MAX_BODY_LEN,
+            });
+        }
+        Ok(Header {
+            kind,
+            flags,
+            op_id,
+            round_epoch,
+            body_len,
+        })
+    }
+}
+
+/// Why a frame failed to decode. Every variant is a *detected* problem:
+/// decoding never panics and never reads out of bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends before the bytes the current field needs.
+    Truncated {
+        /// Bytes the decoder needed at this point.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first four bytes are not [`MAGIC`] — not a frame, or a
+    /// desynchronised stream.
+    BadMagic([u8; 4]),
+    /// The header checksum did not match its contents.
+    HeaderChecksum {
+        /// CRC the header carried.
+        stored: u32,
+        /// CRC computed over the received header bytes.
+        computed: u32,
+    },
+    /// The frame speaks a protocol version this decoder does not.
+    UnsupportedVersion(u8),
+    /// The kind byte is neither request nor reply.
+    UnknownKind(u8),
+    /// The header's body length exceeds [`MAX_BODY_LEN`].
+    BodyTooLarge {
+        /// Length the header claimed.
+        len: u32,
+        /// The enforced maximum.
+        max: u32,
+    },
+    /// A body tag byte (request/response/error discriminant) is unknown.
+    UnknownTag {
+        /// Which vocabulary the tag belongs to.
+        what: &'static str,
+        /// The unknown tag value.
+        tag: u8,
+    },
+    /// A length or count field inside the body claims more bytes than
+    /// the body holds.
+    LengthOverflow {
+        /// The field whose length is impossible.
+        field: &'static str,
+        /// The claimed element count or byte length.
+        claimed: u64,
+        /// Bytes actually remaining in the body.
+        remaining: usize,
+    },
+    /// The body decoded cleanly but left unconsumed bytes — the header's
+    /// length and the body's content disagree.
+    TrailingBytes {
+        /// Bytes left over after the body decoded.
+        extra: usize,
+    },
+    /// A field value is out of range for this platform (e.g. a count
+    /// that does not fit in `usize`).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            DecodeError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (speaking {WIRE_VERSION})")
+            }
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            DecodeError::BodyTooLarge { len, max } => {
+                write!(f, "body length {len} exceeds maximum {max}")
+            }
+            DecodeError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            DecodeError::LengthOverflow {
+                field,
+                claimed,
+                remaining,
+            } => write!(
+                f,
+                "{field} claims {claimed} but only {remaining} bytes remain"
+            ),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after body")
+            }
+            DecodeError::BadValue(what) => write!(f, "{what} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded frame: an envelope or a reply, plus how many buffer bytes
+/// it consumed (header + body), so a streaming reader can advance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A request frame.
+    Envelope(Envelope),
+    /// A reply frame.
+    Reply(Reply),
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven; the table is built at compile time.
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) over `bytes` — the header and record checksum used
+/// across the wire format and the append-only storage log.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Body tags.
+// ---------------------------------------------------------------------
+
+mod tag {
+    // Request body.
+    pub const PING: u8 = 0x01;
+    pub const INIT_DATA: u8 = 0x02;
+    pub const INIT_PARITY: u8 = 0x03;
+    pub const READ_DATA: u8 = 0x04;
+    pub const WRITE_DATA: u8 = 0x05;
+    pub const VERSION_DATA: u8 = 0x06;
+    pub const VERSION_VECTOR: u8 = 0x07;
+    pub const READ_PARITY: u8 = 0x08;
+    pub const WRITE_PARITY: u8 = 0x09;
+    pub const ADD_PARITY: u8 = 0x0A;
+
+    // Reply body leads with a result discriminant.
+    pub const RESULT_OK: u8 = 0x00;
+    pub const RESULT_ERR: u8 = 0x01;
+
+    // Response body.
+    pub const PONG: u8 = 0x01;
+    pub const ACK: u8 = 0x02;
+    pub const DATA: u8 = 0x03;
+    pub const PARITY: u8 = 0x04;
+    pub const VERSION: u8 = 0x05;
+    pub const VERSIONS: u8 = 0x06;
+
+    // NodeError body.
+    pub const ERR_DOWN: u8 = 0x01;
+    pub const ERR_NOT_FOUND: u8 = 0x02;
+    pub const ERR_WRONG_KIND: u8 = 0x03;
+    pub const ERR_VERSION_CONFLICT: u8 = 0x04;
+    pub const ERR_VECTOR_CONFLICT: u8 = 0x05;
+    pub const ERR_SIZE_MISMATCH: u8 = 0x06;
+    pub const ERR_BAD_BLOCK_INDEX: u8 = 0x07;
+    pub const ERR_TRANSPORT_CLOSED: u8 = 0x08;
+    pub const ERR_TIMED_OUT: u8 = 0x09;
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &Bytes) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_versions(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Ping => out.push(tag::PING),
+        Request::InitData { id, bytes } => {
+            out.push(tag::INIT_DATA);
+            put_u64(out, *id);
+            put_bytes(out, bytes);
+        }
+        Request::InitParity { id, bytes, k } => {
+            out.push(tag::INIT_PARITY);
+            put_u64(out, *id);
+            put_u64(out, *k as u64);
+            put_bytes(out, bytes);
+        }
+        Request::ReadData { id } => {
+            out.push(tag::READ_DATA);
+            put_u64(out, *id);
+        }
+        Request::WriteData { id, bytes, version } => {
+            out.push(tag::WRITE_DATA);
+            put_u64(out, *id);
+            put_u64(out, *version);
+            put_bytes(out, bytes);
+        }
+        Request::VersionData { id } => {
+            out.push(tag::VERSION_DATA);
+            put_u64(out, *id);
+        }
+        Request::VersionVector { id } => {
+            out.push(tag::VERSION_VECTOR);
+            put_u64(out, *id);
+        }
+        Request::ReadParity { id } => {
+            out.push(tag::READ_PARITY);
+            put_u64(out, *id);
+        }
+        Request::WriteParity {
+            id,
+            bytes,
+            versions,
+        } => {
+            out.push(tag::WRITE_PARITY);
+            put_u64(out, *id);
+            put_versions(out, versions);
+            put_bytes(out, bytes);
+        }
+        Request::AddParity {
+            id,
+            block_index,
+            delta,
+            expected_version,
+            new_version,
+        } => {
+            out.push(tag::ADD_PARITY);
+            put_u64(out, *id);
+            put_u64(out, *block_index as u64);
+            put_u64(out, *expected_version);
+            put_u64(out, *new_version);
+            put_bytes(out, delta);
+        }
+    }
+}
+
+fn encode_response_body(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Pong => out.push(tag::PONG),
+        Response::Ack => out.push(tag::ACK),
+        Response::Data { bytes, version } => {
+            out.push(tag::DATA);
+            put_u64(out, *version);
+            put_bytes(out, bytes);
+        }
+        Response::Parity { bytes, versions } => {
+            out.push(tag::PARITY);
+            put_versions(out, versions);
+            put_bytes(out, bytes);
+        }
+        Response::Version(v) => {
+            out.push(tag::VERSION);
+            put_u64(out, *v);
+        }
+        Response::Versions(vs) => {
+            out.push(tag::VERSIONS);
+            put_versions(out, vs);
+        }
+    }
+}
+
+fn encode_error_body(err: &NodeError, out: &mut Vec<u8>) {
+    match err {
+        NodeError::Down => out.push(tag::ERR_DOWN),
+        NodeError::NotFound => out.push(tag::ERR_NOT_FOUND),
+        NodeError::WrongKind => out.push(tag::ERR_WRONG_KIND),
+        NodeError::VersionConflict { expected, actual } => {
+            out.push(tag::ERR_VERSION_CONFLICT);
+            put_u64(out, *expected);
+            put_u64(out, *actual);
+        }
+        NodeError::VectorConflict { index, got, stored } => {
+            out.push(tag::ERR_VECTOR_CONFLICT);
+            put_u64(out, *index as u64);
+            put_u64(out, *got);
+            put_u64(out, *stored);
+        }
+        NodeError::SizeMismatch { stored, got } => {
+            out.push(tag::ERR_SIZE_MISMATCH);
+            put_u64(out, *stored as u64);
+            put_u64(out, *got as u64);
+        }
+        NodeError::BadBlockIndex { index, k } => {
+            out.push(tag::ERR_BAD_BLOCK_INDEX);
+            put_u64(out, *index as u64);
+            put_u64(out, *k as u64);
+        }
+        NodeError::TransportClosed => out.push(tag::ERR_TRANSPORT_CLOSED),
+        NodeError::TimedOut => out.push(tag::ERR_TIMED_OUT),
+    }
+}
+
+fn finish_frame(kind: FrameKind, op_id: OpId, round_epoch: u64, body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_BODY_LEN as usize, "body exceeds wire max");
+    let header = Header {
+        kind,
+        flags: 0,
+        op_id,
+        round_epoch,
+        body_len: body.len() as u32,
+    };
+    let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
+    frame.extend_from_slice(&header.encode());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Encodes an [`Envelope`] into one complete frame (header + body).
+pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
+    let mut body = Vec::new();
+    encode_request_body(&env.payload, &mut body);
+    finish_frame(FrameKind::Request, env.op_id, env.round_epoch, body)
+}
+
+/// Encodes a [`Reply`] into one complete frame (header + body).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut body = Vec::new();
+    match &reply.result {
+        Ok(resp) => {
+            body.push(tag::RESULT_OK);
+            encode_response_body(resp, &mut body);
+        }
+        Err(err) => {
+            body.push(tag::RESULT_ERR);
+            encode_error_body(err, &mut body);
+        }
+    }
+    finish_frame(FrameKind::Reply, reply.op_id, reply.round_epoch, body)
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over a frame body held as [`Bytes`], so payload
+/// reads can hand out zero-copy sub-views of the receive buffer.
+struct Cursor<'a> {
+    buf: &'a Bytes,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a Bytes, start: usize, end: usize) -> Self {
+        Cursor {
+            buf,
+            pos: start,
+            end,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<(), DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn usize_field(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::BadValue(what))
+    }
+
+    /// Length-prefixed payload as a zero-copy sub-view of the buffer.
+    fn bytes_field(&mut self, field: &'static str) -> Result<Bytes, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError::LengthOverflow {
+                field,
+                claimed: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        let b = self.buf.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(b)
+    }
+
+    /// Length-prefixed `Vec<u64>`; the count is validated against the
+    /// bytes present before any allocation.
+    fn versions_field(&mut self, field: &'static str) -> Result<Vec<u64>, DecodeError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(8) > self.remaining() {
+            return Err(DecodeError::LengthOverflow {
+                field,
+                claimed: count as u64,
+                remaining: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn decode_request_body(cur: &mut Cursor<'_>) -> Result<Request, DecodeError> {
+    let t = cur.u8()?;
+    Ok(match t {
+        tag::PING => Request::Ping,
+        tag::INIT_DATA => Request::InitData {
+            id: cur.u64()?,
+            bytes: cur.bytes_field("init-data payload")?,
+        },
+        tag::INIT_PARITY => Request::InitParity {
+            id: cur.u64()?,
+            k: cur.usize_field("init-parity k")?,
+            bytes: cur.bytes_field("init-parity payload")?,
+        },
+        tag::READ_DATA => Request::ReadData { id: cur.u64()? },
+        tag::WRITE_DATA => Request::WriteData {
+            id: cur.u64()?,
+            version: cur.u64()?,
+            bytes: cur.bytes_field("write-data payload")?,
+        },
+        tag::VERSION_DATA => Request::VersionData { id: cur.u64()? },
+        tag::VERSION_VECTOR => Request::VersionVector { id: cur.u64()? },
+        tag::READ_PARITY => Request::ReadParity { id: cur.u64()? },
+        tag::WRITE_PARITY => Request::WriteParity {
+            id: cur.u64()?,
+            versions: cur.versions_field("write-parity versions")?,
+            bytes: cur.bytes_field("write-parity payload")?,
+        },
+        tag::ADD_PARITY => Request::AddParity {
+            id: cur.u64()?,
+            block_index: cur.usize_field("add-parity block index")?,
+            expected_version: cur.u64()?,
+            new_version: cur.u64()?,
+            delta: cur.bytes_field("add-parity delta")?,
+        },
+        other => {
+            return Err(DecodeError::UnknownTag {
+                what: "request",
+                tag: other,
+            })
+        }
+    })
+}
+
+fn decode_response_body(cur: &mut Cursor<'_>) -> Result<Response, DecodeError> {
+    let t = cur.u8()?;
+    Ok(match t {
+        tag::PONG => Response::Pong,
+        tag::ACK => Response::Ack,
+        tag::DATA => Response::Data {
+            version: cur.u64()?,
+            bytes: cur.bytes_field("data payload")?,
+        },
+        tag::PARITY => Response::Parity {
+            versions: cur.versions_field("parity versions")?,
+            bytes: cur.bytes_field("parity payload")?,
+        },
+        tag::VERSION => Response::Version(cur.u64()?),
+        tag::VERSIONS => Response::Versions(cur.versions_field("versions")?),
+        other => {
+            return Err(DecodeError::UnknownTag {
+                what: "response",
+                tag: other,
+            })
+        }
+    })
+}
+
+fn decode_error_body(cur: &mut Cursor<'_>) -> Result<NodeError, DecodeError> {
+    let t = cur.u8()?;
+    Ok(match t {
+        tag::ERR_DOWN => NodeError::Down,
+        tag::ERR_NOT_FOUND => NodeError::NotFound,
+        tag::ERR_WRONG_KIND => NodeError::WrongKind,
+        tag::ERR_VERSION_CONFLICT => NodeError::VersionConflict {
+            expected: cur.u64()?,
+            actual: cur.u64()?,
+        },
+        tag::ERR_VECTOR_CONFLICT => NodeError::VectorConflict {
+            index: cur.usize_field("vector-conflict index")?,
+            got: cur.u64()?,
+            stored: cur.u64()?,
+        },
+        tag::ERR_SIZE_MISMATCH => NodeError::SizeMismatch {
+            stored: cur.usize_field("size-mismatch stored")?,
+            got: cur.usize_field("size-mismatch got")?,
+        },
+        tag::ERR_BAD_BLOCK_INDEX => NodeError::BadBlockIndex {
+            index: cur.usize_field("bad-block-index index")?,
+            k: cur.usize_field("bad-block-index k")?,
+        },
+        tag::ERR_TRANSPORT_CLOSED => NodeError::TransportClosed,
+        tag::ERR_TIMED_OUT => NodeError::TimedOut,
+        other => {
+            return Err(DecodeError::UnknownTag {
+                what: "error",
+                tag: other,
+            })
+        }
+    })
+}
+
+/// Decodes the body of a frame whose [`Header`] has already been read,
+/// taking the body as a [`Bytes`] so payloads decode zero-copy.
+///
+/// `body` must hold exactly `header.body_len` bytes (a streaming reader
+/// reads exactly that many after the header).
+pub fn decode_body(header: &Header, body: &Bytes) -> Result<Frame, DecodeError> {
+    if body.len() != header.body_len as usize {
+        return Err(DecodeError::Truncated {
+            needed: header.body_len as usize,
+            got: body.len(),
+        });
+    }
+    let mut cur = Cursor::new(body, 0, body.len());
+    let frame = match header.kind {
+        FrameKind::Request => Frame::Envelope(Envelope {
+            op_id: header.op_id,
+            round_epoch: header.round_epoch,
+            payload: decode_request_body(&mut cur)?,
+        }),
+        FrameKind::Reply => {
+            let result = match cur.u8()? {
+                tag::RESULT_OK => Ok(decode_response_body(&mut cur)?),
+                tag::RESULT_ERR => Err(decode_error_body(&mut cur)?),
+                other => {
+                    return Err(DecodeError::UnknownTag {
+                        what: "result",
+                        tag: other,
+                    })
+                }
+            };
+            Frame::Reply(Reply {
+                op_id: header.op_id,
+                round_epoch: header.round_epoch,
+                result,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok(frame)
+}
+
+/// Decodes one complete frame from the front of `buf`, returning the
+/// frame and the total bytes consumed (header + body), so a buffer
+/// holding several back-to-back frames can be drained in a loop.
+///
+/// Payload fields in the returned message are zero-copy
+/// [`Bytes::slice`]s of `buf`.
+pub fn decode_frame(buf: &Bytes) -> Result<(Frame, usize), DecodeError> {
+    let header = Header::decode(buf)?;
+    let total = HEADER_LEN + header.body_len as usize;
+    if buf.len() < total {
+        return Err(DecodeError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let body = buf.slice(HEADER_LEN..total);
+    let frame = decode_body(&header, &body)?;
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_env(env: &Envelope) -> Envelope {
+        let wire = Bytes::from(encode_envelope(env));
+        match decode_frame(&wire).expect("decodes") {
+            (Frame::Envelope(e), n) => {
+                assert_eq!(n, wire.len());
+                e
+            }
+            (other, _) => panic!("expected envelope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_payload_is_zero_copy() {
+        let env = Envelope::in_epoch(
+            Request::WriteData {
+                id: 42,
+                bytes: Bytes::from(vec![9u8; 64]),
+                version: 7,
+            },
+            3,
+        );
+        let wire = Bytes::from(encode_envelope(&env));
+        let (frame, n) = decode_frame(&wire).expect("decodes");
+        assert_eq!(n, wire.len());
+        let decoded = match frame {
+            Frame::Envelope(e) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(decoded, env);
+        // The decoded payload is a sub-view of the receive buffer, not a copy.
+        match &decoded.payload {
+            Request::WriteData { bytes, .. } => {
+                let off = wire.as_ptr() as usize;
+                let p = bytes.as_ptr() as usize;
+                assert!(
+                    p >= off && p + bytes.len() <= off + wire.len(),
+                    "payload must alias the receive buffer"
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips_both_arms() {
+        let env = Envelope::new(Request::Ping);
+        for result in [
+            Ok(Response::Parity {
+                bytes: Bytes::from(vec![1, 2, 3]),
+                versions: vec![4, 5, 6],
+            }),
+            Err(NodeError::VectorConflict {
+                index: 1,
+                got: 2,
+                stored: 9,
+            }),
+        ] {
+            let reply = Reply::to(&env, result.clone());
+            let wire = Bytes::from(encode_reply(&reply));
+            match decode_frame(&wire).expect("decodes") {
+                (Frame::Reply(r), n) => {
+                    assert_eq!(n, wire.len());
+                    assert_eq!(r, reply);
+                }
+                (other, _) => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_request_variants_roundtrip() {
+        let payload = Bytes::from(vec![0xAB; 16]);
+        let reqs = vec![
+            Request::Ping,
+            Request::InitData {
+                id: 1,
+                bytes: payload.clone(),
+            },
+            Request::InitParity {
+                id: 2,
+                bytes: payload.clone(),
+                k: 3,
+            },
+            Request::ReadData { id: 3 },
+            Request::WriteData {
+                id: 4,
+                bytes: payload.clone(),
+                version: 5,
+            },
+            Request::VersionData { id: 5 },
+            Request::VersionVector { id: 6 },
+            Request::ReadParity { id: 7 },
+            Request::WriteParity {
+                id: 8,
+                bytes: payload.clone(),
+                versions: vec![1, 2, 3],
+            },
+            Request::AddParity {
+                id: 9,
+                block_index: 2,
+                delta: payload,
+                expected_version: 3,
+                new_version: 4,
+            },
+        ];
+        for req in reqs {
+            let env = Envelope::new(req);
+            assert_eq!(roundtrip_env(&env), env);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_typed() {
+        let env = Envelope::new(Request::WriteParity {
+            id: 8,
+            bytes: Bytes::from(vec![7u8; 10]),
+            versions: vec![1, 2, 3],
+        });
+        let wire = encode_envelope(&env);
+        for cut in 0..wire.len() {
+            let buf = Bytes::copy_from_slice(&wire[..cut]);
+            let err = decode_frame(&buf).expect_err("truncated frame must fail");
+            // Every truncation is Truncated (checksum covers a full header,
+            // so a short header is reported as truncation, not corruption).
+            assert!(
+                matches!(err, DecodeError::Truncated { .. }),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected_by_checksum() {
+        let env = Envelope::new(Request::ReadData { id: 1 });
+        let mut wire = encode_envelope(&env);
+        wire[9] ^= 0x40; // flip a bit inside the op id
+        let err = decode_frame(&Bytes::from(wire)).expect_err("corrupt header");
+        assert!(matches!(err, DecodeError::HeaderChecksum { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_and_kind() {
+        let env = Envelope::new(Request::Ping);
+        let good = encode_envelope(&env);
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_frame(&Bytes::from(bad)),
+            Err(DecodeError::BadMagic(_))
+        ));
+
+        // Version / kind are checksummed, so flip and re-checksum.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        let crc = crc32(&bad[0..28]);
+        bad[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&Bytes::from(bad)),
+            Err(DecodeError::UnsupportedVersion(99))
+        ));
+
+        let mut bad = good;
+        bad[5] = 0x7F;
+        let crc = crc32(&bad[0..28]);
+        bad[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&Bytes::from(bad)),
+            Err(DecodeError::UnknownKind(0x7F))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_fields_do_not_allocate_or_overread() {
+        // Body claims a payload far larger than the body itself.
+        let env = Envelope::new(Request::InitData {
+            id: 1,
+            bytes: Bytes::from(vec![1, 2, 3]),
+        });
+        let mut wire = encode_envelope(&env);
+        // The payload length field sits right after tag(1)+id(8) in the body.
+        let len_off = HEADER_LEN + 1 + 8;
+        wire[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&Bytes::from(wire)).expect_err("oversized length");
+        assert!(matches!(err, DecodeError::LengthOverflow { .. }), "{err:?}");
+
+        // Header claims a body over the global cap.
+        let reply = Reply::to(&Envelope::new(Request::Ping), Ok(Response::Pong));
+        let mut wire = encode_reply(&reply);
+        wire[24..28].copy_from_slice(&(MAX_BODY_LEN + 1).to_le_bytes());
+        let crc = crc32(&wire[0..28]);
+        wire[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&Bytes::from(wire)),
+            Err(DecodeError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let env = Envelope::new(Request::Ping);
+        let mut wire = encode_envelope(&env);
+        // Grow the body by one byte and fix up the header.
+        wire.push(0);
+        let body_len = (wire.len() - HEADER_LEN) as u32;
+        wire[24..28].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&wire[0..28]);
+        wire[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&Bytes::from(wire)),
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_drain_in_a_loop() {
+        let a = Envelope::new(Request::ReadData { id: 1 });
+        let b = Reply::to(&a, Ok(Response::Version(9)));
+        let mut wire = encode_envelope(&a);
+        wire.extend_from_slice(&encode_reply(&b));
+        let buf = Bytes::from(wire);
+
+        let (first, n) = decode_frame(&buf).expect("first frame");
+        assert_eq!(first, Frame::Envelope(a));
+        let rest = buf.slice(n..);
+        let (second, m) = decode_frame(&rest).expect("second frame");
+        assert_eq!(second, Frame::Reply(b));
+        assert_eq!(n + m, buf.len());
+    }
+}

@@ -59,8 +59,9 @@ pub enum ProtocolError {
     Volume(VolumeError),
 }
 
-/// Invalid [`crate::volume::VolumeConfig`] geometry, caught before any
-/// stripe is provisioned.
+/// Invalid [`crate::volume::VolumeConfig`] geometry (caught before any
+/// stripe is provisioned) or a maintenance operation the volume's
+/// backend does not support.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VolumeError {
     /// `block_size` was zero.
@@ -88,6 +89,15 @@ pub enum VolumeError {
         /// The largest representable width.
         max: usize,
     },
+    /// The backend has no node-targeted rebuild workflow. Only TRAP-ERC
+    /// reconstructs a replaced node's blocks from the surviving stripe
+    /// (`k`-of-`n` decode); the replication backends re-install stale or
+    /// wiped replicas through `scrub` instead, and a sharded store
+    /// rebuilds per shard (`Volume::rebuild_shard_node`).
+    RebuildUnsupported {
+        /// The backend's protocol label ([`crate::store::StoreInfo::protocol`]).
+        protocol: &'static str,
+    },
 }
 
 impl fmt::Display for VolumeError {
@@ -110,6 +120,10 @@ impl fmt::Display for VolumeError {
             VolumeError::WidthOutOfRange { configured, max } => write!(
                 f,
                 "blocks_per_stripe {configured} exceeds the {max}-slot object namespace"
+            ),
+            VolumeError::RebuildUnsupported { protocol } => write!(
+                f,
+                "{protocol} has no node-targeted rebuild; heal replicas through scrub"
             ),
         }
     }

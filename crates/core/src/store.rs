@@ -70,7 +70,8 @@ use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};
 
 use crate::baselines::{MajorityClient, RowaClient};
 use crate::config::ProtocolConfig;
-use crate::errors::ProtocolError;
+use crate::errors::{ProtocolError, VolumeError};
+use crate::recovery::RebuildReport;
 use crate::trap_erc::{ReadOutcome, ScrubReport, TrapErcClient, WriteOutcome};
 use crate::trap_fr::TrapFrClient;
 
@@ -378,6 +379,29 @@ pub trait QuorumStore: Send + Sync {
         let _ = stripe;
         self.info().nodes
     }
+
+    /// Rebuilds a replaced node's blocks across the given stripes — the
+    /// TRAP-ERC recovery workflow (decode from `k` survivors, re-install
+    /// on the blank node). Only the erasure-coded backend can target a
+    /// single node this way; the default returns a typed
+    /// [`VolumeError::RebuildUnsupported`] so callers on replication
+    /// backends (which heal through [`QuorumStore::scrub`]) get an
+    /// in-band error instead of needing to know the concrete store type.
+    ///
+    /// # Errors
+    /// [`VolumeError::RebuildUnsupported`] on backends without a
+    /// node-targeted rebuild; otherwise the first stripe that cannot be
+    /// rebuilt.
+    fn rebuild_node_stripes(
+        &self,
+        ids: &[u64],
+        node: usize,
+    ) -> Result<Vec<RebuildReport>, ProtocolError> {
+        let _ = (ids, node);
+        Err(ProtocolError::Volume(VolumeError::RebuildUnsupported {
+            protocol: self.info().protocol,
+        }))
+    }
 }
 
 impl<S: QuorumStore + ?Sized> QuorumStore for Box<S> {
@@ -405,6 +429,13 @@ impl<S: QuorumStore + ?Sized> QuorumStore for Box<S> {
     fn stripe_nodes(&self, stripe: u64) -> usize {
         (**self).stripe_nodes(stripe)
     }
+    fn rebuild_node_stripes(
+        &self,
+        ids: &[u64],
+        node: usize,
+    ) -> Result<Vec<RebuildReport>, ProtocolError> {
+        (**self).rebuild_node_stripes(ids, node)
+    }
 }
 
 impl<S: QuorumStore + ?Sized> QuorumStore for std::sync::Arc<S> {
@@ -431,6 +462,13 @@ impl<S: QuorumStore + ?Sized> QuorumStore for std::sync::Arc<S> {
     }
     fn stripe_nodes(&self, stripe: u64) -> usize {
         (**self).stripe_nodes(stripe)
+    }
+    fn rebuild_node_stripes(
+        &self,
+        ids: &[u64],
+        node: usize,
+    ) -> Result<Vec<RebuildReport>, ProtocolError> {
+        (**self).rebuild_node_stripes(ids, node)
     }
 }
 
@@ -480,6 +518,15 @@ impl<T: Transport> QuorumStore for TrapErcClient<T> {
     }
     fn scrub(&self, stripe: u64) -> Result<ScrubReport, ProtocolError> {
         self.scrub_stripe(stripe)
+    }
+    fn rebuild_node_stripes(
+        &self,
+        ids: &[u64],
+        node: usize,
+    ) -> Result<Vec<RebuildReport>, ProtocolError> {
+        // The inherent method on the client (recovery.rs), not a
+        // recursive trait call: inherent methods win resolution.
+        TrapErcClient::rebuild_node_stripes(self, ids, node)
     }
 }
 

@@ -25,14 +25,11 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use tq_cluster::Transport;
-
 use crate::errors::{ProtocolError, VolumeError};
 use crate::locking::StripeLockManager;
 use crate::recovery::RebuildReport;
 use crate::shard::ShardedStore;
 use crate::store::{BlockAddr, QuorumStore, OBJECTS_PER_STRIPE};
-use crate::trap_erc::TrapErcClient;
 
 /// Validated geometry for a [`Volume`].
 ///
@@ -314,15 +311,20 @@ impl<S: QuorumStore> Volume<S> {
         }
         Ok(refreshed)
     }
-}
 
-impl<T: Transport> Volume<TrapErcClient<T>> {
-    /// Rebuilds a replaced node across every stripe of this volume (the
-    /// TRAP-ERC-specific recovery workflow; other backends heal through
-    /// [`Volume::scrub`]).
+    /// Rebuilds a replaced node across every stripe of this volume.
+    ///
+    /// Only TRAP-ERC backends have a node-targeted rebuild (decode from
+    /// `k` survivors); on any other backend this returns the typed
+    /// [`VolumeError::RebuildUnsupported`](crate::errors::VolumeError)
+    /// rather than requiring callers to know the concrete store type —
+    /// replication backends heal through [`Volume::scrub`], and sharded
+    /// stores rebuild one group at a time via
+    /// [`Volume::rebuild_shard_node`].
     ///
     /// # Errors
-    /// Stops at the first stripe that cannot be rebuilt.
+    /// `RebuildUnsupported` on non-ERC backends; otherwise stops at the
+    /// first stripe that cannot be rebuilt.
     pub fn rebuild_node(&self, node: usize) -> Result<Vec<RebuildReport>, ProtocolError> {
         let ids: Vec<u64> = (0..self.stripe_count).map(|s| self.base_id + s).collect();
         self.store.rebuild_node_stripes(&ids, node)
@@ -386,13 +388,16 @@ impl<S: QuorumStore> Volume<ShardedStore<S>> {
     }
 }
 
-impl<T: Transport> Volume<ShardedStore<TrapErcClient<T>>> {
+impl<S: QuorumStore> Volume<ShardedStore<S>> {
     /// Rebuilds a replaced node of **one shard's** group across this
     /// volume's stripes on that shard — per-shard maintenance; the other
-    /// shards keep serving untouched.
+    /// shards keep serving untouched. As with [`Volume::rebuild_node`],
+    /// a non-ERC shard backend returns the typed
+    /// [`VolumeError::RebuildUnsupported`](crate::errors::VolumeError).
     ///
     /// # Errors
-    /// Stops at the first stripe that cannot be rebuilt.
+    /// `RebuildUnsupported` on non-ERC shard backends; otherwise stops
+    /// at the first stripe that cannot be rebuilt.
     ///
     /// # Panics
     /// Panics if `shard` is out of range.
@@ -419,6 +424,7 @@ mod tests {
     use crate::config::ProtocolConfig;
     use crate::shard::ShardMap;
     use crate::store::Store;
+    use crate::trap_erc::TrapErcClient;
     use tq_cluster::{Cluster, LocalTransport};
 
     fn volume(
@@ -521,6 +527,44 @@ mod tests {
             cluster.revive(n);
         }
         assert!(vol.scrub().unwrap() > 0, "stale replicas refreshed");
+    }
+
+    #[test]
+    fn rebuild_on_non_erc_backend_is_a_typed_error() {
+        // A replication-backed volume has no node-targeted rebuild: the
+        // caller gets the typed error in-band (no downcasting, no
+        // TrapErc-only method), and heals through scrub instead.
+        let cluster = Cluster::new(5);
+        let store = Store::majority(5)
+            .transport(LocalTransport::new(cluster.clone()))
+            .build()
+            .unwrap();
+        let vol =
+            Volume::with_config(store, VolumeConfig::new(0, 64, 8).blocks_per_stripe(8)).unwrap();
+        let err = vol.rebuild_node(2).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Volume(VolumeError::RebuildUnsupported {
+                protocol: "majority"
+            })
+        ));
+        assert!(err.to_string().contains("no node-targeted rebuild"));
+        // The sharded per-shard entry point types the same way.
+        let shards: Vec<_> = (0..2)
+            .map(|_| {
+                Store::rowa(3)
+                    .transport(LocalTransport::new(Cluster::new(3)))
+                    .build_rowa()
+                    .unwrap()
+            })
+            .collect();
+        let store = ShardedStore::new(shards, ShardMap::hashed(2).unwrap()).unwrap();
+        let vol =
+            Volume::with_config(store, VolumeConfig::new(0, 64, 8).blocks_per_stripe(4)).unwrap();
+        assert!(matches!(
+            vol.rebuild_shard_node(1, 0).unwrap_err(),
+            ProtocolError::Volume(VolumeError::RebuildUnsupported { protocol: "rowa" })
+        ));
     }
 
     #[test]

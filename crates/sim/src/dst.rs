@@ -49,7 +49,10 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tq_cluster::{Cluster, NetworkModel, SimFault, SimStats, SimTransport};
+use tq_cluster::{
+    Cluster, FaultingBackend, MemoryBackend, NetworkModel, SimFault, SimStats, SimTransport,
+    StorageFaults,
+};
 use tq_trapezoid::{
     BatchWrite, BlockAddr, ProtocolError, QuorumStore, ShardMap, ShardedStore, Store,
 };
@@ -177,6 +180,18 @@ pub struct Scenario {
     pub max_down: usize,
     /// Max nodes with wiped disks between scrubs.
     pub max_wiped: usize,
+    /// Storage fault axis: when set, every node's backend is wrapped in
+    /// a seeded [`FaultingBackend`] — crashes revert the node to its
+    /// last fsync barrier (the recovery-visible equivalent of a torn
+    /// final log record), automatic fsyncs silently fail, and slow reads
+    /// stretch reply latency. The matrices stay clean under this *only*
+    /// because nodes acknowledge with durable acks (flush-before-ack),
+    /// which pins every revert to an acknowledged state: the axis is the
+    /// regression guard for that discipline. Drop
+    /// `NodeBuilder::durable_acks` and a read-one protocol promptly
+    /// reuses a committed version built on a reverted replica — a
+    /// `CommitRegression` the checker catches within a few seeds.
+    pub storage_faults: Option<StorageFaults>,
 }
 
 impl Scenario {
@@ -190,6 +205,7 @@ impl Scenario {
             wipe_prob: 0.0,
             max_down: 0,
             max_wiped: 0,
+            storage_faults: None,
         }
     }
 
@@ -202,6 +218,7 @@ impl Scenario {
             wipe_prob: 0.0,
             max_down: 2,
             max_wiped: 0,
+            storage_faults: None,
         }
     }
 
@@ -217,6 +234,7 @@ impl Scenario {
             wipe_prob: 0.3,
             max_down: 2,
             max_wiped: 1,
+            storage_faults: None,
         }
     }
 
@@ -229,6 +247,7 @@ impl Scenario {
             wipe_prob: 0.25,
             max_down: 2,
             max_wiped: 1,
+            storage_faults: None,
         }
     }
 
@@ -246,6 +265,7 @@ impl Scenario {
             wipe_prob: 0.2,
             max_down: 2,
             max_wiped: 1,
+            storage_faults: None,
         }
     }
 
@@ -258,6 +278,13 @@ impl Scenario {
             Scenario::chaos(),
             Scenario::at_least_once(),
         ]
+    }
+
+    /// Turns on the storage fault axis with the aggressive default mix
+    /// (see [`StorageFaults::aggressive`]).
+    pub fn with_storage_faults(mut self) -> Self {
+        self.storage_faults = Some(StorageFaults::aggressive());
+        self
     }
 }
 
@@ -751,7 +778,21 @@ pub struct CaseReport {
 /// model, settle with a final quiesced scrub of every group, and report.
 pub fn run_case(cfg: &CaseConfig) -> CaseReport {
     let ops = generate_ops(cfg.seed, &cfg.scenario, cfg.ops);
-    let cluster = Cluster::new(CLUSTER_NODES);
+    let cluster = match cfg.scenario.storage_faults {
+        // The storage fault axis: every node's map sits behind a seeded
+        // faulting wrapper, each node with its own fault stream derived
+        // from the case seed so the whole case stays replayable.
+        Some(faults) => Cluster::with_backends(CLUSTER_NODES, |i| {
+            Arc::new(FaultingBackend::new(
+                Arc::new(MemoryBackend::new()),
+                faults,
+                cfg.seed
+                    .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    .wrapping_add(i as u64),
+            ))
+        }),
+        None => Cluster::new(CLUSTER_NODES),
+    };
     let sim = Arc::new(SimTransport::with_model(
         cluster,
         cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
@@ -1165,6 +1206,7 @@ mod tests {
                     wipe_prob: 0.0,
                     max_down: 0,
                     max_wiped: 0,
+                    storage_faults: None,
                 },
                 ops: 30,
             };

@@ -39,7 +39,8 @@ pub use tq_sim as sim;
 pub use tq_trapezoid as protocol;
 
 pub use tq_cluster::{
-    Cluster, FaultInjector, LocalTransport, NetworkModel, SimFault, SimTransport,
+    AppendLogBackend, Cluster, FaultInjector, FsyncPolicy, LocalTransport, MemoryBackend,
+    NetworkModel, SimFault, SimTransport, StorageBackend, TcpNodeServer, TcpTransport,
 };
 pub use tq_erasure::{CodeParams, ReedSolomon};
 pub use tq_quorum::trapezoid::{TrapezoidShape, WriteThresholds};

@@ -41,7 +41,10 @@ fn seed_base() -> u64 {
 }
 
 /// The acceptance matrix: 64 seeds × all four backends, scenarios
-/// rotating per seed so every backend meets every adversarial regime.
+/// rotating per seed so every backend meets every adversarial regime —
+/// with the storage fault axis (fsync-barrier crash reverts, silently
+/// dropped fsyncs, slow reads) switched on for every other seed, so
+/// each scenario runs both with pristine disks and with lying ones.
 #[test]
 fn seed_matrix_stays_checker_clean_across_all_backends() {
     let scenarios = Scenario::all();
@@ -50,7 +53,10 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
     let (mut commits, mut reads_ok) = (0u64, 0u64);
 
     for seed in 0..64u64 {
-        let scenario = scenarios[(seed % scenarios.len() as u64) as usize].clone();
+        let mut scenario = scenarios[(seed % scenarios.len() as u64) as usize].clone();
+        if seed % 2 == 1 {
+            scenario = scenario.with_storage_faults();
+        }
         for backend in Backend::ALL {
             let cfg = CaseConfig {
                 seed: base.wrapping_add(seed),
@@ -104,12 +110,18 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
 /// rounds are discarded by op-id identity instead of faking quorums.
 #[test]
 fn at_least_once_matrix_stays_checker_clean_across_all_backends() {
-    let scenario = Scenario::at_least_once();
     let base = seed_base();
     let mut failures = Vec::new();
     let (mut commits, mut reads_ok, mut redelivered) = (0u64, 0u64, 0u64);
 
     for seed in 0..64u64 {
+        // The storage fault axis rotates through this matrix too:
+        // at-least-once delivery and lying disks compose.
+        let scenario = if seed % 2 == 1 {
+            Scenario::at_least_once().with_storage_faults()
+        } else {
+            Scenario::at_least_once()
+        };
         for backend in Backend::ALL {
             let cfg = CaseConfig {
                 seed: base.wrapping_add(seed),
@@ -244,6 +256,7 @@ fn injected_version_regression_is_caught_by_the_checker() {
         wipe_prob: 0.0,
         max_down: 0,
         max_wiped: 0,
+        storage_faults: None,
     };
     let ops = vec![
         WorkloadOp::Write {

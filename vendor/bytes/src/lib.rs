@@ -3,56 +3,101 @@
 //! Provides [`Bytes`]: an immutable, cheaply cloneable byte buffer whose
 //! clones share one allocation (`Arc<[u8]>`), matching the property the
 //! workspace relies on — forwarding a block through a channel transport
-//! must not copy the payload.
+//! must not copy the payload. [`Bytes::slice`] produces a sub-view that
+//! keeps sharing the same allocation, which is what lets the wire codec
+//! hand out block payloads without copying them out of the receive
+//! buffer.
 
 #![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer.
+///
+/// A `Bytes` is a `(allocation, offset, len)` view: clones and
+/// [`slice`](Bytes::slice)s share the allocation and only adjust the
+/// window, so neither ever copies payload bytes.
 #[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Wraps a static slice (copied once into a shared allocation).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Copies a slice into a new shared allocation.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// `true` iff empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// The contents as a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching the
+    /// real `bytes` crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.checked_add(1).expect("slice start overflows"),
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("slice end overflows"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of len {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
@@ -65,27 +110,25 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            data: Arc::from(v.into_boxed_slice()),
-        }
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -109,7 +152,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -117,19 +160,19 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.data[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
@@ -141,14 +184,14 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data.cmp(&other.data)
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if b.is_ascii_graphic() || b == b' ' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -177,5 +220,40 @@ mod tests {
         assert_eq!(&a[..], b"abc");
         assert_eq!(a.len(), 3);
         assert_eq!(a.to_vec(), vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = a.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        // The sub-view points into the same allocation, offset by two.
+        assert_eq!(mid.as_ptr(), a[2..].as_ptr());
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(1..);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(inner.as_ptr(), a[3..].as_ptr());
+    }
+
+    #[test]
+    fn slice_full_and_empty_ranges() {
+        let a = Bytes::from(vec![7u8; 4]);
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(4..4).is_empty());
+        assert_eq!(a.slice(..=1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![0u8; 3]).slice(1..5);
+    }
+
+    #[test]
+    fn sub_view_equality_and_hash_use_the_window() {
+        let a = Bytes::from(vec![9u8, 1, 2, 9]);
+        let b = a.slice(1..3);
+        assert_eq!(b, Bytes::from(vec![1u8, 2]));
+        assert_eq!(b.to_vec(), vec![1, 2]);
     }
 }

@@ -110,6 +110,19 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Like [`wait`](Condvar::wait), but gives up after `timeout`.
+    /// Returns `true` if the wait timed out (parking_lot's
+    /// `WaitTimeoutResult::timed_out` collapsed to a bool).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let (inner, result) = self.inner.wait_timeout(inner, timeout).unwrap_or_else(|e| {
+            let (g, r) = e.into_inner();
+            (g, r)
+        });
+        guard.inner = Some(inner);
+        result.timed_out()
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
