@@ -32,7 +32,7 @@ fn naive_reencode_update(
             .call(NodeId(i), Request::ReadData { id })
             .expect("up")
         {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 data.push(bytes.to_vec());
                 versions.push(version);
             }
@@ -61,6 +61,7 @@ fn naive_reencode_update(
                     id,
                     bytes: Bytes::copy_from_slice(p),
                     versions: versions.clone(),
+                    checks: vec![],
                 },
             )
             .expect("up");

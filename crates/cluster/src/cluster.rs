@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crate::node::{NodeId, StorageNode};
+use crate::node::{NodeBuilder, NodeId, StorageNode};
 use crate::stats::IoSnapshot;
 use crate::storage::StorageBackend;
 
@@ -47,6 +47,27 @@ impl Cluster {
         Cluster {
             nodes: (0..n)
                 .map(|i| Arc::new(StorageNode::builder(NodeId(i)).backend(backend(i)).build()))
+                .collect(),
+        }
+    }
+
+    /// Builds a cluster of `n` live nodes, letting `configure` adjust
+    /// each node's builder (backend, durability, read verification)
+    /// before it is built — the general form of
+    /// [`with_backends`](Self::with_backends), used by tests that need
+    /// e.g. a verify-off cluster to exercise client-side integrity
+    /// checking.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_node_builders(
+        n: usize,
+        mut configure: impl FnMut(usize, NodeBuilder) -> NodeBuilder,
+    ) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        Cluster {
+            nodes: (0..n)
+                .map(|i| Arc::new(configure(i, StorageNode::builder(NodeId(i))).build()))
                 .collect(),
         }
     }
@@ -171,6 +192,7 @@ mod tests {
                 id: 1,
                 bytes: Bytes::from(vec![0; 16]),
                 k: 4,
+                checks: vec![],
             })
             .unwrap();
         assert_eq!(c.stored_bytes(), 80);

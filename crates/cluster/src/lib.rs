@@ -73,7 +73,7 @@ pub mod wire;
 
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
-pub use node::{NodeId, StorageNode};
+pub use node::{NodeBuilder, NodeId, StorageNode};
 pub use quorum_round::{
     Accepted, Completion, MultiRound, PlanOp, QuorumRound, Rejected, RoundOutcome,
 };

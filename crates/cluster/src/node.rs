@@ -90,6 +90,7 @@ pub struct NodeBuilder {
     id: NodeId,
     backend: Option<Arc<dyn StorageBackend>>,
     durable_acks: bool,
+    verify_reads: bool,
 }
 
 impl NodeBuilder {
@@ -114,6 +115,19 @@ impl NodeBuilder {
         self
     }
 
+    /// Whether the node re-verifies a stored block's self-checksum
+    /// before serving its bytes or folding a delta into it (default:
+    /// `true`, overridable process-wide via `TQ_NODE_VERIFY`). With it
+    /// on, a block whose bytes no longer match the checksum stamped at
+    /// install time is answered with [`NodeError::Corrupt`] instead of
+    /// served — readers treat that as an erasure of one shard and route
+    /// around it, and a delta fold refuses to launder the corruption
+    /// into the persisted parity.
+    pub fn verify_reads(mut self, verify: bool) -> Self {
+        self.verify_reads = verify;
+        self
+    }
+
     /// Builds the node.
     pub fn build(self) -> StorageNode {
         let backend = self
@@ -124,10 +138,25 @@ impl NodeBuilder {
             up: AtomicBool::new(true),
             backend,
             durable_acks: self.durable_acks,
+            verify_reads: self.verify_reads,
             op_locks: (0..OP_LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
             applied: Mutex::new(AppliedWindow::default()),
             stats: IoStats::new(),
         }
+    }
+}
+
+/// The process-default for [`NodeBuilder::verify_reads`], from the
+/// `TQ_NODE_VERIFY` environment variable: unset or `on` — verify;
+/// `off` — serve without re-checking. Any other value panics loudly,
+/// like `TQ_NODE_BACKEND`: a typo silently disabling the integrity net
+/// would make CI's integrity leg report green without testing anything.
+fn default_verify_reads() -> bool {
+    match std::env::var("TQ_NODE_VERIFY") {
+        Err(_) => true,
+        Ok(v) if v == "on" => true,
+        Ok(v) if v == "off" => false,
+        Ok(other) => panic!("TQ_NODE_VERIFY={other:?} is not one of: on, off"),
     }
 }
 
@@ -146,6 +175,7 @@ pub struct StorageNode {
     up: AtomicBool,
     backend: Arc<dyn StorageBackend>,
     durable_acks: bool,
+    verify_reads: bool,
     op_locks: Vec<Mutex<()>>,
     applied: Mutex<AppliedWindow>,
     stats: IoStats,
@@ -164,6 +194,7 @@ impl StorageNode {
             id,
             backend: None,
             durable_acks: true,
+            verify_reads: default_verify_reads(),
         }
     }
 
@@ -246,11 +277,37 @@ impl StorageNode {
         self.op_locks[storage::stripe_of(id) % OP_LOCK_STRIPES].lock()
     }
 
-    /// A node whose disk errors is indistinguishable from a crashed
-    /// node under the paper's fail-stop model.
-    fn storage_fail(&self, _e: StorageError) -> NodeError {
+    /// A node whose disk *errors* is indistinguishable from a crashed
+    /// node under the paper's fail-stop model — but a node whose disk
+    /// served detectably corrupt bytes is something better: it is alive,
+    /// knows which block is bad, and says so. Collapsing `Corrupt` into
+    /// `Down` (the old behaviour) made readers mistake one rotten block
+    /// for a crashed node and denied scrub its repair target.
+    fn storage_fail(&self, e: StorageError) -> NodeError {
         self.stats.record_rejected();
-        NodeError::Down
+        match e {
+            StorageError::Corrupt { .. } => NodeError::Corrupt,
+            StorageError::Io { .. } => NodeError::Down,
+        }
+    }
+
+    /// Reads a block for a byte-serving or byte-folding operation: with
+    /// [`NodeBuilder::verify_reads`] on (the default), the payload is
+    /// re-checked against the self-checksum stamped at install time, and
+    /// a mismatch surfaces as [`NodeError::Corrupt`] instead of handing
+    /// rotten bytes to the caller (or folding them into fresh parity).
+    fn load_verified(&self, id: BlockId) -> Result<Option<StoredBlock>, NodeError> {
+        let block = self.backend.get(id).map_err(|e| self.storage_fail(e))?;
+        if self.verify_reads {
+            if let Some(b) = &block {
+                if !b.self_check_ok() {
+                    return Err(self.storage_fail(StorageError::Corrupt {
+                        detail: "stored block fails its self-checksum",
+                    }));
+                }
+            }
+        }
+        Ok(block)
     }
 
     /// Installs a mutation and, under durable acks (the default), forces
@@ -296,13 +353,19 @@ impl StorageNode {
                     None => {
                         self.stats.record_write(bytes.len());
                         // Zero-copy install: the request payload becomes
-                        // the stored block.
-                        self.put_acked(id, StoredBlock::Data { version: 0, bytes })?;
+                        // the stored block (the self-checksum stamp reads
+                        // it once, copies nothing).
+                        self.put_acked(id, StoredBlock::new_data(0, bytes))?;
                         Ok(Response::Ack)
                     }
                 }
             }
-            Request::InitParity { id, bytes, k } => {
+            Request::InitParity {
+                id,
+                bytes,
+                k,
+                checks,
+            } => {
                 let _guard = self.op_lock(id);
                 match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Parity { .. }) => Ok(Response::Ack),
@@ -312,25 +375,35 @@ impl StorageNode {
                     }
                     None => {
                         self.stats.record_write(bytes.len());
-                        self.put_acked(
-                            id,
-                            StoredBlock::Parity {
-                                versions: vec![0; k],
-                                bytes,
-                            },
-                        )?;
+                        // A malformed vector is stored as "unknown"
+                        // rather than rejected: the block itself is fine,
+                        // only the integrity metadata is missing.
+                        let checks = if checks.len() == k {
+                            checks
+                        } else {
+                            Vec::new()
+                        };
+                        self.put_acked(id, StoredBlock::new_parity(vec![0; k], bytes, checks))?;
                         Ok(Response::Ack)
                     }
                 }
             }
             Request::ReadData { id } => {
                 let _guard = self.op_lock(id);
-                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
-                    Some(StoredBlock::Data { version, bytes }) => {
+                match self.load_verified(id)? {
+                    Some(StoredBlock::Data {
+                        version,
+                        bytes,
+                        check,
+                    }) => {
                         self.stats.record_read(bytes.len());
                         // Refcounted clone of the stored allocation; the
                         // reply shares the block instead of copying it.
-                        Ok(Response::Data { bytes, version })
+                        Ok(Response::Data {
+                            bytes,
+                            version,
+                            check,
+                        })
                     }
                     Some(StoredBlock::Parity { .. }) => {
                         self.stats.record_rejected();
@@ -348,6 +421,7 @@ impl StorageNode {
                     Some(StoredBlock::Data {
                         version: stored_version,
                         bytes: stored,
+                        ..
                     }) => {
                         if stored.len() != bytes.len() {
                             self.stats.record_rejected();
@@ -366,7 +440,7 @@ impl StorageNode {
                         self.stats.record_write(bytes.len());
                         // Zero-copy: the request payload replaces the
                         // stored allocation outright.
-                        self.put_acked(id, StoredBlock::Data { version, bytes })?;
+                        self.put_acked(id, StoredBlock::new_data(version, bytes))?;
                         Ok(Response::Ack)
                     }
                     Some(StoredBlock::Parity { .. }) => {
@@ -415,10 +489,19 @@ impl StorageNode {
             }
             Request::ReadParity { id } => {
                 let _guard = self.op_lock(id);
-                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
-                    Some(StoredBlock::Parity { versions, bytes }) => {
+                match self.load_verified(id)? {
+                    Some(StoredBlock::Parity {
+                        versions,
+                        bytes,
+                        checks,
+                        ..
+                    }) => {
                         self.stats.record_read(bytes.len());
-                        Ok(Response::Parity { bytes, versions })
+                        Ok(Response::Parity {
+                            bytes,
+                            versions,
+                            checks,
+                        })
                     }
                     Some(StoredBlock::Data { .. }) => {
                         self.stats.record_rejected();
@@ -434,12 +517,14 @@ impl StorageNode {
                 id,
                 bytes,
                 versions,
+                checks,
             } => {
                 let _guard = self.op_lock(id);
                 match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
                     Some(StoredBlock::Parity {
                         versions: stored_versions,
                         bytes: stored,
+                        ..
                     }) => {
                         if stored.len() != bytes.len() {
                             self.stats.record_rejected();
@@ -485,7 +570,12 @@ impl StorageNode {
                             _ => {}
                         }
                         self.stats.record_write(bytes.len());
-                        self.put_acked(id, StoredBlock::Parity { versions, bytes })?;
+                        let checks = if checks.len() == versions.len() {
+                            checks
+                        } else {
+                            Vec::new()
+                        };
+                        self.put_acked(id, StoredBlock::new_parity(versions, bytes, checks))?;
                         Ok(Response::Ack)
                     }
                     Some(StoredBlock::Data { .. }) => {
@@ -502,14 +592,20 @@ impl StorageNode {
                 id,
                 block_index,
                 delta,
+                coeff,
                 expected_version,
                 new_version,
+                new_check,
             } => {
                 let _guard = self.op_lock(id);
-                match self.backend.get(id).map_err(|e| self.storage_fail(e))? {
+                // Verified load: folding a rotten parity block would
+                // launder transient read corruption into durable state.
+                match self.load_verified(id)? {
                     Some(StoredBlock::Parity {
                         mut versions,
                         bytes,
+                        mut checks,
+                        ..
                     }) => {
                         if block_index >= versions.len() {
                             self.stats.record_rejected();
@@ -541,18 +637,39 @@ impl StorageNode {
                         }
                         self.stats.record_parity_add(delta.len());
                         // The fold produces a new value, so this is the
-                        // one mutation that materialises a fresh block:
-                        // one pass through the dispatched XOR kernel,
-                        // then the result becomes the stored allocation.
+                        // one mutation that materialises a fresh block —
+                        // exactly one buffer, built by a single pass of
+                        // the dispatched kernel: plain XOR for a
+                        // pre-scaled delta (coeff 1), fused scale-and-add
+                        // otherwise. The writer sends the *raw* delta
+                        // once and lets each parity node scale by its own
+                        // α_{j,i} in place, instead of materialising a
+                        // scaled copy per parity member.
                         let mut folded = bytes.to_vec();
-                        tq_gf256::slice_ops::add_assign(&mut folded, &delta);
+                        if coeff == 1 {
+                            tq_gf256::slice_ops::add_assign(&mut folded, &delta);
+                        } else {
+                            tq_gf256::slice_ops::mul_add_slice(
+                                tq_gf256::Gf256(coeff),
+                                &delta,
+                                &mut folded,
+                            );
+                        }
                         versions[block_index] = new_version;
+                        // Carry the cross-checksum vector forward: the
+                        // folded block's entry becomes the writer's
+                        // post-write checksum. An unchecksummed delta
+                        // invalidates the vector — better unknown than
+                        // stale.
+                        match new_check {
+                            Some(nc) if checks.len() == versions.len() => {
+                                checks[block_index] = nc;
+                            }
+                            _ => checks = Vec::new(),
+                        }
                         self.put_acked(
                             id,
-                            StoredBlock::Parity {
-                                versions,
-                                bytes: Bytes::from(folded),
-                            },
+                            StoredBlock::new_parity(versions, Bytes::from(folded), checks),
                         )?;
                         Ok(Response::Ack)
                     }
@@ -646,7 +763,7 @@ mod tests {
         })
         .unwrap();
         match n.handle(Request::ReadData { id: 7 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"HELLO WORLD!");
                 assert_eq!(version, 1);
             }
@@ -677,7 +794,7 @@ mod tests {
             Ok(Response::Ack)
         );
         match n.handle(Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"newb");
                 assert_eq!(version, 3, "create must not clobber a written block");
             }
@@ -688,6 +805,7 @@ mod tests {
             id: 2,
             bytes: Bytes::from(vec![0u8; 4]),
             k: 2,
+            checks: vec![],
         })
         .unwrap();
         n.handle(Request::AddParity {
@@ -696,6 +814,8 @@ mod tests {
             delta: Bytes::from(vec![1u8; 4]),
             expected_version: 0,
             new_version: 1,
+            coeff: 1,
+            new_check: None,
         })
         .unwrap();
         assert_eq!(
@@ -703,6 +823,7 @@ mod tests {
                 id: 2,
                 bytes: Bytes::from(vec![0u8; 4]),
                 k: 2,
+                checks: vec![],
             }),
             Ok(Response::Ack)
         );
@@ -736,7 +857,7 @@ mod tests {
             Ok(Response::Ack)
         );
         match n.handle(Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"v5..", "stale write must not clobber");
                 assert_eq!(version, 5);
             }
@@ -752,7 +873,7 @@ mod tests {
         })
         .unwrap();
         match n.handle(Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"V5!.");
                 assert_eq!(version, 5);
             }
@@ -803,6 +924,7 @@ mod tests {
             id: 2,
             bytes: Bytes::from_static(b"par!"),
             k: 3,
+            checks: vec![],
         })
         .unwrap();
         assert_eq!(
@@ -833,6 +955,7 @@ mod tests {
                 id: 1,
                 bytes: Bytes::from_static(b"par!"),
                 k: 3,
+                checks: vec![],
             }),
             Err(NodeError::WrongKind)
         );
@@ -845,6 +968,7 @@ mod tests {
             id: 3,
             bytes: Bytes::from(vec![0u8; 4]),
             k: 2,
+            checks: vec![],
         })
         .unwrap();
         // Fold a delta for block 1 at expected version 0.
@@ -854,10 +978,14 @@ mod tests {
             delta: Bytes::from(vec![0xFF, 0x00, 0xFF, 0x00]),
             expected_version: 0,
             new_version: 1,
+            coeff: 1,
+            new_check: None,
         })
         .unwrap();
         match n.handle(Request::ReadParity { id: 3 }).unwrap() {
-            Response::Parity { bytes, versions } => {
+            Response::Parity {
+                bytes, versions, ..
+            } => {
                 assert_eq!(&bytes[..], &[0xFF, 0x00, 0xFF, 0x00]);
                 assert_eq!(versions, vec![0, 1]);
             }
@@ -873,6 +1001,8 @@ mod tests {
                 delta: Bytes::from(vec![0xFF, 0x00, 0xFF, 0x00]),
                 expected_version: 0,
                 new_version: 1,
+                coeff: 1,
+                new_check: None,
             }),
             Err(NodeError::VersionConflict {
                 expected: 0,
@@ -887,6 +1017,8 @@ mod tests {
                 delta: Bytes::from(vec![0; 4]),
                 expected_version: 0,
                 new_version: 1,
+                coeff: 1,
+                new_check: None,
             }),
             Err(NodeError::BadBlockIndex { index: 5, k: 2 })
         );
@@ -897,6 +1029,8 @@ mod tests {
                 delta: Bytes::from(vec![0; 2]),
                 expected_version: 0,
                 new_version: 1,
+                coeff: 1,
+                new_check: None,
             }),
             Err(NodeError::SizeMismatch { stored: 4, got: 2 })
         );
@@ -909,16 +1043,20 @@ mod tests {
             id: 4,
             bytes: Bytes::from(vec![0u8; 4]),
             k: 3,
+            checks: vec![],
         })
         .unwrap();
         n.handle(Request::WriteParity {
             id: 4,
             bytes: Bytes::from(vec![9u8; 4]),
             versions: vec![5, 6, 7],
+            checks: vec![],
         })
         .unwrap();
         match n.handle(Request::ReadParity { id: 4 }).unwrap() {
-            Response::Parity { bytes, versions } => {
+            Response::Parity {
+                bytes, versions, ..
+            } => {
                 assert_eq!(&bytes[..], &[9, 9, 9, 9]);
                 assert_eq!(versions, vec![5, 6, 7]);
             }
@@ -930,11 +1068,14 @@ mod tests {
                 id: 4,
                 bytes: Bytes::from(vec![1u8; 4]),
                 versions: vec![4, 6, 7],
+                checks: vec![],
             }),
             Ok(Response::Ack)
         );
         match n.handle(Request::ReadParity { id: 4 }).unwrap() {
-            Response::Parity { bytes, versions } => {
+            Response::Parity {
+                bytes, versions, ..
+            } => {
                 assert_eq!(&bytes[..], &[9, 9, 9, 9], "stale repair must not apply");
                 assert_eq!(versions, vec![5, 6, 7]);
             }
@@ -946,6 +1087,7 @@ mod tests {
                 id: 4,
                 bytes: Bytes::from(vec![2u8; 4]),
                 versions: vec![6, 5, 7],
+                checks: vec![],
             }),
             Err(NodeError::VectorConflict {
                 index: 1,
@@ -958,10 +1100,13 @@ mod tests {
             id: 4,
             bytes: Bytes::from(vec![3u8; 4]),
             versions: vec![6, 6, 8],
+            checks: vec![],
         })
         .unwrap();
         match n.handle(Request::ReadParity { id: 4 }).unwrap() {
-            Response::Parity { bytes, versions } => {
+            Response::Parity {
+                bytes, versions, ..
+            } => {
                 assert_eq!(&bytes[..], &[3, 3, 3, 3]);
                 assert_eq!(versions, vec![6, 6, 8]);
             }
@@ -973,6 +1118,7 @@ mod tests {
                 id: 4,
                 bytes: Bytes::from(vec![0u8; 2]),
                 versions: vec![9, 9, 9],
+                checks: vec![],
             }),
             Err(NodeError::SizeMismatch { stored: 4, got: 2 })
         );
@@ -981,6 +1127,7 @@ mod tests {
                 id: 4,
                 bytes: Bytes::from(vec![0u8; 4]),
                 versions: vec![9, 9],
+                checks: vec![],
             }),
             Err(NodeError::BadBlockIndex { index: 2, k: 3 })
         );
@@ -995,6 +1142,7 @@ mod tests {
                 id: 5,
                 bytes: Bytes::from(vec![0u8; 4]),
                 versions: vec![0],
+                checks: vec![],
             }),
             Err(NodeError::WrongKind)
         );
@@ -1007,6 +1155,7 @@ mod tests {
             id: 1,
             bytes: Bytes::from(vec![0u8; 4]),
             k: 2,
+            checks: vec![],
         }));
         let fold = Envelope::new(Request::AddParity {
             id: 1,
@@ -1014,6 +1163,8 @@ mod tests {
             delta: Bytes::from(vec![0xFFu8; 4]),
             expected_version: 0,
             new_version: 1,
+            coeff: 1,
+            new_check: None,
         });
         assert_eq!(n.execute(fold.clone()).result, Ok(Response::Ack));
         // Redelivering the same envelope: recorded ack, no second fold
@@ -1024,7 +1175,9 @@ mod tests {
             .execute(Envelope::new(Request::ReadParity { id: 1 }))
             .result
         {
-            Ok(Response::Parity { bytes, versions }) => {
+            Ok(Response::Parity {
+                bytes, versions, ..
+            }) => {
                 assert_eq!(&bytes[..], &[0xFF; 4], "the fold applied exactly once");
                 assert_eq!(versions, vec![1, 0]);
             }
@@ -1037,6 +1190,8 @@ mod tests {
             delta: Bytes::from(vec![0x0Fu8; 4]),
             expected_version: 0,
             new_version: 1,
+            coeff: 1,
+            new_check: None,
         });
         assert_eq!(
             n.execute(competing).result,
@@ -1091,7 +1246,7 @@ mod tests {
         assert_eq!(n.handle(Request::ReadData { id: 1 }), Err(NodeError::Down));
         n.set_up(true);
         match n.handle(Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"persist");
                 assert_eq!(version, 0, "state survives fail-stop");
             }
@@ -1111,6 +1266,7 @@ mod tests {
             id: 2,
             bytes: Bytes::from(vec![0u8; 25]),
             k: 4,
+            checks: vec![],
         })
         .unwrap();
         assert_eq!(n.object_count(), 2);
@@ -1132,6 +1288,8 @@ mod tests {
             fsync_fail_p: 0,
             slow_read_p: 0,
             slow_read_max_ticks: 0,
+            corrupt_read_p: 0,
+            misdirect_read_p: 0,
         };
         let build = |durable| {
             StorageNode::builder(NodeId(0))
@@ -1185,6 +1343,7 @@ mod tests {
             id: 1,
             bytes: Bytes::from(vec![0u8; 4]),
             k: 1,
+            checks: vec![],
         });
         n.execute(fold_setup);
         let fold = Envelope::new(Request::AddParity {
@@ -1193,6 +1352,8 @@ mod tests {
             delta: Bytes::from(vec![0xFFu8; 4]),
             expected_version: 0,
             new_version: 1,
+            coeff: 1,
+            new_check: None,
         });
         assert_eq!(n.execute(fold.clone()).result, Ok(Response::Ack));
         n.crash_restart();
@@ -1206,5 +1367,194 @@ mod tests {
                 actual: 1
             })
         );
+    }
+
+    /// Installs a data block whose stored bytes were tampered with after
+    /// the self-checksum was stamped, bypassing the node's write path.
+    fn tampered_node(verify: bool) -> StorageNode {
+        let n = StorageNode::builder(NodeId(0))
+            .backend(Arc::new(MemoryBackend::new()))
+            .verify_reads(verify)
+            .build();
+        n.handle(Request::InitData {
+            id: 1,
+            bytes: Bytes::from_static(b"good bytes"),
+        })
+        .unwrap();
+        let block = match n.backend().get(1).unwrap().unwrap() {
+            StoredBlock::Data { version, check, .. } => StoredBlock::Data {
+                version,
+                bytes: Bytes::from_static(b"evil bytes"),
+                check,
+            },
+            other => panic!("{other:?}"),
+        };
+        n.backend().put(1, block).unwrap();
+        n
+    }
+
+    #[test]
+    fn verifying_node_reports_tampered_blocks_as_corrupt() {
+        let n = tampered_node(true);
+        assert_eq!(
+            n.handle(Request::ReadData { id: 1 }),
+            Err(NodeError::Corrupt)
+        );
+        // Version queries don't touch the payload and still serve.
+        assert_eq!(
+            n.handle(Request::VersionData { id: 1 }),
+            Ok(Response::Version(0))
+        );
+        // A full overwrite re-stamps the checksum and heals the block.
+        n.handle(Request::WriteData {
+            id: 1,
+            bytes: Bytes::from_static(b"laundered!"),
+            version: 1,
+        })
+        .unwrap();
+        match n.handle(Request::ReadData { id: 1 }).unwrap() {
+            Response::Data { bytes, check, .. } => {
+                assert_eq!(&bytes[..], b"laundered!");
+                assert_eq!(check, tq_gf256::check::block_check(b"laundered!"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unverifying_node_serves_tampered_bytes_with_mismatched_check() {
+        // With verification off the node stays fast and dumb — but the
+        // served self-check still lets the *client* catch the mismatch.
+        let n = tampered_node(false);
+        match n.handle(Request::ReadData { id: 1 }).unwrap() {
+            Response::Data { bytes, check, .. } => {
+                assert_eq!(&bytes[..], b"evil bytes");
+                assert_ne!(check, tq_gf256::check::block_check(&bytes));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_parity_refuses_delta_folds() {
+        let n = StorageNode::builder(NodeId(0))
+            .backend(Arc::new(MemoryBackend::new()))
+            .verify_reads(true)
+            .build();
+        n.handle(Request::InitParity {
+            id: 2,
+            bytes: Bytes::from(vec![0u8; 4]),
+            k: 1,
+            checks: vec![],
+        })
+        .unwrap();
+        let block = match n.backend().get(2).unwrap().unwrap() {
+            StoredBlock::Parity {
+                versions,
+                check,
+                checks,
+                ..
+            } => StoredBlock::Parity {
+                versions,
+                bytes: Bytes::from(vec![9u8; 4]),
+                check,
+                checks,
+            },
+            other => panic!("{other:?}"),
+        };
+        n.backend().put(2, block).unwrap();
+        // Folding into rotted parity would persist garbage forever;
+        // the verify gate turns it into a typed refusal instead.
+        assert_eq!(
+            n.handle(Request::AddParity {
+                id: 2,
+                block_index: 0,
+                delta: Bytes::from(vec![1u8; 4]),
+                expected_version: 0,
+                new_version: 1,
+                coeff: 1,
+                new_check: None,
+            }),
+            Err(NodeError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn fused_coefficient_fold_matches_prescaled_fold() {
+        let raw = [0x13u8, 0x55, 0x00, 0xFE];
+        let coeff = 0x47u8;
+        let mut prescaled = vec![0u8; 4];
+        tq_gf256::slice_ops::mul_add_slice(tq_gf256::Gf256(coeff), &raw, &mut prescaled);
+
+        let run = |delta: Bytes, coeff: u8| {
+            let n = node();
+            n.handle(Request::InitParity {
+                id: 3,
+                bytes: Bytes::from(vec![0u8; 4]),
+                k: 2,
+                checks: vec![],
+            })
+            .unwrap();
+            n.handle(Request::AddParity {
+                id: 3,
+                block_index: 1,
+                delta,
+                expected_version: 0,
+                new_version: 1,
+                coeff,
+                new_check: None,
+            })
+            .unwrap();
+            match n.handle(Request::ReadParity { id: 3 }).unwrap() {
+                Response::Parity { bytes, .. } => bytes,
+                other => panic!("{other:?}"),
+            }
+        };
+
+        let legacy = run(Bytes::from(prescaled), 1);
+        let fused = run(Bytes::copy_from_slice(&raw), coeff);
+        assert_eq!(legacy, fused, "node-side scaling must equal client-side");
+    }
+
+    #[test]
+    fn add_parity_with_check_maintains_the_stored_vector() {
+        let n = node();
+        n.handle(Request::InitParity {
+            id: 4,
+            bytes: Bytes::from(vec![0u8; 4]),
+            k: 2,
+            checks: vec![11, 22],
+        })
+        .unwrap();
+        n.handle(Request::AddParity {
+            id: 4,
+            block_index: 1,
+            delta: Bytes::from(vec![1u8; 4]),
+            expected_version: 0,
+            new_version: 1,
+            coeff: 1,
+            new_check: Some(99),
+        })
+        .unwrap();
+        match n.handle(Request::ReadParity { id: 4 }).unwrap() {
+            Response::Parity { checks, .. } => assert_eq!(checks, vec![11, 99]),
+            other => panic!("{other:?}"),
+        }
+        // An unchecksummed writer invalidates the vector rather than
+        // letting it go silently stale.
+        n.handle(Request::AddParity {
+            id: 4,
+            block_index: 0,
+            delta: Bytes::from(vec![2u8; 4]),
+            expected_version: 0,
+            new_version: 1,
+            coeff: 1,
+            new_check: None,
+        })
+        .unwrap();
+        match n.handle(Request::ReadParity { id: 4 }).unwrap() {
+            Response::Parity { checks, .. } => assert!(checks.is_empty()),
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -224,6 +224,11 @@ pub enum Request {
         bytes: Bytes,
         /// Number of data blocks the version vector tracks.
         k: usize,
+        /// Cross-checksum vector of the stripe's data blocks at creation
+        /// (one entry per data block; empty = writer did not supply one).
+        /// Stored alongside the version vector and served back on reads
+        /// so clients can verify any fetched shard before decoding.
+        checks: Vec<u64>,
     },
     /// `N_i.read(id)` — full data block with its version.
     ReadData {
@@ -281,6 +286,9 @@ pub enum Request {
         bytes: Bytes,
         /// Version vector matching the reconstructed stripe state.
         versions: Vec<u64>,
+        /// Cross-checksum vector matching the reconstructed stripe state
+        /// (empty = unknown; replaces the stored vector on apply).
+        checks: Vec<u64>,
     },
     /// `u.add(αj,i·(x − chunk))` — fold a delta into the parity block,
     /// guarded: applies only if the node's version for `block_index`
@@ -293,12 +301,24 @@ pub enum Request {
         id: BlockId,
         /// Which data block this delta belongs to (`0 ≤ i < k`).
         block_index: usize,
-        /// The delta bytes `α_{j,i}·(x − c)`.
+        /// The delta bytes: the raw `(x − c)` when `coeff != 1` (the node
+        /// folds `coeff·delta` in place), or a pre-scaled
+        /// `α_{j,i}·(x − c)` with `coeff == 1` (the legacy form old peers
+        /// send). Either way the fold is
+        /// `parity ← parity + coeff·delta`.
         delta: Bytes,
+        /// The coefficient `α_{j,i}` to scale `delta` by during the fold.
+        /// `1` means "delta is already scaled" — the backward-compatible
+        /// default, and what pre-coefficient peers decode to.
+        coeff: u8,
         /// Version the node must currently hold for `block_index`.
         expected_version: u64,
         /// Version to advance to on success.
         new_version: u64,
+        /// The data block's cross-checksum after the write this delta
+        /// belongs to. `None` (an unchecksummed writer) invalidates the
+        /// stored vector — better no vector than a stale one.
+        new_check: Option<u64>,
     },
 }
 
@@ -342,7 +362,7 @@ impl fmt::Display for Request {
             Request::InitData { id, bytes } => {
                 write!(f, "init-data(id={id}, {} bytes)", bytes.len())
             }
-            Request::InitParity { id, bytes, k } => {
+            Request::InitParity { id, bytes, k, .. } => {
                 write!(f, "init-parity(id={id}, {} bytes, k={k})", bytes.len())
             }
             Request::ReadData { id } => write!(f, "read-data(id={id})"),
@@ -356,6 +376,7 @@ impl fmt::Display for Request {
                 id,
                 bytes,
                 versions,
+                ..
             } => write!(
                 f,
                 "write-parity(id={id}, v={versions:?}, {} bytes)",
@@ -364,12 +385,13 @@ impl fmt::Display for Request {
             Request::AddParity {
                 id,
                 block_index,
+                coeff,
                 expected_version,
                 new_version,
                 ..
             } => write!(
                 f,
-                "add-parity(id={id}, block={block_index}, v{expected_version}->v{new_version})"
+                "add-parity(id={id}, block={block_index}, coeff={coeff}, v{expected_version}->v{new_version})"
             ),
         }
     }
@@ -390,6 +412,11 @@ pub enum Response {
         bytes: Bytes,
         /// Block version.
         version: u64,
+        /// The self-checksum the node stamped at install time
+        /// ([`tq_gf256::check::block_check`] of the installed payload).
+        /// A client recomputing the checksum of `bytes` and getting
+        /// something else is holding corrupted bytes.
+        check: u64,
     },
     /// Parity block contents plus its version vector.
     Parity {
@@ -397,6 +424,11 @@ pub enum Response {
         bytes: Bytes,
         /// Version per data block.
         versions: Vec<u64>,
+        /// The stripe's cross-checksum vector as this replica knows it
+        /// (one entry per data block; empty = unknown). Lets the client
+        /// verify `bytes` against `Σ combine(α_{j,i}, checks[i])` and
+        /// verify fetched data shards against their entries.
+        checks: Vec<u64>,
     },
     /// A single version number.
     Version(u64),
@@ -409,10 +441,12 @@ impl fmt::Display for Response {
         match self {
             Response::Pong => write!(f, "pong"),
             Response::Ack => write!(f, "ack"),
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 write!(f, "data(v={version}, {} bytes)", bytes.len())
             }
-            Response::Parity { bytes, versions } => {
+            Response::Parity {
+                bytes, versions, ..
+            } => {
                 write!(f, "parity(v={versions:?}, {} bytes)", bytes.len())
             }
             Response::Version(v) => write!(f, "version({v})"),
@@ -465,6 +499,13 @@ pub enum NodeError {
         /// Vector length (k).
         k: usize,
     },
+    /// The node detected that the block it holds (or was served by its
+    /// disk) is corrupt — the stored bytes no longer match the
+    /// self-checksum stamped at install time. Unlike [`Down`](Self::Down)
+    /// the node is alive and its *other* blocks are fine; readers treat
+    /// the reply as an erasure of this one shard and scrub targets the
+    /// node for repair.
+    Corrupt,
     /// The transport lost the node (channel closed).
     TransportClosed,
     /// The round-trip budget elapsed without an answer (simulated
@@ -499,6 +540,9 @@ impl fmt::Display for NodeError {
                     f,
                     "block index {index} outside version vector of length {k}"
                 )
+            }
+            NodeError::Corrupt => {
+                write!(f, "node detected a corrupt stored block (checksum mismatch)")
             }
             NodeError::TransportClosed => write!(f, "transport to node closed"),
             NodeError::TimedOut => write!(f, "no reply within the round-trip budget"),
@@ -575,7 +619,8 @@ mod tests {
         assert!(Request::WriteParity {
             id: 1,
             bytes: Bytes::new(),
-            versions: vec![]
+            versions: vec![],
+            checks: vec![]
         }
         .is_mutation());
         assert!(!Request::Ping.is_mutation());
@@ -585,7 +630,8 @@ mod tests {
             Request::WriteParity {
                 id: 1,
                 bytes: Bytes::new(),
-                versions: vec![]
+                versions: vec![],
+                checks: vec![]
             }
             .kind(),
             "write-parity"

@@ -1018,7 +1018,7 @@ mod tests {
         assert_eq!(r, Err(NodeError::TimedOut));
         t.apply(SimFault::HealPartitions);
         match t.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"new", "partial write landed");
                 assert_eq!(version, 1);
             }
@@ -1286,7 +1286,7 @@ mod tests {
         t.set_link_delay(0, None);
         let mut value = None;
         for _ in 0..4 {
-            if let Ok(Response::Data { bytes, version }) =
+            if let Ok(Response::Data { bytes, version, .. }) =
                 t.call(NodeId(0), Request::ReadData { id: 1 })
             {
                 value = Some((bytes.to_vec(), version));
@@ -1345,7 +1345,7 @@ mod tests {
         .unwrap();
         let mut last = None;
         for _ in 0..4 {
-            if let Ok(Response::Data { bytes, version }) =
+            if let Ok(Response::Data { bytes, version, .. }) =
                 t.call(NodeId(0), Request::ReadData { id: 1 })
             {
                 last = Some((bytes.to_vec(), version));
@@ -1446,7 +1446,7 @@ mod tests {
         t.set_link_delay(0, None);
         // The flushed write never lands.
         match t.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"x");
                 assert_eq!(version, 0);
             }

@@ -54,6 +54,11 @@ pub enum StoredBlock {
         version: u64,
         /// Block contents.
         bytes: Bytes,
+        /// Node-computed self-checksum of `bytes`
+        /// ([`tq_gf256::check::block_check`]), stamped at install time.
+        /// A serving-time mismatch means the stored bytes rotted under
+        /// the node — surfaced as [`StorageError::Corrupt`].
+        check: u64,
     },
     /// A parity block `b_j = Σ α_{j,i}·b_i` with its column of the
     /// version matrix V: `versions[i]` is the version of block `i`'s
@@ -63,24 +68,73 @@ pub enum StoredBlock {
         versions: Vec<u64>,
         /// Parity contents.
         bytes: Bytes,
+        /// Node-computed self-checksum of `bytes`, as for `Data`.
+        check: u64,
+        /// Writer-supplied cross-checksum vector: entry `i` is the
+        /// checksum of data block `i`'s contribution currently folded
+        /// into `bytes`. Empty means unknown (legacy record or an
+        /// uncheckummed delta landed) — readers skip cross-verification
+        /// for this replica, the self-`check` still applies.
+        checks: Vec<u64>,
     },
 }
 
 impl StoredBlock {
+    /// Builds a data block, stamping the self-checksum from `bytes`.
+    pub fn new_data(version: u64, bytes: Bytes) -> Self {
+        let check = tq_gf256::check::block_check(&bytes);
+        StoredBlock::Data {
+            version,
+            bytes,
+            check,
+        }
+    }
+
+    /// Builds a parity block, stamping the self-checksum from `bytes`.
+    pub fn new_parity(versions: Vec<u64>, bytes: Bytes, checks: Vec<u64>) -> Self {
+        let check = tq_gf256::check::block_check(&bytes);
+        StoredBlock::Parity {
+            versions,
+            bytes,
+            check,
+            checks,
+        }
+    }
+
     /// Payload length in bytes.
     pub fn payload_len(&self) -> usize {
         match self {
             StoredBlock::Data { bytes, .. } | StoredBlock::Parity { bytes, .. } => bytes.len(),
         }
     }
+
+    /// The stamped self-checksum.
+    pub fn self_check(&self) -> u64 {
+        match self {
+            StoredBlock::Data { check, .. } | StoredBlock::Parity { check, .. } => *check,
+        }
+    }
+
+    /// Recomputes the payload checksum and compares it to the stamp.
+    /// `false` means the bytes no longer match what was installed.
+    pub fn self_check_ok(&self) -> bool {
+        match self {
+            StoredBlock::Data { bytes, check, .. } | StoredBlock::Parity { bytes, check, .. } => {
+                tq_gf256::check::block_check(bytes) == *check
+            }
+        }
+    }
 }
 
 /// Why a storage operation failed.
 ///
-/// The node maps any backend failure to fail-stop behaviour
+/// The node maps `Io` failures to fail-stop behaviour
 /// ([`NodeError::Down`](crate::rpc::NodeError::Down)): a node whose disk
 /// errors is indistinguishable from a crashed node under the paper's
-/// model.
+/// model. `Corrupt` is different — the node *knows* it holds rotten
+/// bytes, and says so
+/// ([`NodeError::Corrupt`](crate::rpc::NodeError::Corrupt)) so readers
+/// treat the reply as an erasure and scrub can target the node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
     /// An underlying I/O operation failed.
@@ -257,10 +311,16 @@ pub enum FsyncPolicy {
     Manual,
 }
 
-/// Record kinds in the log.
+/// Record kinds in the log. `REC_PUT_PARITY` is the legacy parity
+/// layout without a cross-checksum vector; new appends write
+/// `REC_PUT_PARITY_V2`, old records still replay (with `checks` empty,
+/// meaning "vector unknown"). Self-checksums are never persisted — they
+/// are recomputed from the payload at parse time, under the same CRC
+/// that guards the payload itself.
 const REC_PUT_DATA: u8 = 1;
 const REC_PUT_PARITY: u8 = 2;
 const REC_DELETE: u8 = 3;
+const REC_PUT_PARITY_V2: u8 = 4;
 
 /// Per-record framing overhead: body length (u32) + body CRC-32 (u32).
 const REC_HEADER: usize = 8;
@@ -279,19 +339,28 @@ fn encode_record(id: BlockId, block: Option<&StoredBlock>) -> Vec<u8> {
             body.push(REC_DELETE);
             body.extend_from_slice(&id.to_le_bytes());
         }
-        Some(StoredBlock::Data { version, bytes }) => {
+        Some(StoredBlock::Data { version, bytes, .. }) => {
             body.push(REC_PUT_DATA);
             body.extend_from_slice(&id.to_le_bytes());
             body.extend_from_slice(&version.to_le_bytes());
             body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             body.extend_from_slice(bytes);
         }
-        Some(StoredBlock::Parity { versions, bytes }) => {
-            body.push(REC_PUT_PARITY);
+        Some(StoredBlock::Parity {
+            versions,
+            bytes,
+            checks,
+            ..
+        }) => {
+            body.push(REC_PUT_PARITY_V2);
             body.extend_from_slice(&id.to_le_bytes());
             body.extend_from_slice(&(versions.len() as u32).to_le_bytes());
             for v in versions {
                 body.extend_from_slice(&v.to_le_bytes());
+            }
+            body.extend_from_slice(&(checks.len() as u32).to_le_bytes());
+            for c in checks {
+                body.extend_from_slice(&c.to_le_bytes());
             }
             body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             body.extend_from_slice(bytes);
@@ -325,35 +394,58 @@ fn parse_record(body: &[u8]) -> Option<(BlockId, Option<StoredBlock>)> {
             (payload.len() == len).then(|| {
                 (
                     id,
-                    Some(StoredBlock::Data {
+                    Some(StoredBlock::new_data(
                         version,
-                        bytes: Bytes::copy_from_slice(payload),
-                    }),
+                        Bytes::copy_from_slice(payload),
+                    )),
                 )
             })
         }
-        REC_PUT_PARITY => {
+        REC_PUT_PARITY | REC_PUT_PARITY_V2 => {
             if rest.len() < 4 {
                 return None;
             }
             let count = u32::from_le_bytes(rest[0..4].try_into().ok()?) as usize;
-            let rest = &rest[4..];
-            if rest.len() < count.checked_mul(8)?.checked_add(4)? {
+            let mut rest = &rest[4..];
+            if rest.len() < count.checked_mul(8)? {
                 return None;
             }
             let versions: Vec<u64> = (0..count)
                 .map(|i| u64::from_le_bytes(rest[i * 8..i * 8 + 8].try_into().unwrap()))
                 .collect();
-            let rest = &rest[count * 8..];
+            rest = &rest[count * 8..];
+            // V2 carries the cross-checksum vector; V1 replays with it
+            // empty (= unknown).
+            let checks: Vec<u64> = if kind == REC_PUT_PARITY_V2 {
+                if rest.len() < 4 {
+                    return None;
+                }
+                let ccount = u32::from_le_bytes(rest[0..4].try_into().ok()?) as usize;
+                rest = &rest[4..];
+                if rest.len() < ccount.checked_mul(8)? {
+                    return None;
+                }
+                let checks = (0..ccount)
+                    .map(|i| u64::from_le_bytes(rest[i * 8..i * 8 + 8].try_into().unwrap()))
+                    .collect();
+                rest = &rest[ccount * 8..];
+                checks
+            } else {
+                Vec::new()
+            };
+            if rest.len() < 4 {
+                return None;
+            }
             let len = u32::from_le_bytes(rest[0..4].try_into().ok()?) as usize;
             let payload = &rest[4..];
             (payload.len() == len).then(|| {
                 (
                     id,
-                    Some(StoredBlock::Parity {
+                    Some(StoredBlock::new_parity(
                         versions,
-                        bytes: Bytes::copy_from_slice(payload),
-                    }),
+                        Bytes::copy_from_slice(payload),
+                        checks,
+                    )),
                 )
             })
         }
@@ -450,10 +542,16 @@ impl AppendLogBackend {
             };
             match block {
                 Some(b) => {
+                    // Account the *canonical* (current-layout) record
+                    // length, not the on-disk one: a legacy V1 record is
+                    // shorter than its re-encoding, and live_bytes must
+                    // match what later overwrites subtract (and what
+                    // compaction would write).
+                    let canonical = encode_record(id, Some(&b)).len() as u64;
                     if let Some(old) = index.insert(id, b) {
                         live_bytes -= (encode_record(id, Some(&old)).len()) as u64;
                     }
-                    live_bytes += total as u64;
+                    live_bytes += canonical;
                 }
                 None => {
                     if let Some(old) = index.remove(&id) {
@@ -579,12 +677,13 @@ impl AppendLogBackend {
         }
         tmp.sync_data().map_err(|e| io_err("compact-fsync", e))?;
         std::fs::rename(&tmp_path, &self.path).map_err(|e| io_err("compact-rename", e))?;
-        // Make the rename itself durable where the platform allows.
+        // Make the rename itself durable. Swallowing this error would
+        // let an acknowledged-durable log vanish with the directory
+        // entry on power loss, so it propagates like any other fsync.
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
-                if let Ok(dir) = File::open(parent) {
-                    let _ = dir.sync_all();
-                }
+                let dir = File::open(parent).map_err(|e| io_err("compact-dir-open", e))?;
+                dir.sync_all().map_err(|e| io_err("compact-dir-fsync", e))?;
             }
         }
         tmp.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", e))?;
@@ -678,18 +777,45 @@ pub struct StorageFaults {
     pub slow_read_p: u8,
     /// Virtual ticks one slow read costs (1..=max, sampled).
     pub slow_read_max_ticks: u64,
+    /// Probability (0–255 of 256) that a read serves a bit-flipped copy
+    /// of the stored payload — the silent media-rot fault. Transient:
+    /// the stored block itself is untouched, only the served copy lies.
+    pub corrupt_read_p: u8,
+    /// Probability (0–255 of 256) that a read serves *another* stored
+    /// block's payload under the requested block's metadata (version
+    /// stamps and self-checksum kept) — the misdirected-read fault of a
+    /// real disk. Skipped when no other block exists.
+    pub misdirect_read_p: u8,
 }
 
 impl StorageFaults {
     /// The default adversarial mix the DST matrices run with: barriers
     /// every 2 mutations, 1-in-4 of them silently delayed, 1-in-8 reads
-    /// slow by up to 3 ticks.
+    /// slow by up to 3 ticks. No read corruption — that is its own axis
+    /// ([`corrupting`](Self::corrupting)).
     pub fn aggressive() -> Self {
         StorageFaults {
             sync_every: 2,
             fsync_fail_p: 64,
             slow_read_p: 32,
             slow_read_max_ticks: 3,
+            corrupt_read_p: 0,
+            misdirect_read_p: 0,
+        }
+    }
+
+    /// The corrupting-node mix of the DST integrity axis: fsync behaves,
+    /// but roughly 1 read in 26 serves a bit-flipped payload and 1 in 51
+    /// a misdirected one. Probabilities are kept low so workloads still
+    /// clear the matrices' non-vacuity floors.
+    pub fn corrupting() -> Self {
+        StorageFaults {
+            sync_every: 1,
+            fsync_fail_p: 0,
+            slow_read_p: 0,
+            slow_read_max_ticks: 1,
+            corrupt_read_p: 10,
+            misdirect_read_p: 5,
         }
     }
 }
@@ -703,6 +829,7 @@ struct FaultState {
     /// Counters for non-vacuity assertions in tests.
     dropped_syncs: u64,
     crashes_reverted: u64,
+    corrupted_reads: u64,
 }
 
 /// Deterministic fault-injection wrapper implementing the DST
@@ -738,6 +865,7 @@ impl FaultingBackend {
                 rng: seed ^ 0xA076_1D64_78BD_642F,
                 dropped_syncs: 0,
                 crashes_reverted: 0,
+                corrupted_reads: 0,
             }),
             stall_ticks: AtomicU64::new(0),
         }
@@ -807,6 +935,38 @@ impl FaultingBackend {
     pub fn crashes_reverted(&self) -> u64 {
         self.state.lock().crashes_reverted
     }
+
+    /// How many reads served corrupted payloads (non-vacuity for the
+    /// DST corruption axis).
+    pub fn corrupted_reads(&self) -> u64 {
+        self.state.lock().corrupted_reads
+    }
+
+    /// Clones a block with its payload replaced and every piece of
+    /// metadata kept (version stamps and self-checksum) — the shape both
+    /// corruption faults share. Keeping the metadata is the point: the
+    /// served reply *claims* to be the requested block at its recorded
+    /// version, only the bytes lie.
+    fn with_bytes(block: &StoredBlock, bytes: Bytes) -> StoredBlock {
+        match block {
+            StoredBlock::Data { version, check, .. } => StoredBlock::Data {
+                version: *version,
+                bytes,
+                check: *check,
+            },
+            StoredBlock::Parity {
+                versions,
+                check,
+                checks,
+                ..
+            } => StoredBlock::Parity {
+                versions: versions.clone(),
+                bytes,
+                check: *check,
+                checks: checks.clone(),
+            },
+        }
+    }
 }
 
 impl StorageBackend for FaultingBackend {
@@ -820,7 +980,50 @@ impl StorageBackend for FaultingBackend {
                 self.stall_ticks.fetch_add(ticks, Ordering::Relaxed);
             }
         }
-        self.inner.get(id)
+        let Some(block) = self.inner.get(id)? else {
+            return Ok(None);
+        };
+        if block.payload_len() > 0 {
+            let mut state = self.state.lock();
+            if Self::chance(&mut state, self.faults.corrupt_read_p) {
+                // Media rot: serve a copy with one bit flipped. The
+                // stored block is untouched — the next read may be clean.
+                let bit = Self::next_rand(&mut state) % (block.payload_len() as u64 * 8);
+                state.corrupted_reads += 1;
+                drop(state);
+                let mut bytes = match &block {
+                    StoredBlock::Data { bytes, .. } | StoredBlock::Parity { bytes, .. } => {
+                        bytes.to_vec()
+                    }
+                };
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                return Ok(Some(Self::with_bytes(&block, Bytes::from(bytes))));
+            }
+            if Self::chance(&mut state, self.faults.misdirect_read_p) {
+                let pick = Self::next_rand(&mut state);
+                drop(state);
+                // Misdirected read: the disk returns some *other* stored
+                // block's payload. Deterministic despite unspecified scan
+                // order: candidates are sorted by id before picking.
+                let mut others: Vec<(BlockId, Bytes)> = Vec::new();
+                self.inner.scan(&mut |oid, ob| {
+                    if oid != id {
+                        match ob {
+                            StoredBlock::Data { bytes, .. } | StoredBlock::Parity { bytes, .. } => {
+                                others.push((oid, bytes.clone()));
+                            }
+                        }
+                    }
+                })?;
+                if !others.is_empty() {
+                    others.sort_by_key(|(oid, _)| *oid);
+                    let (_, bytes) = &others[(pick % others.len() as u64) as usize];
+                    self.state.lock().corrupted_reads += 1;
+                    return Ok(Some(Self::with_bytes(&block, bytes.clone())));
+                }
+            }
+        }
+        Ok(Some(block))
     }
 
     fn put(&self, id: BlockId, block: StoredBlock) -> Result<(), StorageError> {
@@ -918,10 +1121,7 @@ mod tests {
     use super::*;
 
     fn data(version: u64, payload: &[u8]) -> StoredBlock {
-        StoredBlock::Data {
-            version,
-            bytes: Bytes::copy_from_slice(payload),
-        }
+        StoredBlock::new_data(version, Bytes::copy_from_slice(payload))
     }
 
     fn temp_log(name: &str) -> PathBuf {
@@ -952,10 +1152,11 @@ mod tests {
             b.put(1, data(0, b"one")).unwrap();
             b.put(
                 2,
-                StoredBlock::Parity {
-                    versions: vec![1, 2, 3],
-                    bytes: Bytes::copy_from_slice(b"par"),
-                },
+                StoredBlock::new_parity(
+                    vec![1, 2, 3],
+                    Bytes::copy_from_slice(b"par"),
+                    vec![0xAB, 0xCD, 0xEF],
+                ),
             )
             .unwrap();
             b.put(1, data(5, b"ONE")).unwrap();
@@ -1049,14 +1250,8 @@ mod tests {
         // records and crosses the compaction floor.
         let payload = vec![7u8; 2048];
         for v in 0..200u64 {
-            b.put(
-                1,
-                StoredBlock::Data {
-                    version: v,
-                    bytes: Bytes::from(payload.clone()),
-                },
-            )
-            .unwrap();
+            b.put(1, StoredBlock::new_data(v, Bytes::from(payload.clone())))
+                .unwrap();
         }
         b.put(2, data(9, b"other")).unwrap();
         assert!(
@@ -1068,7 +1263,7 @@ mod tests {
         drop(b);
         let b = AppendLogBackend::open(&path, FsyncPolicy::Manual).unwrap();
         match b.get(1).unwrap() {
-            Some(StoredBlock::Data { version, bytes }) => {
+            Some(StoredBlock::Data { version, bytes, .. }) => {
                 assert_eq!(version, 199);
                 assert_eq!(bytes.len(), 2048);
             }
@@ -1086,6 +1281,8 @@ mod tests {
             fsync_fail_p: 0,
             slow_read_p: 0,
             slow_read_max_ticks: 1,
+            corrupt_read_p: 0,
+            misdirect_read_p: 0,
         };
         let b = FaultingBackend::new(inner, faults, 42);
         b.put(1, data(0, b"durable")).unwrap();
@@ -1107,6 +1304,8 @@ mod tests {
             fsync_fail_p: 255, // every automatic barrier silently fails
             slow_read_p: 0,
             slow_read_max_ticks: 1,
+            corrupt_read_p: 0,
+            misdirect_read_p: 0,
         };
         let b = FaultingBackend::new(inner, faults, 7);
         b.put(1, data(0, b"x")).unwrap();
@@ -1129,6 +1328,8 @@ mod tests {
                 fsync_fail_p: 0,
                 slow_read_p: 255,
                 slow_read_max_ticks: 3,
+                corrupt_read_p: 0,
+                misdirect_read_p: 0,
             };
             FaultingBackend::new(Arc::new(MemoryBackend::new()), faults, 99)
         };
@@ -1147,6 +1348,114 @@ mod tests {
         assert_eq!(ticks_a, ticks_b, "same seed, same stall stream");
         assert!(ticks_a.iter().all(|&t| (1..=3).contains(&t)));
         assert_eq!(a.take_stall_ticks(), 0, "drained");
+    }
+
+    #[test]
+    fn legacy_v1_parity_records_replay_with_empty_checks() {
+        let path = temp_log("v1-parity");
+        let _ = std::fs::remove_file(&path);
+        // Hand-craft a V1 parity record (the pre-checksum layout):
+        // kind · id · count · versions · len · payload.
+        let mut body = vec![REC_PUT_PARITY];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&4u64.to_le_bytes());
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.extend_from_slice(&(3u32).to_le_bytes());
+        body.extend_from_slice(b"old");
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&body).to_le_bytes());
+        rec.extend_from_slice(&body);
+        std::fs::write(&path, &rec).unwrap();
+
+        let b = AppendLogBackend::open(&path, FsyncPolicy::Always).unwrap();
+        match b.get(7).unwrap() {
+            Some(StoredBlock::Parity {
+                versions,
+                bytes,
+                check,
+                checks,
+            }) => {
+                assert_eq!(versions, vec![4, 9]);
+                assert_eq!(&bytes[..], b"old");
+                assert_eq!(check, tq_gf256::check::block_check(b"old"));
+                assert!(checks.is_empty(), "V1 record: vector unknown");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Rewriting it persists the vector in the V2 layout.
+        b.put(
+            7,
+            StoredBlock::new_parity(vec![5, 9], Bytes::copy_from_slice(b"new"), vec![1, 2]),
+        )
+        .unwrap();
+        drop(b);
+        let b = AppendLogBackend::open(&path, FsyncPolicy::Always).unwrap();
+        match b.get(7).unwrap() {
+            Some(StoredBlock::Parity { checks, .. }) => assert_eq!(checks, vec![1, 2]),
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn faulting_backend_bit_flips_are_detectable_and_transient() {
+        let faults = StorageFaults {
+            sync_every: 1,
+            fsync_fail_p: 0,
+            slow_read_p: 0,
+            slow_read_max_ticks: 1,
+            corrupt_read_p: 255, // every read lies
+            misdirect_read_p: 0,
+        };
+        let b = FaultingBackend::new(Arc::new(MemoryBackend::new()), faults, 3);
+        let clean = data(1, b"payload-bytes");
+        b.put(1, clean.clone()).unwrap();
+        let served = b.get(1).unwrap().unwrap();
+        assert_ne!(served, clean, "served copy is corrupted");
+        assert!(
+            !served.self_check_ok(),
+            "metadata kept: the self-checksum convicts the bytes"
+        );
+        assert!(b.corrupted_reads() >= 1);
+        // Transient: the stored block itself never rotted.
+        let mut ok = FaultingBackend::new(Arc::new(MemoryBackend::new()), faults, 3);
+        ok.faults.corrupt_read_p = 0;
+        ok.put(1, clean.clone()).unwrap();
+        assert_eq!(ok.get(1).unwrap().unwrap(), clean);
+    }
+
+    #[test]
+    fn faulting_backend_misdirected_reads_keep_requested_metadata() {
+        let faults = StorageFaults {
+            sync_every: 1,
+            fsync_fail_p: 0,
+            slow_read_p: 0,
+            slow_read_max_ticks: 1,
+            corrupt_read_p: 0,
+            misdirect_read_p: 255, // every read (with another block) misdirects
+        };
+        let b = FaultingBackend::new(Arc::new(MemoryBackend::new()), faults, 11);
+        b.put(1, data(3, b"mine")).unwrap();
+        b.put(2, data(8, b"theirs")).unwrap();
+        match b.get(1).unwrap().unwrap() {
+            StoredBlock::Data {
+                version,
+                bytes,
+                check,
+            } => {
+                assert_eq!(version, 3, "requested block's version stamp");
+                assert_eq!(&bytes[..], b"theirs", "another block's payload");
+                assert_eq!(
+                    check,
+                    tq_gf256::check::block_check(b"mine"),
+                    "requested block's self-checksum — which convicts the bytes"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(b.corrupted_reads() >= 1);
     }
 
     #[test]

@@ -664,7 +664,7 @@ mod tests {
         )
         .unwrap();
         match t.call(NodeId(0), Request::ReadData { id: 1 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"abc");
                 assert_eq!(version, 0);
             }
@@ -838,7 +838,7 @@ mod tests {
         )
         .unwrap();
         match t.call(NodeId(0), Request::ReadData { id: 77 }).unwrap() {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(bytes.to_vec(), payload);
                 assert_eq!(version, 0);
             }

@@ -385,7 +385,7 @@ mod tests {
             .call(NodeId(0), Request::ReadData { id: 1 })
             .unwrap()
         {
-            Response::Data { bytes, version } => {
+            Response::Data { bytes, version, .. } => {
                 assert_eq!(&bytes[..], b"abc");
                 assert_eq!(version, 0);
             }
@@ -611,7 +611,7 @@ mod tests {
         // which queue behind the straggling writes on each mailbox).
         for i in 0..3 {
             match t.call(NodeId(i), Request::ReadData { id: 9 }).unwrap() {
-                Response::Data { bytes, version } => {
+                Response::Data { bytes, version, .. } => {
                     assert_eq!(&bytes[..], b"new");
                     assert_eq!(version, 1);
                 }

@@ -29,6 +29,18 @@
 //! contract — one allocation per block payload, refcounted everywhere —
 //! survives serialization.
 //!
+//! # Trailing extensions
+//!
+//! The integrity-mode fields (cross-checksum vectors, the add-parity
+//! fold coefficient, per-block self-checks) ride as *trailing
+//! extensions* — `tag(u8) · len(u32) · payload` triples appended after
+//! the fixed fields of exactly the five extended body variants
+//! (init-parity / write-parity / add-parity requests; data / parity
+//! responses). A decoder skips unknown extension tags and defaults
+//! absent ones, so old frames decode on new peers and vice versa with
+//! no wire-version bump; every other variant still rejects trailing
+//! bytes outright.
+//!
 //! # Robustness
 //!
 //! [`decode_frame`] and [`Header::decode`] never panic and never read
@@ -347,6 +359,18 @@ mod tag {
     pub const ERR_BAD_BLOCK_INDEX: u8 = 0x07;
     pub const ERR_TRANSPORT_CLOSED: u8 = 0x08;
     pub const ERR_TIMED_OUT: u8 = 0x09;
+    pub const ERR_CORRUPT: u8 = 0x0A;
+
+    // Trailing extension fields (`tag(u8) · len(u32) · payload`) appended
+    // after the fixed fields of the *extended* body variants only
+    // (init-parity / write-parity / add-parity requests; data / parity
+    // responses). Decoders skip unknown tags, so new fields can ride on
+    // existing frames without a wire-version bump; absent extensions
+    // decode to their documented defaults.
+    pub const EXT_CHECKS: u8 = 0x01;
+    pub const EXT_COEFF: u8 = 0x02;
+    pub const EXT_NEW_CHECK: u8 = 0x03;
+    pub const EXT_CHECK: u8 = 0x04;
 }
 
 // ---------------------------------------------------------------------
@@ -373,6 +397,25 @@ fn put_versions(out: &mut Vec<u8>, vs: &[u64]) {
     }
 }
 
+/// Appends one `tag · len · payload` extension holding a `u64`.
+fn put_ext_u64(out: &mut Vec<u8>, tag: u8, v: u64) {
+    out.push(tag);
+    put_u32(out, 8);
+    put_u64(out, v);
+}
+
+/// Appends the cross-checksum vector as an extension — skipped entirely
+/// when the vector is empty (empty and absent are the same state:
+/// "no checksums known").
+fn put_ext_checks(out: &mut Vec<u8>, checks: &[u64]) {
+    if checks.is_empty() {
+        return;
+    }
+    out.push(tag::EXT_CHECKS);
+    put_u32(out, 4 + 8 * checks.len() as u32);
+    put_versions(out, checks);
+}
+
 fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
     match req {
         Request::Ping => out.push(tag::PING),
@@ -381,11 +424,17 @@ fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
             put_u64(out, *id);
             put_bytes(out, bytes);
         }
-        Request::InitParity { id, bytes, k } => {
+        Request::InitParity {
+            id,
+            bytes,
+            k,
+            checks,
+        } => {
             out.push(tag::INIT_PARITY);
             put_u64(out, *id);
             put_u64(out, *k as u64);
             put_bytes(out, bytes);
+            put_ext_checks(out, checks);
         }
         Request::ReadData { id } => {
             out.push(tag::READ_DATA);
@@ -413,11 +462,13 @@ fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
             id,
             bytes,
             versions,
+            checks,
         } => {
             out.push(tag::WRITE_PARITY);
             put_u64(out, *id);
             put_versions(out, versions);
             put_bytes(out, bytes);
+            put_ext_checks(out, checks);
         }
         Request::AddParity {
             id,
@@ -425,6 +476,8 @@ fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
             delta,
             expected_version,
             new_version,
+            coeff,
+            new_check,
         } => {
             out.push(tag::ADD_PARITY);
             put_u64(out, *id);
@@ -432,6 +485,17 @@ fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
             put_u64(out, *expected_version);
             put_u64(out, *new_version);
             put_bytes(out, delta);
+            // coeff = 1 is the pre-extension meaning of the frame (delta
+            // already scaled), so it is encoded only when it carries
+            // information — old peers fold these frames correctly.
+            if *coeff != 1 {
+                out.push(tag::EXT_COEFF);
+                put_u32(out, 1);
+                out.push(*coeff);
+            }
+            if let Some(nc) = new_check {
+                put_ext_u64(out, tag::EXT_NEW_CHECK, *nc);
+            }
         }
     }
 }
@@ -440,15 +504,25 @@ fn encode_response_body(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::Pong => out.push(tag::PONG),
         Response::Ack => out.push(tag::ACK),
-        Response::Data { bytes, version } => {
+        Response::Data {
+            bytes,
+            version,
+            check,
+        } => {
             out.push(tag::DATA);
             put_u64(out, *version);
             put_bytes(out, bytes);
+            put_ext_u64(out, tag::EXT_CHECK, *check);
         }
-        Response::Parity { bytes, versions } => {
+        Response::Parity {
+            bytes,
+            versions,
+            checks,
+        } => {
             out.push(tag::PARITY);
             put_versions(out, versions);
             put_bytes(out, bytes);
+            put_ext_checks(out, checks);
         }
         Response::Version(v) => {
             out.push(tag::VERSION);
@@ -489,6 +563,7 @@ fn encode_error_body(err: &NodeError, out: &mut Vec<u8>) {
         }
         NodeError::TransportClosed => out.push(tag::ERR_TRANSPORT_CLOSED),
         NodeError::TimedOut => out.push(tag::ERR_TIMED_OUT),
+        NodeError::Corrupt => out.push(tag::ERR_CORRUPT),
     }
 }
 
@@ -639,6 +714,83 @@ impl<'a> Cursor<'a> {
         }
         Ok(())
     }
+
+    /// Consumes every remaining body byte as `tag · len · payload`
+    /// extension fields. Known tags are parsed (with their payload length
+    /// validated); unknown tags are skipped, so frames from newer peers
+    /// carrying extensions this decoder does not know still decode.
+    /// Absent extensions leave the documented defaults: empty checks
+    /// vector, `coeff = 1`, `new_check = None`, `check = 0`.
+    fn extensions(&mut self) -> Result<Extensions, DecodeError> {
+        let mut ext = Extensions::default();
+        while self.remaining() > 0 {
+            let tag = self.u8()?;
+            let len = self.u32()? as usize;
+            if len > self.remaining() {
+                return Err(DecodeError::LengthOverflow {
+                    field: "extension payload",
+                    claimed: len as u64,
+                    remaining: self.remaining(),
+                });
+            }
+            let end = self.pos + len;
+            match tag {
+                tag::EXT_CHECKS => {
+                    let count = self.u32()? as usize;
+                    if len != 4 + count.saturating_mul(8) {
+                        return Err(DecodeError::BadValue("checks extension length"));
+                    }
+                    let mut checks = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        checks.push(self.u64()?);
+                    }
+                    ext.checks = checks;
+                }
+                tag::EXT_COEFF => {
+                    if len != 1 {
+                        return Err(DecodeError::BadValue("coeff extension length"));
+                    }
+                    ext.coeff = self.u8()?;
+                }
+                tag::EXT_NEW_CHECK => {
+                    if len != 8 {
+                        return Err(DecodeError::BadValue("new-check extension length"));
+                    }
+                    ext.new_check = Some(self.u64()?);
+                }
+                tag::EXT_CHECK => {
+                    if len != 8 {
+                        return Err(DecodeError::BadValue("check extension length"));
+                    }
+                    ext.check = self.u64()?;
+                }
+                // Unknown extension: forward compatibility — skip it.
+                _ => self.pos = end,
+            }
+            debug_assert_eq!(self.pos, end, "extension parser must consume its payload");
+        }
+        Ok(ext)
+    }
+}
+
+/// Extension fields decoded off the tail of an extended body variant,
+/// pre-loaded with the defaults an extension-free (legacy) frame means.
+struct Extensions {
+    checks: Vec<u64>,
+    coeff: u8,
+    new_check: Option<u64>,
+    check: u64,
+}
+
+impl Default for Extensions {
+    fn default() -> Self {
+        Extensions {
+            checks: Vec::new(),
+            coeff: 1,
+            new_check: None,
+            check: 0,
+        }
+    }
 }
 
 fn decode_request_body(cur: &mut Cursor<'_>) -> Result<Request, DecodeError> {
@@ -649,11 +801,18 @@ fn decode_request_body(cur: &mut Cursor<'_>) -> Result<Request, DecodeError> {
             id: cur.u64()?,
             bytes: cur.bytes_field("init-data payload")?,
         },
-        tag::INIT_PARITY => Request::InitParity {
-            id: cur.u64()?,
-            k: cur.usize_field("init-parity k")?,
-            bytes: cur.bytes_field("init-parity payload")?,
-        },
+        tag::INIT_PARITY => {
+            let id = cur.u64()?;
+            let k = cur.usize_field("init-parity k")?;
+            let bytes = cur.bytes_field("init-parity payload")?;
+            let ext = cur.extensions()?;
+            Request::InitParity {
+                id,
+                k,
+                bytes,
+                checks: ext.checks,
+            }
+        }
         tag::READ_DATA => Request::ReadData { id: cur.u64()? },
         tag::WRITE_DATA => Request::WriteData {
             id: cur.u64()?,
@@ -663,18 +822,35 @@ fn decode_request_body(cur: &mut Cursor<'_>) -> Result<Request, DecodeError> {
         tag::VERSION_DATA => Request::VersionData { id: cur.u64()? },
         tag::VERSION_VECTOR => Request::VersionVector { id: cur.u64()? },
         tag::READ_PARITY => Request::ReadParity { id: cur.u64()? },
-        tag::WRITE_PARITY => Request::WriteParity {
-            id: cur.u64()?,
-            versions: cur.versions_field("write-parity versions")?,
-            bytes: cur.bytes_field("write-parity payload")?,
-        },
-        tag::ADD_PARITY => Request::AddParity {
-            id: cur.u64()?,
-            block_index: cur.usize_field("add-parity block index")?,
-            expected_version: cur.u64()?,
-            new_version: cur.u64()?,
-            delta: cur.bytes_field("add-parity delta")?,
-        },
+        tag::WRITE_PARITY => {
+            let id = cur.u64()?;
+            let versions = cur.versions_field("write-parity versions")?;
+            let bytes = cur.bytes_field("write-parity payload")?;
+            let ext = cur.extensions()?;
+            Request::WriteParity {
+                id,
+                versions,
+                bytes,
+                checks: ext.checks,
+            }
+        }
+        tag::ADD_PARITY => {
+            let id = cur.u64()?;
+            let block_index = cur.usize_field("add-parity block index")?;
+            let expected_version = cur.u64()?;
+            let new_version = cur.u64()?;
+            let delta = cur.bytes_field("add-parity delta")?;
+            let ext = cur.extensions()?;
+            Request::AddParity {
+                id,
+                block_index,
+                expected_version,
+                new_version,
+                delta,
+                coeff: ext.coeff,
+                new_check: ext.new_check,
+            }
+        }
         other => {
             return Err(DecodeError::UnknownTag {
                 what: "request",
@@ -689,14 +865,26 @@ fn decode_response_body(cur: &mut Cursor<'_>) -> Result<Response, DecodeError> {
     Ok(match t {
         tag::PONG => Response::Pong,
         tag::ACK => Response::Ack,
-        tag::DATA => Response::Data {
-            version: cur.u64()?,
-            bytes: cur.bytes_field("data payload")?,
-        },
-        tag::PARITY => Response::Parity {
-            versions: cur.versions_field("parity versions")?,
-            bytes: cur.bytes_field("parity payload")?,
-        },
+        tag::DATA => {
+            let version = cur.u64()?;
+            let bytes = cur.bytes_field("data payload")?;
+            let ext = cur.extensions()?;
+            Response::Data {
+                version,
+                bytes,
+                check: ext.check,
+            }
+        }
+        tag::PARITY => {
+            let versions = cur.versions_field("parity versions")?;
+            let bytes = cur.bytes_field("parity payload")?;
+            let ext = cur.extensions()?;
+            Response::Parity {
+                versions,
+                bytes,
+                checks: ext.checks,
+            }
+        }
         tag::VERSION => Response::Version(cur.u64()?),
         tag::VERSIONS => Response::Versions(cur.versions_field("versions")?),
         other => {
@@ -733,6 +921,7 @@ fn decode_error_body(cur: &mut Cursor<'_>) -> Result<NodeError, DecodeError> {
         },
         tag::ERR_TRANSPORT_CLOSED => NodeError::TransportClosed,
         tag::ERR_TIMED_OUT => NodeError::TimedOut,
+        tag::ERR_CORRUPT => NodeError::Corrupt,
         other => {
             return Err(DecodeError::UnknownTag {
                 what: "error",
@@ -864,12 +1053,14 @@ mod tests {
             Ok(Response::Parity {
                 bytes: Bytes::from(vec![1, 2, 3]),
                 versions: vec![4, 5, 6],
+                checks: vec![7, 8],
             }),
             Err(NodeError::VectorConflict {
                 index: 1,
                 got: 2,
                 stored: 9,
             }),
+            Err(NodeError::Corrupt),
         ] {
             let reply = Reply::to(&env, result.clone());
             let wire = Bytes::from(encode_reply(&reply));
@@ -896,6 +1087,13 @@ mod tests {
                 id: 2,
                 bytes: payload.clone(),
                 k: 3,
+                checks: vec![0xAA, 0xBB, 0xCC],
+            },
+            Request::InitParity {
+                id: 2,
+                bytes: payload.clone(),
+                k: 3,
+                checks: vec![],
             },
             Request::ReadData { id: 3 },
             Request::WriteData {
@@ -910,6 +1108,16 @@ mod tests {
                 id: 8,
                 bytes: payload.clone(),
                 versions: vec![1, 2, 3],
+                checks: vec![9, 10, 11],
+            },
+            Request::AddParity {
+                id: 9,
+                block_index: 2,
+                delta: payload.clone(),
+                expected_version: 3,
+                new_version: 4,
+                coeff: 1,
+                new_check: None,
             },
             Request::AddParity {
                 id: 9,
@@ -917,6 +1125,8 @@ mod tests {
                 delta: payload,
                 expected_version: 3,
                 new_version: 4,
+                coeff: 0x53,
+                new_check: Some(0xDEAD_BEEF_0BAD_F00D),
             },
         ];
         for req in reqs {
@@ -931,6 +1141,7 @@ mod tests {
             id: 8,
             bytes: Bytes::from(vec![7u8; 10]),
             versions: vec![1, 2, 3],
+            checks: vec![4, 5, 6],
         });
         let wire = encode_envelope(&env);
         for cut in 0..wire.len() {
@@ -1026,6 +1237,120 @@ mod tests {
             decode_frame(&Bytes::from(wire)),
             Err(DecodeError::TrailingBytes { extra: 1 })
         ));
+    }
+
+    /// Appends raw bytes to a frame's body and re-seals the header
+    /// (body length + CRC), simulating a peer that emitted extra
+    /// trailing content.
+    fn extend_body(mut wire: Vec<u8>, extra: &[u8]) -> Bytes {
+        wire.extend_from_slice(extra);
+        let body_len = (wire.len() - HEADER_LEN) as u32;
+        wire[24..28].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&wire[0..28]);
+        wire[28..32].copy_from_slice(&crc.to_le_bytes());
+        Bytes::from(wire)
+    }
+
+    #[test]
+    fn default_valued_extensions_are_not_encoded() {
+        // coeff = 1, no new-check, no checks vector: the frame must be
+        // byte-identical to the pre-extension layout so old peers still
+        // fold it correctly.
+        let delta = Bytes::from(vec![5u8; 24]);
+        let env = Envelope::new(Request::AddParity {
+            id: 9,
+            block_index: 2,
+            delta: delta.clone(),
+            expected_version: 3,
+            new_version: 4,
+            coeff: 1,
+            new_check: None,
+        });
+        let wire = encode_envelope(&env);
+        let fixed = 1 + 8 * 4 + 4 + delta.len(); // tag + 4 u64s + len + payload
+        assert_eq!(wire.len(), HEADER_LEN + fixed, "legacy layout changed");
+        assert_eq!(roundtrip_env(&env), env);
+    }
+
+    #[test]
+    fn legacy_extension_free_data_reply_decodes_with_default_check() {
+        // Hand-build a data reply body with no trailing extensions, as a
+        // pre-integrity peer would emit it.
+        let mut body = vec![tag::RESULT_OK, tag::DATA];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&3u32.to_le_bytes());
+        body.extend_from_slice(&[1, 2, 3]);
+        let wire = Bytes::from(finish_frame(FrameKind::Reply, OpId(11), 0, body));
+        let (frame, _) = decode_frame(&wire).expect("legacy frame decodes");
+        match frame {
+            Frame::Reply(r) => assert_eq!(
+                r.result,
+                Ok(Response::Data {
+                    version: 7,
+                    bytes: Bytes::from(vec![1u8, 2, 3]),
+                    check: 0,
+                })
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_trailing_extensions_are_skipped_on_extended_variants() {
+        let env = Envelope::new(Request::InitParity {
+            id: 2,
+            bytes: Bytes::from(vec![9u8; 8]),
+            k: 3,
+            checks: vec![10, 20, 30],
+        });
+        // tag 0x7F (unknown) · len 3 · payload — a field from the future.
+        let wire = extend_body(encode_envelope(&env), &[0x7F, 3, 0, 0, 0, 0xA, 0xB, 0xC]);
+        match decode_frame(&wire).expect("unknown extension must be skipped") {
+            (Frame::Envelope(e), _) => assert_eq!(e, env),
+            (other, _) => panic!("{other:?}"),
+        }
+
+        // Same on the reply side.
+        let reply = Reply::to(
+            &env,
+            Ok(Response::Parity {
+                bytes: Bytes::from(vec![1, 2]),
+                versions: vec![3, 4],
+                checks: vec![5, 6],
+            }),
+        );
+        let wire = extend_body(encode_reply(&reply), &[0xEE, 1, 0, 0, 0, 0xFF]);
+        match decode_frame(&wire).expect("unknown reply extension must be skipped") {
+            (Frame::Reply(r), _) => assert_eq!(r, reply),
+            (other, _) => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_extensions_are_typed_errors() {
+        let env = Envelope::new(Request::ReadParity { id: 1 });
+        let parity_reply = Reply::to(
+            &env,
+            Ok(Response::Parity {
+                bytes: Bytes::from(vec![1, 2]),
+                versions: vec![3],
+                checks: vec![],
+            }),
+        );
+
+        // Extension length pointing past the body.
+        let wire = extend_body(encode_reply(&parity_reply), &[0x7F, 200, 0, 0, 0]);
+        assert!(matches!(
+            decode_frame(&wire),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+
+        // Known extension with the wrong payload size.
+        let wire = extend_body(
+            encode_reply(&parity_reply),
+            &[tag::EXT_CHECK, 4, 0, 0, 0, 1, 2, 3, 4],
+        );
+        assert!(matches!(decode_frame(&wire), Err(DecodeError::BadValue(_))));
     }
 
     #[test]

@@ -160,6 +160,10 @@ pub(crate) fn repair_contiguous_objects<T: Transport>(
     Ok(ScrubReport {
         refreshed: refreshed.unwrap_or_default().into_iter().collect(),
         salvaged: Vec::new(),
+        // Replication repair heals corrupt replicas by re-pushing full
+        // state; attribution needs the erasure cross-checksum machinery
+        // and is reported only by the TRAP-ERC scrub.
+        corrupt: Vec::new(),
         report,
     })
 }
@@ -306,7 +310,7 @@ impl<T: Transport> RowaClient<T> {
     /// Extracts the first `Data` answer of a ROWA read round.
     fn serve_first(outcome: &tq_cluster::RoundOutcome) -> Result<ReadOutcome, ProtocolError> {
         for accepted in &outcome.accepted {
-            if let Response::Data { bytes, version } = &accepted.response {
+            if let Response::Data { bytes, version, .. } = &accepted.response {
                 return Ok(ReadOutcome {
                     bytes: bytes.to_vec(),
                     version: *version,
@@ -461,7 +465,7 @@ impl<T: Transport> MajorityClient<T> {
                 .transport
                 .call(NodeId(node), Request::ReadData { id });
             report.absorb_call(result.is_ok());
-            if let Ok(Response::Data { bytes, version }) = result {
+            if let Ok(Response::Data { bytes, version, .. }) = result {
                 if version >= latest {
                     return Ok(ReadOutcome {
                         bytes: bytes.to_vec(),
@@ -538,7 +542,7 @@ impl<T: Transport> MajorityClient<T> {
         for (&i, outcome) in fetch.iter().zip(&fetched) {
             let (latest, holders) = graded[i].as_ref().expect("filtered Ok");
             if let Some(accepted) = outcome.accepted.first() {
-                if let Response::Data { bytes, version } = &accepted.response {
+                if let Response::Data { bytes, version, .. } = &accepted.response {
                     if version >= latest {
                         outcomes[i] = Some(Ok(ReadOutcome {
                             bytes: bytes.to_vec(),
@@ -559,7 +563,7 @@ impl<T: Transport> MajorityClient<T> {
                         .transport
                         .call(NodeId(node), Request::ReadData { id: ids[i] });
                     report.absorb_call(result.is_ok());
-                    if let Ok(Response::Data { bytes, version }) = result {
+                    if let Ok(Response::Data { bytes, version, .. }) = result {
                         if version >= *latest {
                             served = Some(ReadOutcome {
                                 bytes: bytes.to_vec(),

@@ -38,6 +38,22 @@ pub enum ProtocolError {
         /// Consistent live nodes found.
         found: usize,
     },
+    /// Integrity mode: corrupt shards were detected (checksum mismatch
+    /// against the stripe's cross-checksum vector, or a node-side
+    /// self-check failure) and routing around them left fewer than `k`
+    /// clean shards. Unlike [`NotEnoughForDecode`](Self::NotEnoughForDecode)
+    /// this is a *detected corruption* verdict: the read refused to
+    /// return bytes it could not vouch for, rather than decoding garbage.
+    Integrity {
+        /// `k`, the number of clean shards required.
+        needed: usize,
+        /// Clean, mutually-consistent shards that remained.
+        clean: usize,
+        /// Stripe indices of nodes that served provably corrupt bytes
+        /// (client-side checksum mismatch or a node-reported
+        /// [`NodeError::Corrupt`]).
+        corrupt: Vec<usize>,
+    },
     /// The object was never created on the contacted nodes.
     StripeMissing,
     /// Block length differed from the stripe's.
@@ -158,6 +174,15 @@ impl fmt::Display for ProtocolError {
                 f,
                 "read failed: {found} consistent nodes, {needed} needed to decode"
             ),
+            ProtocolError::Integrity {
+                needed,
+                clean,
+                corrupt,
+            } => write!(
+                f,
+                "read refused: corrupt shards detected on nodes {corrupt:?}, \
+                 only {clean} clean shards remain of the {needed} needed"
+            ),
             ProtocolError::StripeMissing => write!(f, "stripe not present on nodes"),
             ProtocolError::SizeMismatch => write!(f, "block length differs from stripe"),
             ProtocolError::Params(e) => write!(f, "invalid code parameters: {e}"),
@@ -230,6 +255,13 @@ mod tests {
         }
         .to_string()
         .contains("4 consistent nodes"));
+        let e = ProtocolError::Integrity {
+            needed: 6,
+            clean: 4,
+            corrupt: vec![2, 7],
+        };
+        assert!(e.to_string().contains("corrupt shards detected"));
+        assert!(e.to_string().contains("[2, 7]"));
     }
 
     #[test]

@@ -96,6 +96,9 @@ impl<T: Transport> TrapErcClient<T> {
                 sources.push(i);
             }
             let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            // The rebuild sources every data block anyway, so the
+            // replacement gets a real cross-checksum vector, not a stub.
+            let checks = tq_erasure::data_checks(&refs);
             let mut block = vec![0u8; refs[0].len()];
             // One fused register-blocked pass over all k source blocks.
             tq_gf256::slice_ops::linear_combination(
@@ -111,6 +114,7 @@ impl<T: Transport> TrapErcClient<T> {
                     id,
                     bytes: payload.clone(),
                     k,
+                    checks: checks.clone(),
                 },
             )
             .map_err(ProtocolError::Node)?;
@@ -120,6 +124,7 @@ impl<T: Transport> TrapErcClient<T> {
                     id,
                     bytes: payload,
                     versions,
+                    checks,
                 },
             )
             .map_err(ProtocolError::Node)?;

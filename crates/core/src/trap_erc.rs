@@ -26,6 +26,22 @@
 //!   anomaly the paper inherits from \[12\]); the failure-injection tests
 //!   pin down this behaviour.
 //!
+//! ## Integrity mode
+//!
+//! Every write carries the stripe's GF-linear cross-checksum state
+//! (see [`tq_erasure::check`]): stripe creation installs the
+//! data-block checksum vector on each parity node, and a delta write
+//! updates exactly one vector entry in the same `AddParity` message
+//! that folds the delta — checksums ride existing rounds, costing zero
+//! extra network trips. Reads verify every fetched shard *before* it
+//! reaches the decoder: a direct read is checked against the node's
+//! stamped self-check, a decode input against the group's vector. A
+//! mismatching shard counts as one more erasure — the read routes
+//! around it and proceeds — and only when too few clean shards remain
+//! does the read surface [`ProtocolError::Integrity`], never silently
+//! wrong bytes. [`TrapErcClient::scrub_stripe`] reports *which* nodes
+//! served corrupt bytes and repairs them with its push phase.
+//!
 //! ## Dispatch
 //!
 //! Every level loop runs through the [`QuorumRound`] engine: the level's
@@ -43,8 +59,9 @@ use bytes::Bytes;
 use tq_cluster::{
     NodeError, NodeId, PlanOp, QuorumRound, Request, Response, RoundOutcome, Transport,
 };
-use tq_erasure::delta::{block_delta, scale_delta};
-use tq_erasure::ReedSolomon;
+use tq_erasure::delta::block_delta;
+use tq_erasure::{data_checks, expected_parity_check, verify_block, ReedSolomon};
+use tq_gf256::check::block_check;
 use tq_quorum::trapezoid::TrapErcSystem;
 
 use crate::config::ProtocolConfig;
@@ -87,6 +104,13 @@ impl ReadOutcome {
     }
 }
 
+/// Records `node` as having served provably corrupt bytes (once).
+fn record_corrupt(corrupt: &mut Vec<usize>, node: usize) {
+    if !corrupt.contains(&node) {
+        corrupt.push(node);
+    }
+}
+
 /// What a scrub did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -98,6 +122,12 @@ pub struct ScrubReport {
     /// recovered value was installed at a version above every observed
     /// stamp rather than rolling any node's counter back.
     pub salvaged: Vec<usize>,
+    /// Stripe indices of nodes observed serving corrupt bytes during
+    /// the pass — a client-side cross-checksum mismatch or a
+    /// node-reported [`NodeError::Corrupt`]. The push phase re-installs
+    /// every live node's state, so a node listed here that also appears
+    /// in `refreshed` has been repaired.
+    pub corrupt: Vec<usize>,
     /// Round/message accounting for the whole pass.
     pub report: OpReport,
 }
@@ -241,9 +271,15 @@ impl<T: Transport> TrapErcClient<T> {
             return Err(ProtocolError::SizeMismatch);
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        // The stripe's cross-checksum vector rides the install round.
+        let checks = data_checks(&refs);
         // Parity into pooled scratch (one fused pass per parity block).
-        let parity_calls =
-            self.encode_parity_calls(&refs, |_, bytes| Request::InitParity { id, bytes, k });
+        let parity_calls = self.encode_parity_calls(&refs, |_, bytes| Request::InitParity {
+            id,
+            bytes,
+            k,
+            checks: checks.clone(),
+        });
         let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(self.config.params().n());
         for (i, block) in data.into_iter().enumerate() {
             // The caller's block becomes the wire payload (and, on the
@@ -320,7 +356,13 @@ impl<T: Transport> TrapErcClient<T> {
         }
         let sys = &self.systems[i];
         let new_version = old_version + 1;
-        let raw_delta = block_delta(old_chunk, new)?;
+        // One raw-delta allocation for the whole write: every parity
+        // member's `AddParity` shares it by refcount and carries its own
+        // α_{j,i} for the node to fold in place.
+        let raw_delta = Bytes::from(block_delta(old_chunk, new)?);
+        // The written block's new cross-checksum, updating one entry of
+        // each parity node's stored vector in the same message.
+        let new_check = block_check(new);
         // One payload allocation for the whole write; every level's
         // `WriteData` shares it by refcount (and the accepting node
         // adopts it as the stored block without copying).
@@ -334,8 +376,13 @@ impl<T: Transport> TrapErcClient<T> {
         // set), success requires w_l validations.
         for l in 0..sys.shape().num_levels() {
             let needed = sys.thresholds().write_threshold(l);
-            let calls =
-                self.write_level_calls(id, i, l, &payload, &raw_delta, (old_version, new_version));
+            let calls = self.write_level_calls(
+                id,
+                i,
+                l,
+                (&payload, &raw_delta, new_check),
+                (old_version, new_version),
+            );
             // Lines 35–37 live in the shared grading: fewer than w_l
             // validations fail the write at this level.
             crate::rounds::graded_write_level(
@@ -362,8 +409,7 @@ impl<T: Transport> TrapErcClient<T> {
         id: u64,
         i: usize,
         l: usize,
-        new: &Bytes,
-        raw_delta: &[u8],
+        (new, raw_delta, new_check): (&Bytes, &Bytes, u64),
         (old_version, new_version): (u64, u64),
     ) -> Vec<(NodeId, Request)> {
         self.systems[i]
@@ -380,13 +426,18 @@ impl<T: Transport> TrapErcClient<T> {
                     }
                 } else {
                     // Lines 25–28: guarded parity fold of α_{j,i}·(x − c).
-                    let delta = scale_delta(&self.rs, member, i, raw_delta);
+                    // The raw delta is shared by refcount across every
+                    // member and level; each node folds its own
+                    // α_{j,i}·delta in place through the dispatched
+                    // mul_add kernel — no per-member scaled copy here.
                     Request::AddParity {
                         id,
                         block_index: i,
-                        delta: Bytes::from(delta.delta),
+                        delta: raw_delta.clone(),
                         expected_version: old_version,
                         new_version,
+                        coeff: self.rs.coefficient(member, i).0,
+                        new_check: Some(new_check),
                     }
                 };
                 (NodeId(member), req)
@@ -404,11 +455,14 @@ impl<T: Transport> TrapErcClient<T> {
     /// # Errors
     /// [`ProtocolError::VersionCheckFailed`] if no level completes;
     /// [`ProtocolError::NotEnoughForDecode`] if Case 2 lacks nodes;
+    /// [`ProtocolError::Integrity`] if detected corruption (not absence)
+    /// is what left fewer than `k` clean shards;
     /// [`ProtocolError::StripeMissing`] if nodes respond but none knows
     /// the object.
     pub fn read_block(&self, id: u64, i: usize) -> Result<ReadOutcome, ProtocolError> {
         let mut report = OpReport::default();
-        let result = self.read_block_recorded(id, i, &mut report);
+        let mut corrupt = Vec::new();
+        let result = self.read_block_recorded(id, i, &mut report, &mut corrupt);
         result.map(|mut out| {
             out.report = report;
             out
@@ -416,12 +470,14 @@ impl<T: Transport> TrapErcClient<T> {
     }
 
     /// Algorithm 2 with the rounds recorded into a caller-owned report
-    /// (the scrub and batch paths bill several reads to one report).
+    /// (the scrub and batch paths bill several reads to one report) and
+    /// provably-corrupt node indices collected into `corrupt`.
     fn read_block_recorded(
         &self,
         id: u64,
         i: usize,
         report: &mut OpReport,
+        corrupt: &mut Vec<usize>,
     ) -> Result<ReadOutcome, ProtocolError> {
         let sys = &self.systems[i];
         let (n, k) = (self.config.params().n(), self.config.params().k());
@@ -456,24 +512,36 @@ impl<T: Transport> TrapErcClient<T> {
                     _ => None,
                 };
                 if ni_version == Some(latest) {
-                    // Case 1: direct read from N_i.
-                    if let Ok(Response::Data { bytes, version }) =
-                        self.call_recorded(i, Request::ReadData { id }, report)
-                    {
-                        if version == latest {
-                            return Ok(ReadOutcome {
-                                bytes: bytes.to_vec(),
-                                version: latest,
-                                path: ReadPath::Direct,
-                                report: OpReport::default(),
-                            });
+                    // Case 1: direct read from N_i — but only if the bytes
+                    // match the check N_i stamped at install time. A
+                    // mismatch means N_i's copy (or the node itself, via
+                    // `NodeError::Corrupt`) is provably bad: route around
+                    // it through the decode path instead of serving it.
+                    match self.call_recorded(i, Request::ReadData { id }, report) {
+                        Ok(Response::Data {
+                            bytes,
+                            version,
+                            check,
+                        }) if version == latest => {
+                            if check == 0 || block_check(&bytes) == check {
+                                return Ok(ReadOutcome {
+                                    bytes: bytes.to_vec(),
+                                    version: latest,
+                                    path: ReadPath::Direct,
+                                    report: OpReport::default(),
+                                });
+                            }
+                            record_corrupt(corrupt, i);
                         }
+                        Err(NodeError::Corrupt) => record_corrupt(corrupt, i),
+                        _ => {}
                     }
-                    // N_i died (or changed) between the version query
-                    // and the read; fall through to the decode path.
+                    // N_i died, changed, or served corrupt bytes between
+                    // the version query and the read; fall through to the
+                    // decode path.
                 }
                 // Case 2: reconstruct from k updated nodes.
-                return self.decode_block_at(id, i, latest, &mut matrix, report);
+                return self.decode_block_at(id, i, latest, &mut matrix, report, corrupt);
             }
             // Level incomplete (fewer than r_l live members): try the
             // next level, keeping whatever columns we already collected.
@@ -504,7 +572,9 @@ impl<T: Transport> TrapErcClient<T> {
     }
 
     /// Case 2 of Algorithm 2: decode block `i` at version `latest` from
-    /// `k` mutually consistent live nodes.
+    /// `k` mutually consistent live nodes, verifying every fetched shard
+    /// against the stripe's cross-checksum vector before it may enter
+    /// the decoder.
     fn decode_block_at(
         &self,
         id: u64,
@@ -512,6 +582,7 @@ impl<T: Transport> TrapErcClient<T> {
         latest: u64,
         matrix: &mut VersionMatrix,
         report: &mut OpReport,
+        corrupt: &mut Vec<usize>,
     ) -> Result<ReadOutcome, ProtocolError> {
         let k = self.config.params().k();
         // Widen V beyond the nodes the version check happened to probe:
@@ -563,57 +634,131 @@ impl<T: Transport> TrapErcClient<T> {
             });
         };
 
-        let mut chosen: Vec<usize> = Vec::with_capacity(k);
-        chosen.extend(data_members.iter().copied().take(k));
-        let room = k.saturating_sub(chosen.len());
-        chosen.extend(parity_members.iter().copied().take(room));
-        if chosen.len() < k {
+        // Members of the chosen group in fetch-preference order: data
+        // blocks first (they feed the decode verbatim), then parity.
+        let mut pool: Vec<usize> = Vec::with_capacity(data_members.len() + parity_members.len());
+        pool.extend(data_members);
+        pool.extend(parity_members);
+        if pool.len() < k {
             return Err(ProtocolError::NotEnoughForDecode {
                 needed: k,
-                found: chosen.len(),
+                found: pool.len(),
             });
         }
 
-        // Fetch the chosen blocks in one round, re-validating versions at
-        // read time (a node may have changed or died since the version
-        // pass). Issue order keeps the decode input deterministic.
-        let fetch: Vec<(NodeId, Request)> = chosen
-            .iter()
-            .map(|&node| {
-                let req = if node < k {
-                    Request::ReadData { id }
-                } else {
-                    Request::ReadParity { id }
-                };
-                (NodeId(node), req)
-            })
-            .collect();
-        // Gather-all with no enforced threshold: sufficiency is decided
-        // below, after version re-validation of each fetched block.
-        let outcome = run_recorded(
-            &self.transport,
-            QuorumRound::await_all(0),
-            None,
-            fetch,
-            report,
-        );
+        // Fetch k of the pool, re-validating versions *and checksums* at
+        // read time (a node may have changed, died or rotted since the
+        // version pass). A shard that fails verification is one more
+        // erasure: spare members of the same group are fetched in
+        // follow-up rounds until k clean shards are in hand or the group
+        // runs dry. Issue order keeps the decode input deterministic.
+        let corrupt_before = corrupt.len();
         let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
-        for accepted in outcome.accepted_in_issue_order() {
-            let node = accepted.node.0;
-            match &accepted.response {
-                Response::Data { bytes, version } if *version == column[node] => {
-                    available.push((node, bytes.to_vec()));
+        let mut vector: Option<Vec<u64>> = None;
+        let mut cursor = 0usize;
+        while available.len() < k && cursor < pool.len() {
+            let want = (k - available.len()).min(pool.len() - cursor);
+            let batch = &pool[cursor..cursor + want];
+            cursor += want;
+            let fetch: Vec<(NodeId, Request)> = batch
+                .iter()
+                .map(|&node| {
+                    let req = if node < k {
+                        Request::ReadData { id }
+                    } else {
+                        Request::ReadParity { id }
+                    };
+                    (NodeId(node), req)
+                })
+                .collect();
+            // Gather-all with no enforced threshold: sufficiency is
+            // decided here, after per-shard validation.
+            let outcome = run_recorded(
+                &self.transport,
+                QuorumRound::await_all(0),
+                None,
+                fetch,
+                report,
+            );
+            // Nodes that refused the fetch with a self-check failure are
+            // provably corrupt even though they returned no bytes.
+            for rejected in &outcome.rejected {
+                if matches!(rejected.error, NodeError::Corrupt) {
+                    record_corrupt(corrupt, rejected.node.0);
                 }
-                Response::Parity { bytes, versions } if *versions == column => {
-                    available.push((node, bytes.to_vec()));
+            }
+            // First pass: version re-validation plus each shard's *own*
+            // check (stamped by the serving node at install time). A
+            // parity reply also carries the stripe's cross-checksum
+            // vector; the first verified one becomes the reference
+            // vector for the uniform cross-check below.
+            for accepted in outcome.accepted_in_issue_order() {
+                let node = accepted.node.0;
+                match &accepted.response {
+                    Response::Data {
+                        bytes,
+                        version,
+                        check,
+                    } if *version == column[node] => {
+                        if *check != 0 && block_check(bytes) != *check {
+                            record_corrupt(corrupt, node);
+                            continue;
+                        }
+                        available.push((node, bytes.to_vec()));
+                    }
+                    Response::Parity {
+                        bytes,
+                        versions,
+                        checks,
+                    } if *versions == column => {
+                        if checks.len() == k {
+                            // The parity block's expected check is a
+                            // linear combination of the data checks —
+                            // derivable from the vector the node itself
+                            // served.
+                            if block_check(bytes) != expected_parity_check(&self.rs, node, checks) {
+                                record_corrupt(corrupt, node);
+                                continue;
+                            }
+                            if vector.is_none() {
+                                vector = Some(checks.clone());
+                            }
+                        }
+                        available.push((node, bytes.to_vec()));
+                    }
+                    _ => {}
                 }
-                _ => {}
+            }
+            // Second pass: hold every candidate shard against the
+            // reference cross-checksum vector. This catches data blocks
+            // from nodes whose self-check was unknown
+            // (legacy/invalidated, check == 0) or whose stamp was
+            // tampered alongside the bytes. Idempotent across rounds.
+            if let Some(checks) = &vector {
+                available.retain(|(node, bytes)| {
+                    if verify_block(&self.rs, *node, bytes, checks) {
+                        true
+                    } else {
+                        record_corrupt(corrupt, *node);
+                        false
+                    }
+                });
             }
         }
         if available.len() < k {
-            return Err(ProtocolError::NotEnoughForDecode {
-                needed: k,
-                found: available.len(),
+            // Distinguish "nodes are missing/stale" from "nodes are
+            // provably lying": only the latter is an integrity verdict.
+            return Err(if corrupt.len() > corrupt_before {
+                ProtocolError::Integrity {
+                    needed: k,
+                    clean: available.len(),
+                    corrupt: corrupt.clone(),
+                }
+            } else {
+                ProtocolError::NotEnoughForDecode {
+                    needed: k,
+                    found: available.len(),
+                }
             });
         }
         let refs: Vec<(usize, &[u8])> = available
@@ -621,6 +766,18 @@ impl<T: Transport> TrapErcClient<T> {
             .map(|(idx, b)| (*idx, b.as_slice()))
             .collect();
         let bytes = self.rs.decode_block(i, &refs)?;
+        // Belt-and-suspenders: the decode of verified inputs is already
+        // consistent by linearity, but the 64-bit check is cheap and a
+        // collision on every input simultaneously is the only escape.
+        if let Some(checks) = &vector {
+            if !verify_block(&self.rs, i, &bytes, checks) {
+                return Err(ProtocolError::Integrity {
+                    needed: k,
+                    clean: 0,
+                    corrupt: corrupt.clone(),
+                });
+            }
+        }
         Ok(ReadOutcome {
             bytes,
             version: latest,
@@ -659,18 +816,20 @@ impl<T: Transport> TrapErcClient<T> {
         let mut data = Vec::with_capacity(k);
         let mut versions = Vec::with_capacity(k);
         let mut salvaged = Vec::new();
+        let mut corrupt = Vec::new();
         let mut report = OpReport::default();
         for i in 0..k {
-            match self.read_block_recorded(id, i, &mut report) {
+            match self.read_block_recorded(id, i, &mut report, &mut corrupt) {
                 Ok(out) => {
                     versions.push(out.version);
                     data.push(out.bytes);
                 }
-                Err(ProtocolError::NotEnoughForDecode { .. }) => {
-                    // Poisoned: chase older versions for the newest one
-                    // that still decodes, then supersede the residue.
+                Err(ProtocolError::NotEnoughForDecode { .. } | ProtocolError::Integrity { .. }) => {
+                    // Poisoned (or corrupted past the clean-shard floor):
+                    // chase older versions for the newest one that still
+                    // decodes, then supersede the residue.
                     let (bytes, recovered, max_observed) =
-                        self.best_recoverable(id, i, &mut report)?;
+                        self.best_recoverable(id, i, &mut report, &mut corrupt)?;
                     versions.push(if recovered < max_observed {
                         max_observed + 1
                     } else {
@@ -727,12 +886,55 @@ impl<T: Transport> TrapErcClient<T> {
             }
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        // Fresh cross-checksum vector for the reconstructed state: the
+        // push below re-stamps every node — including any that served
+        // corrupt bytes, which is the repair.
+        let stripe_checks = data_checks(&refs);
+        // Audit the parity shards explicitly: the data-block pass above
+        // serves healthy blocks straight from their N_i (Case 1) and
+        // would never observe a rotten parity replica. Judge only
+        // replicas claiming the settled version column — stale ones are
+        // legitimately different and get refreshed by the push anyway.
+        let audit_calls: Vec<(NodeId, Request)> = self
+            .config
+            .params()
+            .parity_indices()
+            .map(|j| (NodeId(j), Request::ReadParity { id }))
+            .collect();
+        let audit = run_recorded(
+            &self.transport,
+            QuorumRound::await_all(0),
+            None,
+            audit_calls,
+            &mut report,
+        );
+        for rejected in &audit.rejected {
+            if matches!(rejected.error, NodeError::Corrupt) {
+                record_corrupt(&mut corrupt, rejected.node.0);
+            }
+        }
+        for accepted in &audit.accepted {
+            if let Response::Parity {
+                bytes,
+                versions: col,
+                ..
+            } = &accepted.response
+            {
+                let j = accepted.node.0;
+                if *col == versions
+                    && block_check(bytes) != expected_parity_check(&self.rs, j, &stripe_checks)
+                {
+                    record_corrupt(&mut corrupt, j);
+                }
+            }
+        }
         // Re-encode into the pooled scratch set — scrubbing a volume is
         // one of these per stripe, and the pool keeps it allocation-flat.
         let parity_calls = self.encode_parity_calls(&refs, |_, bytes| Request::WriteParity {
             id,
             bytes,
             versions: versions.clone(),
+            checks: stripe_checks.clone(),
         });
         // Push the reconstructed state to every node in one round; only
         // live nodes ack and are reported refreshed.
@@ -760,9 +962,12 @@ impl<T: Transport> TrapErcClient<T> {
             .iter()
             .map(|a| a.node.0)
             .collect();
+        corrupt.sort_unstable();
+        corrupt.dedup();
         Ok(ScrubReport {
             refreshed,
             salvaged,
+            corrupt,
             report,
         })
     }
@@ -775,6 +980,7 @@ impl<T: Transport> TrapErcClient<T> {
         id: u64,
         i: usize,
         report: &mut OpReport,
+        corrupt: &mut Vec<usize>,
     ) -> Result<(Vec<u8>, u64, u64), ProtocolError> {
         let (n, k) = (self.config.params().n(), self.config.params().k());
         let mut matrix = VersionMatrix::new(n, k);
@@ -797,9 +1003,26 @@ impl<T: Transport> TrapErcClient<T> {
         );
         let mut ni = None;
         for accepted in &outcome.accepted {
-            if let Response::Data { bytes, version } = &accepted.response {
+            if let Response::Data {
+                bytes,
+                version,
+                check,
+            } = &accepted.response
+            {
                 matrix.set_data_version(i, *version);
-                ni = Some((bytes.to_vec(), *version));
+                // A self-check mismatch disqualifies N_i's copy from the
+                // salvage shortcut but its version still counts — the
+                // decode path below can rebuild that version cleanly.
+                if *check == 0 || block_check(bytes) == *check {
+                    ni = Some((bytes.to_vec(), *version));
+                } else {
+                    record_corrupt(corrupt, i);
+                }
+            }
+        }
+        for rejected in &outcome.rejected {
+            if matches!(rejected.error, NodeError::Corrupt) {
+                record_corrupt(corrupt, rejected.node.0);
             }
         }
         self.fold_versions_into(&mut matrix, &outcome);
@@ -821,7 +1044,7 @@ impl<T: Transport> TrapErcClient<T> {
                     return Ok((bytes.clone(), v, max_observed));
                 }
             }
-            if let Ok(out) = self.decode_block_at(id, i, v, &mut matrix, report) {
+            if let Ok(out) = self.decode_block_at(id, i, v, &mut matrix, report, corrupt) {
                 return Ok((out.bytes, v, max_observed));
             }
         }
@@ -961,8 +1184,18 @@ impl<T: Transport> TrapErcClient<T> {
             for (&idx, outcome) in direct.iter().zip(&outcomes) {
                 let st = &mut states[idx];
                 if let Some(accepted) = outcome.accepted.first() {
-                    if let Response::Data { bytes, version } = &accepted.response {
-                        if Some(*version) == st.latest {
+                    if let Response::Data {
+                        bytes,
+                        version,
+                        check,
+                    } = &accepted.response
+                    {
+                        // Same guard as the single-read Case 1: a stale
+                        // version *or* a checksum mismatch drops the item
+                        // through to the decode path.
+                        if Some(*version) == st.latest
+                            && (*check == 0 || block_check(bytes) == *check)
+                        {
                             st.done = Some(Ok(ReadOutcome {
                                 bytes: bytes.to_vec(),
                                 version: *version,
@@ -987,6 +1220,7 @@ impl<T: Transport> TrapErcClient<T> {
                     latest,
                     &mut st.matrix,
                     &mut report,
+                    &mut Vec::new(),
                 ));
             }
         }
@@ -1034,7 +1268,10 @@ impl<T: Transport> TrapErcClient<T> {
             /// The item's single payload allocation, shared by every
             /// level's `WriteData` clone.
             payload: Bytes,
-            raw_delta: Vec<u8>,
+            /// One refcounted raw-delta allocation per item, shared by
+            /// every parity member's `AddParity` across all levels.
+            raw_delta: Bytes,
+            new_check: u64,
             old_version: u64,
             new_version: u64,
             validated: Vec<usize>,
@@ -1051,7 +1288,8 @@ impl<T: Transport> TrapErcClient<T> {
                         Ok(raw_delta) => alive.push(Alive {
                             idx,
                             payload: Bytes::copy_from_slice(items[idx].bytes),
-                            raw_delta,
+                            raw_delta: Bytes::from(raw_delta),
+                            new_check: block_check(items[idx].bytes),
                             old_version: old.version,
                             new_version: old.version + 1,
                             validated: Vec::new(),
@@ -1084,8 +1322,7 @@ impl<T: Transport> TrapErcClient<T> {
                             items[w.idx].addr.stripe,
                             i,
                             l,
-                            &w.payload,
-                            &w.raw_delta,
+                            (&w.payload, &w.raw_delta, w.new_check),
                             (w.old_version, w.new_version),
                         ),
                     }
@@ -1648,5 +1885,196 @@ mod tests {
         assert_eq!(delta.writes, 1);
         assert_eq!(delta.parity_adds, 3);
         assert!(delta.reads >= 1);
+    }
+
+    // -----------------------------------------------------------------
+    // Integrity mode: corrupt shards are detected, routed around,
+    // attributed and repaired — never silently decoded into garbage.
+    // -----------------------------------------------------------------
+
+    /// A (9, 6) client on nodes that do *not* self-verify reads: every
+    /// corruption must be caught by the client-side cross-checksum.
+    fn unverified_client_9_6() -> (TrapErcClient<LocalTransport>, Cluster) {
+        let config = ProtocolConfig::with_uniform_w(9, 6, 2, 1, 1, 1).unwrap();
+        let cluster = Cluster::with_node_builders(9, |_, b| b.verify_reads(false));
+        let client = TrapErcClient::new(config, LocalTransport::new(cluster.clone())).unwrap();
+        (client, cluster)
+    }
+
+    /// Flips one bit of node `node`'s stored copy of object `id` behind
+    /// the node's back, keeping every piece of metadata (version, the
+    /// stamped self-check, the cross-checksum vector) intact — the shape
+    /// of a latent media corruption the node has not noticed yet.
+    fn tamper(cluster: &Cluster, node: usize, id: u64) {
+        use tq_cluster::storage::StoredBlock;
+        let backend = cluster.node(node).backend();
+        let block = backend.get(id).unwrap().expect("block stored");
+        let tampered = match block {
+            StoredBlock::Data {
+                version,
+                bytes,
+                check,
+            } => {
+                let mut b = bytes.to_vec();
+                b[0] ^= 0x40;
+                StoredBlock::Data {
+                    version,
+                    bytes: Bytes::from(b),
+                    check,
+                }
+            }
+            StoredBlock::Parity {
+                versions,
+                bytes,
+                check,
+                checks,
+            } => {
+                let mut b = bytes.to_vec();
+                b[0] ^= 0x40;
+                StoredBlock::Parity {
+                    versions,
+                    bytes: Bytes::from(b),
+                    check,
+                    checks,
+                }
+            }
+        };
+        backend.put(id, tampered).unwrap();
+    }
+
+    #[test]
+    fn read_routes_around_a_self_detected_corrupt_node() {
+        // Default nodes verify reads: N_0 itself refuses to serve its
+        // tampered copy, and the read decodes from the clean shards.
+        let (client, cluster) = client_9_6();
+        let data = blocks(6, 64);
+        client.create_stripe(1, data.clone()).unwrap();
+        tamper(&cluster, 0, 1);
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, data[0]);
+        match out.path {
+            ReadPath::Decoded { ref nodes } => {
+                assert!(!nodes.contains(&0), "corrupt node cannot contribute")
+            }
+            ReadPath::Direct => panic!("tampered N_0 must not serve directly"),
+        }
+    }
+
+    #[test]
+    fn read_detects_corruption_the_node_itself_missed() {
+        // Verify-off nodes happily serve tampered bytes with the stale
+        // self-check attached; the client's checksum comparison is the
+        // only line of defense — and it must hold on both a data shard
+        // and a parity shard feeding a decode.
+        let (client, cluster) = unverified_client_9_6();
+        let data = blocks(6, 64);
+        client.create_stripe(1, data.clone()).unwrap();
+        tamper(&cluster, 0, 1);
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, data[0], "decoded bytes must match the original");
+        assert!(matches!(out.path, ReadPath::Decoded { .. }));
+
+        // Now also rot a parity shard: the decode for block 0 must skip
+        // it (cross-checksum vector mismatch) and still come back clean.
+        tamper(&cluster, 6, 1);
+        let out = client.read_block(1, 0).unwrap();
+        assert_eq!(out.bytes, data[0]);
+        match out.path {
+            ReadPath::Decoded { ref nodes } => {
+                assert!(!nodes.contains(&6), "corrupt parity cannot contribute")
+            }
+            ReadPath::Direct => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn too_few_clean_shards_is_a_typed_integrity_error() {
+        let (client, cluster) = unverified_client_9_6();
+        client.create_stripe(1, blocks(6, 32)).unwrap();
+        // Corrupt N_0 and every parity node: block 0 has only the 5
+        // other data shards left clean — one short of k = 6. The read
+        // must refuse with the corruption verdict, naming the liars,
+        // rather than decode garbage or claim the nodes were merely
+        // missing.
+        for node in [0, 6, 7, 8] {
+            tamper(&cluster, node, 1);
+        }
+        let err = client.read_block(1, 0).unwrap_err();
+        match err {
+            ProtocolError::Integrity {
+                needed,
+                clean,
+                corrupt,
+            } => {
+                assert_eq!(needed, 6);
+                assert_eq!(clean, 5);
+                for node in [0, 6, 7, 8] {
+                    assert!(corrupt.contains(&node), "{node} missing from {corrupt:?}");
+                }
+            }
+            other => panic!("expected Integrity, got {other:?}"),
+        }
+        // Other blocks still read directly — corruption of one shard's
+        // worth of nodes is not an availability event for the rest.
+        assert!(client.read_block(1, 3).is_ok());
+    }
+
+    #[test]
+    fn scrub_attributes_and_repairs_corrupt_nodes() {
+        // Both node postures: self-verifying nodes surface
+        // `NodeError::Corrupt`, verify-off nodes are caught by the
+        // client's cross-checksum — the scrub must attribute and heal
+        // either way.
+        for verified in [true, false] {
+            let (client, cluster) = if verified {
+                client_9_6()
+            } else {
+                unverified_client_9_6()
+            };
+            let data = blocks(6, 48);
+            client.create_stripe(1, data.clone()).unwrap();
+            tamper(&cluster, 2, 1);
+            tamper(&cluster, 7, 1);
+
+            let report = client.scrub_stripe(1).unwrap();
+            assert_eq!(
+                report.corrupt,
+                vec![2, 7],
+                "scrub must name the nodes that served corrupt bytes (verified={verified})"
+            );
+            assert!(report.salvaged.is_empty(), "no residue to supersede");
+            assert_eq!(report.refreshed.len(), 9, "push re-stamps every node");
+
+            // The push healed the rot in place: both nodes' stored
+            // copies self-check again and the data reads back directly.
+            for node in [2, 7] {
+                let stored = cluster.node(node).backend().get(1).unwrap().unwrap();
+                assert!(stored.self_check_ok(), "node {node} still rotten");
+            }
+            let out = client.read_block(1, 2).unwrap();
+            assert_eq!(out.bytes, data[2]);
+            assert_eq!(out.path, ReadPath::Direct);
+            assert!(client.scrub_stripe(1).unwrap().corrupt.is_empty());
+        }
+    }
+
+    #[test]
+    fn delta_writes_keep_parity_cross_checksums_live() {
+        // A chain of delta writes must leave every parity node holding a
+        // cross-checksum vector that still verifies its folded bytes —
+        // otherwise detection would silently degrade after the first
+        // write. Verified by tampering *after* the writes and expecting
+        // attribution.
+        let (client, cluster) = unverified_client_9_6();
+        client.create_stripe(1, blocks(6, 32)).unwrap();
+        for round in 0..3u8 {
+            client.write_block(1, 4, &[round; 32]).unwrap();
+            client.write_block(1, 1, &[round ^ 0x5A; 32]).unwrap();
+        }
+        assert!(client.scrub_stripe(1).unwrap().corrupt.is_empty());
+        tamper(&cluster, 8, 1);
+        let report = client.scrub_stripe(1).unwrap();
+        assert_eq!(report.corrupt, vec![8]);
+        assert!(client.scrub_stripe(1).unwrap().corrupt.is_empty());
     }
 }

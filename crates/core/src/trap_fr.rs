@@ -209,7 +209,7 @@ impl<T: Transport> TrapFrClient<T> {
             }
             let result = self.call(pos, Request::ReadData { id });
             report.absorb_call(result.is_ok());
-            if let Ok(Response::Data { bytes, version }) = result {
+            if let Ok(Response::Data { bytes, version, .. }) = result {
                 if version >= latest {
                     return Some(ReadOutcome {
                         bytes: bytes.to_vec(),
@@ -399,7 +399,7 @@ impl<T: Transport> TrapFrClient<T> {
                 let st = &mut states[idx];
                 let latest = st.latest.expect("fetch items have a version");
                 if let Some(accepted) = outcome.accepted.first() {
-                    if let Response::Data { bytes, version } = &accepted.response {
+                    if let Response::Data { bytes, version, .. } = &accepted.response {
                         if *version >= latest {
                             st.done = Some(Ok(ReadOutcome {
                                 bytes: bytes.to_vec(),

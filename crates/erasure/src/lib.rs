@@ -23,6 +23,10 @@
 //! * [`Stripe`] — an owned (data, parity) pair that maintains the eq. 1
 //!   invariant under full writes and delta updates; the unit the storage
 //!   nodes of `tq-cluster` ultimately hold slices of.
+//! * [`check`] — stripe cross-checksum vectors: per-data-block GF-linear
+//!   checksums from which a reader derives the expected checksum of *any*
+//!   shard (data or parity) and verifies it before decoding — the
+//!   integrity mode's defense against silently corrupt shards.
 //!
 //! ## Quickstart
 //!
@@ -48,12 +52,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod code;
 pub mod delta;
 pub mod params;
 pub mod repair;
 pub mod stripe;
 
+pub use check::{data_checks, expected_block_check, expected_parity_check, verify_block};
 pub use code::{GeneratorKind, ReedSolomon};
 pub use delta::ParityDelta;
 pub use params::{CodeParams, ParamError};

@@ -1,0 +1,196 @@
+//! GF(2⁸)-linear block checksums — the primitive under the stripe
+//! cross-checksum integrity mode.
+//!
+//! A checksum packs 8 parallel GF(2⁸) accumulator lanes into one `u64`:
+//! lane `m` of [`block_check`]`(b)` is `Σ_i w_m(i) · b[i]` over GF(2⁸),
+//! where the per-position weights `w_m(i)` are the 8 bytes of
+//! `splitmix64(i)` (zero bytes remapped to a fixed non-zero constant, so
+//! every byte position influences every lane and any single corrupted
+//! byte flips all 8 lanes).
+//!
+//! Position-dependent weights make the checksum order-sensitive — unlike
+//! a plain XOR fold, swapping two block bytes changes it — and
+//! GF-linearity in the block bytes makes it commute with the erasure
+//! code:
+//!
+//! * `block_check(x ⊕ y) = block_check(x) ^ block_check(y)` — deltas
+//!   compose by XOR;
+//! * `block_check(c · x) = combine(c, block_check(x))` — scaling a block
+//!   scales its checksum lane-wise.
+//!
+//! Together these give the cross-checksum identity the stripe integrity
+//! mode rests on: a parity block `p_j = Σ_i α_{j,i} · d_i` satisfies
+//! `block_check(p_j) = Σ_i combine(α_{j,i}, block_check(d_i))`
+//! ([`linear_check`]), so a reader holding only the *data*-block
+//! checksum vector can verify any fetched parity block before decoding.
+
+use crate::tables;
+use crate::Gf256;
+
+/// Weight byte used in place of a zero `splitmix64` output byte: a zero
+/// weight would make that lane blind to the position.
+const ZERO_WEIGHT_SUBSTITUTE: u8 = 0x8D;
+
+/// SplitMix64 mix — the same finalizer the storage layer uses for
+/// striping, reused here as a cheap per-position weight generator.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The 8 non-zero lane weights for byte position `i`.
+#[inline]
+fn weights(i: usize) -> [u8; 8] {
+    let mut w = splitmix64(i as u64).to_le_bytes();
+    for lane in &mut w {
+        if *lane == 0 {
+            *lane = ZERO_WEIGHT_SUBSTITUTE;
+        }
+    }
+    w
+}
+
+/// The 8-lane GF(2⁸) checksum of a block.
+///
+/// Linear in the block bytes (see the [module docs](self)); the checksum
+/// of an all-zero block is 0.
+pub fn block_check(bytes: &[u8]) -> u64 {
+    let mut lanes = [0u8; 8];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == 0 {
+            continue; // 0 · w = 0 in every lane
+        }
+        let row = &tables::MUL[b as usize];
+        let w = weights(i);
+        for (lane, &wm) in lanes.iter_mut().zip(&w) {
+            *lane ^= row[wm as usize];
+        }
+    }
+    u64::from_le_bytes(lanes)
+}
+
+/// Scales a checksum by a field coefficient, lane-wise:
+/// `combine(c, block_check(x)) == block_check(c · x)`.
+pub fn combine(coeff: Gf256, check: u64) -> u64 {
+    let row = &tables::MUL[coeff.value() as usize];
+    let mut lanes = check.to_le_bytes();
+    for lane in &mut lanes {
+        *lane = row[*lane as usize];
+    }
+    u64::from_le_bytes(lanes)
+}
+
+/// The checksum of the linear combination `Σ_i coeffs[i] · blocks[i]`,
+/// computed from the blocks' checksums alone:
+/// `linear_check(c, checks) == block_check(Σ c_i · x_i)`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn linear_check(coeffs: &[Gf256], checks: &[u64]) -> u64 {
+    assert_eq!(
+        coeffs.len(),
+        checks.len(),
+        "linear_check: {} coefficients vs {} checksums",
+        coeffs.len(),
+        checks.len()
+    );
+    coeffs
+        .iter()
+        .zip(checks)
+        .fold(0u64, |acc, (&c, &ch)| acc ^ combine(c, ch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice_ops;
+
+    fn sample(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| seed.wrapping_add((i as u8).wrapping_mul(37)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_block_checks_to_zero() {
+        assert_eq!(block_check(&[]), 0);
+        assert_eq!(block_check(&[0u8; 64]), 0);
+    }
+
+    #[test]
+    fn weights_are_never_zero() {
+        for i in 0..4096 {
+            assert!(weights(i).iter().all(|&w| w != 0), "position {i}");
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_flips_every_lane() {
+        let block = sample(257, 11);
+        let clean = block_check(&block);
+        for pos in [0usize, 1, 7, 63, 128, 256] {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = block.clone();
+                bad[pos] ^= flip;
+                let got = block_check(&bad);
+                // Non-zero weights: a changed byte perturbs all 8 lanes.
+                for lane in 0..8 {
+                    assert_ne!(
+                        got.to_le_bytes()[lane],
+                        clean.to_le_bytes()[lane],
+                        "pos {pos} flip {flip:#x} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = block_check(&[1, 2, 3, 4]);
+        let b = block_check(&[2, 1, 3, 4]);
+        assert_ne!(a, b, "swapping bytes must change the checksum");
+    }
+
+    #[test]
+    fn xor_linearity() {
+        let x = sample(96, 3);
+        let y = sample(96, 200);
+        let xy: Vec<u8> = x.iter().zip(&y).map(|(&a, &b)| a ^ b).collect();
+        assert_eq!(block_check(&xy), block_check(&x) ^ block_check(&y));
+    }
+
+    #[test]
+    fn scaling_linearity() {
+        let x = sample(80, 77);
+        for c in [0u8, 1, 2, 0x53, 0xFF] {
+            let c = Gf256(c);
+            let mut scaled = vec![0u8; x.len()];
+            slice_ops::mul_slice(c, &x, &mut scaled);
+            assert_eq!(block_check(&scaled), combine(c, block_check(&x)), "c={c}");
+        }
+    }
+
+    #[test]
+    fn linear_check_matches_materialised_combination() {
+        let blocks: Vec<Vec<u8>> = (0..5u8).map(|s| sample(64, s.wrapping_mul(91))).collect();
+        let coeffs: Vec<Gf256> = [3u8, 0x1D, 1, 0xAA, 0x02]
+            .iter()
+            .map(|&c| Gf256(c))
+            .collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut out = vec![0u8; 64];
+        slice_ops::linear_combination(&coeffs, &refs, &mut out);
+        let checks: Vec<u64> = blocks.iter().map(|b| block_check(b)).collect();
+        assert_eq!(block_check(&out), linear_check(&coeffs, &checks));
+    }
+
+    #[test]
+    #[should_panic(expected = "linear_check")]
+    fn linear_check_rejects_ragged_input() {
+        let _ = linear_check(&[Gf256::ONE], &[1, 2]);
+    }
+}

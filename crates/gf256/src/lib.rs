@@ -22,6 +22,10 @@
 //!   split-nibble `pshufb` (SSSE3/AVX2) and `vqtbl1q_u8` (NEON) kernels, a
 //!   portable u64 SWAR fallback, and the scalar reference, selected once
 //!   per process by runtime feature detection (`TQ_GF256_FORCE` overrides).
+//! * [`check`] — 8-lane GF(2⁸)-linear block checksums
+//!   (`block_check`/`combine`/`linear_check`), the primitive under the
+//!   stripe cross-checksum integrity mode: linearity lets a reader derive
+//!   a parity block's expected checksum from the data-block checksums.
 //! * [`matrix`] — dense matrices over GF(2⁸) with Gauss–Jordan inversion and
 //!   Vandermonde / Cauchy constructors, from which the systematic MDS
 //!   generator of `tq-erasure` is derived.
@@ -51,6 +55,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod field;
 pub mod matrix;
 pub mod poly;

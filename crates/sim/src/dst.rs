@@ -286,6 +286,19 @@ impl Scenario {
         self.storage_faults = Some(StorageFaults::aggressive());
         self
     }
+
+    /// Turns on the *corrupting* storage axis
+    /// ([`StorageFaults::corrupting`]): nodes serve bit-flipped or
+    /// misdirected copies of their stored blocks at high probability.
+    /// The matrices stay clean under this only because every served
+    /// shard is checksummed — the node's self-check answers
+    /// `NodeError::Corrupt` and the client cross-checksum catches
+    /// whatever slips past; any corruption *returned* to the workload
+    /// would be a `ForeignValue` violation within a few ops.
+    pub fn with_corruption(mut self) -> Self {
+        self.storage_faults = Some(StorageFaults::corrupting());
+        self
+    }
 }
 
 /// One step of a generated workload. Node indices refer to the shared
@@ -768,6 +781,10 @@ pub struct CaseReport {
     pub stats: CaseStats,
     /// The simulation's network counters.
     pub sim: SimStats,
+    /// Reads the storage fault axis served corrupted (bit-flipped or
+    /// misdirected) — non-zero on a corruption-axis case proves the
+    /// clean checker verdict was earned, not vacuous.
+    pub corrupted_reads: u64,
     /// The first consistency violation, if any (the run stops there).
     pub violation: Option<Violation>,
 }
@@ -778,20 +795,31 @@ pub struct CaseReport {
 /// model, settle with a final quiesced scrub of every group, and report.
 pub fn run_case(cfg: &CaseConfig) -> CaseReport {
     let ops = generate_ops(cfg.seed, &cfg.scenario, cfg.ops);
+    // Kept so the report can count how many reads the fault axis
+    // actually corrupted — the proof the corruption runs are not
+    // vacuously clean.
+    let mut fault_backends: Vec<Arc<FaultingBackend>> = Vec::new();
+    // Node read-verification is pinned ON rather than inherited from
+    // `TQ_NODE_VERIFY`: a `CaseConfig` replay must be bit-for-bit
+    // identical in any environment, and the replication baselines have
+    // no client-side cross-checksum layer, so the self-check is their
+    // only defense on the corrupting axis.
     let cluster = match cfg.scenario.storage_faults {
         // The storage fault axis: every node's map sits behind a seeded
         // faulting wrapper, each node with its own fault stream derived
         // from the case seed so the whole case stays replayable.
-        Some(faults) => Cluster::with_backends(CLUSTER_NODES, |i| {
-            Arc::new(FaultingBackend::new(
+        Some(faults) => Cluster::with_node_builders(CLUSTER_NODES, |i, b| {
+            let backend = Arc::new(FaultingBackend::new(
                 Arc::new(MemoryBackend::new()),
                 faults,
                 cfg.seed
                     .wrapping_mul(0xD6E8_FEB8_6659_FD93)
                     .wrapping_add(i as u64),
-            ))
+            ));
+            fault_backends.push(Arc::clone(&backend));
+            b.backend(backend).verify_reads(true)
         }),
-        None => Cluster::new(CLUSTER_NODES),
+        None => Cluster::with_node_builders(CLUSTER_NODES, |_, b| b.verify_reads(true)),
     };
     let sim = Arc::new(SimTransport::with_model(
         cluster,
@@ -816,6 +844,7 @@ pub fn run_case(cfg: &CaseConfig) -> CaseReport {
         config: cfg.clone(),
         stats,
         sim: sim.stats(),
+        corrupted_reads: fault_backends.iter().map(|b| b.corrupted_reads()).sum(),
         violation,
     }
 }

@@ -59,6 +59,7 @@ fn history(writes: u64, folds: [u64; K], mix: u64) -> Vec<Envelope> {
             id: PARITY_ID,
             bytes: pattern(100),
             k: K,
+            checks: vec![],
         }),
     ];
     let mut next_write = 1u64;
@@ -95,6 +96,8 @@ fn history(writes: u64, folds: [u64; K], mix: u64) -> Vec<Envelope> {
                     delta: pattern(200 + (i as u64) * 64 + v),
                     expected_version: v - 1,
                     new_version: v,
+                    coeff: 1,
+                    new_check: None,
                 }));
                 next_fold[i] += 1;
             }
@@ -226,7 +229,7 @@ fn converged_state_matches_ground_truth() {
     }
     let (data, parity) = deliver(&schedule);
     match data.unwrap() {
-        Response::Data { bytes, version } => {
+        Response::Data { bytes, version, .. } => {
             assert_eq!(version, 5);
             assert_eq!(bytes, pattern(5));
         }

@@ -224,7 +224,9 @@ fn scrub_restores_eq1_invariant_across_cluster() {
             .call(NodeId(j), Request::ReadParity { id: 1 })
             .unwrap()
         {
-            Response::Parity { bytes, versions } => {
+            Response::Parity {
+                bytes, versions, ..
+            } => {
                 assert_eq!(&bytes[..], expect.as_slice(), "parity node {j}");
                 assert_eq!(versions.len(), 8);
             }

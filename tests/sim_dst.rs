@@ -43,19 +43,25 @@ fn seed_base() -> u64 {
 /// The acceptance matrix: 64 seeds × all four backends, scenarios
 /// rotating per seed so every backend meets every adversarial regime —
 /// with the storage fault axis (fsync-barrier crash reverts, silently
-/// dropped fsyncs, slow reads) switched on for every other seed, so
-/// each scenario runs both with pristine disks and with lying ones.
+/// dropped fsyncs, slow reads) switched on for every other seed, and
+/// the *corrupting* axis (bit-flipped and misdirected served blocks) on
+/// every fourth, so each scenario runs with pristine disks, with lying
+/// ones, and with rotting ones. A corrupting node that slipped a bad
+/// block past the checksums would surface as a `ForeignValue` or
+/// `VersionValueConflict` violation here.
 #[test]
 fn seed_matrix_stays_checker_clean_across_all_backends() {
     let scenarios = Scenario::all();
     let base = seed_base();
     let mut failures = Vec::new();
-    let (mut commits, mut reads_ok) = (0u64, 0u64);
+    let (mut commits, mut reads_ok, mut corrupted) = (0u64, 0u64, 0u64);
 
     for seed in 0..64u64 {
         let mut scenario = scenarios[(seed % scenarios.len() as u64) as usize].clone();
         if seed % 2 == 1 {
             scenario = scenario.with_storage_faults();
+        } else if seed % 4 == 2 {
+            scenario = scenario.with_corruption();
         }
         for backend in Backend::ALL {
             let cfg = CaseConfig {
@@ -67,6 +73,7 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
             let report = run_case(&cfg);
             commits += report.stats.commits;
             reads_ok += report.stats.reads_ok;
+            corrupted += report.corrupted_reads;
             if report.violation.is_some() {
                 let minimal = minimize(&cfg).expect("violation reproduces");
                 failures.push(format!(
@@ -96,9 +103,15 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
     }
 
     // Non-vacuity: the adversarial schedules must still let plenty of
-    // operations complete, or the checker proved nothing.
+    // operations complete, or the checker proved nothing — and the
+    // corruption seeds must have actually served corrupted copies, or
+    // the integrity claim is vacuous too.
     assert!(commits > 300, "workload vacuous: only {commits} commits");
     assert!(reads_ok > 600, "workload vacuous: only {reads_ok} reads");
+    assert!(
+        corrupted > 200,
+        "corruption axis vacuous: only {corrupted} corrupted reads served"
+    );
 }
 
 /// The at-least-once acceptance matrix: the same 64 seeds × 4 backends,
@@ -115,10 +128,13 @@ fn at_least_once_matrix_stays_checker_clean_across_all_backends() {
     let (mut commits, mut reads_ok, mut redelivered) = (0u64, 0u64, 0u64);
 
     for seed in 0..64u64 {
-        // The storage fault axis rotates through this matrix too:
-        // at-least-once delivery and lying disks compose.
+        // The storage fault and corruption axes rotate through this
+        // matrix too: at-least-once delivery, lying disks and rotting
+        // disks all compose.
         let scenario = if seed % 2 == 1 {
             Scenario::at_least_once().with_storage_faults()
+        } else if seed % 4 == 2 {
+            Scenario::at_least_once().with_corruption()
         } else {
             Scenario::at_least_once()
         };

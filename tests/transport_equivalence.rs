@@ -51,6 +51,7 @@ fn script() -> Vec<(usize, Envelope)> {
                     id: 11,
                     bytes: data(0xB0),
                     k: 3,
+                    checks: vec![0xC1, 0xC2, 0xC3],
                 },
             ),
         ),
@@ -76,6 +77,8 @@ fn script() -> Vec<(usize, Envelope)> {
                     delta: data(0x0F),
                     expected_version: 0,
                     new_version: 1,
+                    coeff: 0x37,
+                    new_check: Some(0xFACE_0FF5_1DE0_0B0E),
                 },
             ),
         ),
@@ -87,6 +90,7 @@ fn script() -> Vec<(usize, Envelope)> {
                     id: 11,
                     bytes: data(0xB2),
                     versions: vec![1, 2, 0],
+                    checks: vec![7, 8, 9],
                 },
             ),
         ),
@@ -121,6 +125,8 @@ fn script() -> Vec<(usize, Envelope)> {
                     delta: data(0x01),
                     expected_version: 1,
                     new_version: 2,
+                    coeff: 1,
+                    new_check: None,
                 },
             ),
         ),
@@ -134,6 +140,8 @@ fn script() -> Vec<(usize, Envelope)> {
                     delta: data(0x02),
                     expected_version: 7,
                     new_version: 8,
+                    coeff: 1,
+                    new_check: None,
                 },
             ),
         ),
@@ -145,6 +153,7 @@ fn script() -> Vec<(usize, Envelope)> {
                     id: 11,
                     bytes: data(0xB3),
                     versions: vec![0, 3, 0],
+                    checks: vec![],
                 },
             ),
         ),
@@ -169,6 +178,8 @@ fn script() -> Vec<(usize, Envelope)> {
                     delta: data(0x03),
                     expected_version: 0,
                     new_version: 1,
+                    coeff: 0xE4,
+                    new_check: Some(1),
                 },
             ),
         ),

@@ -46,10 +46,13 @@ fn request() -> BoxedStrategy<Request> {
     prop_oneof![
         Just(Request::Ping),
         (any::<u64>(), payload()).prop_map(|(id, bytes)| Request::InitData { id, bytes }),
-        (any::<u64>(), payload(), 0usize..32).prop_map(|(id, bytes, k)| Request::InitParity {
-            id,
-            bytes,
-            k
+        (any::<u64>(), payload(), 0usize..32, version_vec()).prop_map(|(id, bytes, k, checks)| {
+            Request::InitParity {
+                id,
+                bytes,
+                k,
+                checks,
+            }
         }),
         any::<u64>().prop_map(|id| Request::ReadData { id }),
         (any::<u64>(), payload(), any::<u64>())
@@ -57,29 +60,36 @@ fn request() -> BoxedStrategy<Request> {
         any::<u64>().prop_map(|id| Request::VersionData { id }),
         any::<u64>().prop_map(|id| Request::VersionVector { id }),
         any::<u64>().prop_map(|id| Request::ReadParity { id }),
-        (any::<u64>(), payload(), version_vec()).prop_map(|(id, bytes, versions)| {
-            Request::WriteParity {
+        (any::<u64>(), payload(), version_vec(), version_vec()).prop_map(
+            |(id, bytes, versions, checks)| Request::WriteParity {
                 id,
                 bytes,
                 versions,
+                checks,
             }
-        }),
+        ),
         (
             any::<u64>(),
             0usize..32,
             payload(),
             any::<u64>(),
-            any::<u64>()
+            any::<u64>(),
+            any::<u8>(),
+            (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v)),
         )
-            .prop_map(|(id, block_index, delta, expected_version, new_version)| {
-                Request::AddParity {
-                    id,
-                    block_index,
-                    delta,
-                    expected_version,
-                    new_version,
+            .prop_map(
+                |(id, block_index, delta, expected_version, new_version, coeff, new_check)| {
+                    Request::AddParity {
+                        id,
+                        block_index,
+                        delta,
+                        expected_version,
+                        new_version,
+                        coeff,
+                        new_check,
+                    }
                 }
-            }),
+            ),
     ]
     .boxed()
 }
@@ -89,9 +99,20 @@ fn response() -> BoxedStrategy<Response> {
     prop_oneof![
         Just(Response::Pong),
         Just(Response::Ack),
-        (payload(), any::<u64>()).prop_map(|(bytes, version)| Response::Data { bytes, version }),
-        (payload(), version_vec())
-            .prop_map(|(bytes, versions)| Response::Parity { bytes, versions }),
+        (payload(), any::<u64>(), any::<u64>()).prop_map(|(bytes, version, check)| {
+            Response::Data {
+                bytes,
+                version,
+                check,
+            }
+        }),
+        (payload(), version_vec(), version_vec()).prop_map(|(bytes, versions, checks)| {
+            Response::Parity {
+                bytes,
+                versions,
+                checks,
+            }
+        }),
         any::<u64>().prop_map(Response::Version),
         version_vec().prop_map(Response::Versions),
     ]
@@ -111,6 +132,7 @@ fn node_error() -> BoxedStrategy<NodeError> {
         (0usize..65536, 0usize..65536)
             .prop_map(|(stored, got)| NodeError::SizeMismatch { stored, got }),
         (0usize..1024, 0usize..1024).prop_map(|(index, k)| NodeError::BadBlockIndex { index, k }),
+        Just(NodeError::Corrupt),
         Just(NodeError::TransportClosed),
         Just(NodeError::TimedOut),
     ]
@@ -306,6 +328,81 @@ proptest! {
             prop_assert!(consumed <= buf.len(), "decoder over-read random input");
         }
     }
+}
+
+/// Appends raw bytes to a sealed frame's body and restamps `body_len`
+/// plus the header CRC — forging the frame a *newer* peer would send,
+/// with trailing fields today's encoder does not know about.
+fn append_to_body(frame: &mut Vec<u8>, extra: &[u8]) {
+    frame.extend_from_slice(extra);
+    let body_len = (frame.len() - HEADER_LEN) as u32;
+    frame[24..28].copy_from_slice(&body_len.to_le_bytes());
+    let crc = crc32(&frame[0..28]);
+    frame[28..32].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Version skew, future-to-past: a frame carrying an *unknown* trailing
+/// extension (the tag·len·payload shape every extensible variant
+/// reserves) must decode on today's decoder to exactly the value the
+/// known fields describe — unknown trailers are skipped, not errors.
+/// This is the compatibility contract that lets checksum-aware peers
+/// talk to older nodes, and future peers talk to these.
+#[test]
+fn unknown_trailing_extensions_from_newer_peers_are_skipped() {
+    // A request-side extensible variant...
+    let env = Envelope {
+        op_id: OpId(41),
+        round_epoch: 2,
+        payload: Request::WriteParity {
+            id: 13,
+            bytes: Bytes::from_static(b"parity-bytes"),
+            versions: vec![3, 1, 4],
+            checks: vec![0xAA, 0xBB, 0xCC],
+        },
+    };
+    let mut frame = encode_envelope(&env);
+    // Unknown tag 0x6F with an 11-byte payload.
+    let mut ext = vec![0x6F];
+    ext.extend_from_slice(&11u32.to_le_bytes());
+    ext.extend_from_slice(b"from-future");
+    append_to_body(&mut frame, &ext);
+    match decode_frame(&Bytes::from(frame)).expect("extended frame decodes") {
+        (Frame::Envelope(got), _) => assert_eq!(got, env),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // ...and a reply-side one, with two unknown trailers back to back.
+    let rep = Reply {
+        op_id: OpId(42),
+        round_epoch: 9,
+        result: Ok(Response::Data {
+            bytes: Bytes::from_static(b"data-bytes"),
+            version: 7,
+            check: 0x0123_4567_89AB_CDEF,
+        }),
+    };
+    let mut frame = encode_reply(&rep);
+    let mut ext = vec![0xE1];
+    ext.extend_from_slice(&0u32.to_le_bytes());
+    ext.push(0xE2);
+    ext.extend_from_slice(&3u32.to_le_bytes());
+    ext.extend_from_slice(&[1, 2, 3]);
+    append_to_body(&mut frame, &ext);
+    match decode_frame(&Bytes::from(frame)).expect("extended frame decodes") {
+        (Frame::Reply(got), _) => assert_eq!(got, rep),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A *truncated* unknown extension (length claims past the body) is
+    // still a typed error, not a skip.
+    let mut frame = encode_reply(&rep);
+    let mut ext = vec![0xE3];
+    ext.extend_from_slice(&200u32.to_le_bytes());
+    append_to_body(&mut frame, &ext);
+    assert!(matches!(
+        decode_frame(&Bytes::from(frame)),
+        Err(DecodeError::LengthOverflow { .. })
+    ));
 }
 
 /// Byte-level corruption sweep outside proptest: flip every single bit
