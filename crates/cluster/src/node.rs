@@ -15,7 +15,7 @@
 //! uses the process default (the `TQ_NODE_BACKEND` environment
 //! variable, memory if unset).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,6 +23,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::detmap::DetHashSet;
 use crate::rpc::{BlockId, Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
 use crate::stats::{IoSnapshot, IoStats};
 use crate::storage::{self, StorageBackend, StorageError, StoredBlock};
@@ -46,7 +47,7 @@ const APPLIED_WINDOW: usize = 4096;
 /// Bounded FIFO set of recently applied mutation op ids.
 #[derive(Debug, Default)]
 struct AppliedWindow {
-    set: HashSet<OpId>,
+    set: DetHashSet<OpId>,
     order: VecDeque<OpId>,
 }
 
@@ -550,18 +551,18 @@ impl StorageNode {
                             .iter()
                             .zip(stored_versions.iter())
                             .any(|(got, stored)| got > stored);
+                        // Capture the conflicting entries during the scan:
+                        // the serve path stays free of slice indexing.
                         let node_newer_at = versions
                             .iter()
                             .zip(stored_versions.iter())
-                            .position(|(got, stored)| got < stored);
+                            .enumerate()
+                            .find(|(_, (got, stored))| got < stored)
+                            .map(|(index, (got, stored))| (index, *got, *stored));
                         match (request_newer_somewhere, node_newer_at) {
-                            (true, Some(index)) => {
+                            (true, Some((index, got, stored))) => {
                                 self.stats.record_rejected();
-                                return Err(NodeError::VectorConflict {
-                                    index,
-                                    got: versions[index],
-                                    stored: stored_versions[index],
-                                });
+                                return Err(NodeError::VectorConflict { index, got, stored });
                             }
                             (false, Some(_)) => return Ok(Response::Ack),
                             // Equal vectors re-apply: the bytes are the
@@ -607,13 +608,15 @@ impl StorageNode {
                         mut checks,
                         ..
                     }) => {
-                        if block_index >= versions.len() {
+                        // Bounds check and entry read in one step; the
+                        // serve path never indexes.
+                        let Some(&current_version) = versions.get(block_index) else {
                             self.stats.record_rejected();
                             return Err(NodeError::BadBlockIndex {
                                 index: block_index,
                                 k: versions.len(),
                             });
-                        }
+                        };
                         if bytes.len() != delta.len() {
                             self.stats.record_rejected();
                             return Err(NodeError::SizeMismatch {
@@ -628,11 +631,11 @@ impl StorageNode {
                         // competing one) and must stay put rather than
                         // corrupt. Exact redeliveries never reach this
                         // point: the applied-op window absorbs them.
-                        if versions[block_index] != expected_version {
+                        if current_version != expected_version {
                             self.stats.record_rejected();
                             return Err(NodeError::VersionConflict {
                                 expected: expected_version,
-                                actual: versions[block_index],
+                                actual: current_version,
                             });
                         }
                         self.stats.record_parity_add(delta.len());
@@ -655,7 +658,9 @@ impl StorageNode {
                                 &mut folded,
                             );
                         }
-                        versions[block_index] = new_version;
+                        if let Some(slot) = versions.get_mut(block_index) {
+                            *slot = new_version;
+                        }
                         // Carry the cross-checksum vector forward: the
                         // folded block's entry becomes the writer's
                         // post-write checksum. An unchecksummed delta
@@ -663,7 +668,9 @@ impl StorageNode {
                         // stale.
                         match new_check {
                             Some(nc) if checks.len() == versions.len() => {
-                                checks[block_index] = nc;
+                                if let Some(slot) = checks.get_mut(block_index) {
+                                    *slot = nc;
+                                }
                             }
                             _ => checks = Vec::new(),
                         }

@@ -32,8 +32,7 @@
 //!   and "first live replica" reads use this; outstanding members are
 //!   reported as [`RoundOutcome::abandoned`] stragglers.
 
-use std::collections::HashMap;
-
+use crate::detmap::DetHashMap;
 use crate::node::NodeId;
 use crate::rpc::{next_round_epoch, Envelope, NodeError, OpId, Request, Response};
 use crate::transport::Transport;
@@ -162,7 +161,8 @@ impl QuorumRound {
     ) -> RoundOutcome {
         let epoch = next_round_epoch();
         let mut issued: Vec<NodeId> = Vec::with_capacity(calls.len());
-        let mut slot_of: HashMap<OpId, usize> = HashMap::with_capacity(calls.len());
+        let mut slot_of: DetHashMap<OpId, usize> =
+            DetHashMap::with_capacity_and_hasher(calls.len(), Default::default());
         let envelopes: Vec<(NodeId, Envelope)> = calls
             .into_iter()
             .enumerate()
@@ -283,7 +283,7 @@ impl MultiRound {
         let epoch = next_round_epoch();
         let mut flat: Vec<(NodeId, Envelope)> = Vec::new();
         let mut origin: Vec<(usize, usize)> = Vec::new();
-        let mut slot_of: HashMap<OpId, usize> = HashMap::new();
+        let mut slot_of: DetHashMap<OpId, usize> = DetHashMap::default();
         for (op_idx, op) in ops.into_iter().enumerate() {
             for (local, (node, req)) in op.calls.into_iter().enumerate() {
                 let env = Envelope::in_epoch(req, epoch);

@@ -25,7 +25,6 @@
 //! nodes built without an explicit choice (`memory` | `applog`), which
 //! is how CI runs the whole integration suite against both.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -36,6 +35,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::detmap::DetHashMap;
 use crate::rpc::BlockId;
 use crate::wire::crc32;
 
@@ -234,7 +234,7 @@ pub(crate) fn stripe_of(id: BlockId) -> usize {
 /// [`StorageBackend`] seam. Never fails and never persists.
 #[derive(Debug)]
 pub struct MemoryBackend {
-    stripes: Vec<Mutex<HashMap<BlockId, StoredBlock>>>,
+    stripes: Vec<Mutex<DetHashMap<BlockId, StoredBlock>>>,
 }
 
 impl MemoryBackend {
@@ -242,7 +242,7 @@ impl MemoryBackend {
     pub fn new() -> Self {
         MemoryBackend {
             stripes: (0..MEMORY_STRIPES)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(DetHashMap::default()))
                 .collect(),
         }
     }
@@ -456,7 +456,7 @@ fn parse_record(body: &[u8]) -> Option<(BlockId, Option<StoredBlock>)> {
 #[derive(Debug)]
 struct LogInner {
     file: File,
-    index: HashMap<BlockId, StoredBlock>,
+    index: DetHashMap<BlockId, StoredBlock>,
     /// Current log file length.
     log_bytes: u64,
     /// Encoded size of the live records (what compaction would shrink to).
@@ -519,7 +519,7 @@ impl AppendLogBackend {
         // file is truncated there so the next append starts clean.
         let mut raw = Vec::new();
         file.read_to_end(&mut raw).map_err(|e| io_err("read", e))?;
-        let mut index = HashMap::new();
+        let mut index = DetHashMap::default();
         let mut live_bytes = 0u64;
         let mut valid = 0usize;
         while raw.len() - valid >= REC_HEADER {
@@ -823,7 +823,7 @@ impl StorageFaults {
 #[derive(Debug)]
 struct FaultState {
     /// The last successfully "fsync'd" snapshot — what a crash reverts to.
-    durable: HashMap<BlockId, StoredBlock>,
+    durable: DetHashMap<BlockId, StoredBlock>,
     mutations_since_sync: u64,
     rng: u64,
     /// Counters for non-vacuity assertions in tests.
@@ -860,7 +860,7 @@ impl FaultingBackend {
             inner,
             faults,
             state: Mutex::new(FaultState {
-                durable: HashMap::new(),
+                durable: DetHashMap::default(),
                 mutations_since_sync: 0,
                 rng: seed ^ 0xA076_1D64_78BD_642F,
                 dropped_syncs: 0,
@@ -884,8 +884,8 @@ impl FaultingBackend {
         (Self::next_rand(state) & 0xFF) < p as u64
     }
 
-    fn snapshot_inner(&self) -> Result<HashMap<BlockId, StoredBlock>, StorageError> {
-        let mut snap = HashMap::new();
+    fn snapshot_inner(&self) -> Result<DetHashMap<BlockId, StoredBlock>, StorageError> {
+        let mut snap = DetHashMap::default();
         self.inner.scan(&mut |id, block| {
             snap.insert(id, block.clone());
         })?;

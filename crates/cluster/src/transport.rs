@@ -203,6 +203,7 @@ impl ChannelTransport {
                     while let Ok(Parcel { env, reply }) = rx.recv() {
                         let nanos = worker_delay.load(Ordering::Relaxed);
                         if nanos > 0 {
+                            // tq-lint: allow(sim-determinism) -- ChannelTransport is the real-threads fabric; DST runs use SimTransport, which injects latency on the virtual clock instead.
                             std::thread::sleep(Duration::from_nanos(nanos));
                         }
                         let answer = node.execute(env);

@@ -137,30 +137,34 @@ impl Header {
                 got: buf.len(),
             });
         }
-        let mut magic = [0u8; 4];
-        magic.copy_from_slice(&buf[0..4]);
+        let magic: [u8; 4] = fixed(buf, 0)?;
         if magic != MAGIC {
             return Err(DecodeError::BadMagic(magic));
         }
         // Checksum before semantic fields: a corrupt header must not be
         // interpreted, even partially.
-        let stored_crc = u32::from_le_bytes(buf[28..32].try_into().expect("4 bytes"));
-        let actual_crc = crc32(&buf[0..28]);
+        let stored_crc = u32::from_le_bytes(fixed(buf, 28)?);
+        let covered = buf.get(0..28).ok_or(DecodeError::Truncated {
+            needed: 28,
+            got: buf.len(),
+        })?;
+        let actual_crc = crc32(covered);
         if stored_crc != actual_crc {
             return Err(DecodeError::HeaderChecksum {
                 stored: stored_crc,
                 computed: actual_crc,
             });
         }
-        let version = buf[4];
+        let [version] = fixed(buf, 4)?;
         if version != WIRE_VERSION {
             return Err(DecodeError::UnsupportedVersion(version));
         }
-        let kind = FrameKind::from_code(buf[5])?;
-        let flags = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes"));
-        let op_id = OpId(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
-        let round_epoch = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
-        let body_len = u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes"));
+        let [kind_code] = fixed(buf, 5)?;
+        let kind = FrameKind::from_code(kind_code)?;
+        let flags = u16::from_le_bytes(fixed(buf, 6)?);
+        let op_id = OpId(u64::from_le_bytes(fixed(buf, 8)?));
+        let round_epoch = u64::from_le_bytes(fixed(buf, 16)?);
+        let body_len = u32::from_le_bytes(fixed(buf, 24)?);
         if body_len > MAX_BODY_LEN {
             return Err(DecodeError::BodyTooLarge {
                 len: body_len,
@@ -175,6 +179,17 @@ impl Header {
             body_len,
         })
     }
+}
+
+/// Borrows `N` bytes at offset `at` as a fixed array, or reports
+/// truncation. The index-free workhorse of [`Header::decode`].
+fn fixed<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], DecodeError> {
+    buf.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(DecodeError::Truncated {
+            needed: at + N,
+            got: buf.len(),
+        })
 }
 
 /// Why a frame failed to decode. Every variant is a *detected* problem:
@@ -640,33 +655,33 @@ impl<'a> Cursor<'a> {
         Ok(())
     }
 
+    /// Takes the next `N` bytes as a fixed array, advancing the cursor.
+    /// Total: out-of-range is `Truncated`, never a panic.
+    fn chunk<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        self.need(N)?;
+        let arr = self
+            .buf
+            .get(self.pos..self.pos + N)
+            .and_then(|s| <[u8; N]>::try_from(s).ok())
+            .ok_or(DecodeError::Truncated {
+                needed: N,
+                got: self.remaining(),
+            })?;
+        self.pos += N;
+        Ok(arr)
+    }
+
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        self.need(1)?;
-        let v = self.buf[self.pos];
-        self.pos += 1;
+        let [v] = self.chunk::<1>()?;
         Ok(v)
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        self.need(4)?;
-        let v = u32::from_le_bytes(
-            self.buf[self.pos..self.pos + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        self.pos += 4;
-        Ok(v)
+        Ok(u32::from_le_bytes(self.chunk()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        self.need(8)?;
-        let v = u64::from_le_bytes(
-            self.buf[self.pos..self.pos + 8]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        self.pos += 8;
-        Ok(v)
+        Ok(u64::from_le_bytes(self.chunk()?))
     }
 
     fn usize_field(&mut self, what: &'static str) -> Result<usize, DecodeError> {

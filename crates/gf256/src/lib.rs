@@ -52,7 +52,8 @@
 // `unsafe` is denied crate-wide and re-allowed in exactly one place: the
 // `#[target_feature]` SIMD kernels in `simd`, which are guarded by
 // runtime feature detection (see that module's Safety section).
-#![deny(unsafe_code)]
+// unsafe_code is denied workspace-wide (see [workspace.lints] in the root
+// Cargo.toml); tq-lint's `unsafe-allow` pass guards the allow sites.
 #![warn(missing_docs)]
 
 pub mod check;

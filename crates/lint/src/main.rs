@@ -1,0 +1,83 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p tq-lint                  # advisory: print findings, exit 0
+//! cargo run -p tq-lint -- --deny-all    # CI gate: unwaived findings exit 1
+//! cargo run -p tq-lint -- --list        # print the lint catalog
+//! cargo run -p tq-lint -- --verbose     # also print waived findings
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut verbose = false;
+    let mut list = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--verbose" | "-v" => verbose = true,
+            "--list" => list = true,
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("tq-lint: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tq-lint [--root PATH] [--deny-all] [--verbose] [--list]\n\
+                     Workspace invariant linter; see README.md `Static analysis`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tq-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for (name, what) in tq_lint::LINTS {
+            println!("{name:<22} {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match tq_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tq-lint: walk failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut errors = 0usize;
+    for d in &report.diags {
+        if d.waived {
+            if verbose {
+                println!("{d}");
+            }
+        } else {
+            errors += 1;
+            println!("{d}");
+        }
+    }
+    println!(
+        "tq-lint: {} files scanned, {} error{}, {} waived",
+        report.files,
+        errors,
+        if errors == 1 { "" } else { "s" },
+        report.waived()
+    );
+    if deny_all && errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

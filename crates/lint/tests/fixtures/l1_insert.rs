@@ -1,0 +1,34 @@
+// Fixture for `idempotent-mutation` (linted under the virtual path
+// crates/cluster/src/node.rs). Direct map mutation is only legal inside
+// the allow-listed monotone helpers.
+
+struct AppliedWindow {
+    set: IdSet,
+}
+
+impl AppliedWindow {
+    fn remember(&mut self, id: u64) {
+        // Allow-listed helper: the insert/remove pair is the monotone
+        // window discipline itself.
+        if self.set.insert(id) {
+            self.set.remove(&id);
+        }
+    }
+
+    fn rogue_apply(&mut self, id: u64) {
+        self.set.insert(id); // FIRE
+    }
+
+    fn rogue_forget(&mut self, id: u64) {
+        self.set.remove(&id); // FIRE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut w = super::AppliedWindow { set: IdSet::new() };
+        w.set.insert(7); // test code: no diagnostic
+    }
+}

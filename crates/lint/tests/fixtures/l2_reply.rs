@@ -1,0 +1,43 @@
+// Fixture for `opid-echo`: every Reply/RoundReply literal must thread an
+// incoming op_id.
+
+fn fabricated(env: Envelope) -> Reply {
+    Reply { // FIRE
+        op_id: OpId::fresh(),
+        round_epoch: env.round_epoch,
+        result: Ok(Response::Ack),
+    }
+}
+
+fn missing_field() -> Reply {
+    Reply { // FIRE
+        round_epoch: 0,
+        result: Ok(Response::Ack),
+    }
+}
+
+fn threaded(env: Envelope) -> Reply {
+    Reply {
+        op_id: env.op_id,
+        round_epoch: env.round_epoch,
+        result: Ok(Response::Ack),
+    }
+}
+
+fn shorthand(op_id: OpId) -> RoundReply {
+    RoundReply {
+        op_id,
+        node: NodeId(0),
+        result: Ok(Response::Ack),
+    }
+}
+
+fn destructure(r: Reply) -> OpId {
+    let Reply { op_id, .. } = r;
+    op_id
+}
+
+enum LimboMsg {
+    // Variant *definition*: not a literal, no diagnostic.
+    Reply { env: Envelope, reply: Reply },
+}

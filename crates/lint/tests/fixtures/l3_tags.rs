@@ -1,0 +1,45 @@
+// Fixture for `wire-tag-coverage` (linted under the virtual path
+// crates/cluster/src/wire.rs).
+
+mod tag {
+    pub const ALPHA: u8 = 0x01;
+    pub const BETA: u8 = 0x02; // FIRE
+    pub const DUP_A: u8 = 0x04;
+    pub const DUP_B: u8 = 0x04; // FIRE
+    pub const GHOST: u8 = 0x09; // FIRE
+}
+
+fn encode(out: &mut Vec<u8>) {
+    out.push(tag::ALPHA);
+    out.push(tag::BETA); // FIRE
+}
+
+fn decode(t: u8) -> u8 {
+    match t {
+        tag::ALPHA => 1,
+        tag::DUP_A => 2,
+        tag::DUP_B => 3,
+        _ => 0,
+    }
+}
+
+enum FrameKind {
+    Request,
+    Reply,
+}
+
+impl FrameKind {
+    fn as_code(self) -> u8 {
+        match self {
+            FrameKind::Request => 0x01,
+            FrameKind::Reply => 0x07, // FIRE
+        }
+    }
+
+    fn from_code(c: u8) -> Option<FrameKind> {
+        match c {
+            0x01 => Some(FrameKind::Request),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture for `sim-determinism` (linted under the virtual path
+// crates/sim/src/jitter.rs — inside the deterministic scope).
+
+use std::collections::HashMap; // FIRE
+
+fn jitter_badly() -> u64 {
+    let started = std::time::Instant::now(); // FIRE
+    std::thread::sleep(std::time::Duration::from_millis(1)); // FIRE
+    let mut rng = rand::thread_rng(); // FIRE
+    let when = std::time::SystemTime::now(); // FIRE
+    let mut seen: HashMap<u64, u64> = HashMap::default(); // FIRE FIRE
+    seen.insert(0, 0);
+    seen.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = std::collections::HashMap::new(); // test code: no diagnostic
+        m.insert(1, 1);
+    }
+}

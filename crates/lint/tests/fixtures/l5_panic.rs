@@ -1,0 +1,30 @@
+// Fixture for `panic-freedom` (linted under the virtual path
+// crates/cluster/src/wire.rs). Only functions whose signature mentions
+// DecodeError are in scope — decode paths must be total.
+
+fn decode_header(buf: &[u8]) -> Result<u8, DecodeError> {
+    let first = buf[0]; // FIRE
+    let second = buf.get(1).unwrap(); // FIRE
+    let tail: [u8; 2] = buf[2..4].try_into().expect("2 bytes"); // FIRE FIRE
+    if first == 0xFF {
+        panic!("reserved"); // FIRE
+    }
+    let [a] = fixed(buf, 0)?; // destructuring, no diagnostic
+    Ok(first + second + tail[0] + a) // FIRE
+}
+
+fn encode_header(v: u8) -> Vec<u8> {
+    // Out of scope: encoders are infallible by construction and may
+    // index freely.
+    let table = [v, v, v, v];
+    vec![table[0], table[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    fn round_trip() -> Result<u8, DecodeError> {
+        // Test code: indexing and unwrap are fine here.
+        let buf = [1u8, 2, 3, 4];
+        Ok(buf[0] + decode_header(&buf).unwrap())
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture for `lock-across-transport`: a lock guard's scope may not
+// enclose a transport call.
+
+impl Client {
+    fn bad_hold(&self) {
+        let guard = self.state.lock();
+        self.transport.send(ping()); // FIRE
+        drop(guard);
+        self.transport.send(ping()); // released: no diagnostic
+    }
+
+    fn bad_striped(&self, id: u64) {
+        let _slot = self.shards.op_lock(id);
+        let _ = self.transport.multicall(calls()); // FIRE
+    }
+
+    fn ok_scoped(&self) {
+        {
+            let mut guard = self.state.lock();
+            guard.push(1);
+        }
+        self.transport.send(ping()); // guard scope closed: no diagnostic
+    }
+
+    fn ok_temporary(&self) {
+        // The guard is a temporary dropped at the end of the statement,
+        // not a live binding.
+        let n = self.state.lock().len();
+        self.transport.send(sized(n));
+    }
+}

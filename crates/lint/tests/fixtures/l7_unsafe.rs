@@ -1,0 +1,14 @@
+// Fixture for `unsafe-allow` (linted under the virtual path
+// crates/quorum/src/probe.rs — not the sanctioned simd.rs site).
+
+#![allow(unsafe_code)] // FIRE
+
+#[allow(unsafe_code)] // FIRE
+fn sneaky() -> u8 {
+    7
+}
+
+#[allow(dead_code)]
+fn unrelated_allow_is_fine() -> u8 {
+    8
+}

@@ -1,0 +1,123 @@
+//! Every lint must demonstrably fire on its known-bad fixture, at the
+//! right spans — no lint is allowed to be vacuous. Fixtures mark each
+//! expected diagnostic line with a `FIRE` comment (twice for lines that
+//! produce two diagnostics); the tests compare the marker multiset
+//! against the diagnostics the lint actually produced.
+
+use std::collections::BTreeMap;
+
+use tq_lint::lint_source;
+
+/// `(line, expected diagnostic count)` for every marked fixture line.
+fn fire_lines(src: &str) -> Vec<(u32, usize)> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let c = l.matches("FIRE").count();
+            if c > 0 {
+                Some((u32::try_from(i + 1).unwrap_or(0), c))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// `(line, count)` of unwaived diagnostics of `lint` in `src`.
+fn diag_lines(path: &str, src: &str, lint: &str) -> Vec<(u32, usize)> {
+    let mut by_line: BTreeMap<u32, usize> = BTreeMap::new();
+    for d in lint_source(path, src) {
+        if d.lint == lint && !d.waived {
+            *by_line.entry(d.line).or_default() += 1;
+        }
+    }
+    by_line.into_iter().collect()
+}
+
+fn assert_fires(fixture: &str, virtual_path: &str, lint: &str) {
+    let expected = fire_lines(fixture);
+    assert!(
+        !expected.is_empty(),
+        "fixture for {lint} has no FIRE markers"
+    );
+    let got = diag_lines(virtual_path, fixture, lint);
+    assert_eq!(
+        got, expected,
+        "{lint} diagnostics (left) did not match the FIRE markers (right)"
+    );
+}
+
+#[test]
+fn l1_idempotent_mutation_fires() {
+    assert_fires(
+        include_str!("fixtures/l1_insert.rs"),
+        "crates/cluster/src/node.rs",
+        "idempotent-mutation",
+    );
+}
+
+#[test]
+fn l2_opid_echo_fires() {
+    assert_fires(
+        include_str!("fixtures/l2_reply.rs"),
+        "crates/cluster/src/reply_site.rs",
+        "opid-echo",
+    );
+}
+
+#[test]
+fn l3_wire_tag_coverage_fires() {
+    assert_fires(
+        include_str!("fixtures/l3_tags.rs"),
+        "crates/cluster/src/wire.rs",
+        "wire-tag-coverage",
+    );
+}
+
+#[test]
+fn l4_sim_determinism_fires() {
+    assert_fires(
+        include_str!("fixtures/l4_entropy.rs"),
+        "crates/sim/src/jitter.rs",
+        "sim-determinism",
+    );
+}
+
+#[test]
+fn l5_panic_freedom_fires() {
+    assert_fires(
+        include_str!("fixtures/l5_panic.rs"),
+        "crates/cluster/src/wire.rs",
+        "panic-freedom",
+    );
+}
+
+#[test]
+fn l6_lock_across_transport_fires() {
+    assert_fires(
+        include_str!("fixtures/l6_lock.rs"),
+        "crates/cluster/src/quorum_round.rs",
+        "lock-across-transport",
+    );
+}
+
+#[test]
+fn l7_unsafe_allow_fires() {
+    assert_fires(
+        include_str!("fixtures/l7_unsafe.rs"),
+        "crates/quorum/src/probe.rs",
+        "unsafe-allow",
+    );
+}
+
+#[test]
+fn l7_simd_site_is_sanctioned() {
+    let diags = lint_source(
+        "crates/gf256/src/simd.rs",
+        include_str!("fixtures/l7_unsafe.rs"),
+    );
+    assert!(
+        diags.iter().all(|d| d.lint != "unsafe-allow"),
+        "the documented simd.rs allow site must not be flagged"
+    );
+}

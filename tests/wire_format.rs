@@ -152,6 +152,7 @@ fn reply() -> impl Strategy<Value = Reply> {
         response().prop_map(Ok),
         node_error().prop_map(Err::<Response, NodeError>),
     ];
+    // tq-lint: allow(opid-echo) -- proptest strategy fabricating arbitrary replies to round-trip the codec; nothing echoes an envelope here.
     (any::<u64>(), any::<u64>(), result).prop_map(|(op, epoch, result)| Reply {
         op_id: OpId(op),
         round_epoch: epoch,
