@@ -25,6 +25,12 @@
 //! readable report (`BENCH_e2e.json` at the repo root): per shard count
 //! a `saturation` row (elements_per_sec) and `p50`/`p99`/`p999` rows in
 //! nanoseconds. `TQ_E2E_SCALE=smoke` selects the reduced CI scale.
+//!
+//! `TQ_E2E_STRAGGLER=1` switches to the straggler axis instead: one
+//! gray node per group (node 0 at 30× service time), unhedged vs hedged
+//! at the same offered rate, reported under `hedge/straggler/…`
+//! (`BENCH_hedge.json` is the committed artefact — run with
+//! `TQ_BENCH_JSON=BENCH_hedge.json`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,7 +39,7 @@ use std::time::{Duration, Instant};
 use criterion::Throughput;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use tq_cluster::{ChannelTransport, Cluster};
+use tq_cluster::{ChannelTransport, Cluster, HedgeCounters, HedgePolicy};
 use tq_trapezoid::{BlockAddr, QuorumStore, ShardMap, ShardedStore, Store, StripeLockManager};
 
 /// First stripe id of the provisioned volume.
@@ -63,6 +69,8 @@ struct Scale {
     clients_per_shard: usize,
     saturation_ms: u64,
     open_loop_ms: u64,
+    /// Shard (= group) count for the straggler axis.
+    straggler_shards: usize,
 }
 
 const FULL: Scale = Scale {
@@ -81,6 +89,7 @@ const FULL: Scale = Scale {
     clients_per_shard: 12,
     saturation_ms: 2_000,
     open_loop_ms: 5_000,
+    straggler_shards: 2,
 };
 
 const SMOKE: Scale = Scale {
@@ -93,6 +102,7 @@ const SMOKE: Scale = Scale {
     clients_per_shard: 6,
     saturation_ms: 250,
     open_loop_ms: 500,
+    straggler_shards: 1,
 };
 
 /// Uniform f64 in [0, 1) from the vendored integer-only RNG.
@@ -145,12 +155,13 @@ impl Zipfian {
     }
 }
 
-/// The plane under test: the router plus the write-lock table. The
-/// per-group transports live on inside the routed clients (which hold
-/// `Arc<ChannelTransport>` clones), so no separate handles are kept.
+/// The plane under test: the router, the write-lock table, and a
+/// handle on each group's transport (for fault injection, hedging
+/// policy, and message accounting).
 struct Plane {
     store: Arc<ShardedStore<Box<dyn QuorumStore>>>,
     locks: Arc<StripeLockManager>,
+    transports: Vec<Arc<ChannelTransport>>,
     blocks: usize,
     group_k: usize,
 }
@@ -208,6 +219,7 @@ fn build_plane(shard_count: usize, scale: &Scale) -> Plane {
     Plane {
         store: Arc::new(store),
         locks: StripeLockManager::new(),
+        transports,
         blocks: (stripes as usize) * scale.group_k,
         group_k: scale.group_k,
     }
@@ -389,6 +401,131 @@ fn run_shard_count(shard_count: usize, scale: &Scale, zipf: &Zipfian) -> f64 {
     saturation
 }
 
+/// Node 0 of every group serves this many times slower on the
+/// straggler axis — a gray node, not a dead one: it answers everything,
+/// eventually.
+const STRAGGLER_FACTOR: u32 = 30;
+
+/// Wire messages and hedge counters summed over the plane's groups.
+fn plane_counters(plane: &Plane) -> (u64, HedgeCounters) {
+    let mut messages = 0;
+    let mut hedges = HedgeCounters::default();
+    for t in &plane.transports {
+        messages += t.messages_sent();
+        let c = t.health_registry().hedge_counters();
+        hedges.fired += c.fired;
+        hedges.won += c.won;
+        hedges.dups += c.dups;
+        hedges.retries += c.retries;
+    }
+    (messages, hedges)
+}
+
+/// One straggler-axis pass: percentiles plus per-op message cost.
+struct StragglerRun {
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    messages_per_op: f64,
+    hedges_fired: u64,
+}
+
+/// The straggler axis (`TQ_E2E_STRAGGLER=1`): one gray node per group
+/// serving [`STRAGGLER_FACTOR`]× slow, measured unhedged and hedged at
+/// the *same* offered rate (fixed by the unhedged closed-loop probe, so
+/// the comparison is latency under identical load, not load shedding).
+/// The probe doubles as estimator warmup for the hedged pass. Writes
+/// stop awaiting the gray node (first-quorum completion), reads route
+/// around it through the decode path, and hedges mop up the residue —
+/// the per-op message counts price all of that honestly.
+fn run_straggler_axis(scale: &Scale, zipf: &Zipfian) {
+    let shard_count = scale.straggler_shards;
+    let clients = scale.clients_per_shard * shard_count;
+    let gray_delay = scale.node_delay * STRAGGLER_FACTOR;
+    println!(
+        "straggler axis: {shard_count} group(s), node 0 of each at {gray_delay:?} \
+         ({STRAGGLER_FACTOR}x), unhedged vs hedged (p99 policy)"
+    );
+
+    let mut offered: Option<f64> = None;
+    let mut runs: Vec<(&str, StragglerRun)> = Vec::new();
+    for hedged in [false, true] {
+        let mode = if hedged { "hedged" } else { "unhedged" };
+        let plane = build_plane(shard_count, scale);
+        for t in &plane.transports {
+            t.set_node_latency(0, gray_delay);
+            if hedged {
+                t.health_registry().set_policy(HedgePolicy::P99);
+            }
+        }
+        let saturation = measure_saturation(&plane, zipf, clients, scale.saturation_ms);
+        let rate = *offered.get_or_insert((saturation * LOAD_FACTOR).max(100.0));
+        let (messages_before, hedges_before) = plane_counters(&plane);
+        let open = run_open_loop(&plane, zipf, clients, rate, scale.open_loop_ms);
+        let (messages_after, hedges_after) = plane_counters(&plane);
+
+        let mut sorted = open.latencies.clone();
+        sorted.sort_unstable();
+        let ops = sorted.len().max(1);
+        let run = StragglerRun {
+            p50: percentile(&sorted, 0.50),
+            p99: percentile(&sorted, 0.99),
+            p999: percentile(&sorted, 0.999),
+            messages_per_op: (messages_after - messages_before) as f64 / ops as f64,
+            hedges_fired: hedges_after.since(&hedges_before).fired,
+        };
+        println!(
+            "straggler/{mode}: {:.0} ops/s offered, {} completed, {} errors, \
+             p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, {:.2} msgs/op, {} hedges",
+            rate,
+            sorted.len(),
+            open.errors,
+            run.p50 as f64 / 1e6,
+            run.p99 as f64 / 1e6,
+            run.p999 as f64 / 1e6,
+            run.messages_per_op,
+            run.hedges_fired,
+        );
+
+        let id = |name: &str| format!("hedge/straggler/{mode}/{name}");
+        criterion::record_measurement(&id("p50"), run.p50 as f64, run.p50 as f64, None);
+        criterion::record_measurement(&id("p99"), run.p99 as f64, run.p99 as f64, None);
+        criterion::record_measurement(&id("p999"), run.p999 as f64, run.p999 as f64, None);
+        criterion::record_measurement(
+            &id("messages_per_op"),
+            run.messages_per_op,
+            run.messages_per_op,
+            None,
+        );
+        criterion::record_measurement(
+            &id("hedges_fired"),
+            run.hedges_fired as f64,
+            run.hedges_fired as f64,
+            None,
+        );
+        runs.push((mode, run));
+    }
+
+    if let [(_, base), (_, hedged)] = &runs[..] {
+        let p99_gain = base.p99 as f64 / hedged.p99.max(1) as f64;
+        let msg_overhead = hedged.messages_per_op / base.messages_per_op.max(1e-9) - 1.0;
+        println!(
+            "straggler summary: hedged p99 {p99_gain:.1}x better, \
+             message overhead {:+.1}%",
+            msg_overhead * 100.0
+        );
+        criterion::record_measurement("hedge/straggler/p99_gain", p99_gain, p99_gain, None);
+        // Recorded in percent: the JSON report keeps one decimal, which
+        // would collapse a fraction like 0.089 to an ambiguous 0.1.
+        criterion::record_measurement(
+            "hedge/straggler/message_overhead_pct",
+            msg_overhead * 100.0,
+            msg_overhead * 100.0,
+            None,
+        );
+    }
+}
+
 fn main() {
     // Upstream-compatible gating: only run under `cargo bench`.
     if !std::env::args().any(|a| a == "--bench") {
@@ -413,6 +550,12 @@ fn main() {
 
     let stripes = scale.blocks.div_ceil(scale.group_k) as u64;
     let zipf = Zipfian::new(stripes * scale.group_k as u64, ZIPF_THETA);
+
+    if std::env::var("TQ_E2E_STRAGGLER").as_deref() == Ok("1") {
+        run_straggler_axis(scale, &zipf);
+        criterion::write_json_report();
+        return;
+    }
 
     let mut saturations = Vec::new();
     for &shard_count in scale.shard_counts {

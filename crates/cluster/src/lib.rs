@@ -31,6 +31,11 @@
 //!   and failures reported for accounting.
 //! * [`fault`] — seeded Bernoulli availability sampling and fault
 //!   schedules, so every experiment is replayable bit-for-bit.
+//! * [`health`] — the adaptive straggler-tolerance layer: per-node
+//!   latency/variance estimation ([`health::NodeHealth`]) driving
+//!   adaptive timeouts and hedged sends, circuit breaking for gray
+//!   nodes, and the token-bucket [`health::RetryBudget`] capping all
+//!   client-side re-issue traffic.
 //! * [`sim`] — the deterministic simulation transport
 //!   ([`sim::SimTransport`]): a seeded virtual-time event scheduler that
 //!   drives the same fan-outs through an adversarial [`sim::NetworkModel`]
@@ -63,6 +68,7 @@
 pub mod cluster;
 pub mod detmap;
 pub mod fault;
+pub mod health;
 pub mod node;
 pub mod quorum_round;
 pub mod rpc;
@@ -75,11 +81,15 @@ pub mod wire;
 
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
+pub use health::{
+    CircuitState, HealthConfig, HedgeCounters, HedgePolicy, NodeHealth, NodeSnapshot, Outcome,
+    RetryBudget,
+};
 pub use node::{NodeBuilder, NodeId, StorageNode};
 pub use quorum_round::{
     Accepted, Completion, MultiRound, PlanOp, QuorumRound, Rejected, RoundOutcome,
 };
-pub use rpc::{BlockId, Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
+pub use rpc::{BlockId, Envelope, Lane, NodeApi, NodeError, OpId, Reply, Request, Response};
 pub use sim::{NetworkModel, SimFault, SimStats, SimTransport};
 pub use stats::IoStats;
 pub use storage::{

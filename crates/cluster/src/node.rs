@@ -703,6 +703,7 @@ impl NodeApi for StorageNode {
         let Envelope {
             op_id,
             round_epoch,
+            lane: _,
             payload,
         } = env;
         let reply = |result| Reply {

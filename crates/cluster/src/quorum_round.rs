@@ -33,8 +33,9 @@
 //!   reported as [`RoundOutcome::abandoned`] stragglers.
 
 use crate::detmap::DetHashMap;
+use crate::health::{HedgeCounters, NodeHealth};
 use crate::node::NodeId;
-use crate::rpc::{next_round_epoch, Envelope, NodeError, OpId, Request, Response};
+use crate::rpc::{next_round_epoch, Envelope, Lane, NodeError, OpId, Request, Response};
 use crate::transport::Transport;
 
 /// When a round stops gathering.
@@ -82,6 +83,12 @@ pub struct RoundOutcome {
     /// delivered and executed; on the sequential transport they were
     /// never issued.
     pub abandoned: Vec<NodeId>,
+    /// Hedge activity the transport attributed to this round (zero on
+    /// transports without a health registry, and whenever hedging is
+    /// off). For a fused plan ([`MultiRound::run`]) the plan-level
+    /// totals land on the *first* op's outcome — the transport cannot
+    /// split concurrent hedge activity per fused op.
+    pub hedges: HedgeCounters,
 }
 
 impl RoundOutcome {
@@ -121,6 +128,7 @@ impl RoundOutcome {
 pub struct QuorumRound {
     needed: usize,
     completion: Completion,
+    lane: Lane,
 }
 
 impl QuorumRound {
@@ -129,6 +137,7 @@ impl QuorumRound {
         QuorumRound {
             needed,
             completion: Completion::FirstQuorum,
+            lane: Lane::Foreground,
         }
     }
 
@@ -137,7 +146,17 @@ impl QuorumRound {
         QuorumRound {
             needed,
             completion: Completion::AwaitAll,
+            lane: Lane::Foreground,
         }
+    }
+
+    /// Marks the round's traffic as background/maintenance: its
+    /// envelopes carry the background lane flag, so transports skip
+    /// hedging them and any budgeted retries must leave the foreground
+    /// reserve (scrub/rebuild cannot starve client ops).
+    pub fn background(mut self) -> Self {
+        self.lane = Lane::Background;
+        self
     }
 
     /// The quorum threshold.
@@ -148,6 +167,11 @@ impl QuorumRound {
     /// The completion policy.
     pub fn completion(&self) -> Completion {
         self.completion
+    }
+
+    /// The priority lane the round's envelopes travel in.
+    pub fn lane(&self) -> Lane {
+        self.lane
     }
 
     /// Runs the round: wraps `calls` into enveloped commands under one
@@ -167,7 +191,10 @@ impl QuorumRound {
             .into_iter()
             .enumerate()
             .map(|(index, (node, req))| {
-                let env = Envelope::in_epoch(req, epoch);
+                let mut env = Envelope::in_epoch(req, epoch);
+                if self.lane == Lane::Background {
+                    env = env.background();
+                }
                 slot_of.insert(env.op_id, index);
                 issued.push(node);
                 (node, env)
@@ -178,7 +205,9 @@ impl QuorumRound {
             accepted: Vec::new(),
             rejected: Vec::new(),
             abandoned: Vec::new(),
+            hedges: HedgeCounters::default(),
         };
+        let hedges_before = transport.health().map(|h| h.hedge_counters());
         let mut seen = vec![false; issued.len()];
         // A zero threshold under FirstQuorum is already satisfied; skip
         // dispatch entirely rather than special-casing inside the sink.
@@ -220,7 +249,27 @@ impl QuorumRound {
                 outcome.abandoned.push(node);
             }
         }
+        if let Some(health) = transport.health() {
+            if let Some(before) = hedges_before {
+                outcome.hedges = health.hedge_counters().since(&before);
+            }
+            feed_health(health, &outcome);
+        }
         outcome
+    }
+}
+
+/// Feed a completed round's per-node outcomes into the health registry:
+/// every accept is a success, every reject is classified (availability
+/// failures drive the circuit breaker; app-level refusals count as a
+/// live node). Abandoned members are *not* failures — their answers
+/// were simply not needed.
+fn feed_health(health: &NodeHealth, outcome: &RoundOutcome) {
+    for a in &outcome.accepted {
+        health.record_outcome(a.node.0, crate::health::Outcome::Ok);
+    }
+    for r in &outcome.rejected {
+        health.record_error(r.node.0, &r.error);
     }
 }
 
@@ -273,6 +322,7 @@ impl MultiRound {
                 accepted: Vec::new(),
                 rejected: Vec::new(),
                 abandoned: Vec::new(),
+                hedges: HedgeCounters::default(),
             })
             .collect();
         let completions: Vec<Completion> = ops.iter().map(|op| op.round.completion()).collect();
@@ -286,12 +336,16 @@ impl MultiRound {
         let mut slot_of: DetHashMap<OpId, usize> = DetHashMap::default();
         for (op_idx, op) in ops.into_iter().enumerate() {
             for (local, (node, req)) in op.calls.into_iter().enumerate() {
-                let env = Envelope::in_epoch(req, epoch);
+                let mut env = Envelope::in_epoch(req, epoch);
+                if op.round.lane() == Lane::Background {
+                    env = env.background();
+                }
                 slot_of.insert(env.op_id, flat.len());
                 origin.push((op_idx, local));
                 flat.push((node, env));
             }
         }
+        let hedges_before = transport.health().map(|h| h.hedge_counters());
 
         // An op with nothing left to prove is complete up front: a
         // zero-threshold first-quorum op, or any op with no calls.
@@ -354,6 +408,15 @@ impl MultiRound {
             if !seen[flat_idx] {
                 let (op_idx, _) = origin[flat_idx];
                 outcomes[op_idx].abandoned.push(node);
+            }
+        }
+        if let Some(health) = transport.health() {
+            if let (Some(before), Some(first)) = (hedges_before, outcomes.first_mut()) {
+                // Plan-level attribution: see `RoundOutcome::hedges`.
+                first.hedges = health.hedge_counters().since(&before);
+            }
+            for outcome in &outcomes {
+                feed_health(health, outcome);
             }
         }
         outcomes

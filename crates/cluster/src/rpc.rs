@@ -76,6 +76,26 @@ pub fn next_round_epoch() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Priority lane a command travels in.
+///
+/// Foreground is client-visible work; Background is maintenance (scrub,
+/// rebuild, replacement fetches). Transports and the retry budget use
+/// the lane to make maintenance traffic yield to foreground ops: hedges
+/// are only fired for foreground sends, and background retries must
+/// leave a foreground token reserve (see
+/// [`RetryBudget`](crate::health::RetryBudget)). On the wire the lane
+/// travels as header flag bit `0x0001`; foreground (the default)
+/// encodes as 0, so frames from pre-lane peers decode as foreground and
+/// foreground frames are byte-identical to pre-lane encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lane {
+    /// Client-visible request path. The default.
+    #[default]
+    Foreground,
+    /// Maintenance traffic: yields hedge/retry budget to foreground.
+    Background,
+}
+
 /// The self-describing wrapper every node command travels in.
 ///
 /// Redelivering the *same* envelope is always safe; the node absorbs it
@@ -108,6 +128,9 @@ pub struct Envelope {
     pub op_id: OpId,
     /// Epoch of the round that issued the command (0 = no round).
     pub round_epoch: u64,
+    /// Priority lane (foreground by default; maintenance traffic marks
+    /// itself background so it yields hedge/retry budget).
+    pub lane: Lane,
     /// The command itself.
     pub payload: Request,
 }
@@ -123,8 +146,15 @@ impl Envelope {
         Envelope {
             op_id: OpId::fresh(),
             round_epoch,
+            lane: Lane::Foreground,
             payload,
         }
+    }
+
+    /// Marks the command as background/maintenance traffic.
+    pub fn background(mut self) -> Self {
+        self.lane = Lane::Background;
+        self
     }
 }
 
@@ -508,6 +538,11 @@ pub enum NodeError {
     Corrupt,
     /// The transport lost the node (channel closed).
     TransportClosed,
+    /// The transport (or node) shed the request under load: its inflight
+    /// cap was exhausted and did not drain within the overload wait.
+    /// Unlike [`TimedOut`](Self::TimedOut) the request was **never
+    /// sent**, so retrying elsewhere is always safe.
+    Overloaded,
     /// The round-trip budget elapsed without an answer (simulated
     /// networks only: the request or its reply was lost, delayed past
     /// the deadline, or stranded behind a partition). The request *may
@@ -545,6 +580,9 @@ impl fmt::Display for NodeError {
                 write!(f, "node detected a corrupt stored block (checksum mismatch)")
             }
             NodeError::TransportClosed => write!(f, "transport to node closed"),
+            NodeError::Overloaded => {
+                write!(f, "transport shed the request: inflight cap exhausted")
+            }
             NodeError::TimedOut => write!(f, "no reply within the round-trip budget"),
         }
     }

@@ -37,18 +37,32 @@
 //!   durable (state kept, the paper's fail-stop) or volatile (disk lost:
 //!   the node answers `NotFound` after restart until anti-entropy
 //!   reinstalls it). Partitions block the request or the reply direction
-//!   of a set of links, independently.
+//!   of a set of links, independently. [`SimFault::Degrade`] grays a
+//!   node out — up and correct, just 10–100× slower — the straggler
+//!   regime the adaptive layer exists for.
+//! * **Adaptive robustness under test.** The transport owns a
+//!   virtual-time-driven [`NodeHealth`] registry (exposed via
+//!   [`SimTransport::health_registry`]). Arming a
+//!   [`HedgePolicy`](crate::health::HedgePolicy) turns on per-node
+//!   adaptive deadlines (never looser than the model's budget) and
+//!   speculative re-issue of slow calls — same `OpId`, so the existing
+//!   duplicate-absorption hardening makes the losing copy invisible.
+//!   With the default policy (`Off`) no extra events are scheduled and
+//!   no extra RNG draws happen: every legacy schedule replays
+//!   bit-identically.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cluster::Cluster;
+use crate::health::NodeHealth;
 use crate::node::NodeId;
-use crate::rpc::{Envelope, NodeApi, NodeError, OpId, Reply};
+use crate::rpc::{Envelope, Lane, NodeApi, NodeError, OpId, Reply};
 use crate::transport::{RoundReply, Transport};
 
 /// How many times one limbo message is re-injected into later rounds
@@ -92,6 +106,12 @@ pub struct NetworkModel {
     /// outlive their round are parked and re-injected into later rounds
     /// instead of dropped. See the [module docs](self).
     pub redelivery: bool,
+    /// Probability that a sampled delay grows a heavy (lognormal-ish)
+    /// tail: the draw is multiplied by a power of two in `[2, 32]`.
+    /// The body of the distribution stays put; rare stragglers appear —
+    /// exactly what hedged requests exist to absorb. At `0.0` nothing
+    /// is drawn from the RNG, so legacy schedules stay bit-identical.
+    pub heavy_tail: f64,
 }
 
 impl Default for NetworkModel {
@@ -112,6 +132,7 @@ impl NetworkModel {
             timeout: 100_000,
             fifo_links: true,
             redelivery: false,
+            heavy_tail: 0.0,
         }
     }
 
@@ -126,6 +147,7 @@ impl NetworkModel {
             timeout: 50_000,
             fifo_links: false,
             redelivery: false,
+            heavy_tail: 0.0,
         }
     }
 
@@ -183,6 +205,17 @@ pub enum SimFault {
         /// New maximum one-way delay.
         max: u64,
     },
+    /// Gray the node out: every message to or from it takes `factor`×
+    /// the sampled delay. The node stays up and answers correctly —
+    /// it is merely slow, the failure mode fail-stop detectors never
+    /// see and hedged requests are built to route around. `factor: 1`
+    /// restores full speed.
+    Degrade {
+        /// Which node.
+        node: usize,
+        /// Delay multiplier (clamped to at least 1).
+        factor: u64,
+    },
 }
 
 /// Counters the scheduler keeps; deterministic per seed, so tests can
@@ -212,6 +245,14 @@ pub struct SimStats {
     /// Limbo messages dropped for good (TTL exhausted, capacity, or a
     /// [`SimTransport::flush_inflight`]).
     pub limbo_dropped: u64,
+    /// Hedges fired: speculative re-issues of calls still outstanding
+    /// past their node's hedge quantile (armed policies only).
+    pub hedges_fired: u64,
+    /// Completions won by the hedge copy arriving before the original.
+    pub hedges_won: u64,
+    /// Late arrivals absorbed on already-completed slots a hedge had
+    /// been fired for — the losing copy of a hedged pair.
+    pub hedge_dups: u64,
 }
 
 /// A message that outlived its round, waiting to be re-injected.
@@ -244,6 +285,9 @@ enum EventKind {
         deadline: u64,
         duplicate: bool,
         foreign: bool,
+        /// Provenance: this copy was issued by a hedge re-send. Carried
+        /// through to the reply so the scheduler can attribute wins.
+        hedged: bool,
         hops: u8,
     },
     /// A reply reaches the caller.
@@ -252,6 +296,8 @@ enum EventKind {
         reply: Reply,
         duplicate: bool,
         foreign: bool,
+        /// The reply answers a hedge copy (see [`EventKind::ReqArrive`]).
+        hedged: bool,
         hops: u8,
     },
     /// The round-trip budget for a call elapses.
@@ -260,6 +306,9 @@ enum EventKind {
         round_epoch: u64,
         node: NodeId,
     },
+    /// The hedge quantile for a still-outstanding call elapses: re-issue
+    /// the same envelope to the straggler (armed policies only).
+    HedgeFire { slot: usize },
 }
 
 struct Event {
@@ -321,6 +370,8 @@ struct SimState {
     /// Messages that outlived their round, awaiting re-injection
     /// (at-least-once mode only; insertion order, bounded).
     limbo: Vec<LimboMsg>,
+    /// Per-node delay multiplier ([`SimFault::Degrade`]); 1 = healthy.
+    degrade: Vec<u64>,
     stats: SimStats,
 }
 
@@ -329,7 +380,17 @@ impl SimState {
         let (lo, hi) =
             self.link_delay[node].unwrap_or((self.model.min_delay, self.model.max_delay));
         let hi = hi.max(lo);
-        self.rng.random_range(lo..=hi)
+        let mut delay = self.rng.random_range(lo..=hi);
+        // Heavy-tail knob: rarely multiply the draw by 2..32, a
+        // lognormal-ish tail that produces stragglers without moving
+        // the body of the distribution. `roll` draws nothing at 0.0.
+        let tail = self.model.heavy_tail;
+        if self.roll(tail) {
+            let shift = self.rng.random_range(1..=5u32);
+            delay = delay.saturating_mul(1u64 << shift);
+        }
+        // A degraded (gray) node slows both directions of its link.
+        delay.saturating_mul(self.degrade[node])
     }
 
     fn roll(&mut self, p: f64) -> bool {
@@ -378,8 +439,9 @@ impl SimState {
 
     /// Schedules one request delivery toward `node` (plus a sampled
     /// duplicate), honouring request-partitions, loss, FIFO and the
-    /// duplication knob — the single path both fresh sends and limbo
-    /// re-injections go through.
+    /// duplication knob — the single path fresh sends, hedge re-issues
+    /// and limbo re-injections all go through.
+    #[allow(clippy::too_many_arguments)] // internal: one slot per delivery knob
     fn schedule_request(
         &mut self,
         heap: &mut BinaryHeap<Event>,
@@ -387,6 +449,7 @@ impl SimState {
         env: Envelope,
         deadline: u64,
         foreign: bool,
+        hedged: bool,
         hops: u8,
     ) {
         let loss = self.model.loss;
@@ -407,6 +470,7 @@ impl SimState {
                 deadline,
                 duplicate: false,
                 foreign,
+                hedged,
                 hops,
             },
         });
@@ -422,6 +486,7 @@ impl SimState {
                     deadline,
                     duplicate: true,
                     foreign,
+                    hedged,
                     hops,
                 },
             });
@@ -442,6 +507,7 @@ impl SimState {
         reply: Reply,
         deadline: Option<u64>,
         foreign: bool,
+        hedged: bool,
         hops: u8,
         stall: u64,
     ) {
@@ -469,6 +535,7 @@ impl SimState {
                 reply: reply.clone(),
                 duplicate: false,
                 foreign,
+                hedged,
                 hops,
             },
         });
@@ -486,6 +553,7 @@ impl SimState {
                     reply,
                     duplicate: true,
                     foreign,
+                    hedged,
                     hops,
                 },
             });
@@ -545,6 +613,9 @@ impl SimState {
                 self.model.min_delay = *min;
                 self.model.max_delay = *max;
             }
+            SimFault::Degrade { node, factor } => {
+                self.degrade[*node] = (*factor).max(1);
+            }
         }
     }
 
@@ -576,6 +647,10 @@ impl SimState {
 pub struct SimTransport {
     cluster: Cluster,
     state: Mutex<SimState>,
+    /// Per-node health, fed from virtual time: RTT samples on delivery,
+    /// outcomes by the quorum engine via [`Transport::health`]. Dormant
+    /// (and schedule-invisible) until a hedge policy is armed.
+    health: Arc<NodeHealth>,
 }
 
 impl SimTransport {
@@ -601,9 +676,21 @@ impl SimTransport {
                 req_last: vec![0; n],
                 reply_last: vec![0; n],
                 limbo: Vec::new(),
+                degrade: vec![1; n],
                 stats: SimStats::default(),
             }),
+            health: Arc::new(NodeHealth::sim_scale()),
         }
+    }
+
+    /// The health registry this simulation feeds, driven entirely by
+    /// virtual time. Arm a policy with
+    /// [`set_policy`](NodeHealth::set_policy) to turn on adaptive
+    /// per-node deadlines and hedged re-issue; the default
+    /// ([`HedgePolicy::Off`](crate::health::HedgePolicy::Off)) keeps
+    /// every schedule bit-identical to the pre-hedging transport.
+    pub fn health_registry(&self) -> &Arc<NodeHealth> {
+        &self.health
     }
 
     /// Borrow the underlying cluster (state inspection, accounting).
@@ -719,10 +806,28 @@ impl SimTransport {
         let mut completed = vec![false; total];
         let mut done = 0usize;
 
-        for (node, env) in calls {
+        // Adaptive layer: with a policy armed, deadlines come from the
+        // per-node estimator (never looser than the model budget) and
+        // each foreground call gets a HedgeFire event at its node's
+        // hedge quantile. With the policy Off none of this runs — no
+        // extra events, no extra RNG draws, bit-identical schedules.
+        let hedging = self.health.hedging_enabled();
+        self.health.advance_now(st.now);
+        let start = st.now;
+        let mut hedge_plan: Vec<Option<(Envelope, u64)>> = (0..total).map(|_| None).collect();
+        let mut hedge_fired = vec![false; total];
+
+        for (i, (node, env)) in calls.into_iter().enumerate() {
             assert!(node.0 < self.cluster.len(), "node {node} out of range");
             st.stats.requests += 1;
-            let deadline = st.now + st.model.timeout;
+            let budget = if hedging {
+                self.health
+                    .timeout_for(node.0)
+                    .map_or(st.model.timeout, |t| t.min(st.model.timeout))
+            } else {
+                st.model.timeout
+            };
+            let deadline = st.now + budget;
             let seq = st.next_seq();
             heap.push(Event {
                 time: deadline,
@@ -733,7 +838,21 @@ impl SimTransport {
                     node,
                 },
             });
-            st.schedule_request(&mut heap, node, env, deadline, false, 0);
+            if hedging && env.lane == Lane::Foreground {
+                if let Some(d) = self.health.hedge_delay(node.0) {
+                    let at = st.now + d;
+                    if at < deadline {
+                        let seq = st.next_seq();
+                        heap.push(Event {
+                            time: at,
+                            seq,
+                            kind: EventKind::HedgeFire { slot: i },
+                        });
+                        hedge_plan[i] = Some((env.clone(), deadline));
+                    }
+                }
+            }
+            st.schedule_request(&mut heap, node, env, deadline, false, false, 0);
         }
 
         // At-least-once: re-inject everything parked by earlier rounds
@@ -745,10 +864,10 @@ impl SimTransport {
             for msg in parked {
                 match msg {
                     LimboMsg::Req { node, env, hops } => {
-                        st.schedule_request(&mut heap, node, env, u64::MAX, true, hops + 1);
+                        st.schedule_request(&mut heap, node, env, u64::MAX, true, false, hops + 1);
                     }
                     LimboMsg::Reply { node, reply, hops } => {
-                        st.schedule_reply(&mut heap, node, reply, None, true, hops + 1, 0);
+                        st.schedule_reply(&mut heap, node, reply, None, true, false, hops + 1, 0);
                     }
                 }
             }
@@ -770,6 +889,7 @@ impl SimTransport {
                     deadline,
                     duplicate,
                     foreign,
+                    hedged,
                     hops,
                 } => {
                     // The node executes the request at arrival time even
@@ -792,13 +912,23 @@ impl SimTransport {
                     // node's backend surface as reply latency.
                     let stall =
                         self.cluster.node(node.0).backend().take_stall_ticks() * STALL_TICK_NS;
-                    st.schedule_reply(&mut heap, node, reply, Some(deadline), foreign, hops, stall);
+                    st.schedule_reply(
+                        &mut heap,
+                        node,
+                        reply,
+                        Some(deadline),
+                        foreign,
+                        hedged,
+                        hops,
+                        stall,
+                    );
                 }
                 EventKind::ReplyArrive {
                     node,
                     reply,
                     duplicate,
                     foreign,
+                    hedged,
                     hops: _,
                 } => {
                     if duplicate {
@@ -808,11 +938,30 @@ impl SimTransport {
                     match slot {
                         Some(i) => {
                             if completed[i] {
+                                if hedge_fired[i] {
+                                    // The losing copy of a hedged pair
+                                    // landing after the winner: absorbed
+                                    // here, invisible to the caller.
+                                    st.stats.hedge_dups += 1;
+                                    self.health.note_hedge_dup();
+                                }
                                 continue;
                             }
                             completed[i] = true;
                             done += 1;
                             st.stats.delivered += 1;
+                            // Feed the estimator the real virtual-time
+                            // RTT; outcomes (accept/reject) are fed once,
+                            // by the quorum engine.
+                            if reply.result.is_ok() {
+                                self.health.advance_now(st.now);
+                                self.health
+                                    .record_sample(node.0, st.now.saturating_sub(start));
+                            }
+                            if hedged {
+                                st.stats.hedges_won += 1;
+                                self.health.note_hedge_won();
+                            }
                             if !sink(RoundReply::from_reply(node, reply)) {
                                 abandoned = true;
                             }
@@ -852,6 +1001,27 @@ impl SimTransport {
                         abandoned = true;
                     }
                 }
+                EventKind::HedgeFire { slot } => {
+                    // Speculative re-issue: the call is still outstanding
+                    // past its node's hedge quantile. Same OpId — the
+                    // identity matching and idempotent command API absorb
+                    // whichever copy loses. Budget-gated so hedges stay a
+                    // bounded fraction of successful traffic.
+                    if completed[slot] {
+                        continue;
+                    }
+                    let Some((env, deadline)) = hedge_plan[slot].take() else {
+                        continue;
+                    };
+                    let node = ids[slot].1;
+                    if !self.health.try_spend(env.lane) {
+                        continue;
+                    }
+                    hedge_fired[slot] = true;
+                    st.stats.hedges_fired += 1;
+                    self.health.note_hedge_fired();
+                    st.schedule_request(&mut heap, node, env, deadline, false, true, 0);
+                }
             }
         }
         // The round is over. Remaining events are messages still in
@@ -867,10 +1037,16 @@ impl SimTransport {
                     EventKind::ReplyArrive {
                         node, reply, hops, ..
                     } => st.park(LimboMsg::Reply { node, reply, hops }),
-                    EventKind::Timeout { .. } => {}
+                    // Their caller is gone either way; hedge triggers are
+                    // meaningless outside their round.
+                    EventKind::Timeout { .. } | EventKind::HedgeFire { .. } => {}
                 }
             }
         }
+        // Keep the health clock current so outcome feeding (circuit
+        // stamps, cooldowns) that happens after multicall returns sees
+        // the end-of-round instant.
+        self.health.advance_now(st.now);
     }
 }
 
@@ -899,6 +1075,10 @@ impl Transport for SimTransport {
 
     fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
         self.run_round(calls, sink);
+    }
+
+    fn health(&self) -> Option<&NodeHealth> {
+        Some(&self.health)
     }
 }
 
@@ -1471,6 +1651,110 @@ mod tests {
             (order, t.stats(), t.now())
         };
         assert_eq!(run(77), run(77), "at-least-once replay must be bit-for-bit");
+    }
+
+    #[test]
+    fn degrade_slows_a_node_without_downing_it() {
+        let t = SimTransport::new(Cluster::new(2), 47);
+        t.apply(SimFault::Degrade {
+            node: 0,
+            factor: 100,
+        });
+        let replies = collect(&t, pings(2));
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| r.result == Ok(Response::Pong)));
+        assert_eq!(
+            replies[0].node,
+            NodeId(1),
+            "the gray node answers last, not never"
+        );
+        assert_eq!(t.stats().timeouts, 0, "degraded ≠ down");
+        // Restoring factor 1 closes the gap again.
+        t.apply(SimFault::Degrade { node: 0, factor: 1 });
+        let replies = collect(&t, pings(2));
+        assert!(replies.iter().all(|r| r.result == Ok(Response::Pong)));
+    }
+
+    #[test]
+    fn armed_policy_hedges_stragglers_and_keeps_replay_exact() {
+        use crate::health::HedgePolicy;
+        let run = |seed| {
+            let t = SimTransport::with_model(
+                Cluster::new(4),
+                seed,
+                NetworkModel {
+                    heavy_tail: 0.2,
+                    ..NetworkModel::reliable()
+                },
+            );
+            t.health_registry().set_policy(HedgePolicy::P99);
+            let mut order = Vec::new();
+            for _ in 0..50 {
+                let replies = collect(&t, pings(4));
+                assert_eq!(replies.len(), 4, "every call completes");
+                order.extend(replies.into_iter().map(|r| (r.node, r.result.is_ok())));
+            }
+            (order, t.stats(), t.now())
+        };
+        let (order, stats, now) = run(51);
+        assert!(
+            stats.hedges_fired >= 1,
+            "heavy-tail stragglers trip the hedge quantile: {stats:?}"
+        );
+        assert!(
+            stats.hedges_won + stats.hedge_dups >= 1,
+            "a hedged pair resolved one way or the other: {stats:?}"
+        );
+        assert_eq!(run(51), (order, stats, now), "hedged replay is bit-for-bit");
+    }
+
+    #[test]
+    fn off_policy_leaves_health_dormant_but_fed() {
+        // With no policy armed the schedule carries zero hedge events,
+        // yet RTT samples still accumulate — so flipping a policy on
+        // later starts from a warm estimator.
+        let t = SimTransport::new(Cluster::new(2), 53);
+        for _ in 0..5 {
+            let replies = collect(&t, pings(2));
+            assert_eq!(replies.len(), 2);
+        }
+        let stats = t.stats();
+        assert_eq!(stats.hedges_fired, 0);
+        assert_eq!(stats.hedges_won, 0);
+        assert_eq!(stats.hedge_dups, 0);
+        let snap = t.health_registry().snapshot();
+        assert!(
+            snap.iter().any(|s| s.timeout.is_some()),
+            "RTT samples warmed the estimator even while dormant: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_deadline_times_a_gray_node_out_early() {
+        use crate::health::HedgePolicy;
+        // Warm the estimator on a healthy cluster, then gray node 0 far
+        // past the model timeout. The adaptive deadline (srtt + 4·dev,
+        // clamped) fires long before the fixed 100k budget would.
+        let t = SimTransport::new(Cluster::new(2), 59);
+        t.health_registry().set_policy(HedgePolicy::P99);
+        for _ in 0..10 {
+            let replies = collect(&t, pings(2));
+            assert_eq!(replies.len(), 2);
+        }
+        let before = t.now();
+        t.apply(SimFault::Degrade {
+            node: 0,
+            factor: 10_000,
+        });
+        let replies = collect(&t, pings(2));
+        let gray = replies.iter().find(|r| r.node == NodeId(0)).unwrap();
+        assert_eq!(gray.result, Err(NodeError::TimedOut));
+        let elapsed = t.now() - before;
+        assert!(
+            elapsed < t.model().timeout,
+            "adaptive deadline cut the wait: {elapsed} vs fixed {}",
+            t.model().timeout
+        );
     }
 
     #[test]

@@ -25,8 +25,18 @@
 //!
 //! Per-node inflight limits provide backpressure: once `max_inflight`
 //! commands are outstanding against one node, further dispatches block
-//! (bounded by the round-trip budget) instead of queueing unboundedly —
-//! the moral equivalent of a bounded socket send window.
+//! briefly (bounded by [`TcpConfig::overload_wait`]) and then shed the
+//! request as [`NodeError::Overloaded`] — a typed signal that the
+//! request was *never sent*, so the caller may retry elsewhere
+//! immediately instead of waiting out the full round-trip budget.
+//!
+//! Reconnects back off exponentially with a cap and deterministic
+//! per-peer jitter (seeded from the address, not a global RNG — two
+//! transports to the same dead node desynchronise their retry storms
+//! identically on every run), and every reconnect attempt beyond the
+//! first draws on the shared [`NodeHealth`] retry budget: a dead node
+//! cannot soak unbounded connect attempts while live traffic pays for
+//! them.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -40,8 +50,9 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
+use crate::health::NodeHealth;
 use crate::node::NodeId;
-use crate::rpc::{Envelope, NodeApi, NodeError, Reply, Response};
+use crate::rpc::{Envelope, Lane, NodeApi, NodeError, Reply, Response};
 use crate::transport::{RoundReply, Transport};
 use crate::wire::{self, Frame, Header, HEADER_LEN};
 
@@ -218,10 +229,16 @@ pub struct TcpConfig {
     /// Reconnect attempts per dispatch before the node is reported
     /// [`NodeError::Down`].
     pub connect_attempts: u32,
-    /// First reconnect backoff; doubles per consecutive failure.
+    /// First reconnect backoff; doubles per consecutive failure, capped
+    /// at `backoff_max` and jittered ±50% (deterministically, per peer).
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_max: Duration,
+    /// How long a dispatch waits for inflight budget before shedding
+    /// the request as [`NodeError::Overloaded`]. Kept well under the
+    /// round-trip budget so overload surfaces as a fast typed error,
+    /// not a slow timeout.
+    pub overload_wait: Duration,
 }
 
 impl Default for TcpConfig {
@@ -234,8 +251,19 @@ impl Default for TcpConfig {
             connect_attempts: 3,
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_millis(200),
+            overload_wait: Duration::from_millis(500),
         }
     }
+}
+
+/// SplitMix64 finalizer: the deterministic jitter source for reconnect
+/// backoff — seeded from the peer address and failure count, so replays
+/// of the same failure sequence jitter identically.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// What a parked caller gets back: the node's answer or the transport's
@@ -363,6 +391,13 @@ impl Drop for InflightPermit<'_> {
 struct TcpInner {
     peers: Vec<Peer>,
     cfg: TcpConfig,
+    /// Real-scale health registry: RTT samples land here per dispatch,
+    /// reconnect retries draw on its budget, and the quorum engine feeds
+    /// outcomes through [`Transport::health`].
+    health: Arc<NodeHealth>,
+    /// Wall-clock anchor for the health registry's monotone nanosecond
+    /// clock.
+    started: Instant,
 }
 
 /// [`Transport`] over real TCP connections, one pool per node.
@@ -412,8 +447,20 @@ impl TcpTransport {
             })
             .collect();
         TcpTransport {
-            inner: Arc::new(TcpInner { peers, cfg }),
+            inner: Arc::new(TcpInner {
+                peers,
+                cfg,
+                health: Arc::new(NodeHealth::real_scale()),
+                started: now,
+            }),
         }
+    }
+
+    /// The health registry behind this transport — arm a hedge policy
+    /// for adaptive per-node deadlines, inspect snapshots, or share the
+    /// retry budget with other clients of the same cluster.
+    pub fn health_registry(&self) -> &Arc<NodeHealth> {
+        &self.inner.health
     }
 }
 
@@ -440,10 +487,12 @@ impl TcpInner {
         Some(InflightPermit { peer })
     }
 
-    /// Gets (or re-establishes, with exponential backoff) a live
+    /// Gets (or re-establishes, with capped jittered backoff) a live
     /// connection for `peer`. `None` means the node is unreachable
-    /// within the attempt budget / deadline.
-    fn get_conn(&self, peer: &Peer, deadline: Instant) -> Option<Arc<Conn>> {
+    /// within the attempt budget / deadline. Every attempt beyond the
+    /// first must be paid for out of the retry budget (`lane`-aware:
+    /// background reconnects leave the foreground reserve untouched).
+    fn get_conn(&self, peer: &Peer, deadline: Instant, lane: Lane) -> Option<Arc<Conn>> {
         let slot_index = peer.rr.fetch_add(1, Ordering::Relaxed) % peer.slots.len();
         let mut slot = peer.slots[slot_index].lock();
         if let Some(conn) = &slot.conn {
@@ -452,9 +501,14 @@ impl TcpInner {
             }
             slot.conn = None;
         }
-        for _ in 0..self.cfg.connect_attempts {
+        for attempt in 0..self.cfg.connect_attempts {
             let now = Instant::now();
             if now >= deadline {
+                return None;
+            }
+            // tq-lint: allow(bounded-retry) -- the budget consult IS here:
+            // first attempt free, every re-attempt spends a token.
+            if attempt > 0 && !self.health.try_spend(lane) {
                 return None;
             }
             // Honour the backoff window from previous failures.
@@ -499,7 +553,17 @@ impl TcpInner {
                         .backoff_base
                         .saturating_mul(1u32 << shift.saturating_sub(1))
                         .min(self.cfg.backoff_max);
-                    slot.next_attempt = Instant::now() + backoff;
+                    // Deterministic ±50% jitter so many slots/processes
+                    // hammering one dead node spread out instead of
+                    // synchronising their retry storms.
+                    let seed = (u64::from(peer.addr.port()) << 32)
+                        ^ u64::from(slot.consecutive_failures)
+                        ^ (slot_index as u64) << 16;
+                    let permille = 500 + splitmix64(seed) % 1001; // [0.5, 1.5]×
+                    let jittered = Duration::from_nanos(
+                        (backoff.as_nanos() as u64).saturating_mul(permille) / 1000,
+                    );
+                    slot.next_attempt = Instant::now() + jittered;
                 }
             }
         }
@@ -516,15 +580,33 @@ impl TcpInner {
         let Some(peer) = self.peers.get(node.0) else {
             return fail(NodeError::TransportClosed);
         };
-        let deadline = Instant::now() + self.cfg.io_timeout;
+        let issued = Instant::now();
+        self.health
+            .advance_now(issued.duration_since(self.started).as_nanos() as u64);
+        // Adaptive round-trip budget: with a hedge policy armed, the
+        // per-node estimate (never looser than the configured budget)
+        // governs the deadline; fixed io_timeout otherwise.
+        let budget = if self.health.hedging_enabled() {
+            self.health
+                .timeout_for(node.0)
+                .map_or(self.cfg.io_timeout, |ns| {
+                    Duration::from_nanos(ns).min(self.cfg.io_timeout)
+                })
+        } else {
+            self.cfg.io_timeout
+        };
+        let deadline = issued + budget;
 
         // Backpressure first: a node already saturated with our own
-        // inflight commands should not accumulate more.
-        let Some(_permit) = self.acquire_inflight(peer, deadline) else {
-            return fail(NodeError::TimedOut);
+        // inflight commands should not accumulate more. Shedding is
+        // typed — Overloaded means "never sent", so the caller may
+        // re-route immediately.
+        let overload_deadline = deadline.min(issued + self.cfg.overload_wait);
+        let Some(_permit) = self.acquire_inflight(peer, overload_deadline) else {
+            return fail(NodeError::Overloaded);
         };
 
-        let Some(conn) = self.get_conn(peer, deadline) else {
+        let Some(conn) = self.get_conn(peer, deadline, env.lane) else {
             // Unreachable within the bounded reconnect budget: for the
             // protocol that is a down node, unless the clock ran out
             // while we were still trying.
@@ -550,11 +632,19 @@ impl TcpInner {
         match rx.recv_timeout(remaining) {
             // Rebuild the reply around *our* envelope identity: even a
             // buggy peer cannot make us mislabel an answer.
-            Ok(result) => Reply {
-                op_id,
-                round_epoch,
-                result,
-            },
+            Ok(result) => {
+                if result.is_ok() {
+                    // RTT sample for the estimator; outcomes are fed
+                    // once, by the quorum engine.
+                    let rtt = issued.elapsed().as_nanos() as u64;
+                    self.health.record_sample(node.0, rtt.max(1));
+                }
+                Reply {
+                    op_id,
+                    round_epoch,
+                    result,
+                }
+            }
             Err(_) => {
                 conn.deregister(op_id.0);
                 fail(NodeError::TimedOut)
@@ -584,6 +674,10 @@ impl Transport for TcpTransport {
 
     fn dispatch(&self, node: NodeId, env: Envelope) -> Reply {
         self.inner.dispatch(node, env)
+    }
+
+    fn health(&self) -> Option<&NodeHealth> {
+        Some(&self.inner.health)
     }
 
     /// Concurrent fan-out: every call is written immediately (one
@@ -822,6 +916,85 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), Ok(Response::Pong));
         }
+    }
+
+    #[test]
+    fn tcp_pool_exhaustion_sheds_typed_overloaded() {
+        // A listener that accepts and never answers: the first dispatch
+        // occupies the single inflight slot for its whole budget, so a
+        // second dispatch must be shed — quickly, and as Overloaded,
+        // not as a slow TimedOut.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            listener.set_nonblocking(false).unwrap();
+            if let Ok((s, _)) = listener.accept() {
+                held.push(s);
+            }
+            std::thread::sleep(Duration::from_millis(900));
+            drop(held);
+        });
+        let t = Arc::new(TcpTransport::with_config(
+            vec![addr],
+            TcpConfig {
+                max_inflight: 1,
+                pool_size: 1,
+                io_timeout: Duration::from_millis(600),
+                overload_wait: Duration::from_millis(30),
+                ..TcpConfig::default()
+            },
+        ));
+        let blocker = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || t.call(NodeId(0), Request::Ping))
+        };
+        // Let the blocker occupy the inflight window first.
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        let shed = t.call(NodeId(0), Request::Ping);
+        assert_eq!(shed, Err(NodeError::Overloaded));
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "shedding is fast, not a timeout: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(blocker.join().unwrap(), Err(NodeError::TimedOut));
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_reconnect_retries_draw_on_the_budget() {
+        // Nothing listens: every connect attempt fails. The first
+        // attempt per dispatch is free; each further attempt spends a
+        // retry token, so a generous attempt count cannot burn more
+        // than the budget holds.
+        let throwaway = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = throwaway.local_addr().unwrap();
+        drop(throwaway);
+        let t = TcpTransport::with_config(
+            vec![addr],
+            TcpConfig {
+                connect_attempts: 10,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(5),
+                ..TcpConfig::default()
+            },
+        );
+        assert_eq!(t.call(NodeId(0), Request::Ping), Err(NodeError::Down));
+        let spent_once = t.health_registry().hedge_counters().retries;
+        assert!(
+            (1..10).contains(&spent_once),
+            "retries are budget-bounded below the attempt count: {spent_once}"
+        );
+        // Budget exhausted: further dispatches stop at the free attempt.
+        assert_eq!(t.call(NodeId(0), Request::Ping), Err(NodeError::Down));
+        assert_eq!(t.call(NodeId(0), Request::Ping), Err(NodeError::Down));
+        let spent_after = t.health_registry().hedge_counters().retries;
+        assert_eq!(
+            spent_after, spent_once,
+            "an empty budget stops paid reconnect attempts"
+        );
     }
 
     #[test]

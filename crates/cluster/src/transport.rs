@@ -29,11 +29,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 
 use crate::cluster::Cluster;
+use crate::detmap::DetHashMap;
+use crate::health::NodeHealth;
 use crate::node::NodeId;
-use crate::rpc::{Envelope, NodeApi, NodeError, OpId, Reply, Request, Response};
+use crate::rpc::{Envelope, Lane, NodeApi, NodeError, OpId, Reply, Request, Response};
 
 /// One completed call of a [`Transport::multicall`] batch, identified by
 /// the op id its envelope carried (never by arrival position — an
@@ -110,6 +112,16 @@ pub trait Transport: Send + Sync {
             }
         }
     }
+
+    /// The transport's per-node health registry, if it keeps one.
+    ///
+    /// `None` (the default, and what [`LocalTransport`] returns) means
+    /// no adaptive machinery: fixed deadlines, no hedging, no
+    /// first-quorum write completion — the fully deterministic
+    /// configuration experiments and exact-IO-count tests rely on.
+    fn health(&self) -> Option<&NodeHealth> {
+        None
+    }
 }
 
 /// Synchronous in-process transport: `dispatch` runs the node's
@@ -169,6 +181,12 @@ pub struct ChannelTransport {
     mailboxes: Vec<Sender<Parcel>>,
     /// Injected service delay per node, in nanoseconds (0 = none).
     latencies: Vec<Arc<AtomicU64>>,
+    /// Per-node health registry (hedging off by default, so the
+    /// transport behaves exactly as before until a caller enables it).
+    health: Arc<NodeHealth>,
+    /// Wire messages put on a mailbox: single dispatches, fan-out sends,
+    /// and hedge re-issues. Benchmarks use this to price hedging.
+    messages: AtomicU64,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -226,6 +244,8 @@ impl ChannelTransport {
             cluster,
             mailboxes,
             latencies,
+            health: Arc::new(NodeHealth::real_scale()),
+            messages: AtomicU64::new(0),
             workers,
         }
     }
@@ -251,6 +271,188 @@ impl ChannelTransport {
     pub fn node_latency(&self, i: usize) -> Duration {
         Duration::from_nanos(self.latencies[i].load(Ordering::Relaxed))
     }
+
+    /// The transport's health registry — enable hedging via
+    /// [`NodeHealth::set_policy`].
+    pub fn health_registry(&self) -> &NodeHealth {
+        &self.health
+    }
+
+    /// Total wire messages sent so far (single dispatches, fan-out
+    /// sends, and hedge re-issues). Hedging's message overhead is
+    /// `hedge_counters().fired / (messages_sent() - fired)`.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// The hedged fan-out path, entered only when a
+    /// [`HedgePolicy`](crate::health::HedgePolicy) is active: sends
+    /// every request up front like the plain path, but while waiting it
+    /// watches each foreground slot's hedge deadline (a quantile of the
+    /// node's latency estimate) and speculatively re-issues the *same*
+    /// envelope to the straggler once the deadline passes — idempotency
+    /// makes the duplicate safe, and the retry budget caps how many can
+    /// fire. The first reply completes the slot; the loser's answer is
+    /// absorbed as a duplicate.
+    ///
+    /// Attribution caveat: both copies carry the same `OpId`, so the
+    /// transport cannot tell which one a completion came from. A slot
+    /// that completes after its hedge fired is counted as a hedge win;
+    /// totals (fired/won/dups) are conserved, per-slot attribution is
+    /// approximate under real-thread races.
+    fn multicall_hedged(
+        &self,
+        calls: Vec<(NodeId, Envelope)>,
+        sink: &mut dyn FnMut(RoundReply) -> bool,
+    ) {
+        struct Slot {
+            node: NodeId,
+            env: Envelope,
+            sent: std::time::Instant,
+            hedge_at: Option<std::time::Instant>,
+            hedged: bool,
+            done: bool,
+        }
+        let total = calls.len();
+        if total == 0 {
+            return;
+        }
+        let (tx, rx) = unbounded::<RoundReply>();
+        let mut slots: Vec<Slot> = Vec::with_capacity(total);
+        let mut by_op: DetHashMap<OpId, usize> = DetHashMap::default();
+        for (node, env) in calls {
+            let mailbox = self
+                .mailboxes
+                .get(node.0)
+                .expect("node index within cluster");
+            let (op_id, round_epoch) = (env.op_id, env.round_epoch);
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            let sent = mailbox.send(Parcel {
+                env: env.clone(),
+                reply: ReplyTo::Round {
+                    node,
+                    tx: tx.clone(),
+                },
+            });
+            if sent.is_err() {
+                let _ = tx.send(RoundReply {
+                    op_id,
+                    round_epoch,
+                    node,
+                    result: Err(NodeError::TransportClosed),
+                });
+            }
+            // tq-lint: allow(sim-determinism) -- hedged multicall is the real-threads path; SimTransport hedges on the virtual clock instead.
+            let now = std::time::Instant::now();
+            // No hedge for a flagged straggler: the re-issue goes to the
+            // *same* node (its protocol role is fixed), which can win
+            // against transient jitter or a dropped packet but never
+            // against a chronically slow node — there the duplicate only
+            // burns budget and messages. Reads already route around
+            // stragglers; writes must await them for durability either
+            // way.
+            let hedge_at = (env.lane == Lane::Foreground && !self.health.straggler(node.0))
+                .then(|| self.health.hedge_delay(node.0))
+                .flatten()
+                .map(|d| now + Duration::from_nanos(d));
+            by_op.insert(op_id, slots.len());
+            slots.push(Slot {
+                node,
+                env,
+                sent: now,
+                hedge_at,
+                hedged: false,
+                done: false,
+            });
+        }
+        // `tx` stays alive for hedge re-sends; the loop exits on
+        // completion count, not channel disconnect. Every slot is
+        // guaranteed a completion: a dead mailbox was synthesised as
+        // `TransportClosed` in-band above.
+        let mut done_count = 0;
+        while done_count < total {
+            let next_hedge = slots
+                .iter()
+                .filter(|s| !s.done && !s.hedged)
+                .filter_map(|s| s.hedge_at)
+                .min();
+            let received = match next_hedge {
+                Some(at) => {
+                    // tq-lint: allow(sim-determinism) -- real-threads path, see above.
+                    let wait = at.saturating_duration_since(std::time::Instant::now());
+                    match rx.recv_timeout(wait) {
+                        Ok(reply) => Some(reply),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(reply) => Some(reply),
+                    Err(_) => break,
+                },
+            };
+            let Some(reply) = received else {
+                // A hedge deadline passed with the slot still open:
+                // re-issue the same envelope if the budget allows.
+                // tq-lint: allow(sim-determinism) -- real-threads path, see above.
+                let now = std::time::Instant::now();
+                for s in slots.iter_mut() {
+                    if s.done || s.hedged || s.hedge_at.is_none_or(|at| at > now) {
+                        continue;
+                    }
+                    if !self.health.try_spend(s.env.lane) {
+                        s.hedge_at = None; // budget refused; stop asking
+                        continue;
+                    }
+                    self.messages.fetch_add(1, Ordering::Relaxed);
+                    let resend = self.mailboxes.get(s.node.0).and_then(|m| {
+                        m.send(Parcel {
+                            env: s.env.clone(),
+                            reply: ReplyTo::Round {
+                                node: s.node,
+                                tx: tx.clone(),
+                            },
+                        })
+                        .ok()
+                    });
+                    if resend.is_some() {
+                        s.hedged = true;
+                        self.health.note_hedge_fired();
+                    } else {
+                        s.hedge_at = None;
+                    }
+                }
+                continue;
+            };
+            match by_op.get(&reply.op_id) {
+                Some(&i) if !slots[i].done => {
+                    let s = &mut slots[i];
+                    s.done = true;
+                    done_count += 1;
+                    // Latency sample only — success/failure outcomes are
+                    // fed once, by the quorum engine, to avoid double
+                    // counting against the circuit breaker and budget.
+                    if reply.result.is_ok() {
+                        let rtt = s.sent.elapsed().as_nanos() as u64;
+                        self.health.record_sample(s.node.0, rtt);
+                    }
+                    if s.hedged {
+                        self.health.note_hedge_won();
+                    }
+                }
+                Some(&i) => {
+                    if slots[i].hedged {
+                        self.health.note_hedge_dup();
+                    }
+                    continue; // duplicate: absorbed, not forwarded
+                }
+                None => {} // stranger: forward; the sink ignores by identity
+            }
+            if !sink(reply) {
+                break;
+            }
+        }
+    }
 }
 
 impl Transport for ChannelTransport {
@@ -270,16 +472,36 @@ impl Transport for ChannelTransport {
             result: Err(NodeError::TransportClosed),
         };
         let (reply_tx, reply_rx) = bounded(1);
+        self.messages.fetch_add(1, Ordering::Relaxed);
         match mailbox.send(Parcel {
             env,
             reply: ReplyTo::Single(reply_tx),
         }) {
-            Ok(()) => reply_rx.recv().unwrap_or_else(|_| closed()),
+            Ok(()) => {
+                // tq-lint: allow(sim-determinism) -- real-threads path; SimTransport samples on the virtual clock.
+                let sent = std::time::Instant::now();
+                let reply = reply_rx.recv().unwrap_or_else(|_| closed());
+                // The estimator warms even while hedging is off, so
+                // arming a policy later starts from live latencies
+                // instead of a cold table.
+                if reply.result.is_ok() {
+                    self.health
+                        .record_sample(node.0, sent.elapsed().as_nanos() as u64);
+                }
+                reply
+            }
             Err(_) => closed(),
         }
     }
 
+    fn health(&self) -> Option<&NodeHealth> {
+        Some(&self.health)
+    }
+
     fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
+        if self.health.hedging_enabled() {
+            return self.multicall_hedged(calls, sink);
+        }
         let total = calls.len();
         if total == 0 {
             return;
@@ -291,6 +513,7 @@ impl Transport for ChannelTransport {
                 .get(node.0)
                 .expect("node index within cluster");
             let (op_id, round_epoch) = (env.op_id, env.round_epoch);
+            self.messages.fetch_add(1, Ordering::Relaxed);
             let sent = mailbox.send(Parcel {
                 env,
                 reply: ReplyTo::Round {
@@ -351,6 +574,9 @@ impl<T: Transport + ?Sized> Transport for Arc<T> {
     fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
         (**self).multicall(calls, sink)
     }
+    fn health(&self) -> Option<&NodeHealth> {
+        (**self).health()
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for &T {
@@ -362,6 +588,9 @@ impl<T: Transport + ?Sized> Transport for &T {
     }
     fn multicall(&self, calls: Vec<(NodeId, Envelope)>, sink: &mut dyn FnMut(RoundReply) -> bool) {
         (**self).multicall(calls, sink)
+    }
+    fn health(&self) -> Option<&NodeHealth> {
+        (**self).health()
     }
 }
 
@@ -619,6 +848,51 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn hedged_multicall_reissues_to_stragglers() {
+        use crate::health::HedgePolicy;
+        let t = ChannelTransport::new(Cluster::new(4));
+        t.health_registry().set_policy(HedgePolicy::P99);
+        // Warm the estimator (and earn retry budget) with fast rounds.
+        for _ in 0..8 {
+            let mut n = 0;
+            t.multicall(ping_batch(4), &mut |_| {
+                n += 1;
+                true
+            });
+            assert_eq!(n, 4);
+        }
+        // Turn node 3 gray: far past any hedge delay the estimator
+        // derives from the fast warm-up samples.
+        t.set_node_latency(3, Duration::from_millis(50));
+        let mut n = 0;
+        t.multicall(ping_batch(4), &mut |r| {
+            assert!(r.result.is_ok());
+            n += 1;
+            true
+        });
+        assert_eq!(n, 4, "every slot still completes exactly once");
+        let c = t.health_registry().hedge_counters();
+        assert!(c.fired >= 1, "expected a hedge to fire: {c:?}");
+        assert!(c.retries >= 1, "hedges spend retry budget: {c:?}");
+    }
+
+    #[test]
+    fn hedging_off_keeps_the_plain_path() {
+        let t = ChannelTransport::new(Cluster::new(3));
+        assert!(!t.health_registry().hedging_enabled());
+        let mut n = 0;
+        t.multicall(ping_batch(3), &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 3);
+        assert_eq!(
+            t.health_registry().hedge_counters(),
+            crate::health::HedgeCounters::default()
+        );
     }
 
     #[test]

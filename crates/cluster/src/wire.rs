@@ -13,7 +13,7 @@
 //!      0     4  magic        "TQWF"
 //!      4     1  version      WIRE_VERSION (1)
 //!      5     1  kind         0x01 request frame / 0x02 reply frame
-//!      6     2  flags        reserved, little-endian (must decode, may be 0)
+//!      6     2  flags        bit 0 = background lane; rest reserved (LE)
 //!      8     8  op id        Envelope/Reply op identity, little-endian
 //!     16     8  round epoch  issuing round's epoch, little-endian
 //!     24     4  body len     bytes following the header, little-endian
@@ -52,10 +52,17 @@
 use bytes::Bytes;
 use core::fmt;
 
-use crate::rpc::{Envelope, NodeError, OpId, Reply, Request, Response};
+use crate::rpc::{Envelope, Lane, NodeError, OpId, Reply, Request, Response};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"TQWF";
+
+/// Header flag bit: the command travels in the background/maintenance
+/// lane ([`Lane::Background`]). Foreground encodes as 0, so frames from
+/// pre-lane peers decode as foreground and foreground frames stay
+/// byte-identical to pre-lane encodings; peers that predate the bit
+/// ignore it (flags have always been "must decode, may be any value").
+pub const FLAG_BACKGROUND: u16 = 0x0001;
 
 /// Current wire protocol version. Bump on any incompatible layout change.
 pub const WIRE_VERSION: u8 = 1;
@@ -99,8 +106,10 @@ impl FrameKind {
 pub struct Header {
     /// Direction of the message in the body.
     pub kind: FrameKind,
-    /// Reserved flag bits (zero today; decoders must tolerate any value
-    /// so future versions can set bits without breaking old peers).
+    /// Flag bits. Bit 0 ([`FLAG_BACKGROUND`]) marks background-lane
+    /// requests; the rest are reserved (decoders must tolerate any
+    /// value so future versions can set bits without breaking old
+    /// peers).
     pub flags: u16,
     /// Identity of the logical command (echoed by replies).
     pub op_id: OpId,
@@ -375,6 +384,7 @@ mod tag {
     pub const ERR_TRANSPORT_CLOSED: u8 = 0x08;
     pub const ERR_TIMED_OUT: u8 = 0x09;
     pub const ERR_CORRUPT: u8 = 0x0A;
+    pub const ERR_OVERLOADED: u8 = 0x0B;
 
     // Trailing extension fields (`tag(u8) · len(u32) · payload`) appended
     // after the fixed fields of the *extended* body variants only
@@ -579,14 +589,21 @@ fn encode_error_body(err: &NodeError, out: &mut Vec<u8>) {
         NodeError::TransportClosed => out.push(tag::ERR_TRANSPORT_CLOSED),
         NodeError::TimedOut => out.push(tag::ERR_TIMED_OUT),
         NodeError::Corrupt => out.push(tag::ERR_CORRUPT),
+        NodeError::Overloaded => out.push(tag::ERR_OVERLOADED),
     }
 }
 
-fn finish_frame(kind: FrameKind, op_id: OpId, round_epoch: u64, body: Vec<u8>) -> Vec<u8> {
+fn finish_frame(
+    kind: FrameKind,
+    flags: u16,
+    op_id: OpId,
+    round_epoch: u64,
+    body: Vec<u8>,
+) -> Vec<u8> {
     debug_assert!(body.len() <= MAX_BODY_LEN as usize, "body exceeds wire max");
     let header = Header {
         kind,
-        flags: 0,
+        flags,
         op_id,
         round_epoch,
         body_len: body.len() as u32,
@@ -601,7 +618,11 @@ fn finish_frame(kind: FrameKind, op_id: OpId, round_epoch: u64, body: Vec<u8>) -
 pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
     let mut body = Vec::new();
     encode_request_body(&env.payload, &mut body);
-    finish_frame(FrameKind::Request, env.op_id, env.round_epoch, body)
+    let flags = match env.lane {
+        Lane::Foreground => 0,
+        Lane::Background => FLAG_BACKGROUND,
+    };
+    finish_frame(FrameKind::Request, flags, env.op_id, env.round_epoch, body)
 }
 
 /// Encodes a [`Reply`] into one complete frame (header + body).
@@ -617,7 +638,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             encode_error_body(err, &mut body);
         }
     }
-    finish_frame(FrameKind::Reply, reply.op_id, reply.round_epoch, body)
+    finish_frame(FrameKind::Reply, 0, reply.op_id, reply.round_epoch, body)
 }
 
 // ---------------------------------------------------------------------
@@ -937,6 +958,7 @@ fn decode_error_body(cur: &mut Cursor<'_>) -> Result<NodeError, DecodeError> {
         tag::ERR_TRANSPORT_CLOSED => NodeError::TransportClosed,
         tag::ERR_TIMED_OUT => NodeError::TimedOut,
         tag::ERR_CORRUPT => NodeError::Corrupt,
+        tag::ERR_OVERLOADED => NodeError::Overloaded,
         other => {
             return Err(DecodeError::UnknownTag {
                 what: "error",
@@ -963,6 +985,11 @@ pub fn decode_body(header: &Header, body: &Bytes) -> Result<Frame, DecodeError> 
         FrameKind::Request => Frame::Envelope(Envelope {
             op_id: header.op_id,
             round_epoch: header.round_epoch,
+            lane: if header.flags & FLAG_BACKGROUND != 0 {
+                Lane::Background
+            } else {
+                Lane::Foreground
+            },
             payload: decode_request_body(&mut cur)?,
         }),
         FrameKind::Reply => {
@@ -1295,7 +1322,7 @@ mod tests {
         body.extend_from_slice(&7u64.to_le_bytes());
         body.extend_from_slice(&3u32.to_le_bytes());
         body.extend_from_slice(&[1, 2, 3]);
-        let wire = Bytes::from(finish_frame(FrameKind::Reply, OpId(11), 0, body));
+        let wire = Bytes::from(finish_frame(FrameKind::Reply, 0, OpId(11), 0, body));
         let (frame, _) = decode_frame(&wire).expect("legacy frame decodes");
         match frame {
             Frame::Reply(r) => assert_eq!(

@@ -171,8 +171,17 @@ pub(crate) fn grade_write_level(
     Ok(())
 }
 
-/// Runs one graded write level: await-all round, recorded in `report`,
-/// then graded via [`grade_write_level`].
+/// Runs one graded write level, recorded in `report`, then graded via
+/// [`grade_write_level`].
+///
+/// By default the round awaits every member: the validated write *set*
+/// is the durability statement. When the transport carries an armed
+/// health registry (hedging on), the level completes on the first
+/// `needed` acks instead — stragglers are hedged by the transport and
+/// their requests still execute, but the round's tail is the quorum's
+/// tail, not the slowest member's. The validated set then underreports
+/// the stragglers that applied the write after abandonment, which is
+/// the safe direction: version polls rediscover them.
 pub(crate) fn graded_write_level<T: Transport>(
     transport: &T,
     level: usize,
@@ -181,13 +190,12 @@ pub(crate) fn graded_write_level<T: Transport>(
     validated: &mut Vec<usize>,
     report: &mut OpReport,
 ) -> Result<(), ProtocolError> {
-    let outcome = run_recorded(
-        transport,
-        QuorumRound::await_all(needed),
-        Some(level),
-        calls,
-        report,
-    );
+    let round = if transport.health().is_some_and(|h| h.hedging_enabled()) {
+        QuorumRound::first_quorum(needed)
+    } else {
+        QuorumRound::await_all(needed)
+    };
+    let outcome = run_recorded(transport, round, Some(level), calls, report);
     grade_write_level(&outcome, level, needed, validated)
 }
 

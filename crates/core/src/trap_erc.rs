@@ -57,7 +57,7 @@
 
 use bytes::Bytes;
 use tq_cluster::{
-    NodeError, NodeId, PlanOp, QuorumRound, Request, Response, RoundOutcome, Transport,
+    Lane, NodeError, NodeId, PlanOp, QuorumRound, Request, Response, RoundOutcome, Transport,
 };
 use tq_erasure::delta::block_delta;
 use tq_erasure::{data_checks, expected_parity_check, verify_block, ReedSolomon};
@@ -469,6 +469,280 @@ impl<T: Transport> TrapErcClient<T> {
         })
     }
 
+    /// True when an armed health registry marks block `i`'s home node
+    /// `N_i` a straggler: the read path then skips the `N_i` probe and
+    /// direct fetch and reconstructs from `k` healthy members instead —
+    /// the decode pool for block `i` never contains `N_i`, so a gray
+    /// home node stays off the read's critical path. A dormant or
+    /// absent registry never reroutes, keeping the default path
+    /// bit-identical to the unhedged protocol.
+    fn avoid_home(&self, i: usize) -> bool {
+        self.transport
+            .health()
+            .is_some_and(|h| h.hedging_enabled() && h.straggler(i))
+    }
+
+    /// **Straggler salvage (extension)** — one fan-out round replacing
+    /// the walk + probe + widen + fetch pipeline when [`avoid_home`]
+    /// flags `N_i`: fetch `k` shards from the healthiest members
+    /// (ranked data blocks topped up from parity) and let the parity
+    /// replies' version vectors stand in for the level walk. The check
+    /// is sound because every non-home member of every level is a
+    /// parity node (eq. 5 membership) and any `r_l` members of a level
+    /// intersect every completed write's `w_l` set — so once some level
+    /// has `r_l` accepted columns, the newest block-`i` entry among all
+    /// accepted columns is at least the last committed version, and any
+    /// version observed at all was installed by a real write (the same
+    /// residue visibility the walk admits). Any shortfall — too few
+    /// healthy members, no level quorum, inconsistent, stale or corrupt
+    /// shards — returns `None` and the caller falls back to the full
+    /// Algorithm 2 path: the fast path may only save messages, never
+    /// weaken the read.
+    ///
+    /// [`avoid_home`]: TrapErcClient::avoid_home
+    fn read_around(
+        &self,
+        id: u64,
+        i: usize,
+        report: &mut OpReport,
+        corrupt: &mut Vec<usize>,
+    ) -> Option<ReadOutcome> {
+        let health = self.transport.health()?;
+        let (n, k) = (self.config.params().n(), self.config.params().k());
+        let sys = &self.systems[i];
+        // Healthy members only, best first: a one-round salvage cannot
+        // route around a member that stalls it.
+        let mut data: Vec<usize> = (0..k).filter(|&t| t != i && !health.straggler(t)).collect();
+        let mut parity: Vec<usize> = (k..n).filter(|&p| !health.straggler(p)).collect();
+        health.rank_nodes(&mut data);
+        health.rank_nodes(&mut parity);
+        // The walk's check needs r_l members of some level, and with the
+        // home node off-limits the candidates are the level's healthy
+        // parity members (every non-home member is a parity node). Pick
+        // the level satisfiable with the fewest columns and pin its r_l
+        // best-ranked members into the poll; their replies double as
+        // decoder shards.
+        let mut pinned: Vec<usize> = Vec::new();
+        let mut best_cost = usize::MAX;
+        for l in 0..sys.shape().num_levels() {
+            let need = sys.thresholds().read_threshold(sys.shape(), l);
+            let mut have: Vec<usize> = sys
+                .level_members(l)
+                .iter()
+                .copied()
+                .filter(|m| parity.contains(m))
+                .collect();
+            if have.len() >= need && need < best_cost {
+                health.rank_nodes(&mut have);
+                have.truncate(need);
+                best_cost = need;
+                pinned = have;
+            }
+        }
+        if pinned.is_empty() {
+            return None;
+        }
+        // Exactly k shards (when the pinned columns allow): data blocks
+        // feed the decoder verbatim, so fill the remaining slots with
+        // every healthy one and only then with spare parity.
+        let data_take = data.len().min(k.saturating_sub(pinned.len()));
+        let mut poll_parity = pinned;
+        let spares: Vec<usize> = parity
+            .iter()
+            .copied()
+            .filter(|p| !poll_parity.contains(p))
+            .collect();
+        let mut spares = spares.into_iter();
+        while poll_parity.len() + data_take < k {
+            poll_parity.push(spares.next()?);
+        }
+        let calls: Vec<(NodeId, Request)> = data[..data_take]
+            .iter()
+            .map(|&t| (NodeId(t), Request::ReadData { id }))
+            .chain(
+                poll_parity
+                    .iter()
+                    .map(|&p| (NodeId(p), Request::ReadParity { id })),
+            )
+            .collect();
+        // Primary poll, then — only when it leaves fewer than k
+        // mutually consistent shards (a write racing on another block
+        // of the stripe, a stale or corrupt member) — one top-up round
+        // polling the remaining healthy parity columns, whose fresher
+        // vectors let the basis regroup. Two cheap rounds instead of
+        // falling all the way back to the walk + widen + fetch
+        // pipeline; only when both miss does the caller pay full price.
+        let mut spare_calls: Vec<(NodeId, Request)> = spares
+            .map(|p| (NodeId(p), Request::ReadParity { id }))
+            .collect();
+        let mut round_calls = calls;
+        let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(2);
+        while !round_calls.is_empty() {
+            // The top-up is a replacement fetch — a retry in budget
+            // terms; when the budget is dry the walk fallback decides.
+            if !outcomes.is_empty() && !health.try_spend(Lane::Foreground) {
+                break;
+            }
+            let outcome = run_recorded(
+                &self.transport,
+                QuorumRound::await_all(0),
+                None,
+                round_calls,
+                report,
+            );
+            for rejected in &outcome.rejected {
+                if matches!(rejected.error, NodeError::Corrupt) {
+                    record_corrupt(corrupt, rejected.node.0);
+                }
+            }
+            outcomes.push(outcome);
+            if let Some(out) = self.salvage_assemble(i, &outcomes, corrupt) {
+                return Some(out);
+            }
+            round_calls = std::mem::take(&mut spare_calls);
+        }
+        None
+    }
+
+    /// The gather half of [`read_around`]: from the accumulated salvage
+    /// rounds, mirror the level check, pick the best consistent basis,
+    /// validate every shard and decode. `None` means the replies in
+    /// hand cannot yet produce a sound read.
+    ///
+    /// [`read_around`]: TrapErcClient::read_around
+    fn salvage_assemble(
+        &self,
+        i: usize,
+        outcomes: &[RoundOutcome],
+        corrupt: &mut Vec<usize>,
+    ) -> Option<ReadOutcome> {
+        let k = self.config.params().k();
+        let sys = &self.systems[i];
+        let mut parity_replies: Vec<(usize, &Bytes, &Vec<u64>, &Vec<u64>)> = Vec::new();
+        let mut data_replies: Vec<(usize, &Bytes, u64, u64)> = Vec::new();
+        for outcome in outcomes {
+            for accepted in outcome.accepted_in_issue_order() {
+                match &accepted.response {
+                    Response::Parity {
+                        bytes,
+                        versions,
+                        checks,
+                    } if versions.len() == k => {
+                        parity_replies.push((accepted.node.0, bytes, versions, checks));
+                    }
+                    Response::Data {
+                        bytes,
+                        version,
+                        check,
+                    } => data_replies.push((accepted.node.0, bytes, *version, *check)),
+                    _ => {}
+                }
+            }
+        }
+
+        // The level check, mirrored: some level must have r_l members
+        // answering with version columns.
+        let quorum = (0..sys.shape().num_levels()).any(|l| {
+            let got = sys
+                .level_members(l)
+                .iter()
+                .filter(|m| parity_replies.iter().any(|r| r.0 == **m))
+                .count();
+            got >= sys.thresholds().read_threshold(sys.shape(), l)
+        });
+        if !quorum {
+            return None;
+        }
+        let latest = parity_replies.iter().map(|r| r.2[i]).max()?;
+
+        // Basis selection, as in the widened decode: group parity
+        // columns current for block i by exact vector, join data
+        // replies whose live version matches the group's view of them,
+        // keep the group maximising usable shards.
+        let mut best_column: Option<&Vec<u64>> = None;
+        let mut best_total = 0usize;
+        let mut seen: Vec<&Vec<u64>> = Vec::new();
+        for &(_, _, versions, _) in &parity_replies {
+            if versions[i] != latest || seen.contains(&versions) {
+                continue;
+            }
+            seen.push(versions);
+            let total = parity_replies.iter().filter(|r| r.2 == versions).count()
+                + data_replies.iter().filter(|r| versions[r.0] == r.2).count();
+            if total > best_total {
+                best_total = total;
+                best_column = Some(versions);
+            }
+        }
+        let column = best_column?;
+        if best_total < k {
+            return None;
+        }
+
+        // Shard validation is the decode path's verbatim: self-checks
+        // first, then every survivor against the group's cross-checksum
+        // vector; a provably-bad shard is attributed before falling
+        // back. Data first keeps the decoder input order deterministic.
+        let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
+        let mut vector: Option<&Vec<u64>> = None;
+        for &(node, bytes, version, check) in &data_replies {
+            if version != column[node] {
+                continue;
+            }
+            if check != 0 && block_check(bytes) != check {
+                record_corrupt(corrupt, node);
+                continue;
+            }
+            available.push((node, bytes.to_vec()));
+        }
+        for &(node, bytes, versions, checks) in &parity_replies {
+            if versions != column {
+                continue;
+            }
+            if checks.len() == k {
+                if block_check(bytes) != expected_parity_check(&self.rs, node, checks) {
+                    record_corrupt(corrupt, node);
+                    continue;
+                }
+                if vector.is_none() {
+                    vector = Some(checks);
+                }
+            }
+            available.push((node, bytes.to_vec()));
+        }
+        if let Some(checks) = vector {
+            available.retain(|(node, bytes)| {
+                if verify_block(&self.rs, *node, bytes, checks) {
+                    true
+                } else {
+                    record_corrupt(corrupt, *node);
+                    false
+                }
+            });
+        }
+        if available.len() < k {
+            return None;
+        }
+        let refs: Vec<(usize, &[u8])> = available
+            .iter()
+            .map(|(idx, b)| (*idx, b.as_slice()))
+            .collect();
+        let bytes = self.rs.decode_block(i, &refs).ok()?;
+        if let Some(checks) = vector {
+            if !verify_block(&self.rs, i, &bytes, checks) {
+                return None;
+            }
+        }
+        Some(ReadOutcome {
+            bytes,
+            version: latest,
+            path: ReadPath::Decoded {
+                nodes: refs.iter().map(|&(idx, _)| idx).take(k).collect(),
+            },
+            report: OpReport::default(),
+        })
+    }
+
     /// Algorithm 2 with the rounds recorded into a caller-owned report
     /// (the scrub and batch paths bill several reads to one report) and
     /// provably-corrupt node indices collected into `corrupt`.
@@ -479,6 +753,13 @@ impl<T: Transport> TrapErcClient<T> {
         report: &mut OpReport,
         corrupt: &mut Vec<usize>,
     ) -> Result<ReadOutcome, ProtocolError> {
+        // Straggler fast path: one healthy-member round instead of the
+        // walk + probe + fetch pipeline; a miss rejoins the walk below.
+        if self.avoid_home(i) {
+            if let Some(out) = self.read_around(id, i, report, corrupt) {
+                return Ok(out);
+            }
+        }
         let sys = &self.systems[i];
         let (n, k) = (self.config.params().n(), self.config.params().k());
         let mut matrix = VersionMatrix::new(n, k);
@@ -506,10 +787,17 @@ impl<T: Transport> TrapErcClient<T> {
                 let latest = matrix
                     .latest_version(i)
                     .expect("quorum met implies at least one version");
-                // Line 31: compare against N_i's current version.
-                let ni_version = match self.call_recorded(i, Request::VersionData { id }, report) {
-                    Ok(Response::Version(v)) => Some(v),
-                    _ => None,
+                // Line 31: compare against N_i's current version —
+                // unless the health registry marks N_i a straggler, in
+                // which case the read routes around it like an erasure
+                // and goes straight to Case 2.
+                let ni_version = if self.avoid_home(i) {
+                    None
+                } else {
+                    match self.call_recorded(i, Request::VersionData { id }, report) {
+                        Ok(Response::Version(v)) => Some(v),
+                        _ => None,
+                    }
                 };
                 if ni_version == Some(latest) {
                     // Case 1: direct read from N_i — but only if the bytes
@@ -627,7 +915,7 @@ impl<T: Transport> TrapErcClient<T> {
                 best = Some((parity_members, column, data_members));
             }
         }
-        let Some((parity_members, column, data_members)) = best else {
+        let Some((mut parity_members, column, mut data_members)) = best else {
             return Err(ProtocolError::NotEnoughForDecode {
                 needed: k,
                 found: 0,
@@ -636,6 +924,15 @@ impl<T: Transport> TrapErcClient<T> {
 
         // Members of the chosen group in fetch-preference order: data
         // blocks first (they feed the decode verbatim), then parity.
+        // Within each segment an armed health registry ranks members —
+        // circuit-open and slow nodes sink to the spare end of the pool,
+        // so the first fetch round lands on the healthiest k. With no
+        // registry (or a cold one) the rank is the identity and the
+        // fetch order is the seed's.
+        if let Some(health) = self.transport.health() {
+            health.rank_nodes(&mut data_members);
+            health.rank_nodes(&mut parity_members);
+        }
         let mut pool: Vec<usize> = Vec::with_capacity(data_members.len() + parity_members.len());
         pool.extend(data_members);
         pool.extend(parity_members);
@@ -657,6 +954,20 @@ impl<T: Transport> TrapErcClient<T> {
         let mut vector: Option<Vec<u64>> = None;
         let mut cursor = 0usize;
         while available.len() < k && cursor < pool.len() {
+            // Every round after the first is a replacement fetch — a
+            // retry in budget terms, re-requesting shards the previous
+            // round failed to produce. It must win a token from the
+            // transport's retry budget; when the budget is dry the read
+            // gives up with the shards in hand rather than amplify load
+            // on an already-struggling group. Without a health registry
+            // the loop is bounded only by the pool, as before.
+            if cursor > 0 {
+                if let Some(health) = self.transport.health() {
+                    if !health.try_spend(Lane::Foreground) {
+                        break;
+                    }
+                }
+            }
             let want = (k - available.len()).min(pool.len() - cursor);
             let batch = &pool[cursor..cursor + want];
             cursor += want;
@@ -808,6 +1119,12 @@ impl<T: Transport> TrapErcClient<T> {
     /// Must run quiesced (no concurrent writers to this stripe), like an
     /// offline fsck; concurrent writes could be clobbered.
     ///
+    /// Scrub traffic is maintenance traffic: its fan-out rounds travel
+    /// the background lane (the wire frames carry the background flag,
+    /// and the retry budget keeps a reserve that background spends may
+    /// not touch), and with an armed health registry its replacement
+    /// fetches prefer healthy members over slow or circuit-open ones.
+    ///
     /// # Errors
     /// Propagates a block whose *every* version is unrecoverable (more
     /// than n − k nodes down).
@@ -857,7 +1174,7 @@ impl<T: Transport> TrapErcClient<T> {
         }
         let poll = run_recorded(
             &self.transport,
-            QuorumRound::await_all(0),
+            QuorumRound::await_all(0).background(),
             None,
             poll_calls,
             &mut report,
@@ -903,7 +1220,7 @@ impl<T: Transport> TrapErcClient<T> {
             .collect();
         let audit = run_recorded(
             &self.transport,
-            QuorumRound::await_all(0),
+            QuorumRound::await_all(0).background(),
             None,
             audit_calls,
             &mut report,
@@ -952,7 +1269,7 @@ impl<T: Transport> TrapErcClient<T> {
         calls.extend(parity_calls);
         let outcome = run_recorded(
             &self.transport,
-            QuorumRound::await_all(0),
+            QuorumRound::await_all(0).background(),
             None,
             calls,
             &mut report,
@@ -996,7 +1313,7 @@ impl<T: Transport> TrapErcClient<T> {
         }
         let outcome = run_recorded(
             &self.transport,
-            QuorumRound::await_all(0),
+            QuorumRound::await_all(0).background(),
             None,
             calls,
             report,
@@ -1084,6 +1401,23 @@ impl<T: Transport> TrapErcClient<T> {
             })
             .collect();
 
+        // Straggler fast path, per item: a block whose home node is
+        // flagged skips the fused walk entirely when the one-round
+        // salvage lands (see `read_around`); a miss rejoins the normal
+        // path below.
+        for (idx, st) in states.iter_mut().enumerate() {
+            if st.done.is_none() && self.avoid_home(addrs[idx].block) {
+                if let Some(out) = self.read_around(
+                    addrs[idx].stripe,
+                    addrs[idx].block,
+                    &mut report,
+                    &mut Vec::new(),
+                ) {
+                    st.done = Some(Ok(out));
+                }
+            }
+        }
+
         // Fused version checks, level by level; a block leaves the
         // pending set once some level completes its check (line 30).
         for l in 0..self.config.shape().num_levels() {
@@ -1132,11 +1466,14 @@ impl<T: Transport> TrapErcClient<T> {
         }
 
         // One fused probe for the N_i versions the level rounds did not
-        // happen to observe (line 31's comparison, batched).
+        // happen to observe (line 31's comparison, batched). Blocks
+        // whose home node the health registry marks a straggler skip
+        // the probe — they are headed for the decode path regardless.
         let probe: Vec<usize> = (0..states.len())
             .filter(|&idx| {
                 states[idx].done.is_none()
                     && states[idx].matrix.data_version(addrs[idx].block).is_none()
+                    && !self.avoid_home(addrs[idx].block)
             })
             .collect();
         if !probe.is_empty() {
@@ -1160,11 +1497,13 @@ impl<T: Transport> TrapErcClient<T> {
         }
 
         // One fused fetch for every block whose N_i is current (Case 1);
-        // blocks it cannot serve fall through to the decode path.
+        // blocks it cannot serve — and blocks routing around a
+        // straggler home node — fall through to the decode path.
         let direct: Vec<usize> = (0..states.len())
             .filter(|&idx| {
                 states[idx].done.is_none()
                     && states[idx].matrix.data_version(addrs[idx].block) == states[idx].latest
+                    && !self.avoid_home(addrs[idx].block)
             })
             .collect();
         if !direct.is_empty() {

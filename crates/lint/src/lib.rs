@@ -22,6 +22,11 @@
 //!   `transport.` call.
 //! * `unsafe-allow` — no new `allow(unsafe_code)` beyond the documented
 //!   `crates/gf256/src/simd.rs` site.
+//! * `bounded-retry` — a loop in a client dispatch surface that puts
+//!   envelopes on the wire must consult `RetryBudget::try_spend` or
+//!   carry a waiver naming why it is bounded (PR 10's retry-storm
+//!   contract: unbudgeted retry loops amplify load exactly when the
+//!   cluster can least afford it).
 //!
 //! Waivers are inline comments of the form `// <marker> allow(NAME) --
 //! JUSTIFICATION`, where `<marker>` is the crate name followed by a colon
@@ -40,6 +45,7 @@ pub const L_SIMDET: &str = "sim-determinism";
 pub const L_PANIC: &str = "panic-freedom";
 pub const L_LOCK: &str = "lock-across-transport";
 pub const L_UNSAFE: &str = "unsafe-allow";
+pub const L_RETRY: &str = "bounded-retry";
 pub const L_WAIVER: &str = "waiver-syntax";
 
 /// The lint catalog: `(name, what it enforces)`. `waiver-syntax` is the
@@ -72,6 +78,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         L_UNSAFE,
         "no allow(unsafe_code) outside crates/gf256/src/simd.rs",
+    ),
+    (
+        L_RETRY,
+        "client dispatch loops must consult RetryBudget::try_spend (or carry a waiver naming why the loop is bounded)",
     ),
     (
         L_WAIVER,
@@ -998,6 +1008,7 @@ fn l4_in_scope(path: &str) -> bool {
             "crates/cluster/src/quorum_round.rs",
             "crates/cluster/src/transport.rs",
             "crates/cluster/src/detmap.rs",
+            "crates/cluster/src/health.rs",
         ]
         .iter()
         .any(|s| path.ends_with(s))
@@ -1316,6 +1327,118 @@ fn l7_unsafe_allow(f: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// L8: bounded-retry
+// ---------------------------------------------------------------------------
+
+/// Client-side dispatch surfaces: the protocol client crate plus the
+/// transports. The quorum engine (`quorum_round.rs`) is out of scope —
+/// its loops walk distinct ops/slots and dispatch each envelope exactly
+/// once per round by construction.
+fn l8_in_scope(path: &str) -> bool {
+    path.contains("crates/core/src/")
+        || [
+            "crates/cluster/src/tcp.rs",
+            "crates/cluster/src/transport.rs",
+            "crates/cluster/src/sim.rs",
+        ]
+        .iter()
+        .any(|s| path.ends_with(s))
+}
+
+/// Call idioms that put an envelope (or a whole round of them) on the
+/// wire. A loop whose body contains one is re-dispatching under its own
+/// control flow, which is exactly where an unbudgeted retry storm hides.
+const L8_DISPATCH: &[&str] = &[
+    "dispatch",
+    "multicall",
+    "multicall_hedged",
+    "run_recorded",
+    "run_fused",
+    "schedule_request",
+];
+
+/// Idioms that prove the loop draws on the retry budget.
+const L8_BUDGET: &[&str] = &["try_spend", "RetryBudget"];
+
+fn l8_bounded_retry(f: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !l8_in_scope(f.path) {
+        return;
+    }
+    let n = f.toks.len();
+    // Collect loop bodies as (open, close) brace token indices. Only the
+    // open-ended forms count: a `for` loop is bounded by its iterator by
+    // construction (fan-outs and level walks dispatch each target once),
+    // and lexing `for` naively would also swallow `impl Trait for Type`
+    // headers. `loop`/`while` have no such intrinsic bound — there the
+    // budget is the only thing standing between a straggler and a storm.
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        let Some(kw) = f.ident(i) else { continue };
+        if !matches!(kw, "loop" | "while") {
+            continue;
+        }
+        // `.loop`-like method paths lex as their own idents; a loop
+        // keyword is never preceded by `.`.
+        if i > 0 && f.p(i - 1, '.') {
+            continue;
+        }
+        // The body `{` follows immediately for `loop`; for `while` it is
+        // the first brace outside the header's parens/brackets.
+        let mut j = i + 1;
+        let (mut paren, mut brack) = (0i32, 0i32);
+        let open = loop {
+            match f.toks.get(j).map(|t| &t.kind) {
+                None => break None,
+                Some(Kind::Punct('(')) => paren += 1,
+                Some(Kind::Punct(')')) => paren -= 1,
+                Some(Kind::Punct('[')) => brack += 1,
+                Some(Kind::Punct(']')) => brack -= 1,
+                Some(Kind::Punct('{')) if paren == 0 && brack == 0 => break Some(j),
+                Some(Kind::Punct(';')) if paren == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        loops.push((open, f.match_brace(open)));
+    }
+    for d in 0..n {
+        if f.ctx.in_test[d] {
+            continue;
+        }
+        let Some(name) = f.ident(d) else { continue };
+        if !L8_DISPATCH.contains(&name) || !f.p(d + 1, '(') {
+            continue;
+        }
+        if d > 0 && f.id(d - 1, "fn") {
+            continue; // a definition, not a call
+        }
+        // Attribute the call to its innermost enclosing loop; calls
+        // outside any loop (or in a loop header's iterator expression)
+        // dispatch once and are fine.
+        let Some(&(open, close)) = loops
+            .iter()
+            .filter(|&&(o, c)| o < d && d < c)
+            .min_by_key(|&&(o, c)| c - o)
+        else {
+            continue;
+        };
+        let consults =
+            (open..=close).any(|k| matches!(f.ident(k), Some(t) if L8_BUDGET.contains(&t)));
+        if !consults {
+            out.push(f.diag(
+                L_RETRY,
+                d,
+                format!(
+                    "`{name}` inside a loop with no retry-budget consult; a re-dispatch loop \
+                     must call `try_spend` (or carry a waiver naming why it is bounded)"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -1338,6 +1461,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     l5_panic_freedom(&f, &mut diags);
     l6_lock_across_transport(&f, &mut diags);
     l7_unsafe_allow(&f, &mut diags);
+    l8_bounded_retry(&f, &mut diags);
     for d in &mut diags {
         if d.lint != L_WAIVER
             && waivers

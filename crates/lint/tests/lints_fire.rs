@@ -111,6 +111,27 @@ fn l7_unsafe_allow_fires() {
 }
 
 #[test]
+fn l8_bounded_retry_fires() {
+    assert_fires(
+        include_str!("fixtures/l8_retry.rs"),
+        "crates/core/src/retry_site.rs",
+        "bounded-retry",
+    );
+}
+
+#[test]
+fn l8_out_of_scope_engine_is_exempt() {
+    let diags = lint_source(
+        "crates/cluster/src/quorum_round.rs",
+        include_str!("fixtures/l8_retry.rs"),
+    );
+    assert!(
+        diags.iter().all(|d| d.lint != "bounded-retry"),
+        "the quorum engine dispatches once per round by construction and is out of scope"
+    );
+}
+
+#[test]
 fn l7_simd_site_is_sanctioned() {
     let diags = lint_source(
         "crates/gf256/src/simd.rs",

@@ -21,8 +21,13 @@
 //!   regresses the version floor.
 //! * [`Scenario`] + [`generate_ops`] — seeded adversarial workloads:
 //!   writes, reads, scheduled crashes (durable or volatile), restarts,
-//!   one-directional partitions, heals, quiesced scrubs and virtual-time
-//!   jumps, with fault pressure bounded so the run stays non-vacuous.
+//!   one-directional partitions, heals, gray-node degrades (a node that
+//!   stays up but answers 10–100× slower), quiesced scrubs and
+//!   virtual-time jumps, with fault pressure bounded so the run stays
+//!   non-vacuous. Every scenario's links draw heavy-tailed service
+//!   times, and [`run_case`] pins hedging on ([`HedgePolicy::P99`]) —
+//!   the matrices double as the adaptive-robustness soak, and the
+//!   report's sim counters prove the hedges actually fired.
 //! * [`run_case`] / [`minimize`] — the explorer: build a backend over a
 //!   fresh simulation, drive the workload, settle with a final scrub,
 //!   and on violation shrink the reproduction to the shortest op prefix
@@ -50,8 +55,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tq_cluster::{
-    Cluster, FaultingBackend, MemoryBackend, NetworkModel, SimFault, SimStats, SimTransport,
-    StorageFaults,
+    Cluster, FaultingBackend, HedgePolicy, MemoryBackend, NetworkModel, SimFault, SimStats,
+    SimTransport, StorageFaults,
 };
 use tq_trapezoid::{
     BatchWrite, BlockAddr, ProtocolError, QuorumStore, ShardMap, ShardedStore, Store,
@@ -171,8 +176,8 @@ pub struct Scenario {
     /// Network model outside quiesced (create/scrub) windows.
     pub model: NetworkModel,
     /// Op-mix weights: write, read, crash, restart, partition, heal,
-    /// scrub, advance, write-batch, read-batch, scrub-shard.
-    pub weights: [u32; 11],
+    /// scrub, advance, write-batch, read-batch, scrub-shard, degrade.
+    pub weights: [u32; 12],
     /// Probability a crash is volatile (loses the disk).
     pub wipe_prob: f64,
     /// Max nodes simultaneously crashed or partitioned — stays within
@@ -200,8 +205,11 @@ impl Scenario {
     pub fn loss_and_reorder() -> Self {
         Scenario {
             name: "loss-reorder",
-            model: NetworkModel::hostile(0.08, 0.06),
-            weights: [10, 10, 0, 0, 0, 0, 2, 4, 5, 5, 1],
+            model: NetworkModel {
+                heavy_tail: 0.1,
+                ..NetworkModel::hostile(0.08, 0.06)
+            },
+            weights: [10, 10, 0, 0, 0, 0, 2, 4, 5, 5, 1, 2],
             wipe_prob: 0.0,
             max_down: 0,
             max_wiped: 0,
@@ -213,8 +221,11 @@ impl Scenario {
     pub fn partitions() -> Self {
         Scenario {
             name: "partitions",
-            model: NetworkModel::hostile(0.02, 0.0),
-            weights: [10, 10, 0, 0, 4, 3, 2, 4, 5, 5, 1],
+            model: NetworkModel {
+                heavy_tail: 0.1,
+                ..NetworkModel::hostile(0.02, 0.0)
+            },
+            weights: [10, 10, 0, 0, 4, 3, 2, 4, 5, 5, 1, 2],
             wipe_prob: 0.0,
             max_down: 2,
             max_wiped: 0,
@@ -228,9 +239,10 @@ impl Scenario {
             name: "crash-restart",
             model: NetworkModel {
                 loss: 0.01,
+                heavy_tail: 0.1,
                 ..NetworkModel::reliable()
             },
-            weights: [10, 10, 5, 5, 0, 0, 3, 4, 5, 5, 1],
+            weights: [10, 10, 5, 5, 0, 0, 3, 4, 5, 5, 1, 2],
             wipe_prob: 0.3,
             max_down: 2,
             max_wiped: 1,
@@ -242,8 +254,11 @@ impl Scenario {
     pub fn chaos() -> Self {
         Scenario {
             name: "chaos",
-            model: NetworkModel::hostile(0.05, 0.04),
-            weights: [10, 10, 4, 4, 3, 2, 3, 4, 5, 5, 2],
+            model: NetworkModel {
+                heavy_tail: 0.15,
+                ..NetworkModel::hostile(0.05, 0.04)
+            },
+            weights: [10, 10, 4, 4, 3, 2, 3, 4, 5, 5, 2, 2],
             wipe_prob: 0.25,
             max_down: 2,
             max_wiped: 1,
@@ -260,8 +275,11 @@ impl Scenario {
     pub fn at_least_once() -> Self {
         Scenario {
             name: "at-least-once",
-            model: NetworkModel::at_least_once(0.05, 0.25),
-            weights: [10, 10, 3, 3, 2, 2, 3, 4, 5, 5, 1],
+            model: NetworkModel {
+                heavy_tail: 0.1,
+                ..NetworkModel::at_least_once(0.05, 0.25)
+            },
+            weights: [10, 10, 3, 3, 2, 2, 3, 4, 5, 5, 1, 2],
             wipe_prob: 0.2,
             max_down: 2,
             max_wiped: 1,
@@ -370,6 +388,15 @@ pub enum WorkloadOp {
         /// Stripe group selector (taken modulo the groups in play).
         shard: usize,
     },
+    /// Turn a node gray: it stays up and keeps answering, just `factor`
+    /// times slower — the straggler mode crash/partition axes cannot
+    /// produce. A second degrade of the same node restores it instead.
+    Degrade {
+        /// Node to slow down (or restore).
+        node: usize,
+        /// Service-time multiplier while gray.
+        factor: u64,
+    },
 }
 
 /// Generates `count` workload steps from a seed. Truncating the count
@@ -445,8 +472,12 @@ pub fn generate_ops(seed: u64, scenario: &Scenario, count: usize) -> Vec<Workloa
                     blocks: picked.into_iter().collect(),
                 }
             }
-            _ => WorkloadOp::ScrubShard {
+            10 => WorkloadOp::ScrubShard {
                 shard: rng.random_range(0..SHARDS),
+            },
+            _ => WorkloadOp::Degrade {
+                node: rng.random_range(0..CLUSTER_NODES),
+                factor: rng.random_range(10..=100u64),
             },
         });
     }
@@ -836,6 +867,17 @@ pub fn run_case(cfg: &CaseConfig) -> CaseReport {
             )
             .expect("provisioning under reliable links succeeds");
     }
+    // Hedging arms *after* provisioning (whose require-every-ack rounds
+    // would turn any adaptively-timed-out slow disk into a provisioning
+    // failure) and is pinned ON (P99) rather than inherited from
+    // `TQ_HEDGE`, for the same reason read verification is pinned: a
+    // `CaseConfig` replay must be bit-for-bit identical in any
+    // environment. The dormant registry sampled RTTs throughout
+    // provisioning, so the estimator starts the workload warm. The
+    // matrices thereby double as the adaptive-robustness soak — hedge
+    // re-issues, adaptive deadlines and retry-budget spends all run
+    // under the checker, and `CaseReport::sim` counts what fired.
+    sim.health_registry().set_policy(HedgePolicy::P99);
     sim.set_model(cfg.scenario.model.clone());
 
     let mut checker = HistoryChecker::new(&initial);
@@ -887,6 +929,7 @@ pub fn run_workload(
         down: BTreeSet::new(),
         wiped: BTreeSet::new(),
         partitioned: BTreeSet::new(),
+        degraded: BTreeSet::new(),
         fault_horizon: 0,
     };
     let mut violation = None;
@@ -921,8 +964,14 @@ struct Runner<'a> {
     down: BTreeSet<usize>,
     wiped: BTreeSet<usize>,
     partitioned: BTreeSet<usize>,
+    degraded: BTreeSet<usize>,
     fault_horizon: u64,
 }
+
+/// Max simultaneously-gray nodes: degrades do not count against
+/// `max_down` (a gray node is up and still acks), but unbounded graying
+/// would starve the run of fast quorums and make it vacuous.
+const MAX_DEGRADED: usize = 2;
 
 impl Runner<'_> {
     fn pressure(&self) -> usize {
@@ -1055,6 +1104,21 @@ impl Runner<'_> {
                 self.sim.apply(SimFault::HealPartitions);
                 self.partitioned.clear();
             }
+            WorkloadOp::Degrade { node, factor } => {
+                if self.degraded.contains(node) {
+                    self.sim.apply(SimFault::Degrade {
+                        node: *node,
+                        factor: 1,
+                    });
+                    self.degraded.remove(node);
+                } else if self.degraded.len() < MAX_DEGRADED {
+                    self.sim.apply(SimFault::Degrade {
+                        node: *node,
+                        factor: *factor,
+                    });
+                    self.degraded.insert(*node);
+                }
+            }
             WorkloadOp::Scrub => self.scrub(op_index, checker, stats)?,
             WorkloadOp::ScrubShard { shard } => {
                 let group = shard % group_count(checker);
@@ -1102,6 +1166,14 @@ impl Runner<'_> {
             }
         }
         self.sim.apply(SimFault::HealPartitions);
+        // Gray nodes clear too: anti-entropy reads every member, and a
+        // 100× straggler under the quiesced window would stall the
+        // settle for no adversarial value the workload phase didn't
+        // already extract.
+        for &node in &self.degraded {
+            self.sim.apply(SimFault::Degrade { node, factor: 1 });
+        }
+        self.degraded.clear();
         self.sim.flush_inflight();
         let saved = self.sim.model();
         self.sim.set_model(NetworkModel::reliable());
@@ -1231,7 +1303,7 @@ mod tests {
                 scenario: Scenario {
                     name: "calm",
                     model: NetworkModel::reliable(),
-                    weights: [10, 10, 0, 0, 0, 0, 1, 2, 5, 5, 1],
+                    weights: [10, 10, 0, 0, 0, 0, 1, 2, 5, 5, 1, 0],
                     wipe_prob: 0.0,
                     max_down: 0,
                     max_wiped: 0,

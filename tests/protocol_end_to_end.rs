@@ -234,3 +234,79 @@ fn scrub_restores_eq1_invariant_across_cluster() {
         }
     }
 }
+
+/// A health-flagged home node stays entirely off a read's critical
+/// path: with the registry armed and `N_0` marked gray, reading block 0
+/// skips the walk, probe and direct fetch and decodes from `k` healthy
+/// members in a *single* round — the read costs exactly `k` wire
+/// messages (plus any hedges the transport fires independently).
+#[test]
+fn straggler_home_node_is_read_around_in_one_round() {
+    use trapezoid_quorum::cluster::HedgePolicy;
+
+    let config = ProtocolConfig::with_uniform_w(9, 6, 2, 1, 1, 1).unwrap();
+    let cluster = Cluster::new(9);
+    let client = TrapErcClient::new(config, ChannelTransport::new(cluster.clone())).unwrap();
+    client.create_stripe(1, blocks(6, 64, 9)).unwrap();
+    let w = client.write_block(1, 0, &[0xC4; 64]).unwrap();
+
+    // Teach the estimator a gray home node directly (deterministic —
+    // no real sleeps): node 0 far past the straggler multiple of the
+    // fleet median, everyone else warmed at a healthy baseline.
+    let health = client.transport().health_registry();
+    for node in 1..9 {
+        for _ in 0..5 {
+            health.record_sample(node, 100_000); // 100µs
+        }
+    }
+    for _ in 0..10 {
+        health.record_sample(0, 30_000_000); // 30ms
+    }
+    assert!(health.straggler(0), "gray node must be flagged");
+    assert!(!health.straggler(1), "healthy node must not be flagged");
+
+    // Dormant registry: the read still takes the seed's direct path.
+    let before = client.transport().messages_sent();
+    let read = client.read_block(1, 0).unwrap();
+    assert_eq!(read.path, ReadPath::Direct);
+    assert_eq!(read.bytes, vec![0xC4; 64]);
+
+    // Armed: one salvage round of k shards, none of them from node 0.
+    health.set_policy(HedgePolicy::P99);
+    let before_msgs = client.transport().messages_sent();
+    let before_hedges = health.hedge_counters().fired;
+    let read = client.read_block(1, 0).unwrap();
+    assert_eq!(read.bytes, vec![0xC4; 64]);
+    assert_eq!(read.version, w.version);
+    match &read.path {
+        ReadPath::Decoded { nodes } => {
+            assert_eq!(nodes.len(), 6);
+            assert!(!nodes.contains(&0), "home node polled: {nodes:?}");
+        }
+        other => panic!("expected a decode-around, got {other:?}"),
+    }
+    let hedges = health.hedge_counters().fired - before_hedges;
+    assert_eq!(
+        client.transport().messages_sent() - before_msgs,
+        6 + hedges,
+        "salvage must cost exactly k messages (+ hedges)"
+    );
+    let _ = before;
+
+    // The batch path reroutes identically.
+    use trapezoid_quorum::protocol::BlockAddr;
+    let batch = client.read_blocks(&[
+        BlockAddr {
+            stripe: 1,
+            block: 0,
+        },
+        BlockAddr {
+            stripe: 1,
+            block: 3,
+        },
+    ]);
+    let out = batch.outcomes[0].as_ref().unwrap();
+    assert_eq!(out.bytes, vec![0xC4; 64]);
+    assert!(matches!(&out.path, ReadPath::Decoded { nodes } if !nodes.contains(&0)));
+    assert!(batch.outcomes[1].as_ref().unwrap().bytes.len() == 64);
+}

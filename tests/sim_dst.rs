@@ -12,6 +12,14 @@
 //! artifact; replaying the same `CaseConfig` reproduces the violation
 //! bit-for-bit.
 //!
+//! Every case runs *hedged*: `run_case` pins `HedgePolicy::P99`, the
+//! scenario links draw heavy-tailed service times, and the workloads
+//! degrade nodes into gray stragglers — so straggler re-issues, adaptive
+//! per-node deadlines and retry-budget spends all execute under the
+//! checker. The matrices assert the hedge counters are non-vacuous: the
+//! clean verdict covers schedules where hedges genuinely fired and
+//! duplicate replies genuinely arrived.
+//!
 //! `TQ_DST_SEED_BASE` offsets the seed range — the scheduled CI job sets
 //! it to a fresh random base on every run.
 
@@ -55,6 +63,7 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
     let base = seed_base();
     let mut failures = Vec::new();
     let (mut commits, mut reads_ok, mut corrupted) = (0u64, 0u64, 0u64);
+    let (mut hedges_fired, mut hedges_absorbed) = (0u64, 0u64);
 
     for seed in 0..64u64 {
         let mut scenario = scenarios[(seed % scenarios.len() as u64) as usize].clone();
@@ -74,6 +83,8 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
             commits += report.stats.commits;
             reads_ok += report.stats.reads_ok;
             corrupted += report.corrupted_reads;
+            hedges_fired += report.sim.hedges_fired;
+            hedges_absorbed += report.sim.hedges_won + report.sim.hedge_dups;
             if report.violation.is_some() {
                 let minimal = minimize(&cfg).expect("violation reproduces");
                 failures.push(format!(
@@ -112,6 +123,18 @@ fn seed_matrix_stays_checker_clean_across_all_backends() {
         corrupted > 200,
         "corruption axis vacuous: only {corrupted} corrupted reads served"
     );
+    // The hedging claim needs teeth too: across the matrix, straggler
+    // re-issues must actually have fired, and some must have raced their
+    // original to completion (a win or an absorbed duplicate) — or the
+    // clean verdict says nothing about the dup-reply hardening.
+    assert!(
+        hedges_fired > 100,
+        "hedging vacuous: only {hedges_fired} hedges fired across the matrix"
+    );
+    assert!(
+        hedges_absorbed > 20,
+        "hedging vacuous: only {hedges_absorbed} hedge wins/dups absorbed"
+    );
 }
 
 /// The at-least-once acceptance matrix: the same 64 seeds × 4 backends,
@@ -126,6 +149,7 @@ fn at_least_once_matrix_stays_checker_clean_across_all_backends() {
     let base = seed_base();
     let mut failures = Vec::new();
     let (mut commits, mut reads_ok, mut redelivered) = (0u64, 0u64, 0u64);
+    let mut hedges_fired = 0u64;
 
     for seed in 0..64u64 {
         // The storage fault and corruption axes rotate through this
@@ -149,6 +173,7 @@ fn at_least_once_matrix_stays_checker_clean_across_all_backends() {
             commits += report.stats.commits;
             reads_ok += report.stats.reads_ok;
             redelivered += report.sim.redelivered;
+            hedges_fired += report.sim.hedges_fired;
             if report.violation.is_some() {
                 let minimal = minimize(&cfg).expect("violation reproduces");
                 failures.push(format!(
@@ -185,6 +210,13 @@ fn at_least_once_matrix_stays_checker_clean_across_all_backends() {
     assert!(
         redelivered > 500,
         "at-least-once vacuous: only {redelivered} cross-round redeliveries"
+    );
+    // Hedge re-issues under an at-least-once fabric are the hardest
+    // duplication case — the same op-id may arrive thrice (original,
+    // redelivery, hedge). The clean verdict must cover it non-vacuously.
+    assert!(
+        hedges_fired > 100,
+        "hedging vacuous: only {hedges_fired} hedges fired under at-least-once"
     );
 }
 
@@ -268,7 +300,7 @@ fn injected_version_regression_is_caught_by_the_checker() {
     let calm = Scenario {
         name: "calm",
         model: NetworkModel::reliable(),
-        weights: [1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        weights: [1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
         wipe_prob: 0.0,
         max_down: 0,
         max_wiped: 0,

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use trapezoid_quorum::cluster::transport::Transport;
 use trapezoid_quorum::cluster::{
-    Cluster, Envelope, NetworkModel, NodeApi, NodeId, OpId, Reply, Request, SimTransport,
+    Cluster, Envelope, Lane, NetworkModel, NodeApi, NodeId, OpId, Reply, Request, SimTransport,
     TcpNodeServer, TcpTransport,
 };
 
@@ -28,6 +28,7 @@ fn script() -> Vec<(usize, Envelope)> {
     let env = |n: u64, payload: Request| Envelope {
         op_id: OpId(0x5000 + n),
         round_epoch: 7,
+        lane: Lane::Foreground,
         payload,
     };
     let data = |fill: u8| Bytes::from(vec![fill; 24]);

@@ -27,7 +27,7 @@ use trapezoid_quorum::cluster::wire::{
     crc32, decode_frame, encode_envelope, encode_reply, DecodeError, Frame, HEADER_LEN,
     MAX_BODY_LEN,
 };
-use trapezoid_quorum::cluster::{Envelope, NodeError, OpId, Reply, Request, Response};
+use trapezoid_quorum::cluster::{Envelope, Lane, NodeError, OpId, Reply, Request, Response};
 
 // ---------------------------------------------------------------------
 // Strategies.
@@ -140,11 +140,18 @@ fn node_error() -> BoxedStrategy<NodeError> {
 }
 
 fn envelope() -> impl Strategy<Value = Envelope> {
-    (any::<u64>(), any::<u64>(), request()).prop_map(|(op, epoch, payload)| Envelope {
-        op_id: OpId(op),
-        round_epoch: epoch,
-        payload,
-    })
+    (any::<u64>(), any::<u64>(), any::<bool>(), request()).prop_map(
+        |(op, epoch, background, payload)| Envelope {
+            op_id: OpId(op),
+            round_epoch: epoch,
+            lane: if background {
+                Lane::Background
+            } else {
+                Lane::Foreground
+            },
+            payload,
+        },
+    )
 }
 
 fn reply() -> impl Strategy<Value = Reply> {
@@ -296,6 +303,7 @@ proptest! {
         let env = Envelope {
             op_id: OpId(7),
             round_epoch: 0,
+            lane: Lane::Foreground,
             payload: Request::InitData {
                 id,
                 bytes: Bytes::from(data),
@@ -351,9 +359,12 @@ fn append_to_body(frame: &mut Vec<u8>, extra: &[u8]) {
 #[test]
 fn unknown_trailing_extensions_from_newer_peers_are_skipped() {
     // A request-side extensible variant...
+    // Background lane: the flag bit must round-trip alongside the
+    // trailing extensions it shares the header with.
     let env = Envelope {
         op_id: OpId(41),
         round_epoch: 2,
+        lane: Lane::Background,
         payload: Request::WriteParity {
             id: 13,
             bytes: Bytes::from_static(b"parity-bytes"),
@@ -414,6 +425,7 @@ fn every_header_bit_flip_is_rejected() {
     let env = Envelope {
         op_id: OpId(0xDEAD_BEEF),
         round_epoch: 3,
+        lane: Lane::Foreground,
         payload: Request::WriteData {
             id: 9,
             bytes: Bytes::from_static(b"exhaustive"),
